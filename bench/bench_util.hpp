@@ -1,0 +1,74 @@
+// Shared helpers for the reproduction benches: the fixed synthetic region
+// set standing in for the paper's 10 Azure fiber maps, CDF printing, and
+// small formatting utilities. Every bench prints its table before running
+// its google-benchmark timings, so `./bench_x` regenerates the figure's
+// series directly.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/plan_region.hpp"
+#include "fibermap/generator.hpp"
+
+namespace iris::bench {
+
+/// The 10 base fiber maps (seeded) used across Fig. 12 and the appendices.
+inline std::vector<std::uint64_t> base_map_seeds() {
+  return {11, 22, 33, 44, 55, 66, 77, 88, 99, 110};
+}
+
+/// Region generation matching the SS6.1 evaluation setup: n DCs placed on a
+/// backbone; capacities in fibers applied per scenario.
+inline fibermap::FiberMap make_eval_region(std::uint64_t seed, int dc_count,
+                                           int capacity_fibers) {
+  fibermap::RegionParams params;
+  params.seed = seed;
+  params.dc_count = dc_count;
+  params.hut_count = 8;
+  params.dc_attach_huts = 2;
+  params.capacity_fibers = capacity_fibers;
+  params.extent_km = 45.0;
+  return fibermap::generate_region(params);
+}
+
+inline core::PlannerParams eval_params(int tolerance, int lambda) {
+  core::PlannerParams params;
+  params.failure_tolerance = tolerance;
+  params.channels.wavelengths_per_fiber = lambda;
+  return params;
+}
+
+/// Prints a CDF of `values` at the given resolution: "value cdf" rows.
+inline void print_cdf(const std::string& header, std::vector<double> values,
+                      int rows = 20) {
+  std::sort(values.begin(), values.end());
+  std::printf("# CDF: %s (%zu samples)\n", header.c_str(), values.size());
+  std::printf("%12s %8s\n", "value", "cdf");
+  if (values.empty()) return;
+  for (int r = 1; r <= rows; ++r) {
+    const double q = static_cast<double>(r) / rows;
+    const auto idx = static_cast<std::size_t>(
+        q * (static_cast<double>(values.size()) - 1.0));
+    std::printf("%12.3f %8.3f\n", values[idx], q);
+  }
+}
+
+/// Fraction of values strictly greater than a threshold.
+inline double fraction_above(const std::vector<double>& values, double thr) {
+  if (values.empty()) return 0.0;
+  const auto count = std::count_if(values.begin(), values.end(),
+                                   [&](double v) { return v > thr; });
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+/// Median of a (copied) value set.
+inline double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+}  // namespace iris::bench

@@ -1,0 +1,63 @@
+// Fig. 18: 99th-percentile FCT slowdown per workload (web1, web2, hadoop,
+// cache) at 40% utilization, 50% traffic changes, reconfiguration every 5 s.
+//
+// Paper claims: Iris's slowdown is < 2% vs EPS across all four workloads,
+// for all flows and for small flows.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "simflow/experiment.hpp"
+
+namespace {
+
+using namespace iris::simflow;
+
+SimParams fig18_params(Fabric fabric) {
+  SimParams params;
+  params.duration_s = 12.0;
+  params.utilization = 0.40;
+  params.change_interval_s = 5.0;
+  params.traffic.pair_count = 45;
+  params.traffic.total_gbps = 9.0;
+  params.traffic.change_fraction = 0.5;
+  params.traffic.seed = 77;
+  params.seed = 77;
+  params.fabric = fabric;
+  return params;
+}
+
+void print_table() {
+  std::printf("# Fig. 18: 99th-pct FCT slowdown by workload "
+              "(40%% util, 50%% changes, 5 s reconfig; 3 seeds)\n");
+  std::printf("%10s %22s %22s\n", "workload", "all-flows (mean,max)",
+              "short-flows (mean,max)");
+  for (const auto& workload : FlowSizeDistribution::paper_presets()) {
+    const auto all =
+        replicated_slowdown(workload, fig18_params(Fabric::kIris), 3);
+    const auto small = replicated_slowdown(
+        workload, fig18_params(Fabric::kIris), 3, kShortFlowBytes);
+    std::printf("%10s %11.3fx %8.3fx %11.3fx %8.3fx\n",
+                workload.name().c_str(), all.mean, all.max, small.mean,
+                small.max);
+  }
+  std::printf("\n# paper: < 2%% slowdown for every workload\n\n");
+}
+
+void BM_WorkloadSampling(benchmark::State& state) {
+  const auto workload = FlowSizeDistribution::hadoop();
+  std::mt19937_64 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload.sample(rng));
+  }
+}
+BENCHMARK(BM_WorkloadSampling);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Microbenchmarks for the planner's building blocks, plus the paper's
+// "executes within a few minutes for even large region sizes with 20 DCs"
+// runtime claim (SS4.3).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "graph/failures.hpp"
+#include "graph/hose.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace {
+
+using namespace iris;
+
+void BM_Dijkstra(benchmark::State& state) {
+  const auto map = bench::make_eval_region(11, static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::dijkstra(map.graph(), map.dcs()[0]));
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_HoseEdgeLoad(benchmark::State& state) {
+  std::vector<graph::OrientedPair> pairs;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) pairs.push_back({i, n + j});
+    }
+  }
+  const auto cap = [](graph::NodeId) -> graph::Capacity { return 320; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::hose_edge_load(pairs, cap));
+  }
+}
+BENCHMARK(BM_HoseEdgeLoad)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_FailureEnumeration(benchmark::State& state) {
+  const auto map = bench::make_eval_region(11, 10, 8);
+  for (auto _ : state) {
+    long long count = 0;
+    core::for_each_scenario(map, bench::eval_params(2, 40),
+                            [&](const graph::EdgeMask&) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_FailureEnumeration)->Unit(benchmark::kMillisecond);
+
+void BM_FullProvision(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const auto tol = static_cast<int>(state.range(1));
+  const auto map = bench::make_eval_region(11, n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::provision(map, bench::eval_params(tol, 40)));
+  }
+}
+BENCHMARK(BM_FullProvision)
+    ->Args({5, 1})
+    ->Args({10, 1})
+    ->Args({10, 2})
+    ->Args({20, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndPlan20Dcs(benchmark::State& state) {
+  // The paper's planning-runtime envelope: a 20-DC region, tolerance 2.
+  const auto map = bench::make_eval_region(22, 20, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::plan_region(map, bench::eval_params(2, 40)));
+  }
+}
+BENCHMARK(BM_EndToEndPlan20Dcs)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

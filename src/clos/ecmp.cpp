@@ -1,0 +1,44 @@
+#include "clos/ecmp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace iris::clos {
+
+std::uint64_t flow_hash(std::uint64_t flow_id) {
+  std::uint64_t z = flow_id + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int select_uplink(std::uint64_t flow_id, int uplink_count) {
+  if (uplink_count <= 0) {
+    throw std::invalid_argument("select_uplink: need uplinks > 0");
+  }
+  return static_cast<int>(flow_hash(flow_id) % uplink_count);
+}
+
+std::vector<long long> spread_flows(long long flow_count, int uplink_count,
+                                    std::uint64_t seed) {
+  std::vector<long long> counts(uplink_count, 0);
+  for (long long f = 0; f < flow_count; ++f) {
+    ++counts[select_uplink(seed * 0x100000001b3ULL + f, uplink_count)];
+  }
+  return counts;
+}
+
+double imbalance(const std::vector<long long>& per_uplink) {
+  if (per_uplink.empty()) return 1.0;
+  long long total = 0, peak = 0;
+  for (long long c : per_uplink) {
+    total += c;
+    peak = std::max(peak, c);
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(per_uplink.size());
+  return static_cast<double>(peak) / mean;
+}
+
+}  // namespace iris::clos

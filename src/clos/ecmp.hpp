@@ -1,0 +1,29 @@
+// ECMP flow spreading inside a DC (paper SS5.1).
+//
+// "Internal routing to T2 switches can be achieved using standard mechanisms
+// like ECMP and anycast, such that traffic for each external destination
+// arrives at the right T2(s) in a load balanced fashion." This models that
+// leaf: a stateless hash over the flow 5-tuple picks the T2 uplink, so
+// wavelengths toward each destination fill evenly without per-flow state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace iris::clos {
+
+/// Stateless 64-bit mix (splitmix64 finalizer) -- the hash behind ECMP.
+std::uint64_t flow_hash(std::uint64_t flow_id);
+
+/// Uplink index in [0, uplink_count) for a flow.
+int select_uplink(std::uint64_t flow_id, int uplink_count);
+
+/// Spreads `flow_count` synthetic flows (ids seeded from `seed`) and returns
+/// the per-uplink counts -- used to validate balance quality.
+std::vector<long long> spread_flows(long long flow_count, int uplink_count,
+                                    std::uint64_t seed = 1);
+
+/// Max-over-mean load imbalance of a spread; 1.0 is perfect.
+double imbalance(const std::vector<long long>& per_uplink);
+
+}  // namespace iris::clos

@@ -1,0 +1,63 @@
+#include "clos/fabric.hpp"
+
+#include <stdexcept>
+
+namespace iris::clos {
+
+ClosFabric design_nonblocking_fabric(long long external_ports, int radix) {
+  if (external_ports <= 0) {
+    throw std::invalid_argument("design_nonblocking_fabric: need ports > 0");
+  }
+  if (radix < 2 || radix % 2 != 0) {
+    throw std::invalid_argument(
+        "design_nonblocking_fabric: radix must be even and >= 2");
+  }
+  ClosFabric out;
+  out.external_ports = external_ports;
+  out.radix = radix;
+
+  if (external_ports <= radix) {
+    out.tiers = 1;
+    out.switch_count = 1;
+    out.internal_links = 0;
+    return out;
+  }
+
+  // Leaf tier: radix/2 external ports per leaf, radix/2 uplinks.
+  const int down_per_leaf = radix / 2;
+  const long long leaves =
+      (external_ports + down_per_leaf - 1) / down_per_leaf;
+  // Non-blocking: radix/2 spine planes, each a fabric with `leaves` ports.
+  const ClosFabric plane = design_nonblocking_fabric(leaves, radix);
+
+  out.tiers = 1 + plane.tiers;
+  out.switch_count = leaves + down_per_leaf * plane.switch_count;
+  out.internal_links = leaves * down_per_leaf +
+                       down_per_leaf * plane.internal_links;
+  return out;
+}
+
+HubFootprint electrical_hub_footprint(long long external_ports,
+                                      const ElectricalSwitchModel& model) {
+  const ClosFabric fabric =
+      design_nonblocking_fabric(external_ports, model.radix);
+  HubFootprint out;
+  out.devices = fabric.switch_count;
+  out.kilowatts = fabric.total_switch_ports() * model.watts_per_port / 1000.0;
+  out.rack_units = fabric.switch_count * model.rack_units_per_switch;
+  return out;
+}
+
+HubFootprint optical_hub_footprint(long long fiber_ports, const OssModel& model) {
+  if (fiber_ports < 0) {
+    throw std::invalid_argument("optical_hub_footprint: negative ports");
+  }
+  HubFootprint out;
+  out.devices = (fiber_ports + model.ports_per_chassis - 1) /
+                model.ports_per_chassis;
+  out.kilowatts = out.devices * model.watts_per_chassis / 1000.0;
+  out.rack_units = out.devices * model.rack_units_per_chassis;
+  return out;
+}
+
+}  // namespace iris::clos

@@ -1,0 +1,66 @@
+// Electrical Clos fabrics (paper SS2.3, SS3.3).
+//
+// The centralized DCI is "effectively breaking up a mega-DC": the hubs house
+// the core switching tier, a non-blocking Clos fabric built from fixed-radix
+// electrical switches. This module sizes such a fabric for a given external
+// port count -- switch count, tiers, internal links -- plus the power and
+// rack-space model behind the paper's claim that an optical Iris hub needs
+// "orders of magnitude less power" and "a few rack-units" instead of racks
+// of electrical gear.
+#pragma once
+
+#include <cstdint>
+
+namespace iris::clos {
+
+/// A non-blocking folded-Clos fabric providing `external_ports`, recursively
+/// built from radix-`radix` switches (radix/2 down, radix/2 up per stage).
+struct ClosFabric {
+  long long external_ports = 0;
+  int radix = 0;
+  int tiers = 0;                 ///< 1 = a single switch suffices
+  long long switch_count = 0;
+  long long internal_links = 0;  ///< leaf-spine interconnect cables
+
+  /// Ports actually consumed on switches (external + 2 per internal link).
+  [[nodiscard]] long long total_switch_ports() const {
+    return external_ports + 2 * internal_links;
+  }
+};
+
+/// Sizes the fabric. Throws std::invalid_argument for radix < 2 or odd
+/// radix, or non-positive port counts.
+ClosFabric design_nonblocking_fabric(long long external_ports, int radix);
+
+/// Power/space models (coarse, documented estimates for the SS3.3
+/// comparison; override as needed).
+struct ElectricalSwitchModel {
+  int radix = 32;                ///< 400G ports per switch
+  double watts_per_port = 15.0;  ///< switch + optics share
+  double rack_units_per_switch = 1.0;
+  double rack_units_per_rack = 42.0;
+};
+
+struct OssModel {
+  int ports_per_chassis = 384;   ///< e.g. Polatis Series 7000 [40]
+  double watts_per_chassis = 45.0;  ///< control electronics only; path is passive
+  double rack_units_per_chassis = 7.0;
+};
+
+struct HubFootprint {
+  double kilowatts = 0.0;
+  double rack_units = 0.0;
+  long long devices = 0;  ///< switches or OSS chassis
+};
+
+/// Footprint of an electrical hub serving `external_ports` via a
+/// non-blocking Clos of the model's switches.
+HubFootprint electrical_hub_footprint(long long external_ports,
+                                      const ElectricalSwitchModel& model = {});
+
+/// Footprint of an Iris hub switching `fiber_ports` unidirectional fiber
+/// ports on OSS chassis.
+HubFootprint optical_hub_footprint(long long fiber_ports,
+                                   const OssModel& model = {});
+
+}  // namespace iris::clos

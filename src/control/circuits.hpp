@@ -1,0 +1,28 @@
+// Traffic demands and optical circuits (paper SS5.2).
+#pragma once
+
+#include <map>
+
+#include "core/provision.hpp"
+
+namespace iris::control {
+
+/// Aggregate DC-DC demand in wavelengths. Symmetric (OC2), keyed by the
+/// normalized pair.
+using TrafficMatrix = std::map<core::DcPair, long long>;
+
+/// An established fiber-granularity circuit: `fiber_pairs` whole fibers
+/// switched end-to-end along `route`.
+struct Circuit {
+  core::DcPair pair;
+  graph::Path route;
+  int fiber_pairs = 0;
+  long long wavelengths = 0;  ///< live wavelengths riding the circuit
+
+  friend bool operator==(const Circuit& a, const Circuit& b) {
+    return a.pair == b.pair && a.route.nodes == b.route.nodes &&
+           a.fiber_pairs == b.fiber_pairs;
+  }
+};
+
+}  // namespace iris::control

@@ -1,0 +1,34 @@
+#include "control/closed_loop.hpp"
+
+#include <stdexcept>
+
+namespace iris::control {
+
+ClosedLoopResult run_closed_loop(IrisController& controller,
+                                 ReconfigPolicy& policy, const DemandAt& demand,
+                                 const ClosedLoopParams& params) {
+  if (params.duration_s <= 0.0 || params.sample_interval_s <= 0.0) {
+    throw std::invalid_argument("run_closed_loop: bad parameters");
+  }
+  ClosedLoopResult result;
+  for (double t = 0.0; t < params.duration_s; t += params.sample_interval_s) {
+    policy.observe(demand(t), t);
+    ++result.samples;
+    const auto proposal = policy.propose(t);
+    if (!proposal) continue;
+    try {
+      const auto report =
+          controller.apply_traffic_matrix(*proposal, params.strategy);
+      policy.mark_applied(*proposal);
+      ++result.reconfigurations;
+      result.oss_operations += report.oss_operations;
+      result.total_capacity_gap_ms += report.capacity_gap_ms();
+      result.last_apply_s = t;
+    } catch (const std::runtime_error&) {
+      ++result.rejected;  // keep observing; the demand may become feasible
+    }
+  }
+  return result;
+}
+
+}  // namespace iris::control

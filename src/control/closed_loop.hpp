@@ -1,0 +1,49 @@
+// Closed-loop operation: demand telemetry -> policy -> controller (paper
+// SS5.2's full control loop, run against emulated devices).
+//
+// The caller supplies the demand trajectory (e.g. simflow::TrafficModel
+// mapped onto DC pairs); the loop samples it, lets the ReconfigPolicy decide
+// when the optical layer should move, and applies proposals through the
+// IrisController, accumulating the operational statistics the paper cares
+// about: how often the network reconfigures and how much capacity-gap time
+// that costs.
+#pragma once
+
+#include <functional>
+
+#include "control/controller.hpp"
+#include "control/policy.hpp"
+
+namespace iris::control {
+
+struct ClosedLoopParams {
+  double duration_s = 60.0;
+  double sample_interval_s = 1.0;
+  ReconfigStrategy strategy = ReconfigStrategy::kBreakBeforeMake;
+};
+
+struct ClosedLoopResult {
+  int samples = 0;
+  int reconfigurations = 0;
+  int rejected = 0;             ///< proposals the controller refused
+  long long oss_operations = 0;
+  double total_capacity_gap_ms = 0.0;
+  double last_apply_s = -1.0;
+
+  /// Mean seconds between reconfigurations; the paper's premise is that
+  /// this is large ("relatively infrequent").
+  [[nodiscard]] double mean_reconfig_spacing_s(double duration_s) const {
+    return reconfigurations > 0 ? duration_s / reconfigurations : duration_s;
+  }
+};
+
+/// Demand at time t, in wavelengths per pair.
+using DemandAt = std::function<TrafficMatrix(double t_s)>;
+
+/// Runs the loop. Proposals that the controller rejects (hose violation,
+/// pool exhaustion) are counted and skipped; the loop keeps running.
+ClosedLoopResult run_closed_loop(IrisController& controller,
+                                 ReconfigPolicy& policy, const DemandAt& demand,
+                                 const ClosedLoopParams& params);
+
+}  // namespace iris::control

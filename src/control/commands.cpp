@@ -1,0 +1,33 @@
+#include "control/commands.hpp"
+
+namespace iris::control {
+
+std::string to_string(const DeviceCommand& cmd) {
+  struct Printer {
+    std::string operator()(const OssConnectCmd& c) const {
+      return "oss[" + std::to_string(c.site) + "].connect(" +
+             std::to_string(c.in_port) + " -> " + std::to_string(c.out_port) +
+             ")";
+    }
+    std::string operator()(const OssDisconnectCmd& c) const {
+      return "oss[" + std::to_string(c.site) + "].disconnect(" +
+             std::to_string(c.in_port) + ")";
+    }
+    std::string operator()(const TuneTransceiverCmd& c) const {
+      return "dc[" + std::to_string(c.dc) + "].tx[" +
+             std::to_string(c.transceiver) + "].tune(ch" +
+             std::to_string(c.channel) + ")";
+    }
+    std::string operator()(const DisableTransceiverCmd& c) const {
+      return "dc[" + std::to_string(c.dc) + "].tx[" +
+             std::to_string(c.transceiver) + "].disable()";
+    }
+    std::string operator()(const SetAseFillCmd& c) const {
+      return "dc[" + std::to_string(c.dc) + "].ase.fill(live=" +
+             std::to_string(c.live_channels) + ")";
+    }
+  };
+  return std::visit(Printer{}, cmd);
+}
+
+}  // namespace iris::control

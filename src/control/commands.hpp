@@ -1,0 +1,55 @@
+// Typed device-command trace (paper SS6.2: the testbed controller exposes
+// APIs for channel add/drop, space-switch reconfiguration and state checks).
+//
+// Every apply_traffic_matrix records the exact device commands it issued, in
+// order, so operators can audit a reconfiguration, replay it against real
+// hardware drivers, or diff two runs in tests.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace iris::control {
+
+struct OssConnectCmd {
+  graph::NodeId site;
+  int in_port;
+  int out_port;
+};
+struct OssDisconnectCmd {
+  graph::NodeId site;
+  int in_port;
+};
+struct TuneTransceiverCmd {
+  graph::NodeId dc;
+  int transceiver;
+  int channel;
+};
+struct DisableTransceiverCmd {
+  graph::NodeId dc;
+  int transceiver;
+};
+struct SetAseFillCmd {
+  graph::NodeId dc;
+  int live_channels;  ///< remaining spectrum is ASE-filled
+};
+
+using DeviceCommand =
+    std::variant<OssConnectCmd, OssDisconnectCmd, TuneTransceiverCmd,
+                 DisableTransceiverCmd, SetAseFillCmd>;
+
+/// Human-readable rendering for ops logs.
+std::string to_string(const DeviceCommand& cmd);
+
+/// Count commands of a given type in a trace.
+template <typename T>
+int count_commands(const std::vector<DeviceCommand>& trace) {
+  int n = 0;
+  for (const auto& cmd : trace) n += std::holds_alternative<T>(cmd);
+  return n;
+}
+
+}  // namespace iris::control

@@ -1,0 +1,533 @@
+#include "control/controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/path_physics.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace iris::control {
+
+using core::DcPair;
+using graph::EdgeId;
+using graph::NodeId;
+
+IrisController::IrisController(const fibermap::FiberMap& map,
+                               const core::ProvisionedNetwork& network,
+                               const core::AmpCutPlan& amp_cut,
+                               DeviceLatencies latencies)
+    : map_(map), network_(network), amp_cut_(amp_cut), latencies_(latencies) {
+  const graph::Graph& g = map.graph();
+  const int lambda = network.params.channels.wavelengths_per_fiber;
+
+  fibers_provisioned_ = leased_fibers_per_duct(map, network, amp_cut);
+  duct_failed_.assign(g.edge_count(), false);
+  free_fibers_.resize(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    free_fibers_[e].resize(fibers_provisioned_[e]);
+    for (int k = 0; k < fibers_provisioned_[e]; ++k) free_fibers_[e][k] = k;
+  }
+
+  port_maps_ = build_port_maps(map, network, amp_cut);
+  oss_.reserve(static_cast<std::size_t>(g.node_count()));
+  free_amps_.resize(g.node_count());
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    oss_.emplace_back(map.site(n).name + "-oss",
+                      std::max(1, port_maps_[n].port_count()));
+    free_amps_[n].resize(amp_cut.amps_at_node[n]);
+    for (int a = 0; a < amp_cut.amps_at_node[n]; ++a) free_amps_[n][a] = a;
+  }
+  for (NodeId dc : map.dcs()) {
+    auto& pool = free_add_drop_[dc];
+    pool.resize(port_maps_[dc].add_drop_pairs());
+    for (int k = 0; k < port_maps_[dc].add_drop_pairs(); ++k) pool[k] = k;
+
+    emulators_.emplace(dc, ChannelEmulator(lambda));
+    auto& txs = transceivers_[dc];
+    const long long count = map.dc_capacity_wavelengths(dc, lambda);
+    txs.reserve(static_cast<std::size_t>(count));
+    for (long long t = 0; t < count; ++t) {
+      txs.emplace_back(map.site(dc).name + "-tx" + std::to_string(t), lambda);
+    }
+  }
+}
+
+long long IrisController::dc_capacity_wavelengths(NodeId dc) const {
+  return map_.dc_capacity_wavelengths(
+      dc, network_.params.channels.wavelengths_per_fiber);
+}
+
+std::vector<Circuit> IrisController::circuits_for(const TrafficMatrix& tm) const {
+  const int lambda = network_.params.channels.wavelengths_per_fiber;
+  graph::EdgeMask mask(map_.graph().edge_count());
+  for (EdgeId e = 0; e < map_.graph().edge_count(); ++e) {
+    if (duct_failed_[e] ||
+        map_.graph().edge(e).length_km > network_.params.spec.max_span_km) {
+      mask.fail(e);
+    }
+  }
+
+  std::vector<Circuit> out;
+  for (const auto& [pair, waves] : tm) {
+    if (waves <= 0) continue;
+    auto path = graph::shortest_path(map_.graph(), pair.a, pair.b, mask);
+    if (!path) {
+      throw std::runtime_error("circuits_for: DC pair disconnected");
+    }
+    Circuit c;
+    c.pair = pair;
+    c.route = std::move(*path);
+    c.fiber_pairs = static_cast<int>((waves + lambda - 1) / lambda);
+    c.wavelengths = waves;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+namespace {
+
+/// Pops `count` smallest entries from a sorted free list; throws if short.
+std::vector<int> take_from_pool(std::vector<int>& pool, int count,
+                                const char* what) {
+  if (static_cast<int>(pool.size()) < count) {
+    throw std::runtime_error(std::string("IrisController: ") + what +
+                             " pool exhausted");
+  }
+  std::sort(pool.begin(), pool.end());
+  std::vector<int> taken(pool.begin(), pool.begin() + count);
+  pool.erase(pool.begin(), pool.begin() + count);
+  return taken;
+}
+
+void return_to_pool(std::vector<int>& pool, const std::vector<int>& items) {
+  pool.insert(pool.end(), items.begin(), items.end());
+}
+
+}  // namespace
+
+long long IrisController::establish(const Circuit& c, Allocation& alloc) {
+  const graph::Graph& g = map_.graph();
+  const auto& spec = network_.params.spec;
+  long long ops = 0;
+
+  // Fibers on every hop.
+  alloc.fibers_per_hop.reserve(c.route.edges.size());
+  for (EdgeId e : c.route.edges) {
+    alloc.fibers_per_hop.push_back(
+        take_from_pool(free_fibers_[e], c.fiber_pairs, "duct fiber"));
+  }
+
+  // Does this route need an in-line amplifier? Pick the first feasible site
+  // that still has free amplifier units.
+  const auto bypassed = amp_cut_.bypassed_sites(c.route);
+  if (!core::path_feasible(g, c.route, std::nullopt, bypassed, spec)) {
+    for (int m : core::feasible_amp_indices(g, c.route, bypassed, spec)) {
+      const NodeId site = c.route.nodes[m];
+      if (static_cast<int>(free_amps_[site].size()) >= c.fiber_pairs) {
+        alloc.amp_site = site;
+        alloc.amp_units =
+            take_from_pool(free_amps_[site], c.fiber_pairs, "amplifier");
+        break;
+      }
+    }
+    if (!alloc.amp_site) {
+      throw std::runtime_error(
+          "IrisController: no amplifier site available for long route");
+    }
+  }
+
+  // Add/drop pairs at both terminals.
+  alloc.add_drop_a = take_from_pool(free_add_drop_.at(c.pair.a), c.fiber_pairs,
+                                    "add/drop");
+  alloc.add_drop_b = take_from_pool(free_add_drop_.at(c.pair.b), c.fiber_pairs,
+                                    "add/drop");
+
+  const auto connect = [&](NodeId site, int in, int out) {
+    oss_[site].connect(in, out);
+    alloc.connects.push_back(Connect{site, in, out});
+    trace_.push_back(OssConnectCmd{site, in, out});
+    ++ops;
+  };
+
+  // Program the cross-connects, fiber by fiber. Route orientation: nodes[0]
+  // is one terminal; "forward" is the direction away from it.
+  const auto& nodes = c.route.nodes;
+  const auto& edges = c.route.edges;
+  for (int f = 0; f < c.fiber_pairs; ++f) {
+    // Terminal at nodes.front(): mux add -> first duct out; first duct in ->
+    // demux drop. The terminal could be pair.a or pair.b depending on how
+    // the path was extracted.
+    const bool front_is_a = nodes.front() == c.pair.a;
+    const auto& front_pairs = front_is_a ? alloc.add_drop_a : alloc.add_drop_b;
+    const auto& back_pairs = front_is_a ? alloc.add_drop_b : alloc.add_drop_a;
+
+    const NodeId src = nodes.front();
+    connect(src, port_maps_[src].add_port(front_pairs[f]),
+            port_maps_[src].duct_out_port(edges.front(),
+                                          alloc.fibers_per_hop.front()[f]));
+    connect(src,
+            port_maps_[src].duct_in_port(edges.front(),
+                                         alloc.fibers_per_hop.front()[f]),
+            port_maps_[src].drop_port(front_pairs[f]));
+
+    // Intermediate sites: pass-through, or loopback through an amplifier.
+    for (std::size_t h = 1; h + 1 < nodes.size(); ++h) {
+      const NodeId site = nodes[h];
+      const int in_fiber = alloc.fibers_per_hop[h - 1][f];
+      const int out_fiber = alloc.fibers_per_hop[h][f];
+      const int fwd_in = port_maps_[site].duct_in_port(edges[h - 1], in_fiber);
+      const int fwd_out = port_maps_[site].duct_out_port(edges[h], out_fiber);
+      if (alloc.amp_site && *alloc.amp_site == site) {
+        // Loopback: OSS -> amplifier -> OSS -> next duct. Each "amplifier"
+        // is a dual-stage unit; its return-direction stage is cabled
+        // in-line, so only the forward strand crosses the OSS twice.
+        const int unit = alloc.amp_units[f];
+        connect(site, fwd_in, port_maps_[site].amp_feed_port(unit));
+        connect(site, port_maps_[site].amp_return_port(unit), fwd_out);
+      } else {
+        connect(site, fwd_in, fwd_out);
+      }
+      // Reverse strand: next duct in -> previous duct out.
+      connect(site, port_maps_[site].duct_in_port(edges[h], out_fiber),
+              port_maps_[site].duct_out_port(edges[h - 1], in_fiber));
+    }
+
+    const NodeId dst = nodes.back();
+    connect(dst, port_maps_[dst].add_port(back_pairs[f]),
+            port_maps_[dst].duct_out_port(edges.back(),
+                                          alloc.fibers_per_hop.back()[f]));
+    connect(dst,
+            port_maps_[dst].duct_in_port(edges.back(),
+                                         alloc.fibers_per_hop.back()[f]),
+            port_maps_[dst].drop_port(back_pairs[f]));
+  }
+  return ops;
+}
+
+long long IrisController::release(const Allocation& alloc) {
+  long long ops = 0;
+  for (auto it = alloc.connects.rbegin(); it != alloc.connects.rend(); ++it) {
+    oss_[it->site].disconnect(it->in_port);
+    trace_.push_back(OssDisconnectCmd{it->site, it->in_port});
+    ++ops;
+  }
+  return ops;
+}
+
+void IrisController::retune_all_dcs(ReconfigReport& report) {
+  const int lambda = network_.params.channels.wavelengths_per_fiber;
+  std::map<NodeId, long long> next_tx;
+  for (auto& [dc, txs] : transceivers_) {
+    for (auto& tx : txs) tx.disable();
+    next_tx[dc] = 0;
+  }
+  std::map<NodeId, std::set<int>> live;
+  for (const Circuit& c : active_) {
+    for (const NodeId dc : {c.pair.a, c.pair.b}) {
+      auto& txs = transceivers_.at(dc);
+      long long& cursor = next_tx.at(dc);
+      for (long long w = 0; w < c.wavelengths; ++w) {
+        if (cursor >= static_cast<long long>(txs.size())) {
+          throw std::logic_error("transceiver pool exhausted despite admission");
+        }
+        const int channel = static_cast<int>(w % lambda);
+        txs[static_cast<std::size_t>(cursor)].tune(channel);
+        trace_.push_back(
+            TuneTransceiverCmd{dc, static_cast<int>(cursor), channel});
+        live[dc].insert(channel);
+        ++cursor;
+        ++report.transceivers_retuned;
+      }
+    }
+  }
+  for (auto& [dc, emulator] : emulators_) {
+    emulator.set_live_channels(live.contains(dc) ? live.at(dc)
+                                                 : std::set<int>{});
+    trace_.push_back(
+        SetAseFillCmd{dc, static_cast<int>(emulator.live_channels().size())});
+  }
+}
+
+ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
+                                                   ReconfigStrategy strategy) {
+  // Hose-capacity admission check (OC2) before touching any device.
+  std::map<NodeId, long long> per_dc;
+  for (const auto& [pair, waves] : tm) {
+    per_dc[pair.a] += waves;
+    per_dc[pair.b] += waves;
+  }
+  for (const auto& [dc, waves] : per_dc) {
+    if (waves > dc_capacity_wavelengths(dc)) {
+      throw std::runtime_error(
+          "apply_traffic_matrix: demand exceeds hose capacity of " +
+          map_.site(dc).name);
+    }
+  }
+
+  std::vector<Circuit> target = circuits_for(tm);
+  ReconfigReport report;
+  trace_.clear();
+
+  const auto same_circuit = [](const Circuit& a, const Circuit& b) {
+    return a.pair == b.pair && a.route.nodes == b.route.nodes &&
+           a.fiber_pairs == b.fiber_pairs;
+  };
+  std::vector<std::size_t> kept_indices;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const auto it = std::find_if(target.begin(), target.end(),
+                                 [&](const Circuit& t) {
+                                   return same_circuit(t, active_[i]);
+                                 });
+    if (it == target.end()) {
+      report.torn_down.push_back(active_[i]);
+    } else {
+      kept_indices.push_back(i);
+    }
+  }
+  for (const Circuit& t : target) {
+    const bool existed =
+        std::find_if(active_.begin(), active_.end(), [&](const Circuit& cur) {
+          return same_circuit(t, cur);
+        }) != active_.end();
+    if (!existed) report.set_up.push_back(t);
+  }
+
+  // Admission pre-check for new circuits: fibers free after teardown.
+  {
+    std::vector<long long> demand(map_.graph().edge_count(), 0);
+    for (const Circuit& c : report.set_up) {
+      for (EdgeId e : c.route.edges) demand[e] += c.fiber_pairs;
+    }
+    std::vector<long long> freed(map_.graph().edge_count(), 0);
+    for (const Circuit& c : report.torn_down) {
+      for (EdgeId e : c.route.edges) freed[e] += c.fiber_pairs;
+    }
+    for (EdgeId e = 0; e < map_.graph().edge_count(); ++e) {
+      const long long available =
+          static_cast<long long>(free_fibers_[e].size()) + freed[e];
+      if (demand[e] > available) {
+        throw std::runtime_error("apply_traffic_matrix: duct " +
+                                 std::to_string(e) + " fiber lease exhausted");
+      }
+      if (demand[e] > 0 && duct_failed_[e]) {
+        throw std::runtime_error("apply_traffic_matrix: route crosses failed duct");
+      }
+    }
+  }
+
+  // Make-before-break is possible only if the spare pool can hold both
+  // circuit generations on every duct at once.
+  bool make_first =
+      strategy == ReconfigStrategy::kMakeBeforeBreak && !report.set_up.empty();
+  if (make_first) {
+    std::vector<long long> demand(map_.graph().edge_count(), 0);
+    for (const Circuit& c : report.set_up) {
+      for (EdgeId e : c.route.edges) demand[e] += c.fiber_pairs;
+    }
+    for (EdgeId e = 0; e < map_.graph().edge_count(); ++e) {
+      if (demand[e] > static_cast<long long>(free_fibers_[e].size())) {
+        make_first = false;  // fall back to the drain-first workflow
+        break;
+      }
+    }
+  }
+
+  double clock = 0.0;
+  std::vector<Circuit> new_active;
+  std::vector<Allocation> new_allocs;
+  for (std::size_t i : kept_indices) {
+    // Wavelength counts may have changed on an unchanged circuit.
+    const auto it = std::find_if(target.begin(), target.end(),
+                                 [&](const Circuit& t) {
+                                   return same_circuit(t, active_[i]);
+                                 });
+    Circuit updated = active_[i];
+    updated.wavelengths = it->wavelengths;
+    new_active.push_back(std::move(updated));
+    new_allocs.push_back(std::move(allocations_[i]));
+  }
+
+  const auto release_torn = [&] {
+    for (const Circuit& c : report.torn_down) {
+      for (std::size_t i = 0; i < active_.size(); ++i) {
+        if (same_circuit(active_[i], c) && !allocations_[i].connects.empty()) {
+          report.oss_operations += release(allocations_[i]);
+          for (std::size_t h = 0; h < c.route.edges.size(); ++h) {
+            return_to_pool(free_fibers_[c.route.edges[h]],
+                           allocations_[i].fibers_per_hop[h]);
+          }
+          if (allocations_[i].amp_site) {
+            return_to_pool(free_amps_[*allocations_[i].amp_site],
+                           allocations_[i].amp_units);
+          }
+          return_to_pool(free_add_drop_.at(c.pair.a),
+                         allocations_[i].add_drop_a);
+          return_to_pool(free_add_drop_.at(c.pair.b),
+                         allocations_[i].add_drop_b);
+          allocations_[i] = Allocation{};
+          break;
+        }
+      }
+    }
+  };
+
+  int max_switch_sites = 0;
+  const auto establish_new = [&] {
+    for (const Circuit& c : report.set_up) {
+      Allocation alloc;
+      try {
+        report.oss_operations += establish(c, alloc);
+      } catch (...) {
+        // Roll the partial allocation back so devices and pools stay sane,
+        // then surface the error (e.g. amplifier pool exhausted).
+        release(alloc);
+        for (std::size_t h = 0; h < alloc.fibers_per_hop.size(); ++h) {
+          return_to_pool(free_fibers_[c.route.edges[h]],
+                         alloc.fibers_per_hop[h]);
+        }
+        if (alloc.amp_site) {
+          return_to_pool(free_amps_[*alloc.amp_site], alloc.amp_units);
+        }
+        return_to_pool(free_add_drop_.at(c.pair.a), alloc.add_drop_a);
+        return_to_pool(free_add_drop_.at(c.pair.b), alloc.add_drop_b);
+        active_ = std::move(new_active);
+        allocations_ = std::move(new_allocs);
+        throw;
+      }
+      new_active.push_back(c);
+      new_allocs.push_back(std::move(alloc));
+      max_switch_sites = std::max(
+          max_switch_sites, static_cast<int>(c.route.nodes.size()) - 2);
+    }
+  };
+
+  if (make_first) {
+    // Hitless: light the replacements, move traffic, then drain + tear down.
+    establish_new();
+    report.timeline.push_back({clock, "replacement circuits lit"});
+    if (!report.torn_down.empty()) {
+      report.drain_ms = latencies_.drain_window_ms;
+      clock += report.drain_ms;
+      report.timeline.push_back(
+          {clock, "drained " + std::to_string(report.torn_down.size()) +
+                      " old circuit(s)"});
+    }
+    release_torn();
+    report.hitless = true;
+  } else {
+    // Drain, tear down, set up -- in that order (SS5.2).
+    if (!report.torn_down.empty()) {
+      report.drain_ms = latencies_.drain_window_ms;
+      clock += report.drain_ms;
+      report.timeline.push_back(
+          {clock, "drained " + std::to_string(report.torn_down.size()) +
+                      " circuit(s)"});
+    }
+    release_torn();
+    establish_new();
+  }
+  for (const Circuit& c : report.torn_down) {
+    max_switch_sites = std::max(
+        max_switch_sites, static_cast<int>(c.route.nodes.size()) - 2);
+  }
+
+  active_ = std::move(new_active);
+  allocations_ = std::move(new_allocs);
+
+  if (!report.set_up.empty() || !report.torn_down.empty()) {
+    // All OSSes at one site switch in parallel; sites along a path settle in
+    // sequence, so the capacity gap grows with the deepest changed route
+    // (~50 ms via one hut, ~70 ms via two; SS6.2).
+    report.switch_ms = latencies_.oss_switch_ms * std::max(1, max_switch_sites);
+    report.recovery_ms = latencies_.signal_recovery_ms;
+    clock += report.switch_ms;
+    report.timeline.push_back({clock, "OSS cross-connects applied"});
+    clock += report.recovery_ms;
+    report.timeline.push_back({clock, "receivers relocked"});
+  }
+
+  retune_all_dcs(report);
+  report.verified = audit_devices();
+  report.total_ms = clock;
+  return report;
+}
+
+bool IrisController::audit_devices() const {
+  for (const Allocation& alloc : allocations_) {
+    for (const Connect& c : alloc.connects) {
+      const auto out = oss_[c.site].output_for(c.in_port);
+      if (!out || *out != c.out_port) return false;
+    }
+  }
+  for (EdgeId e = 0; e < map_.graph().edge_count(); ++e) {
+    if (static_cast<int>(free_fibers_[e].size()) > fibers_provisioned_[e]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+IrisController::Status IrisController::status() const {
+  Status s;
+  s.active_circuits = static_cast<int>(active_.size());
+  for (const Circuit& c : active_) s.live_wavelengths += 2 * c.wavelengths;
+  for (EdgeId e = 0; e < map_.graph().edge_count(); ++e) {
+    s.fibers_allocated += allocated_fibers(e);
+    s.fibers_provisioned += fibers_provisioned_[e];
+    s.failed_ducts += duct_failed_[e];
+  }
+  for (NodeId n = 0; n < map_.graph().node_count(); ++n) {
+    s.amplifiers_in_use += amplifiers_in_use(n);
+    s.amplifiers_total += amp_cut_.amps_at_node[n];
+  }
+  s.devices_consistent = audit_devices();
+  return s;
+}
+
+void IrisController::fail_duct(EdgeId duct) { duct_failed_.at(duct) = true; }
+
+ReconfigReport IrisController::drain_duct_for_maintenance(
+    EdgeId duct, ReconfigStrategy strategy) {
+  // Current intent: the active circuits' pair demands.
+  TrafficMatrix tm;
+  for (const Circuit& c : active_) tm[c.pair] += c.wavelengths;
+  duct_failed_.at(duct) = true;
+  try {
+    return apply_traffic_matrix(tm, strategy);
+  } catch (...) {
+    duct_failed_.at(duct) = false;  // refuse the maintenance, keep traffic
+    throw;
+  }
+}
+
+void IrisController::restore_duct(EdgeId duct) {
+  duct_failed_.at(duct) = false;
+}
+
+const OpticalSpaceSwitch& IrisController::oss_at(NodeId site) const {
+  return oss_.at(site);
+}
+
+const ChannelEmulator& IrisController::channel_emulator_at(NodeId dc) const {
+  return emulators_.at(dc);
+}
+
+const SitePortMap& IrisController::port_map_at(NodeId site) const {
+  return port_maps_.at(site);
+}
+
+long long IrisController::allocated_fibers(EdgeId duct) const {
+  return fibers_provisioned_.at(duct) -
+         static_cast<long long>(free_fibers_.at(duct).size());
+}
+
+int IrisController::provisioned_fibers(EdgeId duct) const {
+  return fibers_provisioned_.at(duct);
+}
+
+int IrisController::amplifiers_in_use(NodeId site) const {
+  return amp_cut_.amps_at_node.at(site) -
+         static_cast<int>(free_amps_.at(site).size());
+}
+
+}  // namespace iris::control

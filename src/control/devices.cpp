@@ -1,0 +1,72 @@
+#include "control/devices.hpp"
+
+#include <algorithm>
+
+namespace iris::control {
+
+OpticalSpaceSwitch::OpticalSpaceSwitch(std::string name, int port_count)
+    : name_(std::move(name)), port_count_(port_count) {
+  if (port_count <= 0) {
+    throw std::invalid_argument("OSS: port count must be positive");
+  }
+}
+
+void OpticalSpaceSwitch::check_port(int port) const {
+  if (port < 0 || port >= port_count_) {
+    throw std::out_of_range(name_ + ": port " + std::to_string(port) +
+                            " out of range");
+  }
+}
+
+void OpticalSpaceSwitch::connect(int in_port, int out_port) {
+  check_port(in_port);
+  check_port(out_port);
+  if (cross_.contains(in_port)) {
+    throw std::logic_error(name_ + ": input port already connected");
+  }
+  if (outputs_in_use_.contains(out_port)) {
+    throw std::logic_error(name_ + ": output port already connected");
+  }
+  cross_[in_port] = out_port;
+  outputs_in_use_.insert(out_port);
+}
+
+void OpticalSpaceSwitch::disconnect(int in_port) {
+  check_port(in_port);
+  const auto it = cross_.find(in_port);
+  if (it == cross_.end()) {
+    throw std::logic_error(name_ + ": input port not connected");
+  }
+  outputs_in_use_.erase(it->second);
+  cross_.erase(it);
+}
+
+std::optional<int> OpticalSpaceSwitch::output_for(int in_port) const {
+  check_port(in_port);
+  const auto it = cross_.find(in_port);
+  if (it == cross_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool OpticalSpaceSwitch::output_in_use(int out_port) const {
+  check_port(out_port);
+  return outputs_in_use_.contains(out_port);
+}
+
+void TunableTransceiver::tune(int wavelength) {
+  if (wavelength < 0 || wavelength >= wavelength_count_) {
+    throw std::out_of_range(name_ + ": wavelength out of range");
+  }
+  wavelength_ = wavelength;
+}
+
+void ChannelEmulator::set_live_channels(std::set<int> live) {
+  for (int w : live) {
+    if (w < 0 || w >= wavelength_count_) {
+      throw std::out_of_range("ChannelEmulator: wavelength out of range");
+    }
+  }
+  live_ = std::move(live);
+}
+
+}  // namespace iris::control

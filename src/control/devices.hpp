@@ -1,0 +1,121 @@
+// Software emulators for Iris's optical devices (paper SS5.1, SS6.2).
+//
+// The real testbed drives Polatis OSSes, Acacia tunable transceivers, Ciena
+// EDFAs and a BKtel ASE channel emulator over serial/HTTPS/NetConf. Here the
+// same controller logic drives in-process emulators with the reconfiguration
+// latencies reported in the paper (OSS ~20 ms, tunable laser <1 ms, EDFA
+// <2 ms), so control-plane behaviour -- ordering, drain windows, verify
+// steps, failure handling -- is exercised end to end.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace iris::control {
+
+/// Reconfiguration latencies in milliseconds (SS5.2).
+struct DeviceLatencies {
+  double oss_switch_ms = 20.0;        ///< state of the art for OSS mirrors
+  double transceiver_tune_ms = 1.0;   ///< tunable laser retune
+  double amplifier_settle_ms = 2.0;   ///< unused EDFA providing gain
+  double signal_recovery_ms = 30.0;   ///< receiver DSP relock after switch
+  double drain_window_ms = 5.0;       ///< traffic drain before teardown
+};
+
+/// Optical space switch: a port-to-port crossbar at fiber granularity.
+/// Connections are unidirectional port pairs; a port joins at most one
+/// connection in each role.
+class OpticalSpaceSwitch {
+ public:
+  OpticalSpaceSwitch(std::string name, int port_count);
+
+  /// Connects input port -> output port. Throws if either port is busy.
+  void connect(int in_port, int out_port);
+  /// Removes the connection from `in_port`. Throws if none exists.
+  void disconnect(int in_port);
+  /// Output port the input is patched to, if any.
+  [[nodiscard]] std::optional<int> output_for(int in_port) const;
+  [[nodiscard]] bool output_in_use(int out_port) const;
+  [[nodiscard]] int connection_count() const {
+    return static_cast<int>(cross_.size());
+  }
+  [[nodiscard]] int port_count() const noexcept { return port_count_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  void check_port(int port) const;
+
+  std::string name_;
+  int port_count_;
+  std::map<int, int> cross_;      // in -> out
+  std::set<int> outputs_in_use_;
+};
+
+/// Tunable DWDM transceiver: carries one wavelength index in [0, lambda).
+class TunableTransceiver {
+ public:
+  TunableTransceiver(std::string name, int wavelength_count)
+      : name_(std::move(name)), wavelength_count_(wavelength_count) {}
+
+  void tune(int wavelength);
+  void disable() { wavelength_.reset(); }
+  [[nodiscard]] std::optional<int> wavelength() const noexcept {
+    return wavelength_;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  int wavelength_count_;
+  std::optional<int> wavelength_;
+};
+
+/// Fixed-gain EDFA with an input power limiter (SS5.1: no online gain
+/// management -- the limiter bounds input power so gain never needs
+/// adjustment when spans change).
+class Amplifier {
+ public:
+  Amplifier(std::string name, double gain_db, double max_input_dbm)
+      : name_(std::move(name)), gain_db_(gain_db), max_input_dbm_(max_input_dbm) {}
+
+  /// Output power for a given input power: the limiter clamps the input.
+  [[nodiscard]] double output_dbm(double input_dbm) const {
+    return std::min(input_dbm, max_input_dbm_) + gain_db_;
+  }
+  [[nodiscard]] double gain_db() const noexcept { return gain_db_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  double gain_db_;
+  double max_input_dbm_;
+};
+
+/// ASE channel emulator: fills the unused C-band spectrum of a fiber so
+/// amplifier gain profiles stay uniform regardless of live channel count.
+class ChannelEmulator {
+ public:
+  explicit ChannelEmulator(int wavelength_count)
+      : wavelength_count_(wavelength_count) {}
+
+  /// Sets the live channels; everything else is filled with shaped ASE.
+  void set_live_channels(std::set<int> live);
+  [[nodiscard]] const std::set<int>& live_channels() const noexcept {
+    return live_;
+  }
+  [[nodiscard]] int ase_filled_channels() const {
+    return wavelength_count_ - static_cast<int>(live_.size());
+  }
+  /// The spectrum is always fully occupied: live + ASE = lambda.
+  [[nodiscard]] bool spectrum_full() const noexcept { return true; }
+
+ private:
+  int wavelength_count_;
+  std::set<int> live_;
+};
+
+}  // namespace iris::control

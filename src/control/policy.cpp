@@ -1,0 +1,91 @@
+#include "control/policy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace iris::control {
+
+using core::DcPair;
+
+ReconfigPolicy::ReconfigPolicy(PolicyParams params) : params_(params) {
+  if (params.ewma_alpha <= 0.0 || params.ewma_alpha > 1.0 ||
+      params.headroom < 1.0 || params.hysteresis_s < 0.0 ||
+      params.wavelengths_per_fiber <= 0) {
+    throw std::invalid_argument("ReconfigPolicy: bad parameters");
+  }
+}
+
+int ReconfigPolicy::fibers_for(long long wavelengths) const {
+  return static_cast<int>((wavelengths + params_.wavelengths_per_fiber - 1) /
+                          params_.wavelengths_per_fiber);
+}
+
+void ReconfigPolicy::observe(const TrafficMatrix& sample, double now_s) {
+  // EWMA update; pairs absent from the sample decay toward zero.
+  for (auto& [pair, value] : smoothed_) {
+    const auto it = sample.find(pair);
+    const double observed =
+        it == sample.end() ? 0.0 : static_cast<double>(it->second);
+    value += params_.ewma_alpha * (observed - value);
+  }
+  for (const auto& [pair, waves] : sample) {
+    smoothed_.try_emplace(pair, static_cast<double>(waves));
+  }
+
+  // Track divergence between the target and the applied plan, at fiber
+  // granularity -- a wavelength-level wiggle inside the same fiber count
+  // needs no optical change.
+  const TrafficMatrix want = target();
+  for (const auto& [pair, waves] : want) {
+    const auto applied_it = applied_.find(pair);
+    const long long applied_waves =
+        applied_it == applied_.end() ? 0 : applied_it->second;
+    const bool differs = fibers_for(waves) != fibers_for(applied_waves);
+    auto [it, inserted] = diverged_since_.try_emplace(pair, -1.0);
+    if (differs) {
+      if (it->second < 0.0) it->second = now_s;
+    } else {
+      it->second = -1.0;
+    }
+  }
+  // Applied pairs whose demand vanished also diverge.
+  for (const auto& [pair, waves] : applied_) {
+    if (want.contains(pair) || waves == 0) continue;
+    auto [it, inserted] = diverged_since_.try_emplace(pair, now_s);
+    if (it->second < 0.0) it->second = now_s;
+  }
+}
+
+TrafficMatrix ReconfigPolicy::target() const {
+  TrafficMatrix out;
+  for (const auto& [pair, value] : smoothed_) {
+    const auto waves =
+        static_cast<long long>(std::ceil(value * params_.headroom));
+    if (waves > 0) out[pair] = waves;
+  }
+  return out;
+}
+
+std::optional<TrafficMatrix> ReconfigPolicy::propose(double now_s) const {
+  for (const auto& [pair, since] : diverged_since_) {
+    if (since >= 0.0 && now_s - since >= params_.hysteresis_s) {
+      return target();
+    }
+  }
+  return std::nullopt;
+}
+
+void ReconfigPolicy::mark_applied(const TrafficMatrix& applied) {
+  applied_.clear();
+  for (const auto& [pair, waves] : applied) applied_[pair] = waves;
+  for (auto& [pair, since] : diverged_since_) since = -1.0;
+}
+
+int ReconfigPolicy::diverging_pairs(double now_s) const {
+  (void)now_s;
+  int count = 0;
+  for (const auto& [pair, since] : diverged_since_) count += (since >= 0.0);
+  return count;
+}
+
+}  // namespace iris::control

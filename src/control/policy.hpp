@@ -1,0 +1,60 @@
+// Reconfiguration policy: when should the controller touch the optical
+// layer? (paper SS5.2, SS6.3).
+//
+// The controller "gathers DC-DC traffic demands" and reconfigures
+// "relatively infrequently". This policy makes that concrete: demands are
+// smoothed with an EWMA, translated into target fiber counts with headroom,
+// and a reconfiguration is proposed only after a pair's target has differed
+// from its provisioned count for a full hysteresis window -- so measurement
+// noise and short bursts never churn circuits, but sustained shifts converge.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "control/circuits.hpp"
+
+namespace iris::control {
+
+struct PolicyParams {
+  double ewma_alpha = 0.3;      ///< smoothing weight for new samples
+  double headroom = 1.25;       ///< provisioned capacity / smoothed demand
+  double hysteresis_s = 10.0;   ///< target must persist this long
+  int wavelengths_per_fiber = 40;
+};
+
+/// Feed demand samples; harvest a new traffic matrix only when warranted.
+class ReconfigPolicy {
+ public:
+  explicit ReconfigPolicy(PolicyParams params);
+
+  /// Records a demand sample (wavelengths of offered load per pair) taken at
+  /// `now_s`. Missing pairs decay toward zero.
+  void observe(const TrafficMatrix& sample, double now_s);
+
+  /// The wavelength allocation the policy would provision right now:
+  /// smoothed demand with headroom, rounded up to whole wavelengths.
+  [[nodiscard]] TrafficMatrix target() const;
+
+  /// Returns the matrix to apply if some pair's *fiber* requirement has
+  /// differed from the currently-provisioned plan for at least the
+  /// hysteresis window; std::nullopt otherwise. Callers pass the result to
+  /// IrisController::apply_traffic_matrix and then call mark_applied().
+  [[nodiscard]] std::optional<TrafficMatrix> propose(double now_s) const;
+
+  /// Tells the policy the proposal was applied (resets the divergence clock).
+  void mark_applied(const TrafficMatrix& applied);
+
+  /// Pairs whose fiber requirement currently diverges from the applied plan.
+  [[nodiscard]] int diverging_pairs(double now_s) const;
+
+ private:
+  [[nodiscard]] int fibers_for(long long wavelengths) const;
+
+  PolicyParams params_;
+  std::map<core::DcPair, double> smoothed_;      // EWMA of wavelengths
+  std::map<core::DcPair, long long> applied_;    // wavelengths last applied
+  std::map<core::DcPair, double> diverged_since_;  // -1 = in agreement
+};
+
+}  // namespace iris::control

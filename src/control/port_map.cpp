@@ -1,0 +1,108 @@
+#include "control/port_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace iris::control {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+SitePortMap::SitePortMap(const fibermap::FiberMap& map, NodeId site,
+                         const std::vector<int>& fibers_per_duct,
+                         int add_drop_pairs, int amplifiers)
+    : add_drop_pairs_(add_drop_pairs), amplifiers_(amplifiers) {
+  int cursor = 0;
+  std::vector<EdgeId> ducts(map.graph().incident(site).begin(),
+                            map.graph().incident(site).end());
+  std::sort(ducts.begin(), ducts.end());
+  for (EdgeId e : ducts) {
+    const int fibers = fibers_per_duct.at(e);
+    regions_.push_back(DuctRegion{e, cursor, fibers});
+    cursor += 2 * fibers;  // one input + one output per fiber pair
+  }
+  add_drop_base_ = cursor;
+  cursor += 2 * add_drop_pairs_;
+  amp_base_ = cursor;
+  cursor += 2 * amplifiers_;
+  total_ports_ = cursor;
+}
+
+const SitePortMap::DuctRegion& SitePortMap::region_for(EdgeId e) const {
+  for (const DuctRegion& r : regions_) {
+    if (r.duct == e) return r;
+  }
+  throw std::invalid_argument("SitePortMap: duct not incident to site");
+}
+
+int SitePortMap::duct_in_port(EdgeId e, int fiber) const {
+  const DuctRegion& r = region_for(e);
+  if (fiber < 0 || fiber >= r.fibers) {
+    throw std::out_of_range("SitePortMap: fiber index out of range");
+  }
+  return r.base + 2 * fiber;
+}
+
+int SitePortMap::duct_out_port(EdgeId e, int fiber) const {
+  return duct_in_port(e, fiber) + 1;
+}
+
+int SitePortMap::add_port(int k) const {
+  if (k < 0 || k >= add_drop_pairs_) {
+    throw std::out_of_range("SitePortMap: add port out of range");
+  }
+  return add_drop_base_ + 2 * k;
+}
+
+int SitePortMap::drop_port(int k) const {
+  if (k < 0 || k >= add_drop_pairs_) {
+    throw std::out_of_range("SitePortMap: drop port out of range");
+  }
+  return add_drop_base_ + 2 * k + 1;
+}
+
+int SitePortMap::amp_feed_port(int a) const {
+  if (a < 0 || a >= amplifiers_) {
+    throw std::out_of_range("SitePortMap: amplifier out of range");
+  }
+  return amp_base_ + 2 * a;
+}
+
+int SitePortMap::amp_return_port(int a) const {
+  return amp_feed_port(a) + 1;
+}
+
+std::vector<int> leased_fibers_per_duct(const fibermap::FiberMap& map,
+                                        const core::ProvisionedNetwork& net,
+                                        const core::AmpCutPlan& plan) {
+  (void)map;  // kept for interface symmetry with build_port_maps
+  std::vector<int> fibers = net.base_fibers;
+  for (const auto& [pair, path] : net.baseline_paths) {
+    for (EdgeId e : path.edges) ++fibers[e];  // residual overlay (SS4.3)
+  }
+  for (const core::CutThrough& ct : plan.cut_throughs) {
+    for (EdgeId e : ct.ducts) fibers[e] += ct.fiber_pairs;
+  }
+  return fibers;
+}
+
+std::vector<SitePortMap> build_port_maps(const fibermap::FiberMap& map,
+                                         const core::ProvisionedNetwork& net,
+                                         const core::AmpCutPlan& plan) {
+  const auto fibers = leased_fibers_per_duct(map, net, plan);
+  std::vector<SitePortMap> out;
+  out.reserve(static_cast<std::size_t>(map.graph().node_count()));
+  for (NodeId n = 0; n < map.graph().node_count(); ++n) {
+    // A DC's add/drop region covers its full hose capacity in fibers plus
+    // one residual fiber toward each peer (SS4.3's n-1 extras).
+    const int add_drop =
+        map.is_dc(n)
+            ? map.site(n).capacity_fibers +
+                  static_cast<int>(map.dcs().size()) - 1
+            : 0;
+    out.emplace_back(map, n, fibers, add_drop, plan.amps_at_node[n]);
+  }
+  return out;
+}
+
+}  // namespace iris::control

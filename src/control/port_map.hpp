@@ -1,0 +1,84 @@
+// Physical port layout of each site's optical space switch (paper SS5.1).
+//
+// Every fiber strand terminating at a site lands on exactly one OSS port:
+// the strand arriving at the site is an OSS *input*, the strand departing is
+// an OSS *output* (Polatis-style unidirectional ports). A fiber pair on a
+// duct therefore consumes one input + one output port at each end. On top of
+// the duct regions, a DC's OSS carries add/drop ports toward its mux/demux
+// (OSS1 in Fig. 11), and any site hosting in-line amplifiers exposes one
+// input + one output port per amplifier for the loopback arrangement.
+//
+// The layout is deterministic: ducts in id order, then add/drop, then
+// amplifier loopbacks -- so tests and operators can name any port.
+#pragma once
+
+#include <vector>
+
+#include "core/amp_cut.hpp"
+#include "fibermap/fibermap.hpp"
+
+namespace iris::control {
+
+/// Port layout for one site.
+class SitePortMap {
+ public:
+  /// `fibers_per_duct` gives the provisioned fiber pairs for every duct in
+  /// the map (only incident ducts matter); `add_drop_pairs` is the DC's
+  /// mux-facing fiber-pair count (0 for huts); `amplifiers` the loopback
+  /// amplifier count at this site.
+  SitePortMap(const fibermap::FiberMap& map, graph::NodeId site,
+              const std::vector<int>& fibers_per_duct, int add_drop_pairs,
+              int amplifiers);
+
+  /// OSS input port where duct `e`'s fiber-pair `k` delivers its arriving
+  /// strand at this site.
+  [[nodiscard]] int duct_in_port(graph::EdgeId e, int fiber) const;
+  /// OSS output port driving duct `e`'s fiber-pair `k` departing strand.
+  [[nodiscard]] int duct_out_port(graph::EdgeId e, int fiber) const;
+
+  /// Add port k: input carrying traffic from the DC's mux into the OSS.
+  [[nodiscard]] int add_port(int k) const;
+  /// Drop port k: output delivering traffic to the DC's demux.
+  [[nodiscard]] int drop_port(int k) const;
+
+  /// Loopback ports of amplifier `a`: the OSS output feeding the amplifier
+  /// and the OSS input receiving its amplified signal.
+  [[nodiscard]] int amp_feed_port(int a) const;
+  [[nodiscard]] int amp_return_port(int a) const;
+
+  /// Total ports the site's OSS needs.
+  [[nodiscard]] int port_count() const noexcept { return total_ports_; }
+
+  [[nodiscard]] int add_drop_pairs() const noexcept { return add_drop_pairs_; }
+  [[nodiscard]] int amplifier_count() const noexcept { return amplifiers_; }
+
+ private:
+  struct DuctRegion {
+    graph::EdgeId duct = graph::kInvalidEdge;
+    int base = 0;
+    int fibers = 0;
+  };
+  [[nodiscard]] const DuctRegion& region_for(graph::EdgeId e) const;
+
+  std::vector<DuctRegion> regions_;
+  int add_drop_base_ = 0;
+  int add_drop_pairs_ = 0;
+  int amp_base_ = 0;
+  int amplifiers_ = 0;
+  int total_ports_ = 0;
+};
+
+/// Builds the port maps for every site of a planned network. The per-duct
+/// fiber budget is base + residual + cut-through fiber, matching what the
+/// controller leases.
+std::vector<SitePortMap> build_port_maps(const fibermap::FiberMap& map,
+                                         const core::ProvisionedNetwork& net,
+                                         const core::AmpCutPlan& plan);
+
+/// Per-duct leased fiber pairs implied by a plan (base + one residual per DC
+/// pair + cut-through fiber). Shared by the controller and the port maps.
+std::vector<int> leased_fibers_per_duct(const fibermap::FiberMap& map,
+                                        const core::ProvisionedNetwork& net,
+                                        const core::AmpCutPlan& plan);
+
+}  // namespace iris::control

@@ -1,0 +1,336 @@
+#include "core/amp_cut.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/path_physics.hpp"
+#include "graph/hose.hpp"
+
+namespace iris::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+long long AmpCutPlan::total_amplifiers() const {
+  long long total = 0;
+  for (int a : amps_at_node) total += a;
+  return total;
+}
+
+long long AmpCutPlan::cut_through_fiber_spans() const {
+  long long total = 0;
+  for (const CutThrough& ct : cut_throughs) {
+    total += static_cast<long long>(ct.fiber_pairs) *
+             static_cast<long long>(ct.ducts.size());
+  }
+  return total;
+}
+
+namespace {
+
+/// True if `needle` appears as a contiguous run in `hay`, forward or reverse.
+bool contains_run(const std::vector<NodeId>& hay,
+                  const std::vector<NodeId>& needle) {
+  if (needle.size() > hay.size()) return false;
+  const auto matches = [&](std::size_t start, bool reversed) {
+    for (std::size_t k = 0; k < needle.size(); ++k) {
+      const NodeId want = reversed ? needle[needle.size() - 1 - k] : needle[k];
+      if (hay[start + k] != want) return false;
+    }
+    return true;
+  };
+  for (std::size_t s = 0; s + needle.size() <= hay.size(); ++s) {
+    if (matches(s, false) || matches(s, true)) return true;
+  }
+  return false;
+}
+
+struct NeedyPath {
+  DcPair pair;
+  graph::Path path;
+};
+
+/// Per-scenario DC-pair paths (skipping unreachable pairs).
+std::vector<NeedyPath> scenario_paths(const fibermap::FiberMap& map,
+                                      const graph::EdgeMask& mask) {
+  const auto& dcs = map.dcs();
+  std::vector<NeedyPath> out;
+  std::vector<graph::ShortestPathTree> trees;
+  trees.reserve(dcs.size());
+  for (NodeId dc : dcs) trees.push_back(graph::dijkstra(map.graph(), dc, mask));
+  for (std::size_t i = 0; i < dcs.size(); ++i) {
+    for (std::size_t j = i + 1; j < dcs.size(); ++j) {
+      auto path = graph::extract_path(trees[i], dcs[j]);
+      if (!path) continue;
+      out.push_back(NeedyPath{DcPair(dcs[i], dcs[j]), std::move(*path)});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::set<NodeId> AmpCutPlan::bypassed_sites(const graph::Path& path) const {
+  std::set<NodeId> out;
+  for (const CutThrough& ct : cut_throughs) {
+    if (!contains_run(path.nodes, ct.nodes)) continue;
+    for (std::size_t i = 1; i + 1 < ct.nodes.size(); ++i) {
+      out.insert(ct.nodes[i]);
+    }
+  }
+  return out;
+}
+
+bool path_feasible_with_plan(const graph::Graph& g, const graph::Path& path,
+                             const AmpCutPlan& plan,
+                             const optical::OpticalSpec& spec,
+                             const std::set<NodeId>* extra_bypassed) {
+  // A path *may* ride any subset of the cut-throughs matching its route --
+  // riding one bypasses that corridor's OSS but also forfeits amplification
+  // inside it (the fiber is uninterrupted). Try every subset; corridors are
+  // few per path. `extra_bypassed` models a mandatory hypothetical corridor.
+  std::vector<std::set<NodeId>> corridors;
+  for (const CutThrough& ct : plan.cut_throughs) {
+    if (!contains_run(path.nodes, ct.nodes)) continue;
+    std::set<NodeId> interiors(ct.nodes.begin() + 1, ct.nodes.end() - 1);
+    corridors.push_back(std::move(interiors));
+    if (corridors.size() >= 8) break;  // 2^8 subsets is plenty
+  }
+  const std::size_t subsets = std::size_t{1} << corridors.size();
+  for (std::size_t mask = 0; mask < subsets; ++mask) {
+    std::set<NodeId> bypassed;
+    if (extra_bypassed) bypassed = *extra_bypassed;
+    for (std::size_t c = 0; c < corridors.size(); ++c) {
+      if (mask & (std::size_t{1} << c)) {
+        bypassed.insert(corridors[c].begin(), corridors[c].end());
+      }
+    }
+    if (path_feasible(g, path, std::nullopt, bypassed, spec)) return true;
+    for (int m : feasible_amp_indices(g, path, bypassed, spec)) {
+      if (plan.amps_at_node[path.nodes[m]] > 0) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// --- Stage 1: amplifiers (Appendix A, Algorithm 2) -------------------------
+//
+// A path is "needy" if its power budget does not close unaided. Candidate
+// amplifier locations are the interior sites where one loopback amplifier
+// closes the whole budget. Locations are scored by paths resolved per
+// amplifier that would have to be added; the amplifier count per site is the
+// hose-model worst case over the paths amplified there, in fibers.
+void place_amplifiers_stage(const fibermap::FiberMap& map,
+                            const ProvisionedNetwork& net, AmpCutPlan& plan) {
+  const graph::Graph& g = map.graph();
+  const optical::OpticalSpec& spec = net.params.spec;
+  const auto cap_fibers = [&](NodeId dc) -> graph::Capacity {
+    return map.site(dc).capacity_fibers;
+  };
+
+  for_each_scenario(map, net.params, [&](const graph::EdgeMask& mask) {
+    std::vector<NeedyPath> needy;
+    for (auto& np : scenario_paths(map, mask)) {
+      // Detours beyond the SLA bound are out of contract (OC1) and out of
+      // reach for one in-line amplifier (TC2): record, don't provision.
+      if (np.path.length_km > spec.max_path_km) {
+        ++plan.beyond_sla_paths;
+        continue;
+      }
+      if (path_feasible(g, np.path, std::nullopt, {}, spec)) continue;
+      // Paths no single amplifier can fix are left to the cut-through stage.
+      if (feasible_amp_indices(g, np.path, {}, spec).empty()) continue;
+      needy.push_back(std::move(np));
+    }
+
+    while (!needy.empty()) {
+      std::map<NodeId, std::vector<std::size_t>> candidates;
+      for (std::size_t i = 0; i < needy.size(); ++i) {
+        for (int m : feasible_amp_indices(g, needy[i].path, {}, spec)) {
+          candidates[needy[i].path.nodes[m]].push_back(i);
+        }
+      }
+
+      NodeId best_loc = graph::kInvalidNode;
+      double best_score = -1.0;
+      graph::Capacity best_noa = 0;
+      for (const auto& [loc, resolved] : candidates) {
+        std::vector<graph::OrientedPair> pairs;
+        pairs.reserve(resolved.size());
+        for (std::size_t i : resolved) {
+          pairs.push_back({needy[i].pair.a, needy[i].pair.b});
+        }
+        // One amplifier amplifies one fiber: size the site by the hose-model
+        // worst case over the paths amplified here.
+        const graph::Capacity noa = graph::hose_site_load(pairs, cap_fibers);
+        const graph::Capacity ntbp =
+            std::max<graph::Capacity>(0, noa - plan.amps_at_node[loc]);
+        const double score =
+            ntbp == 0 ? std::numeric_limits<double>::max()
+                      : static_cast<double>(resolved.size()) /
+                            static_cast<double>(ntbp);
+        if (score > best_score || (score == best_score && loc < best_loc)) {
+          best_score = score;
+          best_loc = loc;
+          best_noa = noa;
+        }
+      }
+
+      plan.amps_at_node[best_loc] = std::max<int>(
+          plan.amps_at_node[best_loc], static_cast<int>(best_noa));
+      std::erase_if(needy, [&](const NeedyPath& np) {
+        for (int m : feasible_amp_indices(g, np.path, {}, spec)) {
+          if (np.path.nodes[m] == best_loc) return true;
+        }
+        return false;
+      });
+    }
+  });
+}
+
+// --- Stage 2: cut-through links (Appendix A) -------------------------------
+//
+// Any path still infeasible given the placed amplifiers gets OSS traversals
+// removed by leasing uninterrupted fiber across a corridor of its route.
+// Candidates are scored by paths resolved per fiber-span leased.
+void place_cutthroughs_stage(const fibermap::FiberMap& map,
+                             const ProvisionedNetwork& net, AmpCutPlan& plan) {
+  const graph::Graph& g = map.graph();
+  const optical::OpticalSpec& spec = net.params.spec;
+  const auto cap_fibers = [&](NodeId dc) -> graph::Capacity {
+    return map.site(dc).capacity_fibers;
+  };
+  // Corridor key -> index into plan.cut_throughs, to grow rather than
+  // duplicate a cut-through that later scenarios need at higher capacity.
+  std::map<std::vector<NodeId>, std::size_t> corridor_index;
+
+  for_each_scenario(map, net.params, [&](const graph::EdgeMask& mask) {
+    std::vector<NeedyPath> open;
+    for (auto& np : scenario_paths(map, mask)) {
+      if (np.path.length_km > spec.max_path_km) continue;  // counted above
+      if (!path_feasible_with_plan(g, np.path, plan, spec)) {
+        open.push_back(std::move(np));
+      }
+    }
+
+    while (!open.empty()) {
+      struct Candidate {
+        std::vector<EdgeId> ducts;
+        std::vector<std::size_t> resolves;
+      };
+      // A corridor candidate resolves a path if, once its interior OSS are
+      // bypassed, the budget closes -- possibly with a *new* amplifier at a
+      // surviving interior site (amplifiers are placed below as needed).
+      const auto resolvable = [&](const graph::Path& path,
+                                  const std::set<NodeId>& extra) {
+        if (path_feasible_with_plan(g, path, plan, spec, &extra)) return true;
+        auto combined = plan.bypassed_sites(path);
+        combined.insert(extra.begin(), extra.end());
+        return !feasible_amp_indices(g, path, combined, spec).empty();
+      };
+      std::map<std::vector<NodeId>, Candidate> candidates;
+      for (std::size_t i = 0; i < open.size(); ++i) {
+        const auto& path = open[i].path;
+        const int last = static_cast<int>(path.nodes.size()) - 1;
+        for (int a = 0; a <= last - 2; ++a) {
+          for (int b = a + 2; b <= last; ++b) {
+            std::set<NodeId> extra;
+            for (int k = a + 1; k < b; ++k) extra.insert(path.nodes[k]);
+            if (!resolvable(path, extra)) continue;
+            std::vector<NodeId> key(path.nodes.begin() + a,
+                                    path.nodes.begin() + b + 1);
+            std::vector<EdgeId> ducts(path.edges.begin() + a,
+                                      path.edges.begin() + b);
+            if (key.back() < key.front()) {
+              std::reverse(key.begin(), key.end());
+              std::reverse(ducts.begin(), ducts.end());
+            }
+            auto [it, inserted] =
+                candidates.try_emplace(std::move(key), Candidate{});
+            if (inserted) it->second.ducts = std::move(ducts);
+            it->second.resolves.push_back(i);
+          }
+        }
+      }
+      if (candidates.empty()) {
+        plan.unresolved_paths += static_cast<long long>(open.size());
+        break;
+      }
+
+      const std::vector<NodeId>* best_key = nullptr;
+      const Candidate* best_cand = nullptr;
+      double best_score = -1.0;
+      graph::Capacity best_fibers = 0;
+      for (const auto& [key, cand] : candidates) {
+        std::vector<graph::OrientedPair> pairs;
+        for (std::size_t i : cand.resolves) {
+          pairs.push_back({open[i].pair.a, open[i].pair.b});
+        }
+        const graph::Capacity fibers = graph::hose_site_load(pairs, cap_fibers);
+        const double fiber_spans =
+            static_cast<double>(fibers) * static_cast<double>(cand.ducts.size());
+        const double score = static_cast<double>(cand.resolves.size()) /
+                             std::max(1.0, fiber_spans);
+        if (score > best_score) {
+          best_score = score;
+          best_key = &key;
+          best_cand = &cand;
+          best_fibers = fibers;
+        }
+      }
+
+      auto [it, inserted] =
+          corridor_index.try_emplace(*best_key, plan.cut_throughs.size());
+      if (inserted) {
+        plan.cut_throughs.push_back(CutThrough{
+            *best_key, best_cand->ducts, static_cast<int>(best_fibers)});
+      } else {
+        CutThrough& existing = plan.cut_throughs[it->second];
+        existing.fiber_pairs =
+            std::max(existing.fiber_pairs, static_cast<int>(best_fibers));
+      }
+
+      // Top up amplifiers for paths the new corridor unlocked: feasible only
+      // with an amplifier at a site that has none yet.
+      for (const NeedyPath& np : open) {
+        if (path_feasible_with_plan(g, np.path, plan, spec)) continue;
+        const auto bypassed = plan.bypassed_sites(np.path);
+        const auto sites = feasible_amp_indices(g, np.path, bypassed, spec);
+        if (sites.empty()) continue;
+        const NodeId loc = np.path.nodes[sites.front()];
+        const int need = static_cast<int>(std::min(
+            cap_fibers(np.pair.a), cap_fibers(np.pair.b)));
+        plan.amps_at_node[loc] = std::max(plan.amps_at_node[loc], need);
+      }
+
+      std::erase_if(open, [&](const NeedyPath& np) {
+        return path_feasible_with_plan(g, np.path, plan, spec);
+      });
+    }
+  });
+}
+
+}  // namespace
+
+AmpCutPlan place_amplifiers_and_cutthroughs(const fibermap::FiberMap& map,
+                                            const ProvisionedNetwork& net) {
+  AmpCutPlan plan;
+  plan.amps_at_node.assign(map.graph().node_count(), 0);
+  place_amplifiers_stage(map, net, plan);
+  place_cutthroughs_stage(map, net, plan);
+  return plan;
+}
+
+AmpCutPlan scale_uniform_amp_cut(const AmpCutPlan& unit, int capacity_fibers) {
+  if (capacity_fibers <= 0) {
+    throw std::invalid_argument("scale_uniform_amp_cut: bad scale factor");
+  }
+  AmpCutPlan out = unit;
+  for (int& amps : out.amps_at_node) amps *= capacity_fibers;
+  for (CutThrough& ct : out.cut_throughs) ct.fiber_pairs *= capacity_fibers;
+  return out;
+}
+
+}  // namespace iris::core

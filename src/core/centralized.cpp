@@ -1,0 +1,100 @@
+#include "core/centralized.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace iris::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+CentralizedPlan plan_centralized(const fibermap::FiberMap& map,
+                                 std::vector<NodeId> hubs,
+                                 const PlannerParams& params) {
+  if (hubs.empty()) {
+    throw std::invalid_argument("plan_centralized: need at least one hub");
+  }
+  const graph::Graph& g = map.graph();
+  const int lambda = params.channels.wavelengths_per_fiber;
+  const auto& dcs = map.dcs();
+
+  CentralizedPlan plan;
+  plan.hubs = std::move(hubs);
+  plan.edge_capacity_wavelengths.assign(g.edge_count(), 0);
+
+  // Shortest-path tree from each hub (ducts beyond the span limit excluded,
+  // as in Algorithm 1).
+  graph::EdgeMask mask(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (g.edge(e).length_km > params.spec.max_span_km) mask.fail(e);
+  }
+  std::vector<graph::ShortestPathTree> hub_trees;
+  hub_trees.reserve(plan.hubs.size());
+  for (NodeId hub : plan.hubs) {
+    hub_trees.push_back(graph::dijkstra(g, hub, mask));
+  }
+
+  // Access legs: each DC homes its full capacity to every hub.
+  for (NodeId dc : dcs) {
+    const long long waves = map.dc_capacity_wavelengths(dc, lambda);
+    for (const auto& tree : hub_trees) {
+      const auto leg = graph::extract_path(tree, dc);
+      if (!leg) {
+        throw std::invalid_argument(
+            "plan_centralized: DC cannot reach a hub on eligible ducts");
+      }
+      for (EdgeId e : leg->edges) {
+        plan.edge_capacity_wavelengths[e] += waves;
+      }
+    }
+  }
+  plan.base_fibers.assign(g.edge_count(), 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    plan.base_fibers[e] = static_cast<int>(
+        (plan.edge_capacity_wavelengths[e] + lambda - 1) / lambda);
+  }
+
+  // Pair latency via the better hub.
+  for (std::size_t i = 0; i < dcs.size(); ++i) {
+    for (std::size_t j = i + 1; j < dcs.size(); ++j) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& tree : hub_trees) {
+        if (tree.reachable(dcs[i]) && tree.reachable(dcs[j])) {
+          best = std::min(best, tree.dist_km[dcs[i]] + tree.dist_km[dcs[j]]);
+        }
+      }
+      plan.pair_fiber_km[DcPair(dcs[i], dcs[j])] = best;
+      plan.max_pair_fiber_km = std::max(plan.max_pair_fiber_km, best);
+    }
+  }
+
+  // Equipment. Electrical: every leased fiber terminates in lambda
+  // transceivers + electrical ports at both ends, plus an amplifier pair.
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const long long fibers = plan.base_fibers[e];
+    if (fibers == 0) continue;
+    plan.eps_total.fiber_pairs += fibers;
+    plan.eps_total.dci_transceivers += 2 * fibers * lambda;
+    plan.eps_total.electrical_ports += 2 * fibers * lambda;
+    plan.eps_total.amplifiers += 2 * fibers;
+
+    plan.optical_total.fiber_pairs += fibers;
+    plan.optical_total.oss_ports += 4 * fibers;
+  }
+  // Optical big switch: transceivers only at the DCs (one per homed
+  // wavelength per hub plane), terminal amplifiers per access fiber.
+  for (NodeId dc : dcs) {
+    const long long waves = map.dc_capacity_wavelengths(dc, lambda);
+    plan.optical_total.dci_transceivers +=
+        waves * static_cast<long long>(plan.hubs.size());
+    plan.optical_total.electrical_ports +=
+        waves * static_cast<long long>(plan.hubs.size());
+    plan.optical_total.amplifiers +=
+        2LL * map.site(dc).capacity_fibers *
+        static_cast<long long>(plan.hubs.size());
+  }
+  return plan;
+}
+
+}  // namespace iris::core

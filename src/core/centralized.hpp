@@ -1,0 +1,54 @@
+// Centralized (hub-and-spoke) provisioning on a real fiber map (paper SS2,
+// Fig. 1(c)).
+//
+// The industry-standard design the paper compares against: every DC homes
+// its full hose capacity to each of the region's hubs over shortest paths
+// (dual homing is the resilience story -- lose a hub, the other plane
+// carries everything), and the hubs provide the non-blocking "big switch"
+// abstraction. No DC-DC fiber exists; all pair traffic rides DC-hub-DC.
+//
+// This lets the SS2 trade-offs be measured on the same map the Iris planner
+// uses: pair latency inflation (vs provision()'s direct shortest paths) and
+// the access-fiber/port bill of the centralized design, under either
+// electrical switching or an optical "big OSS" at the hubs.
+#pragma once
+
+#include <map>
+
+#include "core/provision.hpp"
+#include "cost/pricebook.hpp"
+
+namespace iris::core {
+
+struct CentralizedPlan {
+  std::vector<graph::NodeId> hubs;
+
+  /// Worst-case load per duct: the sum of the homed capacities of every
+  /// (DC, hub) leg routed over it, counting multiplicity.
+  std::vector<long long> edge_capacity_wavelengths;
+  std::vector<int> base_fibers;
+
+  /// Fiber distance per DC pair via its better hub (may revisit ducts; that
+  /// is physical reality for hub detours, each pass on its own fibers).
+  std::map<DcPair, double> pair_fiber_km;
+  double max_pair_fiber_km = 0.0;
+
+  /// Equipment bills: electrical hubs (every fiber fully terminated both
+  /// ends) vs an optical big-switch at the hubs (transceivers only at DCs).
+  cost::BillOfMaterials eps_total;
+  cost::BillOfMaterials optical_total;
+
+  [[nodiscard]] int total_base_fibers() const {
+    int total = 0;
+    for (int f : base_fibers) total += f;
+    return total;
+  }
+};
+
+/// Plans the centralized design. `hubs` must be non-empty sites of the map;
+/// every DC must reach every hub. Throws std::invalid_argument otherwise.
+CentralizedPlan plan_centralized(const fibermap::FiberMap& map,
+                                 std::vector<graph::NodeId> hubs,
+                                 const PlannerParams& params);
+
+}  // namespace iris::core

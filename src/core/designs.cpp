@@ -1,0 +1,247 @@
+#include "core/designs.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace iris::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+cost::BillOfMaterials dc_side_equipment(const fibermap::FiberMap& map,
+                                        const optical::ChannelPlan& channels) {
+  cost::BillOfMaterials bom;
+  for (NodeId dc : map.dcs()) {
+    const long long waves =
+        map.dc_capacity_wavelengths(dc, channels.wavelengths_per_fiber);
+    bom.dci_transceivers += waves;
+    bom.electrical_ports += waves;
+  }
+  return bom;
+}
+
+DesignBom build_eps(const fibermap::FiberMap& map,
+                    const ProvisionedNetwork& net) {
+  const int lambda = net.params.channels.wavelengths_per_fiber;
+  DesignBom out;
+  out.fibers_per_duct = net.base_fibers;
+  out.dc_side = dc_side_equipment(map, net.params.channels);
+
+  out.ports_per_site.assign(map.graph().node_count(), 0);
+  for (EdgeId e = 0; e < map.graph().edge_count(); ++e) {
+    const long long fibers = net.base_fibers[e];
+    if (fibers == 0) continue;
+    out.total.fiber_pairs += fibers;
+    // Every fiber is fully terminated at both ends: lambda transceivers and
+    // electrical ports per end (SS3.4's T_E = 2 * F_E * lambda), plus one
+    // amplifier pair per fiber (Fig. 8's typical link).
+    out.total.dci_transceivers += 2 * fibers * lambda;
+    out.total.electrical_ports += 2 * fibers * lambda;
+    out.total.amplifiers += 2 * fibers;
+    out.ports_per_site[map.graph().edge(e).u] += fibers * lambda;
+    out.ports_per_site[map.graph().edge(e).v] += fibers * lambda;
+  }
+
+  // The in-network share excludes the DCs' own (fixed) termination equipment.
+  out.in_network = out.total;
+  out.in_network.dci_transceivers -= out.dc_side.dci_transceivers;
+  out.in_network.electrical_ports -= out.dc_side.electrical_ports;
+  return out;
+}
+
+namespace {
+
+/// Residual fiber pairs per duct: one per DC pair along its baseline path
+/// (SS4.3: fiber-granularity switching must round fractional demands up).
+std::vector<int> residual_fibers_per_duct(const fibermap::FiberMap& map,
+                                          const ProvisionedNetwork& net) {
+  std::vector<int> residual(map.graph().edge_count(), 0);
+  for (const auto& [pair, path] : net.baseline_paths) {
+    for (EdgeId e : path.edges) ++residual[e];
+  }
+  return residual;
+}
+
+}  // namespace
+
+DesignBom build_iris(const fibermap::FiberMap& map,
+                     const ProvisionedNetwork& net, const AmpCutPlan& plan) {
+  DesignBom out;
+  out.dc_side = dc_side_equipment(map, net.params.channels);
+  out.total = out.dc_side;
+
+  out.fibers_per_duct = net.base_fibers;
+  const std::vector<int> residual = residual_fibers_per_duct(map, net);
+  for (EdgeId e = 0; e < map.graph().edge_count(); ++e) {
+    out.fibers_per_duct[e] += residual[e];
+  }
+  for (const CutThrough& ct : plan.cut_throughs) {
+    for (EdgeId e : ct.ducts) out.fibers_per_duct[e] += ct.fiber_pairs;
+  }
+
+  out.ports_per_site.assign(map.graph().node_count(), 0);
+  for (EdgeId e = 0; e < map.graph().edge_count(); ++e) {
+    const long long fibers = out.fibers_per_duct[e];
+    if (fibers == 0) continue;
+    out.total.fiber_pairs += fibers;
+    // A fiber pair lands on 2 unidirectional OSS ports per end (SS3.4's
+    // 312 = 4 x 78 accounting). Cut-through fiber is patched straight
+    // through interior sites, so it still only consumes ports at the ends
+    // of the duct run it begins/ends on; charging per duct end here is a
+    // slight over-count for multi-duct cut-throughs, conservative by design.
+    out.total.oss_ports += 4 * fibers;
+    out.ports_per_site[map.graph().edge(e).u] += 2 * fibers;
+    out.ports_per_site[map.graph().edge(e).v] += 2 * fibers;
+  }
+
+  // In-line amplifiers from Appendix A, each looped back through its site's
+  // OSS (2 extra ports), plus a terminal amplifier pair per DC capacity
+  // fiber (Fig. 8).
+  const long long inline_amps = plan.total_amplifiers();
+  out.total.amplifiers += inline_amps;
+  out.total.oss_ports += 2 * inline_amps;
+  for (NodeId n = 0; n < map.graph().node_count(); ++n) {
+    out.ports_per_site[n] += 2LL * plan.amps_at_node[n];
+  }
+  for (NodeId dc : map.dcs()) {
+    out.total.amplifiers += 2 * map.site(dc).capacity_fibers;
+  }
+
+  out.in_network = out.total;
+  out.in_network.dci_transceivers -= out.dc_side.dci_transceivers;
+  out.in_network.electrical_ports -= out.dc_side.electrical_ports;
+  return out;
+}
+
+PureWavelengthDesign build_pure_wavelength(const fibermap::FiberMap& map,
+                                           const ProvisionedNetwork& net,
+                                           const AmpCutPlan& plan) {
+  const int lambda = net.params.channels.wavelengths_per_fiber;
+  PureWavelengthDesign out;
+  DesignBom& bom = out.bom;
+  bom.dc_side = dc_side_equipment(map, net.params.channels);
+  bom.total = bom.dc_side;
+
+  // Wavelength granularity packs fractional demands: base fibers only.
+  bom.fibers_per_duct = net.base_fibers;
+  for (graph::EdgeId e = 0; e < map.graph().edge_count(); ++e) {
+    const long long fibers = net.base_fibers[e];
+    if (fibers == 0) continue;
+    bom.total.fiber_pairs += fibers;
+    // Each fiber end lands on a demux + lambda wavelength-level OXC ports
+    // per direction: 2*lambda per end, 4*lambda per fiber pair.
+    bom.total.oxc_ports += 4LL * lambda * fibers;
+  }
+
+  const long long inline_amps = plan.total_amplifiers();
+  bom.total.amplifiers += inline_amps;
+  for (graph::NodeId dc : map.dcs()) {
+    bom.total.amplifiers += 2 * map.site(dc).capacity_fibers;
+  }
+
+  bom.in_network = bom.total;
+  bom.in_network.dci_transceivers -= bom.dc_side.dci_transceivers;
+  bom.in_network.electrical_ports -= bom.dc_side.electrical_ports;
+
+  // TC4 audit: at most max_oxc_hops() switching points per path.
+  const int budget = net.params.spec.max_oxc_hops();
+  for (const auto& [pair, path] : net.baseline_paths) {
+    const int switch_points = std::max(0, path.hop_count() - 1);
+    if (switch_points > budget) ++out.paths_beyond_oxc_budget;
+  }
+  return out;
+}
+
+HybridDesign build_hybrid(const fibermap::FiberMap& map,
+                          const ProvisionedNetwork& net,
+                          const AmpCutPlan& plan) {
+  HybridDesign out;
+  // Start from the plain Iris design and then shrink the residual overlay.
+  DesignBom iris = build_iris(map, net, plan);
+
+  const std::vector<int> residual = residual_fibers_per_duct(map, net);
+  for (EdgeId e = 0; e < map.graph().edge_count(); ++e) {
+    out.residual_fiber_spans_before += residual[e];
+  }
+
+  // Residual combining (Appendix B): for each DC, its residual fibers follow
+  // its shortest-path tree; all residuals whose paths pass a common hut can
+  // share one fiber from the DC to that hut, up to 4 per combine (Obs. 2),
+  // with a wavelength-switching device at the hut fanning them out. Each
+  // residual may ride at most one wavelength device end-to-end (TC4), so a
+  // residual combined on the source side is exempt from destination-side
+  // combining and vice versa.
+  struct ResidualRef {
+    DcPair pair;
+    const graph::Path* path;
+  };
+  std::vector<ResidualRef> residuals;
+  residuals.reserve(net.baseline_paths.size());
+  for (const auto& [pair, path] : net.baseline_paths) {
+    residuals.push_back({pair, &path});
+  }
+  std::vector<bool> combined(residuals.size(), false);
+  long long spans_saved = 0;
+
+  // endpoint=0 combines at the source (pair.a side), endpoint=1 at the
+  // destination (pair.b side). Greedy: repeatedly take the (DC, hut) combine
+  // with the largest span saving.
+  constexpr int kMaxCombine = 4;
+  while (true) {
+    long long best_saving = 0;
+    std::vector<std::size_t> best_members;
+    // Candidate combine points: group residuals by (terminal DC, hut at
+    // depth d on the path from that DC).
+    std::map<std::pair<NodeId, NodeId>, std::vector<std::pair<std::size_t, int>>>
+        groups;  // (dc, hut) -> [(residual index, duct depth of hut)]
+    for (std::size_t i = 0; i < residuals.size(); ++i) {
+      if (combined[i]) continue;
+      const auto& path = *residuals[i].path;
+      const int last = static_cast<int>(path.nodes.size()) - 1;
+      for (int side = 0; side < 2; ++side) {
+        const NodeId dc = side == 0 ? path.nodes.front() : path.nodes.back();
+        for (int depth = 1; depth < last; ++depth) {
+          const int idx = side == 0 ? depth : last - depth;
+          const NodeId hut = path.nodes[idx];
+          if (map.is_dc(hut)) continue;  // combine at huts only
+          groups[{dc, hut}].push_back({i, depth});
+        }
+      }
+    }
+    for (const auto& [key, members] : groups) {
+      if (members.size() < 2) continue;
+      // Deepest-first so the shared trunk is as long as possible; take up to
+      // kMaxCombine members. Saving: (k-1) duct-leases per shared duct.
+      auto sorted = members;
+      std::sort(sorted.begin(), sorted.end(),
+                [](const auto& a, const auto& b) { return a.second > b.second; });
+      const int take = std::min<int>(kMaxCombine, static_cast<int>(sorted.size()));
+      // All members share the trunk only up to the *shallowest* taken depth.
+      const int trunk = sorted[take - 1].second;
+      const long long saving = static_cast<long long>(take - 1) * trunk;
+      if (saving > best_saving) {
+        best_saving = saving;
+        best_members.clear();
+        for (int k = 0; k < take; ++k) best_members.push_back(sorted[k].first);
+      }
+    }
+    if (best_saving <= 0) break;
+    for (std::size_t i : best_members) combined[i] = true;
+    spans_saved += best_saving;
+    ++out.wavelength_devices;
+    // The combine device needs one fiber port for the trunk plus one per
+    // branch, each bidirectional -> 2 unidirectional OXC ports apiece.
+    iris.total.oxc_ports +=
+        2 * (static_cast<long long>(best_members.size()) + 1);
+  }
+
+  out.residual_fiber_spans_after = out.residual_fiber_spans_before - spans_saved;
+  iris.total.fiber_pairs -= spans_saved;
+  iris.in_network = iris.total;
+  iris.in_network.dci_transceivers -= iris.dc_side.dci_transceivers;
+  iris.in_network.electrical_ports -= iris.dc_side.electrical_ports;
+  out.bom = std::move(iris);
+  return out;
+}
+
+}  // namespace iris::core

@@ -1,0 +1,94 @@
+// Switching-layer instantiations of a provisioned topology (paper SS4.2-4.4):
+//   - EPS: electrical packet switching at every site; every lit wavelength
+//     terminates in a DCI transceiver + electrical port at both fiber ends.
+//   - Iris: all-optical fiber switching; transceivers only at the DCs, OSS
+//     ports per fiber everywhere, one residual fiber per DC pair to absorb
+//     fractional demands, plus amplifiers and cut-throughs from Appendix A.
+//   - Hybrid: Iris plus wavelength-switching devices that combine up to four
+//     residual fibers sharing a subpath (Appendix B), halving the residual
+//     fiber overhead at the price of OXC ports and added complexity.
+#pragma once
+
+#include "core/amp_cut.hpp"
+#include "core/provision.hpp"
+#include "cost/pricebook.hpp"
+
+namespace iris::core {
+
+/// Bill of materials for one design, split into the DC-side part (identical
+/// across designs: the DCs' own transceivers and switch ports) and the
+/// in-network part that actually differentiates the designs (Fig. 12(a)'s
+/// "in-network" series).
+struct DesignBom {
+  cost::BillOfMaterials total;
+  cost::BillOfMaterials dc_side;
+  cost::BillOfMaterials in_network;
+
+  /// Leased fiber pairs per duct (including residual and cut-through fiber).
+  std::vector<int> fibers_per_duct;
+
+  /// Managed ports per site: duct terminations (transceivers for EPS, OSS
+  /// ports for Iris) plus amplifier loopbacks; the per-hut complexity the
+  /// paper's Fig. 12(c) aggregates.
+  std::vector<long long> ports_per_site;
+
+  [[nodiscard]] double total_cost(const cost::PriceBook& p) const {
+    return total.total_cost(p);
+  }
+  /// The busiest site's port count -- the "how big must a hut be" metric.
+  [[nodiscard]] long long max_site_ports() const {
+    long long best = 0;
+    for (long long p : ports_per_site) best = std::max(best, p);
+    return best;
+  }
+};
+
+/// DC-side equipment common to all designs: one transceiver + one electrical
+/// port per wavelength of every DC's hose capacity.
+cost::BillOfMaterials dc_side_equipment(const fibermap::FiberMap& map,
+                                        const optical::ChannelPlan& channels);
+
+/// Electrical packet-switched fabric (SS4.2).
+DesignBom build_eps(const fibermap::FiberMap& map,
+                    const ProvisionedNetwork& net);
+
+/// Iris's fiber-switched network (SS4.3).
+DesignBom build_iris(const fibermap::FiberMap& map,
+                     const ProvisionedNetwork& net, const AmpCutPlan& plan);
+
+/// Appendix B's hybrid fiber+wavelength design.
+struct HybridDesign {
+  DesignBom bom;
+  long long residual_fiber_spans_before = 0;  ///< duct-leases, fiber switching
+  long long residual_fiber_spans_after = 0;   ///< after combining
+  int wavelength_devices = 0;                 ///< OXC/WSS combine points
+
+  [[nodiscard]] double residual_reduction() const {
+    return residual_fiber_spans_before > 0
+               ? 1.0 - static_cast<double>(residual_fiber_spans_after) /
+                           static_cast<double>(residual_fiber_spans_before)
+               : 0.0;
+  }
+};
+HybridDesign build_hybrid(const fibermap::FiberMap& map,
+                          const ProvisionedNetwork& net,
+                          const AmpCutPlan& plan);
+
+/// Appendix B's *pure* wavelength-switched design: every switching point
+/// demuxes each fiber and switches individual wavelengths through an OXC.
+/// No residual fibers are needed (fractional demands pack at wavelength
+/// granularity), but every fiber end costs 2*lambda OXC ports, and the OXC's
+/// ~9 dB insertion loss allows at most one switching point per path (TC4) --
+/// which most multi-hop regional paths violate. The paper concludes this
+/// design is both pricier and less feasible than Iris's fiber switching.
+struct PureWavelengthDesign {
+  DesignBom bom;
+  /// Baseline DC-pair paths with more intermediate switching points than the
+  /// OXC budget allows: infeasible without extra infrastructure.
+  long long paths_beyond_oxc_budget = 0;
+};
+PureWavelengthDesign build_pure_wavelength(const fibermap::FiberMap& map,
+                                           const ProvisionedNetwork& net,
+                                           const AmpCutPlan& plan);
+
+}  // namespace iris::core

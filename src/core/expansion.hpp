@@ -1,0 +1,53 @@
+// Region expansion planning (paper SS2.3).
+//
+// Regions grow over time: "the first DCs can be built in a relatively
+// unconstrained manner, but later DCs must be within a fiber distance
+// threshold of each existing DC." These helpers add a DC to an existing
+// region, re-run the planner, and report the incremental equipment needed --
+// the expansion workflow where Iris's small switching points shine compared
+// to pre-provisioned mega-hubs.
+#pragma once
+
+#include <optional>
+
+#include "core/plan_region.hpp"
+
+namespace iris::core {
+
+struct ExpansionRequest {
+  geo::Point position;
+  int capacity_fibers = 8;
+  int attach_huts = 3;        ///< ducts from the new DC into the backbone
+  std::string name = "dc-new";
+};
+
+struct ExpansionReport {
+  fibermap::FiberMap expanded_map;
+  RegionalPlan plan;                       ///< plan of the expanded region
+  cost::BillOfMaterials iris_delta;        ///< added Iris equipment
+  cost::BillOfMaterials eps_delta;         ///< what EPS would have added
+  double max_fiber_km_to_existing = 0.0;   ///< worst new-DC pair distance
+
+  [[nodiscard]] double iris_delta_cost(const cost::PriceBook& p) const {
+    return iris_delta.total_cost(p);
+  }
+  [[nodiscard]] double eps_delta_cost(const cost::PriceBook& p) const {
+    return eps_delta.total_cost(p);
+  }
+};
+
+/// Checks the siting SLA for a candidate position: the fiber distance from
+/// the candidate (via its nearest attach huts) to every existing DC must
+/// stay within the planner's max path length. Returns the worst distance,
+/// or nullopt if some DC is unreachable.
+std::optional<double> expansion_fiber_reach_km(const fibermap::FiberMap& map,
+                                               const PlannerParams& params,
+                                               const ExpansionRequest& request);
+
+/// Adds the DC, replans the whole region, and reports the equipment deltas.
+/// Throws std::invalid_argument if the position violates the siting SLA.
+ExpansionReport plan_expansion(const fibermap::FiberMap& map,
+                               const PlannerParams& params,
+                               const ExpansionRequest& request);
+
+}  // namespace iris::core

@@ -1,0 +1,168 @@
+#include "core/plan_io.hpp"
+
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace iris::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+namespace {
+
+/// Resolves the duct between two adjacent sites: the shortest one, matching
+/// what shortest-path routing would have chosen on a multigraph.
+EdgeId find_duct(const graph::Graph& g, NodeId u, NodeId v) {
+  EdgeId best = graph::kInvalidEdge;
+  double best_km = std::numeric_limits<double>::max();
+  for (EdgeId e : g.incident(u)) {
+    const graph::Edge& edge = g.edge(e);
+    if (edge.other(u) == v && edge.length_km < best_km) {
+      best = e;
+      best_km = edge.length_km;
+    }
+  }
+  if (best == graph::kInvalidEdge) {
+    throw std::runtime_error("plan_io: no duct between sites " +
+                             std::to_string(u) + " and " + std::to_string(v));
+  }
+  return best;
+}
+
+graph::Path path_from_nodes(const graph::Graph& g,
+                            const std::vector<NodeId>& nodes) {
+  if (nodes.size() < 2) {
+    throw std::runtime_error("plan_io: path needs at least two nodes");
+  }
+  graph::Path path;
+  path.nodes = nodes;
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const EdgeId e = find_duct(g, nodes[i], nodes[i + 1]);
+    path.edges.push_back(e);
+    path.length_km += g.edge(e).length_km;
+  }
+  return path;
+}
+
+}  // namespace
+
+void save_plan(const ProvisionedNetwork& net, const AmpCutPlan& plan,
+               std::ostream& os) {
+  os << "# iris plan\n";
+  os << "params " << net.params.failure_tolerance << ' '
+     << net.params.channels.wavelengths_per_fiber << '\n';
+  for (std::size_t e = 0; e < net.edge_capacity_wavelengths.size(); ++e) {
+    if (net.edge_capacity_wavelengths[e] == 0) continue;
+    os << "edge " << e << ' ' << net.edge_capacity_wavelengths[e] << ' '
+       << net.base_fibers[e] << '\n';
+  }
+  for (const auto& [pair, path] : net.baseline_paths) {
+    os << "path " << pair.a << ' ' << pair.b;
+    for (NodeId n : path.nodes) os << ' ' << n;
+    os << '\n';
+  }
+  for (std::size_t n = 0; n < plan.amps_at_node.size(); ++n) {
+    if (plan.amps_at_node[n] > 0) {
+      os << "amps " << n << ' ' << plan.amps_at_node[n] << '\n';
+    }
+  }
+  for (const CutThrough& ct : plan.cut_throughs) {
+    os << "cutthrough " << ct.fiber_pairs;
+    for (NodeId n : ct.nodes) os << ' ' << n;
+    os << '\n';
+  }
+  os << "stats " << net.scenarios_evaluated << ' '
+     << net.pair_paths_skipped_unreachable << ' ' << net.pair_paths_beyond_sla
+     << '\n';
+}
+
+LoadedPlan load_plan(const fibermap::FiberMap& map, std::istream& is) {
+  const graph::Graph& g = map.graph();
+  LoadedPlan out;
+  out.network.edge_capacity_wavelengths.assign(g.edge_count(), 0);
+  out.network.base_fibers.assign(g.edge_count(), 0);
+  out.amp_cut.amps_at_node.assign(g.node_count(), 0);
+
+  std::string line;
+  int line_no = 0;
+  bool saw_params = false;
+  auto fail = [&](const std::string& why) {
+    throw std::runtime_error("plan_io: line " + std::to_string(line_no) + ": " +
+                             why);
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind) || kind[0] == '#') continue;
+    if (kind == "params") {
+      if (!(ls >> out.network.params.failure_tolerance >>
+            out.network.params.channels.wavelengths_per_fiber)) {
+        fail("malformed params");
+      }
+      saw_params = true;
+    } else if (kind == "edge") {
+      long long e = -1, waves = 0;
+      int fibers = 0;
+      if (!(ls >> e >> waves >> fibers)) fail("malformed edge");
+      if (e < 0 || e >= g.edge_count()) fail("edge id out of range");
+      out.network.edge_capacity_wavelengths[e] = waves;
+      out.network.base_fibers[e] = fibers;
+    } else if (kind == "path") {
+      NodeId a = 0, b = 0;
+      if (!(ls >> a >> b)) fail("malformed path");
+      std::vector<NodeId> nodes;
+      NodeId n = 0;
+      while (ls >> n) {
+        if (n < 0 || n >= g.node_count()) fail("path node out of range");
+        nodes.push_back(n);
+      }
+      out.network.baseline_paths.emplace(DcPair(a, b),
+                                         path_from_nodes(g, nodes));
+    } else if (kind == "amps") {
+      NodeId n = 0;
+      int count = 0;
+      if (!(ls >> n >> count)) fail("malformed amps");
+      if (n < 0 || n >= g.node_count()) fail("amp node out of range");
+      out.amp_cut.amps_at_node[n] = count;
+    } else if (kind == "cutthrough") {
+      int fibers = 0;
+      if (!(ls >> fibers)) fail("malformed cutthrough");
+      std::vector<NodeId> nodes;
+      NodeId n = 0;
+      while (ls >> n) nodes.push_back(n);
+      const graph::Path path = path_from_nodes(g, nodes);
+      out.amp_cut.cut_throughs.push_back(
+          CutThrough{path.nodes, path.edges, fibers});
+    } else if (kind == "stats") {
+      if (!(ls >> out.network.scenarios_evaluated >>
+            out.network.pair_paths_skipped_unreachable >>
+            out.network.pair_paths_beyond_sla)) {
+        fail("malformed stats");
+      }
+    } else {
+      fail("unknown record kind '" + kind + "'");
+    }
+  }
+  if (!saw_params) {
+    throw std::runtime_error("plan_io: missing params record");
+  }
+  return out;
+}
+
+std::string plan_to_string(const ProvisionedNetwork& net,
+                           const AmpCutPlan& plan) {
+  std::ostringstream os;
+  save_plan(net, plan, os);
+  return os.str();
+}
+
+LoadedPlan plan_from_string(const fibermap::FiberMap& map,
+                            const std::string& text) {
+  std::istringstream is(text);
+  return load_plan(map, is);
+}
+
+}  // namespace iris::core

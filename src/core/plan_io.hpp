@@ -1,0 +1,41 @@
+// Plan serialization: persist the planner's decisions as diffable text so a
+// region can be planned once, reviewed, and deployed later -- the artifact a
+// deployment team would check into change control.
+//
+// Format ('#' comments allowed):
+//   params <failure_tolerance> <wavelengths_per_fiber>
+//   edge <duct_id> <capacity_wavelengths> <base_fibers>
+//   path <dc_a> <dc_b> <node_0> <node_1> ... <node_k>
+//   amps <node_id> <count>
+//   cutthrough <fiber_pairs> <node_0> ... <node_k>
+//   stats <scenarios> <skipped_unreachable> <beyond_sla>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/amp_cut.hpp"
+#include "core/provision.hpp"
+
+namespace iris::core {
+
+/// Writes the provisioned network and placement plan.
+void save_plan(const ProvisionedNetwork& net, const AmpCutPlan& plan,
+               std::ostream& os);
+
+/// Parses a plan against its fiber map (paths are re-derived from node
+/// sequences; throws std::runtime_error with a line number on malformed or
+/// inconsistent input).
+struct LoadedPlan {
+  ProvisionedNetwork network;
+  AmpCutPlan amp_cut;
+};
+LoadedPlan load_plan(const fibermap::FiberMap& map, std::istream& is);
+
+/// String round-trip helpers.
+std::string plan_to_string(const ProvisionedNetwork& net,
+                           const AmpCutPlan& plan);
+LoadedPlan plan_from_string(const fibermap::FiberMap& map,
+                            const std::string& text);
+
+}  // namespace iris::core

@@ -1,0 +1,61 @@
+#include "core/plan_region.hpp"
+
+#include "core/path_physics.hpp"
+
+namespace iris::core {
+
+double RegionalPlan::amp_cut_overhead(const cost::PriceBook& prices) const {
+  const double total = iris.total_cost(prices);
+  if (total <= 0.0) return 0.0;
+  double overhead = amp_cut.total_amplifiers() * prices.amplifier +
+                    2.0 * amp_cut.total_amplifiers() * prices.oss_port;
+  overhead += static_cast<double>(amp_cut.cut_through_fiber_spans()) *
+              prices.fiber_pair_per_span;
+  return overhead / total;
+}
+
+RegionalPlan plan_region(const fibermap::FiberMap& map,
+                         const PlannerParams& params) {
+  RegionalPlan plan;
+  plan.network = provision(map, params);
+  plan.amp_cut = place_amplifiers_and_cutthroughs(map, plan.network);
+  plan.eps = build_eps(map, plan.network);
+  plan.iris = build_iris(map, plan.network, plan.amp_cut);
+  plan.hybrid = build_hybrid(map, plan.network, plan.amp_cut);
+  return plan;
+}
+
+ValidationReport validate_plan(const fibermap::FiberMap& map,
+                               const ProvisionedNetwork& net,
+                               const AmpCutPlan& plan) {
+  const graph::Graph& g = map.graph();
+  const optical::OpticalSpec& spec = net.params.spec;
+  const auto& dcs = map.dcs();
+  ValidationReport report;
+
+  for_each_scenario(map, net.params, [&](const graph::EdgeMask& mask) {
+    std::vector<graph::ShortestPathTree> trees;
+    trees.reserve(dcs.size());
+    for (graph::NodeId dc : dcs) trees.push_back(graph::dijkstra(g, dc, mask));
+    for (std::size_t i = 0; i < dcs.size(); ++i) {
+      for (std::size_t j = i + 1; j < dcs.size(); ++j) {
+        const auto path = graph::extract_path(trees[i], dcs[j]);
+        if (!path) {
+          ++report.pairs_disconnected;
+          continue;
+        }
+        if (path->length_km > spec.max_path_km) {
+          ++report.paths_beyond_sla;
+          continue;
+        }
+        ++report.paths_checked;
+        if (!path_feasible_with_plan(g, *path, plan, spec)) {
+          ++report.infeasible_paths;
+        }
+      }
+    }
+  });
+  return report;
+}
+
+}  // namespace iris::core

@@ -1,0 +1,42 @@
+// End-to-end regional DCI planning driver: Algorithm 1, Appendix A placement,
+// and all three switching-layer designs in one call.
+#pragma once
+
+#include "core/designs.hpp"
+
+namespace iris::core {
+
+struct RegionalPlan {
+  ProvisionedNetwork network;
+  AmpCutPlan amp_cut;
+  DesignBom eps;
+  DesignBom iris;
+  HybridDesign hybrid;
+
+  /// Appendix A's overhead metric: cost of amplifiers and cut-through fiber
+  /// relative to the total Iris network cost.
+  [[nodiscard]] double amp_cut_overhead(const cost::PriceBook& prices) const;
+};
+
+/// Plans the region end to end.
+RegionalPlan plan_region(const fibermap::FiberMap& map,
+                         const PlannerParams& params);
+
+/// Validation result for a planned Iris network: walks every DC pair in
+/// every failure scenario and checks the power budget with the planned
+/// amplifiers and cut-throughs.
+struct ValidationReport {
+  long long paths_checked = 0;
+  long long infeasible_paths = 0;
+  long long pairs_disconnected = 0;
+  /// Failure detours beyond the SLA: out of contract (OC1), reported but not
+  /// counted against feasibility (see AmpCutPlan::beyond_sla_paths).
+  long long paths_beyond_sla = 0;
+
+  [[nodiscard]] bool ok() const { return infeasible_paths == 0; }
+};
+ValidationReport validate_plan(const fibermap::FiberMap& map,
+                               const ProvisionedNetwork& net,
+                               const AmpCutPlan& plan);
+
+}  // namespace iris::core

@@ -1,0 +1,151 @@
+#include "core/provision.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "graph/hose.hpp"
+
+namespace iris::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+bool ProvisionedNetwork::hut_used(const fibermap::FiberMap& map,
+                                  NodeId hut) const {
+  for (EdgeId e : map.graph().incident(hut)) {
+    if (edge_used(e)) return true;
+  }
+  return false;
+}
+
+int ProvisionedNetwork::total_base_fibers() const {
+  int total = 0;
+  for (int f : base_fibers) total += f;
+  return total;
+}
+
+ProvisionedNetwork scale_uniform_provision(const ProvisionedNetwork& unit,
+                                           int capacity_fibers, int lambda) {
+  if (capacity_fibers <= 0 || lambda <= 0) {
+    throw std::invalid_argument("scale_uniform_provision: bad scale factors");
+  }
+  ProvisionedNetwork out = unit;
+  out.params.channels.wavelengths_per_fiber = lambda;
+  const long long scale =
+      static_cast<long long>(capacity_fibers) * static_cast<long long>(lambda);
+  for (std::size_t e = 0; e < out.edge_capacity_wavelengths.size(); ++e) {
+    out.edge_capacity_wavelengths[e] = unit.edge_capacity_wavelengths[e] * scale;
+    // ceil(f * lambda * u / lambda) = f * u exactly.
+    out.base_fibers[e] = unit.base_fibers[e] * capacity_fibers;
+  }
+  return out;
+}
+
+void for_each_scenario(
+    const fibermap::FiberMap& map, const PlannerParams& params,
+    const std::function<void(const graph::EdgeMask&)>& visit) {
+  const graph::Graph& g = map.graph();
+  graph::EdgeMask mask(g.edge_count());
+  std::vector<EdgeId> eligible;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (g.edge(e).length_km > params.spec.max_span_km) {
+      mask.fail(e);  // TC1: permanently excluded
+    } else {
+      eligible.push_back(e);
+    }
+  }
+  const std::function<void(int, std::size_t)> rec = [&](int remaining,
+                                                        std::size_t first) {
+    visit(mask);
+    if (remaining == 0) return;
+    for (std::size_t i = first; i < eligible.size(); ++i) {
+      mask.fail(eligible[i]);
+      rec(remaining - 1, i + 1);
+      mask.restore(eligible[i]);
+    }
+  };
+  rec(params.failure_tolerance, 0);
+}
+
+ProvisionedNetwork provision(const fibermap::FiberMap& map,
+                             const PlannerParams& params) {
+  if (params.oversubscription < 1.0) {
+    throw std::invalid_argument("provision: oversubscription must be >= 1");
+  }
+  const graph::Graph& g = map.graph();
+  const auto& dcs = map.dcs();
+  const int lambda = params.channels.wavelengths_per_fiber;
+
+  ProvisionedNetwork out;
+  out.params = params;
+  out.edge_capacity_wavelengths.assign(g.edge_count(), 0);
+
+  const auto capacity_of = [&](NodeId dc) -> graph::Capacity {
+    return map.dc_capacity_wavelengths(dc, lambda);
+  };
+
+  // Per-edge buckets of DC pairs routed over the edge, rebuilt per scenario.
+  std::vector<std::vector<graph::OrientedPair>> pairs_on_edge(g.edge_count());
+  bool first_scenario = true;
+
+  for_each_scenario(map, params, [&](const graph::EdgeMask& mask) {
+    ++out.scenarios_evaluated;
+    for (auto& bucket : pairs_on_edge) bucket.clear();
+
+    // One Dijkstra per DC covers all pairs.
+    std::vector<graph::ShortestPathTree> trees;
+    trees.reserve(dcs.size());
+    for (NodeId dc : dcs) trees.push_back(graph::dijkstra(g, dc, mask));
+
+    for (std::size_t i = 0; i < dcs.size(); ++i) {
+      for (std::size_t j = i + 1; j < dcs.size(); ++j) {
+        const auto path = graph::extract_path(trees[i], dcs[j]);
+        if (!path) {
+          ++out.pair_paths_skipped_unreachable;
+          continue;
+        }
+        if (path->length_km > params.spec.max_path_km) {
+          ++out.pair_paths_beyond_sla;
+        }
+        for (EdgeId e : path->edges) {
+          pairs_on_edge[e].push_back(
+              graph::orient_pair(g, e, dcs[i], dcs[j], *path));
+        }
+        if (first_scenario) {
+          out.baseline_paths.emplace(DcPair(dcs[i], dcs[j]), *path);
+        }
+      }
+    }
+    first_scenario = false;
+
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (pairs_on_edge[e].empty()) continue;
+      const graph::Capacity load =
+          graph::hose_edge_load(pairs_on_edge[e], capacity_of);
+      out.edge_capacity_wavelengths[e] =
+          std::max(out.edge_capacity_wavelengths[e],
+                   static_cast<long long>(load));
+    }
+  });
+
+  // OC2 relaxation: an oversubscribed fabric provisions a fraction of the
+  // worst-case hose load (ceil so a used duct never rounds to zero).
+  if (params.oversubscription > 1.0) {
+    for (auto& waves : out.edge_capacity_wavelengths) {
+      if (waves > 0) {
+        waves = static_cast<long long>(
+            std::ceil(static_cast<double>(waves) / params.oversubscription));
+      }
+    }
+  }
+
+  out.base_fibers.assign(g.edge_count(), 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    out.base_fibers[e] = static_cast<int>(
+        (out.edge_capacity_wavelengths[e] + lambda - 1) / lambda);
+  }
+  return out;
+}
+
+}  // namespace iris::core

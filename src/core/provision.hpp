@@ -1,0 +1,92 @@
+// Algorithm 1: topology & capacity planning (paper SS4.1).
+//
+// Exhaustively enumerates fiber-cut scenarios up to the configured tolerance
+// (OC4); in each scenario routes every DC pair on its shortest surviving path
+// (OC1, OC3) and provisions each duct for the worst hose-model load it sees
+// across scenarios (OC2). Ducts longer than the maximum point-to-point span
+// are excluded up front (TC1): no switching technology can use them.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "fibermap/fibermap.hpp"
+#include "graph/shortest_path.hpp"
+#include "optical/spec.hpp"
+
+namespace iris::core {
+
+struct PlannerParams {
+  int failure_tolerance = 2;  ///< OC4: fiber-duct cuts to survive
+  optical::OpticalSpec spec{};
+  optical::ChannelPlan channels{};
+
+  /// OC2 relaxation (SS2: "or is an oversubscribed fabric acceptable?").
+  /// 1.0 provisions non-blocking hose capacity; k > 1 provisions 1/k of the
+  /// worst-case load on every duct, trading cost for admission risk.
+  double oversubscription = 1.0;
+};
+
+/// Unordered DC pair, normalized so a < b.
+struct DcPair {
+  graph::NodeId a = graph::kInvalidNode;
+  graph::NodeId b = graph::kInvalidNode;
+
+  DcPair() = default;
+  DcPair(graph::NodeId x, graph::NodeId y) : a(std::min(x, y)), b(std::max(x, y)) {}
+  friend auto operator<=>(const DcPair&, const DcPair&) = default;
+};
+
+/// Output of Algorithm 1.
+struct ProvisionedNetwork {
+  PlannerParams params;
+
+  /// Worst-case hose load per duct, in wavelengths; 0 = duct unused.
+  std::vector<long long> edge_capacity_wavelengths;
+
+  /// Base fiber pairs per duct: capacity rounded up to whole fibers.
+  std::vector<int> base_fibers;
+
+  /// No-failure shortest path for every connected DC pair; used by the
+  /// switching-layer designs, control plane and simulator.
+  std::map<DcPair, graph::Path> baseline_paths;
+
+  // Diagnostics.
+  long long scenarios_evaluated = 0;
+  long long pair_paths_skipped_unreachable = 0;  ///< pair cut off in a scenario
+  long long pair_paths_beyond_sla = 0;  ///< surviving path exceeded OC1 bound
+
+  [[nodiscard]] bool edge_used(graph::EdgeId e) const {
+    return edge_capacity_wavelengths.at(e) > 0;
+  }
+  /// A hut is used iff some incident duct carries capacity (SS4.1).
+  [[nodiscard]] bool hut_used(const fibermap::FiberMap& map,
+                              graph::NodeId hut) const;
+  [[nodiscard]] int total_base_fibers() const;
+};
+
+/// Runs Algorithm 1 on the region.
+ProvisionedNetwork provision(const fibermap::FiberMap& map,
+                             const PlannerParams& params);
+
+/// Fast path for uniform-capacity regions (the SS6.1 evaluation grid): when
+/// every DC has the same capacity, hose-model max flows scale linearly with
+/// that capacity, so a plan computed at capacity 1 fiber and lambda = 1
+/// ("unit plan") converts to any (capacity_fibers, lambda) by pure
+/// arithmetic: wavelength loads scale by capacity_fibers * lambda and fiber
+/// counts by capacity_fibers. Exact -- see ProvisionScalingMatchesDirect in
+/// the tests.
+ProvisionedNetwork scale_uniform_provision(const ProvisionedNetwork& unit,
+                                           int capacity_fibers, int lambda);
+
+/// Enumerates every failure scenario over the *eligible* ducts (those within
+/// the point-to-point span limit) and invokes `visit(mask)`; the mask also
+/// permanently excludes over-long ducts. Shared by Algorithm 1, amplifier
+/// placement and the design validators.
+void for_each_scenario(
+    const fibermap::FiberMap& map, const PlannerParams& params,
+    const std::function<void(const graph::EdgeMask&)>& visit);
+
+}  // namespace iris::core

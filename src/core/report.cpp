@@ -1,0 +1,79 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "fibermap/render.hpp"
+#include "fibermap/stats.hpp"
+#include "graph/resilience.hpp"
+
+namespace iris::core {
+
+std::string region_report(const fibermap::FiberMap& map,
+                          const RegionalPlan& plan,
+                          const ReportOptions& options) {
+  std::ostringstream os;
+  const auto stats = fibermap::compute_stats(map);
+  os << "=== region report ===\n" << fibermap::describe(stats) << "\n\n";
+
+  if (options.include_map_art) {
+    os << fibermap::render_ascii(map) << '\n';
+  }
+
+  // Resilience.
+  const auto audit = graph::audit_resilience(map.graph(), map.dcs());
+  const int max_tol = graph::max_supported_tolerance(audit);
+  os << "resilience: the fiber map supports up to " << max_tol
+     << " simultaneous duct cuts for every DC pair\n";
+  for (const auto& pr : audit) {
+    if (pr.edge_disjoint_paths <= plan.network.params.failure_tolerance) {
+      os << "  WARNING: " << map.site(pr.a).name << "-" << map.site(pr.b).name
+         << " has only " << pr.edge_disjoint_paths << " disjoint paths\n";
+    }
+  }
+
+  // Plan.
+  os << "\nplan (tolerance " << plan.network.params.failure_tolerance
+     << ", lambda " << plan.network.params.channels.wavelengths_per_fiber
+     << "):\n";
+  os << "  scenarios evaluated:   " << plan.network.scenarios_evaluated << '\n';
+  os << "  base fiber pairs:      " << plan.network.total_base_fibers() << '\n';
+  os << "  in-line amplifiers:    " << plan.amp_cut.total_amplifiers() << '\n';
+  os << "  cut-through corridors: " << plan.amp_cut.cut_throughs.size() << '\n';
+  if (plan.amp_cut.beyond_sla_paths > 0) {
+    os << "  note: " << plan.amp_cut.beyond_sla_paths
+       << " failure detours exceed the latency SLA (out of contract)\n";
+  }
+  if (plan.amp_cut.unresolved_paths > 0) {
+    os << "  WARNING: " << plan.amp_cut.unresolved_paths
+       << " in-SLA paths could not close their optical budget\n";
+  }
+
+  // Costs.
+  const auto& p = options.prices;
+  os << "\ncost ($/yr):\n";
+  const double eps = plan.eps.total_cost(p);
+  const double iris_cost = plan.iris.total_cost(p);
+  os << "  EPS fabric: " << static_cast<long long>(eps) << '\n';
+  os << "  Iris:       " << static_cast<long long>(iris_cost) << "  ("
+     << static_cast<int>(10.0 * eps / iris_cost) / 10.0 << "x cheaper)\n";
+  os << "  hybrid:     "
+     << static_cast<long long>(plan.hybrid.bom.total_cost(p)) << "  (residuals -"
+     << static_cast<int>(100.0 * plan.hybrid.residual_reduction()) << "%)\n";
+  os << "\nIris bill of materials: " << plan.iris.total.dci_transceivers
+     << " transceivers, " << plan.iris.total.fiber_pairs << " fiber pairs, "
+     << plan.iris.total.oss_ports << " OSS ports, "
+     << plan.iris.total.amplifiers << " amplifiers; busiest site "
+     << plan.iris.max_site_ports() << " OSS ports (EPS busiest: "
+     << plan.eps.max_site_ports() << " electrical ports)\n";
+
+  if (options.include_pair_table) {
+    os << "\nper-pair baseline paths:\n";
+    for (const auto& [pair, path] : plan.network.baseline_paths) {
+      os << "  " << map.site(pair.a).name << " - " << map.site(pair.b).name
+         << ": " << path.length_km << " km, " << path.hop_count() << " hops\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace iris::core

@@ -1,0 +1,24 @@
+// Human-readable region report: everything a deployment review needs on one
+// page -- map statistics, resilience audit, plan summary, validation status
+// and the cost comparison. Backs the `plan_from_file` CLI and is exposed as
+// a library call so services can embed it.
+#pragma once
+
+#include <string>
+
+#include "core/plan_region.hpp"
+
+namespace iris::core {
+
+struct ReportOptions {
+  bool include_map_art = true;     ///< ASCII fiber map
+  bool include_pair_table = false; ///< per-pair path lengths
+  cost::PriceBook prices = cost::PriceBook::paper_defaults();
+};
+
+/// Renders the full report for a planned region.
+std::string region_report(const fibermap::FiberMap& map,
+                          const RegionalPlan& plan,
+                          const ReportOptions& options = {});
+
+}  // namespace iris::core

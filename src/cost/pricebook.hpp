@@ -1,0 +1,97 @@
+// Component price book and bill of materials (paper SS3.3).
+//
+// Absolute Azure volume prices are confidential; the paper discloses coarse
+// relative prices, which are sufficient because every published result is a
+// cost *ratio*. Defaults encode the paper's stated relations:
+//   - DCI transceiver ~= $1,300/yr amortized (~$10/Gbps over 3 years)
+//   - fiber pair ~= $3,600/yr per span, independent of distance (~3x a
+//     transceiver)
+//   - OSS port: an order of magnitude below a transceiver (~$150)
+//   - OXC port: slightly above an OSS port
+//   - amplifier: a few transceivers (amplifies all wavelengths in a fiber)
+//   - electrical switch port: a transceiver costs ~10x an electrical port
+//   - short-reach (SR, <=2 km) transceiver: ~an electrical port
+#pragma once
+
+namespace iris::cost {
+
+/// Annualized component prices in dollars.
+struct PriceBook {
+  double dci_transceiver = 1300.0;
+  double sr_transceiver = 130.0;
+  double fiber_pair_per_span = 3600.0;
+  double oss_port = 150.0;
+  double oxc_port = 300.0;
+  double amplifier = 3900.0;
+  double electrical_port = 130.0;
+
+  /// The paper's default relative prices.
+  static PriceBook paper_defaults() { return {}; }
+
+  /// Fig. 12(b)'s counterfactual: DCI transceivers (unrealistically) priced
+  /// like short-reach ones.
+  static PriceBook dci_at_sr_price() {
+    PriceBook p;
+    p.dci_transceiver = p.sr_transceiver;
+    return p;
+  }
+};
+
+/// Equipment counts for a full network design.
+struct BillOfMaterials {
+  long long dci_transceivers = 0;
+  long long sr_transceivers = 0;
+  long long fiber_pairs = 0;  ///< leased pairs summed across ducts (per-span pricing)
+  long long oss_ports = 0;    ///< unidirectional OSS ports
+  long long oxc_ports = 0;
+  long long amplifiers = 0;
+  long long electrical_ports = 0;
+
+  [[nodiscard]] double total_cost(const PriceBook& prices) const {
+    return dci_transceivers * prices.dci_transceiver +
+           sr_transceivers * prices.sr_transceiver +
+           fiber_pairs * prices.fiber_pair_per_span +
+           oss_ports * prices.oss_port + oxc_ports * prices.oxc_port +
+           amplifiers * prices.amplifier +
+           electrical_ports * prices.electrical_port;
+  }
+
+  /// Total managed ports, electrical or optical (Fig. 12(c)'s complexity
+  /// metric counts ports of any kind).
+  [[nodiscard]] long long total_ports() const {
+    return dci_transceivers + sr_transceivers + oss_ports + oxc_ports +
+           electrical_ports;
+  }
+
+  BillOfMaterials& operator-=(const BillOfMaterials& o) {
+    dci_transceivers -= o.dci_transceivers;
+    sr_transceivers -= o.sr_transceivers;
+    fiber_pairs -= o.fiber_pairs;
+    oss_ports -= o.oss_ports;
+    oxc_ports -= o.oxc_ports;
+    amplifiers -= o.amplifiers;
+    electrical_ports -= o.electrical_ports;
+    return *this;
+  }
+  friend BillOfMaterials operator-(BillOfMaterials a, const BillOfMaterials& b) {
+    a -= b;
+    return a;
+  }
+
+  BillOfMaterials& operator+=(const BillOfMaterials& o) {
+    dci_transceivers += o.dci_transceivers;
+    sr_transceivers += o.sr_transceivers;
+    fiber_pairs += o.fiber_pairs;
+    oss_ports += o.oss_ports;
+    oxc_ports += o.oxc_ports;
+    amplifiers += o.amplifiers;
+    electrical_ports += o.electrical_ports;
+    return *this;
+  }
+  friend BillOfMaterials operator+(BillOfMaterials a, const BillOfMaterials& b) {
+    a += b;
+    return a;
+  }
+};
+
+}  // namespace iris::cost

@@ -1,0 +1,64 @@
+#include "fibermap/fibermap.hpp"
+
+#include <stdexcept>
+
+namespace iris::fibermap {
+
+graph::NodeId FiberMap::add_site(Site site) {
+  const graph::NodeId id = graph_.add_node();
+  sites_.push_back(std::move(site));
+  return id;
+}
+
+graph::NodeId FiberMap::add_dc(std::string name, geo::Point pos,
+                               int capacity_fibers) {
+  if (capacity_fibers <= 0) {
+    throw std::invalid_argument("FiberMap::add_dc: capacity must be positive");
+  }
+  const graph::NodeId id =
+      add_site(Site{SiteKind::kDc, std::move(name), pos, capacity_fibers});
+  dc_ids_.push_back(id);
+  return id;
+}
+
+graph::NodeId FiberMap::add_hut(std::string name, geo::Point pos) {
+  const graph::NodeId id = add_site(Site{SiteKind::kHut, std::move(name), pos, 0});
+  hut_ids_.push_back(id);
+  return id;
+}
+
+graph::EdgeId FiberMap::add_duct(graph::NodeId u, graph::NodeId v,
+                                 geo::Polyline route, double slack) {
+  if (slack < 1.0) {
+    throw std::invalid_argument("FiberMap::add_duct: slack must be >= 1");
+  }
+  const double km = route.length() * slack;
+  const graph::EdgeId id = graph_.add_edge(u, v, km);
+  routes_.push_back(std::move(route));
+  return id;
+}
+
+graph::EdgeId FiberMap::add_duct_with_length(graph::NodeId u, graph::NodeId v,
+                                             double length_km) {
+  const graph::EdgeId id = graph_.add_edge(u, v, length_km);
+  routes_.push_back(geo::straight_duct(site(u).position, site(v).position));
+  return id;
+}
+
+std::vector<geo::Point> FiberMap::dc_positions() const {
+  std::vector<geo::Point> out;
+  out.reserve(dc_ids_.size());
+  for (graph::NodeId dc : dc_ids_) out.push_back(site(dc).position);
+  return out;
+}
+
+long long FiberMap::dc_capacity_wavelengths(graph::NodeId dc,
+                                            int wavelengths_per_fiber) const {
+  if (!is_dc(dc)) {
+    throw std::invalid_argument("dc_capacity_wavelengths: not a DC");
+  }
+  return static_cast<long long>(site(dc).capacity_fibers) *
+         wavelengths_per_fiber;
+}
+
+}  // namespace iris::fibermap

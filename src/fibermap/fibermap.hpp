@@ -1,0 +1,88 @@
+// The fiber map: the region's DC and hut sites and the duct infrastructure
+// between them (paper SS2, "DCI design problem" inputs).
+//
+// Ducts are unconstrained in leasable fiber count (standard industry
+// practice, paper SS2); what the planner decides is how many fiber pairs to
+// lease per duct. Each DC carries a hose capacity expressed in fibers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/point.hpp"
+#include "geo/polyline.hpp"
+#include "graph/graph.hpp"
+
+namespace iris::fibermap {
+
+enum class SiteKind { kDc, kHut };
+
+/// One site in the region. Huts have no capacity of their own; they house
+/// switching and amplification equipment when the planner decides to use them.
+struct Site {
+  SiteKind kind = SiteKind::kHut;
+  std::string name;
+  geo::Point position;        // km, local tangent plane
+  int capacity_fibers = 0;    // hose capacity; DCs only
+};
+
+/// A region's fiber map: a geometric multigraph of sites and ducts.
+class FiberMap {
+ public:
+  /// Adds a DC with the given hose capacity (in fibers). Returns its node id.
+  graph::NodeId add_dc(std::string name, geo::Point pos, int capacity_fibers);
+
+  /// Adds a fiber hut. Returns its node id.
+  graph::NodeId add_hut(std::string name, geo::Point pos);
+
+  /// Adds a duct following `route`; its fiber length is the route's arc
+  /// length times `slack` (ducts snake around obstacles, so slack >= 1).
+  graph::EdgeId add_duct(graph::NodeId u, graph::NodeId v, geo::Polyline route,
+                         double slack = 1.0);
+
+  /// Adds a straight duct with an explicit fiber length.
+  graph::EdgeId add_duct_with_length(graph::NodeId u, graph::NodeId v,
+                                     double length_km);
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const Site& site(graph::NodeId n) const { return sites_.at(n); }
+  [[nodiscard]] std::size_t site_count() const noexcept { return sites_.size(); }
+  [[nodiscard]] std::size_t duct_count() const noexcept {
+    return static_cast<std::size_t>(graph_.edge_count());
+  }
+  [[nodiscard]] double duct_length_km(graph::EdgeId e) const {
+    return graph_.edge(e).length_km;
+  }
+
+  [[nodiscard]] bool is_dc(graph::NodeId n) const {
+    return site(n).kind == SiteKind::kDc;
+  }
+
+  /// Node ids of all DCs, in insertion order.
+  [[nodiscard]] const std::vector<graph::NodeId>& dcs() const noexcept {
+    return dc_ids_;
+  }
+  /// Node ids of all huts, in insertion order.
+  [[nodiscard]] const std::vector<graph::NodeId>& huts() const noexcept {
+    return hut_ids_;
+  }
+
+  /// All DC positions (same order as dcs()).
+  [[nodiscard]] std::vector<geo::Point> dc_positions() const;
+
+  /// Total hose capacity of a DC in wavelengths, given the region's channel
+  /// plan (lambda wavelengths per fiber).
+  [[nodiscard]] long long dc_capacity_wavelengths(graph::NodeId dc,
+                                                  int wavelengths_per_fiber) const;
+
+ private:
+  graph::NodeId add_site(Site site);
+
+  graph::Graph graph_;
+  std::vector<Site> sites_;
+  std::vector<geo::Polyline> routes_;  // parallel to graph edges
+  std::vector<graph::NodeId> dc_ids_;
+  std::vector<graph::NodeId> hut_ids_;
+};
+
+}  // namespace iris::fibermap

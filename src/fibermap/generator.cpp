@@ -1,0 +1,233 @@
+#include "fibermap/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "graph/shortest_path.hpp"
+
+namespace iris::fibermap {
+
+namespace {
+
+using geo::Point;
+using graph::NodeId;
+
+std::vector<Point> jittered_lattice(int count, double extent_km,
+                                    std::mt19937_64& rng) {
+  const int side = static_cast<int>(std::ceil(std::sqrt(count)));
+  const double cell = extent_km / side;
+  std::uniform_real_distribution<double> jitter(-0.3 * cell, 0.3 * cell);
+  std::vector<Point> pts;
+  pts.reserve(count);
+  for (int iy = 0; iy < side && static_cast<int>(pts.size()) < count; ++iy) {
+    for (int ix = 0; ix < side && static_cast<int>(pts.size()) < count; ++ix) {
+      pts.push_back(Point{(ix + 0.5) * cell + jitter(rng),
+                          (iy + 0.5) * cell + jitter(rng)});
+    }
+  }
+  return pts;
+}
+
+/// Indices of the k nearest other points to pts[i].
+std::vector<int> nearest_neighbors(const std::vector<Point>& pts, int i, int k) {
+  std::vector<int> order;
+  order.reserve(pts.size() - 1);
+  for (int j = 0; j < static_cast<int>(pts.size()); ++j) {
+    if (j != i) order.push_back(j);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return geo::distance_sq(pts[i], pts[a]) < geo::distance_sq(pts[i], pts[b]);
+  });
+  if (static_cast<int>(order.size()) > k) order.resize(k);
+  return order;
+}
+
+/// Connected components of the hut backbone via union-find.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    for (int i = 0; i < n; ++i) parent_[i] = i;
+  }
+  int find(int x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  bool unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+FiberMap generate_region(const RegionParams& p) {
+  if (p.hut_count < 2 || p.dc_count < 1 || p.extent_km <= 0.0) {
+    throw std::invalid_argument("generate_region: bad parameters");
+  }
+  std::mt19937_64 rng(p.seed);
+  std::uniform_real_distribution<double> slack(p.duct_slack_min,
+                                               p.duct_slack_max);
+
+  FiberMap map;
+
+  // 1. Hut backbone: jittered lattice + nearest-neighbor ducts.
+  const std::vector<Point> hut_pos = jittered_lattice(p.hut_count, p.extent_km, rng);
+  std::vector<NodeId> huts;
+  huts.reserve(hut_pos.size());
+  for (std::size_t i = 0; i < hut_pos.size(); ++i) {
+    huts.push_back(map.add_hut("hut" + std::to_string(i), hut_pos[i]));
+  }
+  std::set<std::pair<int, int>> linked;
+  UnionFind uf(static_cast<int>(hut_pos.size()));
+  auto link_huts = [&](int a, int b) {
+    const auto key = std::minmax(a, b);
+    if (!linked.insert(key).second) return;
+    const double km = geo::distance(hut_pos[a], hut_pos[b]) * slack(rng);
+    map.add_duct_with_length(huts[a], huts[b], km);
+    uf.unite(a, b);
+  };
+  for (int i = 0; i < static_cast<int>(hut_pos.size()); ++i) {
+    for (int j : nearest_neighbors(hut_pos, i, p.hut_neighbors)) link_huts(i, j);
+  }
+  // 2. Stitch any disconnected backbone components via their closest pair.
+  for (bool connected = false; !connected;) {
+    connected = true;
+    for (int i = 1; i < static_cast<int>(hut_pos.size()); ++i) {
+      if (uf.find(i) == uf.find(0)) continue;
+      connected = false;
+      int best_a = 0, best_b = i;
+      double best = std::numeric_limits<double>::max();
+      for (int a = 0; a < static_cast<int>(hut_pos.size()); ++a) {
+        for (int b = 0; b < static_cast<int>(hut_pos.size()); ++b) {
+          if (uf.find(a) == uf.find(0) && uf.find(b) == uf.find(i)) {
+            const double d = geo::distance_sq(hut_pos[a], hut_pos[b]);
+            if (d < best) {
+              best = d;
+              best_a = a;
+              best_b = b;
+            }
+          }
+        }
+      }
+      link_huts(best_a, best_b);
+      break;
+    }
+  }
+
+  // 3. Place DCs per the paper's SS6.1 rule.
+  std::uniform_real_distribution<double> coord(0.0, p.extent_km);
+  std::vector<Point> dc_pos;
+  for (int d = 0; d < p.dc_count; ++d) {
+    // Shortest-path fields from every existing DC, for the SLA filter.
+    std::vector<graph::ShortestPathTree> fields;
+    fields.reserve(dc_pos.size());
+    for (NodeId dc : map.dcs()) fields.push_back(graph::dijkstra(map.graph(), dc));
+
+    constexpr int kCandidates = 256;
+    constexpr int kRounds = 8;
+    Point chosen{};
+    bool found = false;
+    for (int round = 0; round < kRounds && !found; ++round) {
+      std::vector<Point> cands;
+      std::vector<double> weights;
+      for (int c = 0; c < kCandidates; ++c) {
+        const Point cand{coord(rng), coord(rng)};
+        // Fiber distance to every existing DC via the candidate's attach huts.
+        bool ok = true;
+        for (const auto& field : fields) {
+          double best = std::numeric_limits<double>::max();
+          for (std::size_t h = 0; h < hut_pos.size(); ++h) {
+            if (!field.reachable(huts[h])) continue;
+            const double attach_km =
+                geo::distance(cand, hut_pos[h]) * p.duct_slack_max;
+            best = std::min(best, attach_km + field.dist_km[huts[h]]);
+          }
+          if (best > p.max_dc_dc_fiber_km) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        double w = 1.0;
+        if (!dc_pos.empty()) {
+          double nearest = std::numeric_limits<double>::max();
+          for (const Point& q : dc_pos) {
+            nearest = std::min(nearest, geo::distance(cand, q));
+          }
+          // Paper: probability inversely proportional to the distance from
+          // the nearest already-placed DC. Floor at 1 km to avoid collapse.
+          w = 1.0 / std::max(nearest, 1.0);
+        }
+        cands.push_back(cand);
+        weights.push_back(w);
+      }
+      if (cands.empty()) continue;
+      std::discrete_distribution<int> pick(weights.begin(), weights.end());
+      chosen = cands[pick(rng)];
+      found = true;
+    }
+    if (!found) {
+      throw std::runtime_error(
+          "generate_region: no feasible DC site under the siting SLA");
+    }
+
+    const NodeId dc = map.add_dc("dc" + std::to_string(d), chosen,
+                                 p.capacity_fibers);
+    dc_pos.push_back(chosen);
+    // 4. Attach the DC to its nearest huts.
+    std::vector<int> order(hut_pos.size());
+    for (std::size_t i = 0; i < hut_pos.size(); ++i) order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return geo::distance_sq(chosen, hut_pos[a]) <
+             geo::distance_sq(chosen, hut_pos[b]);
+    });
+    const int attach = std::min<int>(p.dc_attach_huts,
+                                     static_cast<int>(order.size()));
+    for (int a = 0; a < attach; ++a) {
+      const int h = order[a];
+      const double km = std::max(geo::distance(chosen, hut_pos[h]), 0.05) *
+                        slack(rng);
+      map.add_duct_with_length(dc, huts[h], km);
+    }
+  }
+  return map;
+}
+
+FiberMap toy_example_fig10() {
+  // Geometry mirrors Fig. 10: two hubs 20 km apart; each hub serves two DCs
+  // over 15 km legs. Each DC carries 160 Tbps = 10 fiber pairs at
+  // lambda = 40 x 400 Gbps.
+  FiberMap map;
+  const NodeId hub_a = map.add_hut("hubA", {20.0, 20.0});
+  const NodeId hub_b = map.add_hut("hubB", {40.0, 20.0});
+  const NodeId dc1 = map.add_dc("DC1", {10.0, 30.0}, 10);
+  const NodeId dc2 = map.add_dc("DC2", {10.0, 10.0}, 10);
+  const NodeId dc3 = map.add_dc("DC3", {50.0, 30.0}, 10);
+  const NodeId dc4 = map.add_dc("DC4", {50.0, 10.0}, 10);
+  map.add_duct_with_length(dc1, hub_a, 15.0);  // L1
+  map.add_duct_with_length(dc2, hub_a, 15.0);  // L2
+  map.add_duct_with_length(dc3, hub_b, 15.0);  // L3
+  map.add_duct_with_length(dc4, hub_b, 15.0);  // L4
+  map.add_duct_with_length(hub_a, hub_b, 20.0);  // L5
+  return map;
+}
+
+ToyExampleIds toy_example_ids() {
+  // Ids follow the insertion order of toy_example_fig10().
+  return ToyExampleIds{/*dc1=*/2, /*dc2=*/3, /*dc3=*/4, /*dc4=*/5,
+                       /*hub_a=*/0, /*hub_b=*/1,
+                       /*l1=*/0, /*l2=*/1, /*l3=*/2, /*l4=*/3, /*l5=*/4};
+}
+
+}  // namespace iris::fibermap

@@ -1,0 +1,49 @@
+// Synthetic metro-region generator.
+//
+// Substitute for the confidential Azure fiber maps used in the paper (SS6.1).
+// Generates a jittered-lattice hut backbone with nearest-neighbor ducts and
+// places DCs with the paper's own placement rule: the first DC uniformly at
+// random, each successive DC sampled with probability inversely proportional
+// to its distance from the nearest already-placed DC, restricted to
+// candidates that keep all DC-DC fiber distances within the siting SLA.
+// All randomness is seeded, so any figure built on generated maps reproduces
+// bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "fibermap/fibermap.hpp"
+
+namespace iris::fibermap {
+
+struct RegionParams {
+  double extent_km = 50.0;        ///< side of the square service territory
+  int hut_count = 16;             ///< fiber huts in the backbone
+  int dc_count = 8;               ///< DCs to place
+  int capacity_fibers = 16;       ///< hose capacity per DC, in fibers
+  int hut_neighbors = 3;          ///< nearest-neighbor ducts per hut
+  int dc_attach_huts = 2;         ///< ducts from each DC into the backbone
+  double duct_slack_min = 1.25;   ///< fiber-length / straight-line, lower
+  double duct_slack_max = 1.9;    ///< ... and upper bound (randomized per duct)
+  double max_dc_dc_fiber_km = 120.0;  ///< siting SLA during placement (OC1)
+  std::uint64_t seed = 1;
+};
+
+/// Generates a region. Throws std::runtime_error if the parameters make DC
+/// placement infeasible (e.g. extent far beyond the SLA radius).
+FiberMap generate_region(const RegionParams& params);
+
+/// The paper's SS3.4 / Fig. 10 toy example: 4 DCs of 160 Tbps (f = 10 fiber
+/// pairs at lambda = 40 x 400 Gbps), two hubs, five links L1-L5. DC1 and DC2
+/// home to hub A; DC3 and DC4 to hub B; L5 joins the hubs.
+FiberMap toy_example_fig10();
+
+/// Node ids of the Fig. 10 toy map, for tests and the SS3.4 bench.
+struct ToyExampleIds {
+  graph::NodeId dc1, dc2, dc3, dc4;
+  graph::NodeId hub_a, hub_b;
+  graph::EdgeId l1, l2, l3, l4, l5;
+};
+ToyExampleIds toy_example_ids();
+
+}  // namespace iris::fibermap

@@ -1,0 +1,79 @@
+#include "fibermap/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geo/service_area.hpp"
+
+namespace iris::fibermap {
+
+std::string render_ascii(const FiberMap& map, const RenderOptions& options) {
+  const int w = std::max(8, options.width);
+  const int h = std::max(4, options.height);
+
+  std::vector<geo::Point> sites;
+  for (graph::NodeId n = 0; n < map.graph().node_count(); ++n) {
+    sites.push_back(map.site(n).position);
+  }
+  geo::Box box = geo::bounding_box(sites);
+  if (box.width() <= 0.0 || box.height() <= 0.0) box = box.expanded(1.0);
+  box = box.expanded(0.05 * std::max(box.width(), box.height()));
+
+  std::vector<std::string> grid(h, std::string(w, ' '));
+  const auto to_cell = [&](geo::Point p) {
+    const int cx = static_cast<int>((p.x - box.lo.x) / box.width() * (w - 1));
+    // Flip y so north is up.
+    const int cy = static_cast<int>((box.hi.y - p.y) / box.height() * (h - 1));
+    return std::pair<int, int>{std::clamp(cx, 0, w - 1),
+                               std::clamp(cy, 0, h - 1)};
+  };
+  const auto from_cell = [&](int cx, int cy) {
+    return geo::Point{box.lo.x + (cx + 0.5) * box.width() / w,
+                      box.hi.y - (cy + 0.5) * box.height() / h};
+  };
+
+  if (options.shade) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        if (options.shade(from_cell(x, y))) grid[y][x] = options.shade_glyph;
+      }
+    }
+  }
+
+  if (options.draw_ducts) {
+    for (graph::EdgeId e = 0; e < map.graph().edge_count(); ++e) {
+      const graph::Edge& edge = map.graph().edge(e);
+      const geo::Point a = map.site(edge.u).position;
+      const geo::Point b = map.site(edge.v).position;
+      const int steps = 2 * std::max(w, h);
+      for (int s = 0; s <= steps; ++s) {
+        const auto [cx, cy] =
+            to_cell(geo::lerp(a, b, static_cast<double>(s) / steps));
+        if (grid[cy][cx] == ' ' || grid[cy][cx] == options.shade_glyph) {
+          grid[cy][cx] = options.duct_glyph;
+        }
+      }
+    }
+  }
+
+  for (graph::NodeId hut : map.huts()) {
+    const auto [cx, cy] = to_cell(map.site(hut).position);
+    grid[cy][cx] = options.hut_glyph;
+  }
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (std::size_t i = 0; i < map.dcs().size(); ++i) {
+    const auto [cx, cy] = to_cell(map.site(map.dcs()[i]).position);
+    grid[cy][cx] = i < 16 ? kHex[i] : 'D';
+  }
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>(h) * (w + 1));
+  for (const std::string& row : grid) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace iris::fibermap

@@ -1,0 +1,29 @@
+// ASCII rendering of fiber maps -- the text-mode counterpart of the paper's
+// region figures (Figs. 1, 5, 10). Examples and ops tooling print these so a
+// plan review doesn't need a GUI.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "fibermap/fibermap.hpp"
+
+namespace iris::fibermap {
+
+struct RenderOptions {
+  int width = 72;    ///< characters
+  int height = 28;   ///< lines
+  bool draw_ducts = true;
+  char hut_glyph = 'o';
+  char duct_glyph = '.';
+  /// Optional overlay painted first (e.g. a service area): return true where
+  /// the shaded glyph should appear.
+  std::function<bool(geo::Point)> shade;
+  char shade_glyph = '+';
+};
+
+/// Renders the map into a newline-separated string. DCs are labeled with
+/// hexadecimal indices (0-9, a-f) in dc order; later DCs fall back to 'D'.
+std::string render_ascii(const FiberMap& map, const RenderOptions& options = {});
+
+}  // namespace iris::fibermap

@@ -1,0 +1,83 @@
+#include "fibermap/serialize.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace iris::fibermap {
+
+void save(const FiberMap& map, std::ostream& os) {
+  os << "# iris fiber map: " << map.dcs().size() << " DCs, "
+     << map.huts().size() << " huts, " << map.duct_count() << " ducts\n";
+  for (graph::NodeId n = 0; n < map.graph().node_count(); ++n) {
+    const Site& s = map.site(n);
+    if (s.kind == SiteKind::kDc) {
+      os << "dc " << s.name << ' ' << s.position.x << ' ' << s.position.y << ' '
+         << s.capacity_fibers << '\n';
+    } else {
+      os << "hut " << s.name << ' ' << s.position.x << ' ' << s.position.y
+         << '\n';
+    }
+  }
+  for (graph::EdgeId e = 0; e < map.graph().edge_count(); ++e) {
+    const graph::Edge& edge = map.graph().edge(e);
+    os << "duct " << map.site(edge.u).name << ' ' << map.site(edge.v).name
+       << ' ' << edge.length_km << '\n';
+  }
+}
+
+FiberMap load(std::istream& is) {
+  FiberMap map;
+  std::map<std::string, graph::NodeId> by_name;
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& why) {
+    throw std::runtime_error("fibermap::load: line " + std::to_string(line_no) +
+                             ": " + why);
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind) || kind[0] == '#') continue;
+    if (kind == "dc") {
+      std::string name;
+      double x = 0.0, y = 0.0;
+      int cap = 0;
+      if (!(ls >> name >> x >> y >> cap)) fail("malformed dc record");
+      if (by_name.contains(name)) fail("duplicate site name " + name);
+      by_name[name] = map.add_dc(name, {x, y}, cap);
+    } else if (kind == "hut") {
+      std::string name;
+      double x = 0.0, y = 0.0;
+      if (!(ls >> name >> x >> y)) fail("malformed hut record");
+      if (by_name.contains(name)) fail("duplicate site name " + name);
+      by_name[name] = map.add_hut(name, {x, y});
+    } else if (kind == "duct") {
+      std::string a, b;
+      double km = 0.0;
+      if (!(ls >> a >> b >> km)) fail("malformed duct record");
+      const auto ia = by_name.find(a), ib = by_name.find(b);
+      if (ia == by_name.end()) fail("unknown site " + a);
+      if (ib == by_name.end()) fail("unknown site " + b);
+      map.add_duct_with_length(ia->second, ib->second, km);
+    } else {
+      fail("unknown record kind '" + kind + "'");
+    }
+  }
+  return map;
+}
+
+std::string to_string(const FiberMap& map) {
+  std::ostringstream os;
+  save(map, os);
+  return os.str();
+}
+
+FiberMap from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load(is);
+}
+
+}  // namespace iris::fibermap

@@ -1,0 +1,29 @@
+// Plain-text serialization of fiber maps, so regions can be checked into a
+// repo, diffed, and shared between the planner, benches and examples.
+//
+// Format (one record per line, '#' comments allowed):
+//   dc   <name> <x_km> <y_km> <capacity_fibers>
+//   hut  <name> <x_km> <y_km>
+//   duct <site_name_a> <site_name_b> <length_km>
+// Sites must be declared before ducts referencing them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fibermap/fibermap.hpp"
+
+namespace iris::fibermap {
+
+/// Writes `map` in the text format above.
+void save(const FiberMap& map, std::ostream& os);
+
+/// Parses a fiber map; throws std::runtime_error with a line number on
+/// malformed input.
+FiberMap load(std::istream& is);
+
+/// Round-trip helpers via strings.
+std::string to_string(const FiberMap& map);
+FiberMap from_string(const std::string& text);
+
+}  // namespace iris::fibermap

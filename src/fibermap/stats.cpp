@@ -1,0 +1,65 @@
+#include "fibermap/stats.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "geo/service_area.hpp"
+
+namespace iris::fibermap {
+
+MapStats compute_stats(const FiberMap& map) {
+  MapStats s;
+  s.dcs = static_cast<int>(map.dcs().size());
+  s.huts = static_cast<int>(map.huts().size());
+  s.ducts = static_cast<int>(map.duct_count());
+
+  if (s.ducts > 0) {
+    s.min_duct_km = std::numeric_limits<double>::max();
+    for (graph::EdgeId e = 0; e < map.graph().edge_count(); ++e) {
+      const double km = map.duct_length_km(e);
+      s.total_duct_km += km;
+      s.min_duct_km = std::min(s.min_duct_km, km);
+      s.max_duct_km = std::max(s.max_duct_km, km);
+    }
+    s.mean_duct_km = s.total_duct_km / s.ducts;
+  }
+
+  if (map.graph().node_count() > 0) {
+    s.min_site_degree = std::numeric_limits<int>::max();
+    for (graph::NodeId n = 0; n < map.graph().node_count(); ++n) {
+      const int deg = static_cast<int>(map.graph().incident(n).size());
+      s.min_site_degree = std::min(s.min_site_degree, deg);
+      s.max_site_degree = std::max(s.max_site_degree, deg);
+    }
+    s.min_dc_degree = std::numeric_limits<int>::max();
+    for (graph::NodeId dc : map.dcs()) {
+      s.min_dc_degree = std::min(
+          s.min_dc_degree, static_cast<int>(map.graph().incident(dc).size()));
+    }
+    if (map.dcs().empty()) s.min_dc_degree = 0;
+
+    std::vector<geo::Point> pts;
+    for (graph::NodeId n = 0; n < map.graph().node_count(); ++n) {
+      pts.push_back(map.site(n).position);
+    }
+    const auto box = geo::bounding_box(pts);
+    s.extent_km = geo::distance(box.lo, box.hi);
+  }
+  return s;
+}
+
+std::string describe(const MapStats& s) {
+  std::ostringstream os;
+  os << s.dcs << " DCs and " << s.huts << " huts over " << s.ducts
+     << " ducts (" << static_cast<int>(s.total_duct_km) << " km of route, "
+     << s.min_duct_km << "-" << s.max_duct_km << " km per duct, mean "
+     << static_cast<int>(s.mean_duct_km) << " km); site degree "
+     << s.min_site_degree << "-" << s.max_site_degree
+     << ", every DC attached by >= " << s.min_dc_degree
+     << " ducts; bounding diagonal " << static_cast<int>(s.extent_km)
+     << " km.";
+  return os.str();
+}
+
+}  // namespace iris::fibermap

@@ -1,0 +1,28 @@
+// Descriptive statistics of a fiber map -- the sanity numbers an operator
+// checks before trusting a region model (duct lengths, degrees, route km).
+#pragma once
+
+#include "fibermap/fibermap.hpp"
+
+namespace iris::fibermap {
+
+struct MapStats {
+  int dcs = 0;
+  int huts = 0;
+  int ducts = 0;
+  double total_duct_km = 0.0;
+  double min_duct_km = 0.0;
+  double max_duct_km = 0.0;
+  double mean_duct_km = 0.0;
+  int min_site_degree = 0;
+  int max_site_degree = 0;
+  int min_dc_degree = 0;      ///< attachment redundancy floor across DCs
+  double extent_km = 0.0;     ///< bounding-box diagonal
+};
+
+MapStats compute_stats(const FiberMap& map);
+
+/// One-paragraph textual summary for reports.
+std::string describe(const MapStats& stats);
+
+}  // namespace iris::fibermap

@@ -1,0 +1,41 @@
+#include "geo/latlon.hpp"
+
+#include <cmath>
+
+namespace iris::geo {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+double radians(double deg) { return deg * kPi / 180.0; }
+double degrees(double rad) { return rad * 180.0 / kPi; }
+}  // namespace
+
+double haversine_km(LatLon a, LatLon b) {
+  const double lat1 = radians(a.lat_deg);
+  const double lat2 = radians(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = radians(b.lon_deg - a.lon_deg);
+  const double h = std::sin(dlat / 2.0) * std::sin(dlat / 2.0) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2.0) *
+                       std::sin(dlon / 2.0);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+Point to_local_km(LatLon p, LatLon reference) {
+  const double lat0 = radians(reference.lat_deg);
+  const double x = radians(p.lon_deg - reference.lon_deg) * std::cos(lat0) *
+                   kEarthRadiusKm;
+  const double y = radians(p.lat_deg - reference.lat_deg) * kEarthRadiusKm;
+  return {x, y};
+}
+
+LatLon from_local_km(Point p, LatLon reference) {
+  const double lat0 = radians(reference.lat_deg);
+  LatLon out;
+  out.lat_deg = reference.lat_deg + degrees(p.y / kEarthRadiusKm);
+  out.lon_deg =
+      reference.lon_deg + degrees(p.x / (kEarthRadiusKm * std::cos(lat0)));
+  return out;
+}
+
+}  // namespace iris::geo

@@ -1,0 +1,11 @@
+#include "geo/point.hpp"
+
+#include <ostream>
+
+namespace iris::geo {
+
+std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+}  // namespace iris::geo

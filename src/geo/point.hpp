@@ -1,0 +1,87 @@
+// Planar geometry primitives for regional (metro-scale) maps.
+//
+// All coordinates are kilometers in a local tangent plane. Regions span tens
+// of kilometers (paper SS2), so a planar approximation of geography is exact
+// enough for every analysis in the paper (latency inflation, siting areas).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+
+namespace iris::geo {
+
+/// A point (or displacement) in the plane, in kilometers.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Point operator+(Point a, Point b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point operator-(Point a, Point b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Point operator*(Point a, double s) noexcept {
+    return {a.x * s, a.y * s};
+  }
+  friend constexpr Point operator*(double s, Point a) noexcept { return a * s; }
+  friend constexpr Point operator/(Point a, double s) noexcept {
+    return {a.x / s, a.y / s};
+  }
+  friend constexpr bool operator==(Point, Point) noexcept = default;
+};
+
+/// Squared Euclidean distance in km^2.
+constexpr double distance_sq(Point a, Point b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean (geodesic, under the planar approximation) distance in km.
+inline double distance(Point a, Point b) noexcept {
+  return std::sqrt(distance_sq(a, b));
+}
+
+/// Euclidean norm of a displacement, in km.
+inline double norm(Point v) noexcept { return std::sqrt(v.x * v.x + v.y * v.y); }
+
+/// Dot product of two displacements.
+constexpr double dot(Point a, Point b) noexcept { return a.x * b.x + a.y * b.y; }
+
+/// Linear interpolation between two points; t=0 gives a, t=1 gives b.
+constexpr Point lerp(Point a, Point b, double t) noexcept {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+/// Midpoint of a segment.
+constexpr Point midpoint(Point a, Point b) noexcept { return lerp(a, b, 0.5); }
+
+std::ostream& operator<<(std::ostream& os, Point p);
+
+/// Industry rule of thumb (paper SS2.1, [8,15]): fiber routes through a metro
+/// are about twice as long as the straight-line geographic distance.
+inline constexpr double kFiberDetourFactor = 2.0;
+
+/// Estimated fiber distance between two sites given only their geography.
+inline double estimated_fiber_km(Point a, Point b) noexcept {
+  return kFiberDetourFactor * distance(a, b);
+}
+
+/// Propagation latency over fiber. Light in silica travels at ~c/1.468;
+/// the paper's examples (e.g. 120 km fiber <-> ~1.2 ms round trip) match
+/// ~4.9 us/km one-way, i.e. ~9.8 us/km round trip.
+inline constexpr double kFiberLatencyUsPerKm = 4.9;
+
+/// One-way propagation latency in microseconds for a fiber path of `km`.
+constexpr double one_way_latency_us(double km) noexcept {
+  return km * kFiberLatencyUsPerKm;
+}
+
+/// Round-trip propagation latency in milliseconds for a fiber path of `km`.
+constexpr double round_trip_latency_ms(double km) noexcept {
+  return 2.0 * km * kFiberLatencyUsPerKm / 1000.0;
+}
+
+}  // namespace iris::geo

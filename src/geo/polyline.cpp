@@ -1,0 +1,31 @@
+#include "geo/polyline.hpp"
+
+#include <algorithm>
+
+namespace iris::geo {
+
+double Polyline::length() const noexcept {
+  double total = 0.0;
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    total += distance(pts_[i - 1], pts_[i]);
+  }
+  return total;
+}
+
+Point Polyline::at_arc_length(double s) const noexcept {
+  if (pts_.empty()) return {};
+  if (pts_.size() == 1 || s <= 0.0) return pts_.front();
+  double remaining = s;
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    const double seg = distance(pts_[i - 1], pts_[i]);
+    if (remaining <= seg && seg > 0.0) {
+      return lerp(pts_[i - 1], pts_[i], remaining / seg);
+    }
+    remaining -= seg;
+  }
+  return pts_.back();
+}
+
+Polyline straight_duct(Point a, Point b) { return Polyline({a, b}); }
+
+}  // namespace iris::geo

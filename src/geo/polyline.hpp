@@ -1,0 +1,36 @@
+// Polylines model the physical routes of fiber ducts through a metro area.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geo/point.hpp"
+
+namespace iris::geo {
+
+/// An open polygonal chain of at least two vertices.
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<Point> pts) : pts_(std::move(pts)) {}
+
+  /// Total arc length in km.
+  [[nodiscard]] double length() const noexcept;
+
+  /// Point at arc-length parameter s in [0, length()]; clamped outside.
+  [[nodiscard]] Point at_arc_length(double s) const noexcept;
+
+  [[nodiscard]] std::span<const Point> points() const noexcept { return pts_; }
+  [[nodiscard]] bool empty() const noexcept { return pts_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return pts_.size(); }
+
+  void push_back(Point p) { pts_.push_back(p); }
+
+ private:
+  std::vector<Point> pts_;
+};
+
+/// Straight duct between two sites.
+Polyline straight_duct(Point a, Point b);
+
+}  // namespace iris::geo

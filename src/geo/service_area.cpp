@@ -1,0 +1,66 @@
+#include "geo/service_area.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace iris::geo {
+
+Box bounding_box(std::span<const Point> pts) {
+  if (pts.empty()) return {};
+  Box box{{std::numeric_limits<double>::max(), std::numeric_limits<double>::max()},
+          {std::numeric_limits<double>::lowest(),
+           std::numeric_limits<double>::lowest()}};
+  for (const Point& p : pts) {
+    box.lo.x = std::min(box.lo.x, p.x);
+    box.lo.y = std::min(box.lo.y, p.y);
+    box.hi.x = std::max(box.hi.x, p.x);
+    box.hi.y = std::max(box.hi.y, p.y);
+  }
+  return box;
+}
+
+double raster_area(const Box& box, int cells,
+                   const std::function<bool(Point)>& keep) {
+  if (cells <= 0 || box.width() <= 0.0 || box.height() <= 0.0) return 0.0;
+  const double dx = box.width() / cells;
+  const double dy = box.height() / cells;
+  long hits = 0;
+  for (int iy = 0; iy < cells; ++iy) {
+    const double y = box.lo.y + (iy + 0.5) * dy;
+    for (int ix = 0; ix < cells; ++ix) {
+      const double x = box.lo.x + (ix + 0.5) * dx;
+      if (keep(Point{x, y})) ++hits;
+    }
+  }
+  return static_cast<double>(hits) * dx * dy;
+}
+
+namespace {
+
+double within_all_area(std::span<const Point> anchors, double radius_km,
+                       const Box& region, int cells) {
+  if (anchors.empty()) return region.area();
+  const double r2 = radius_km * radius_km;
+  // Copy anchors so the lambda does not dangle on the caller's span storage.
+  std::vector<Point> pts(anchors.begin(), anchors.end());
+  return raster_area(region, cells, [pts = std::move(pts), r2](Point p) {
+    return std::all_of(pts.begin(), pts.end(), [&](Point a) {
+      return distance_sq(a, p) <= r2;
+    });
+  });
+}
+
+}  // namespace
+
+double centralized_service_area(std::span<const Point> hubs, const SitingSla& sla,
+                                const Box& region, int cells) {
+  return within_all_area(hubs, sla.hub_leg_geo_radius_km(), region, cells);
+}
+
+double distributed_service_area(std::span<const Point> existing_dcs,
+                                const SitingSla& sla, const Box& region,
+                                int cells) {
+  return within_all_area(existing_dcs, sla.direct_geo_radius_km(), region, cells);
+}
+
+}  // namespace iris::geo

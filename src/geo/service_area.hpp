@@ -1,0 +1,75 @@
+// Service-area computation (paper SS2.2, Figs. 4-6).
+//
+// The permissible siting area for a new DC is the set of locations whose
+// fiber distance to every mandatory peer (both hubs in the centralized
+// model; every existing DC in the distributed model) stays within the SLA
+// limit. We rasterize the region's bounding box and measure the area of the
+// predicate's support on a uniform grid, exactly as one would shade the maps
+// in Fig. 5.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "geo/point.hpp"
+
+namespace iris::geo {
+
+/// Axis-aligned bounding box.
+struct Box {
+  Point lo;
+  Point hi;
+
+  [[nodiscard]] constexpr double width() const noexcept { return hi.x - lo.x; }
+  [[nodiscard]] constexpr double height() const noexcept { return hi.y - lo.y; }
+  [[nodiscard]] constexpr double area() const noexcept {
+    return width() * height();
+  }
+  [[nodiscard]] constexpr bool contains(Point p) const noexcept {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  /// Grows the box by `margin` km on every side.
+  [[nodiscard]] constexpr Box expanded(double margin) const noexcept {
+    return {{lo.x - margin, lo.y - margin}, {hi.x + margin, hi.y + margin}};
+  }
+};
+
+/// Smallest box containing all points (degenerate if empty).
+Box bounding_box(std::span<const Point> pts);
+
+/// Area (km^2) of {p in box : keep(p)}, sampled on a cells x cells grid.
+double raster_area(const Box& box, int cells,
+                   const std::function<bool(Point)>& keep);
+
+/// SLA inputs for siting analyses. `max_fiber_km` is the maximum DC-DC fiber
+/// distance (Azure uses 120 km, paper SS2.2); fiber distance is estimated as
+/// kFiberDetourFactor times geographic distance.
+struct SitingSla {
+  double max_fiber_km = 120.0;
+
+  /// Geographic radius within which a peer is reachable under the SLA when
+  /// both endpoints talk directly (distributed model).
+  [[nodiscard]] double direct_geo_radius_km() const noexcept {
+    return max_fiber_km / kFiberDetourFactor;
+  }
+  /// Geographic radius of one DC-hub leg in the centralized model: the
+  /// worst-case DC-hub-DC path is bounded by twice the leg length, so each
+  /// leg gets half the fiber budget.
+  [[nodiscard]] double hub_leg_geo_radius_km() const noexcept {
+    return (max_fiber_km / 2.0) / kFiberDetourFactor;
+  }
+};
+
+/// Permissible area for one new DC in the centralized model: locations within
+/// the hub-leg radius of every hub.
+double centralized_service_area(std::span<const Point> hubs, const SitingSla& sla,
+                                const Box& region, int cells = 512);
+
+/// Permissible area for one new DC in the distributed model: locations within
+/// the direct radius of every existing DC.
+double distributed_service_area(std::span<const Point> existing_dcs,
+                                const SitingSla& sla, const Box& region,
+                                int cells = 512);
+
+}  // namespace iris::geo

@@ -1,0 +1,67 @@
+#include "graph/failures.hpp"
+
+namespace iris::graph {
+
+namespace {
+
+void enumerate_rec(EdgeId edge_count, int remaining, EdgeId first,
+                   std::vector<EdgeId>& current,
+                   const std::function<void(std::span<const EdgeId>)>& emit) {
+  emit(current);
+  if (remaining == 0) return;
+  for (EdgeId e = first; e < edge_count; ++e) {
+    current.push_back(e);
+    enumerate_rec(edge_count, remaining - 1, e + 1, current, emit);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<EdgeId>> enumerate_failure_scenarios(EdgeId edge_count,
+                                                             int tolerance) {
+  std::vector<std::vector<EdgeId>> scenarios;
+  // Order by size: emit all size-k subsets before size-(k+1).
+  for (int k = 0; k <= tolerance; ++k) {
+    std::vector<EdgeId> current;
+    enumerate_rec(edge_count, k, 0, current,
+                  [&](std::span<const EdgeId> subset) {
+                    if (static_cast<int>(subset.size()) == k) {
+                      scenarios.emplace_back(subset.begin(), subset.end());
+                    }
+                  });
+  }
+  return scenarios;
+}
+
+long long failure_scenario_count(EdgeId edge_count, int tolerance) {
+  long long total = 0;
+  long long binom = 1;  // C(edge_count, k)
+  for (int k = 0; k <= tolerance; ++k) {
+    total += binom;
+    binom = binom * (edge_count - k) / (k + 1);
+  }
+  return total;
+}
+
+void for_each_failure_scenario(
+    const Graph& g, int tolerance,
+    const std::function<void(const EdgeMask&, std::span<const EdgeId>)>& visit) {
+  EdgeMask mask(g.edge_count());
+  std::vector<EdgeId> current;
+
+  const std::function<void(int, EdgeId)> rec = [&](int remaining, EdgeId first) {
+    visit(mask, current);
+    if (remaining == 0) return;
+    for (EdgeId e = first; e < g.edge_count(); ++e) {
+      mask.fail(e);
+      current.push_back(e);
+      rec(remaining - 1, e + 1);
+      current.pop_back();
+      mask.restore(e);
+    }
+  };
+  rec(tolerance, 0);
+}
+
+}  // namespace iris::graph

@@ -1,0 +1,30 @@
+// Exhaustive fiber-cut scenario enumeration (paper OC4 / SS4.1).
+//
+// A failure scenario is a set of destroyed fiber ducts; all fibers in a
+// destroyed duct are lost. Algorithm 1 enumerates every scenario with at most
+// `tolerance` simultaneous cuts, including the no-failure scenario.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace iris::graph {
+
+/// All subsets of {0..edge_count-1} with size <= tolerance, in deterministic
+/// order (by size, then lexicographic). Includes the empty set.
+std::vector<std::vector<EdgeId>> enumerate_failure_scenarios(EdgeId edge_count,
+                                                             int tolerance);
+
+/// Number of scenarios enumerate_failure_scenarios would return.
+long long failure_scenario_count(EdgeId edge_count, int tolerance);
+
+/// Calls `visit` with an EdgeMask for every scenario, reusing one mask
+/// allocation. Prefer this over materializing the scenario list for large
+/// fiber maps.
+void for_each_failure_scenario(
+    const Graph& g, int tolerance,
+    const std::function<void(const EdgeMask&, std::span<const EdgeId>)>& visit);
+
+}  // namespace iris::graph

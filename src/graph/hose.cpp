@@ -1,0 +1,86 @@
+#include "graph/hose.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace iris::graph {
+
+Capacity hose_edge_load(std::span<const OrientedPair> pairs,
+                        const std::function<Capacity(NodeId)>& capacity_of) {
+  if (pairs.empty()) return 0;
+
+  // Dense-index the DCs on each side. A DC can only ever appear on one side
+  // for a fixed edge (unique shortest paths), but we index sides separately
+  // and let duplicate appearances share one node, so capacity is counted once.
+  std::map<NodeId, int> left_index, right_index;
+  for (const OrientedPair& p : pairs) {
+    left_index.emplace(p.left, 0);
+    right_index.emplace(p.right, 0);
+  }
+  int next = 2;  // 0 = source, 1 = sink
+  for (auto& [dc, idx] : left_index) idx = next++;
+  for (auto& [dc, idx] : right_index) idx = next++;
+
+  MaxFlow flow(next);
+  for (const auto& [dc, idx] : left_index) {
+    flow.add_edge(0, idx, capacity_of(dc));
+  }
+  for (const auto& [dc, idx] : right_index) {
+    flow.add_edge(idx, 1, capacity_of(dc));
+  }
+  for (const OrientedPair& p : pairs) {
+    // Pair demand is naturally bounded by both endpoint capacities via the
+    // source/sink arcs, so the pair arc itself is effectively unbounded.
+    const Capacity pair_cap =
+        std::min(capacity_of(p.left), capacity_of(p.right));
+    flow.add_edge(left_index.at(p.left), right_index.at(p.right), pair_cap);
+  }
+  return flow.solve(0, 1);
+}
+
+Capacity hose_site_load(std::span<const OrientedPair> pairs,
+                        const std::function<Capacity(NodeId)>& capacity_of) {
+  if (pairs.empty()) return 0;
+  // Bipartite double cover: every DC gets a left and a right copy; each pair
+  // contributes both (left_i -> right_j) and (left_j -> right_i). The LP
+  // optimum of the fractional b-matching equals half the double cover's
+  // max flow.
+  std::map<NodeId, int> left_index, right_index;
+  for (const OrientedPair& p : pairs) {
+    left_index.emplace(p.left, 0);
+    left_index.emplace(p.right, 0);
+    right_index.emplace(p.left, 0);
+    right_index.emplace(p.right, 0);
+  }
+  int next = 2;
+  for (auto& [dc, idx] : left_index) idx = next++;
+  for (auto& [dc, idx] : right_index) idx = next++;
+
+  MaxFlow flow(next);
+  for (const auto& [dc, idx] : left_index) flow.add_edge(0, idx, capacity_of(dc));
+  for (const auto& [dc, idx] : right_index) flow.add_edge(idx, 1, capacity_of(dc));
+  for (const OrientedPair& p : pairs) {
+    const Capacity cap = std::min(capacity_of(p.left), capacity_of(p.right));
+    flow.add_edge(left_index.at(p.left), right_index.at(p.right), cap);
+    flow.add_edge(left_index.at(p.right), right_index.at(p.left), cap);
+  }
+  const Capacity doubled = flow.solve(0, 1);
+  return (doubled + 1) / 2;  // half-integral optimum, rounded up
+}
+
+OrientedPair orient_pair(const Graph& g, EdgeId e, NodeId a, NodeId b,
+                         const Path& path_a_to_b) {
+  const Edge& edge = g.edge(e);
+  for (std::size_t i = 0; i < path_a_to_b.edges.size(); ++i) {
+    if (path_a_to_b.edges[i] == e) {
+      // The path enters the edge at nodes[i] and leaves at nodes[i+1].
+      if (path_a_to_b.nodes[i] == edge.u) return {a, b};
+      if (path_a_to_b.nodes[i] == edge.v) return {b, a};
+      throw std::logic_error("orient_pair: path/edge mismatch");
+    }
+  }
+  throw std::invalid_argument("orient_pair: path does not use edge");
+}
+
+}  // namespace iris::graph

@@ -1,0 +1,59 @@
+// Hose-model worst-case edge load (paper SS4.1, adapted from Juttner et al.).
+//
+// Under the hose model (OC2), a traffic matrix is feasible iff each DC's
+// aggregate demand stays within its capacity. With every DC pair pinned to
+// its unique shortest path (OC3), the worst-case load on an edge e is
+//
+//   max  sum_{(i,j) in P_e} t_ij
+//   s.t. sum_j t_kj <= cap_k  for every DC k,
+//
+// where P_e is the set of DC pairs whose shortest path crosses e. Because
+// shortest paths cross e in a direction consistent per source (for unique
+// shortest paths a DC cannot reach both endpoints of e "through" e), the
+// demand graph is bipartite across e, and the LP equals a max-flow on the
+// flow graph: source -> left-side DCs (cap_k) -> pair arcs -> right-side DCs
+// (cap_k) -> sink. The naive sum-of-pair-minima would double-count a DC that
+// appears in several pairs; the flow computation does not.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/maxflow.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace iris::graph {
+
+/// A DC pair whose shortest path uses the edge under study, oriented so
+/// `left` reaches the edge's `u` endpoint first.
+struct OrientedPair {
+  NodeId left;
+  NodeId right;
+};
+
+/// Computes the worst-case hose-model load on one edge.
+///
+/// `pairs` are the DC pairs routed over the edge, already oriented (see
+/// OrientedPair). `capacity_of(dc)` is the hose capacity of a DC in integral
+/// units (e.g. wavelengths). Returns the max-flow value in the same units.
+Capacity hose_edge_load(std::span<const OrientedPair> pairs,
+                        const std::function<Capacity(NodeId)>& capacity_of);
+
+/// Worst-case hose load for a pair set with no usable orientation (e.g. DC
+/// pairs whose paths cross a candidate amplifier *site*, paper Appendix A).
+/// The demand graph may be non-bipartite, so this solves the fractional
+/// b-matching LP via its bipartite double cover (max flow halved); the
+/// optimum is half-integral and we round up to whole units.
+Capacity hose_site_load(std::span<const OrientedPair> pairs,
+                        const std::function<Capacity(NodeId)>& capacity_of);
+
+/// Orients pair (a,b) across edge `e` given the path from a to b.
+/// Returns {a,b} if the path traverses e from e.u to e.v, {b,a} otherwise.
+/// Precondition: path.uses_edge(e).
+OrientedPair orient_pair(const Graph& g, EdgeId e, NodeId a, NodeId b,
+                         const Path& path_a_to_b);
+
+}  // namespace iris::graph

@@ -1,0 +1,111 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace iris::graph {
+
+MaxFlow::MaxFlow(int node_count) : adj_(node_count) {
+  if (node_count <= 0) {
+    throw std::invalid_argument("MaxFlow: node_count must be positive");
+  }
+}
+
+int MaxFlow::add_edge(int from, int to, Capacity cap) {
+  if (from < 0 || to < 0 || from >= node_count() || to >= node_count()) {
+    throw std::out_of_range("MaxFlow::add_edge: node out of range");
+  }
+  if (cap < 0) throw std::invalid_argument("MaxFlow::add_edge: negative cap");
+  adj_[from].push_back(Arc{to, cap, static_cast<int>(adj_[to].size())});
+  adj_[to].push_back(Arc{from, 0, static_cast<int>(adj_[from].size()) - 1});
+  edge_refs_.emplace_back(from, static_cast<int>(adj_[from].size()) - 1);
+  orig_cap_.push_back(cap);
+  return static_cast<int>(edge_refs_.size()) - 1;
+}
+
+bool MaxFlow::bfs(int s, int t) {
+  level_.assign(adj_.size(), -1);
+  std::queue<int> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (const Arc& a : adj_[u]) {
+      if (a.cap > 0 && level_[a.to] < 0) {
+        level_[a.to] = level_[u] + 1;
+        q.push(a.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+Capacity MaxFlow::dfs(int u, int t, Capacity pushed) {
+  if (u == t) return pushed;
+  for (int& i = iter_[u]; i < static_cast<int>(adj_[u].size()); ++i) {
+    Arc& a = adj_[u][i];
+    if (a.cap > 0 && level_[a.to] == level_[u] + 1) {
+      const Capacity got = dfs(a.to, t, std::min(pushed, a.cap));
+      if (got > 0) {
+        a.cap -= got;
+        adj_[a.to][a.rev].cap += got;
+        return got;
+      }
+    }
+  }
+  return 0;
+}
+
+Capacity MaxFlow::solve(int source, int sink) {
+  if (source == sink) throw std::invalid_argument("MaxFlow: source == sink");
+  Capacity total = 0;
+  while (bfs(source, sink)) {
+    iter_.assign(adj_.size(), 0);
+    while (true) {
+      const Capacity got =
+          dfs(source, sink, std::numeric_limits<Capacity>::max());
+      if (got == 0) break;
+      total += got;
+    }
+  }
+  return total;
+}
+
+Capacity MaxFlow::flow_on(int edge_index) const {
+  const auto& [node, arc] = edge_refs_.at(edge_index);
+  return orig_cap_.at(edge_index) - adj_[node][arc].cap;
+}
+
+std::vector<bool> MaxFlow::min_cut_source_side(int source) const {
+  std::vector<bool> reachable(adj_.size(), false);
+  std::queue<int> q;
+  reachable.at(source) = true;
+  q.push(source);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (const Arc& a : adj_[u]) {
+      if (a.cap > 0 && !reachable[a.to]) {
+        reachable[a.to] = true;
+        q.push(a.to);
+      }
+    }
+  }
+  return reachable;
+}
+
+std::vector<int> MaxFlow::min_cut_edges(int source) const {
+  const auto side = min_cut_source_side(source);
+  std::vector<int> cut;
+  for (int i = 0; i < static_cast<int>(edge_refs_.size()); ++i) {
+    const auto& [node, arc] = edge_refs_[i];
+    const int to = adj_[node][arc].to;
+    if (side[node] && !side[to] && orig_cap_[i] > 0) cut.push_back(i);
+  }
+  return cut;
+}
+
+}  // namespace iris::graph

@@ -1,0 +1,58 @@
+// Dinic max-flow on integer capacities.
+//
+// Used for hose-model capacity provisioning (paper SS4.1, adapted from
+// Juttner et al. [29]): capacities are integral wavelength counts, so the
+// computation is exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace iris::graph {
+
+using Capacity = std::int64_t;
+
+/// A directed flow network with residual edges, solved by Dinic's algorithm.
+class MaxFlow {
+ public:
+  explicit MaxFlow(int node_count);
+
+  /// Adds a directed edge with the given capacity; returns its index
+  /// (usable with `flow_on` after solving).
+  int add_edge(int from, int to, Capacity cap);
+
+  /// Computes the maximum flow from `source` to `sink`. May be called once.
+  Capacity solve(int source, int sink);
+
+  /// Flow routed on the edge returned by add_edge (valid after solve()).
+  [[nodiscard]] Capacity flow_on(int edge_index) const;
+
+  /// After solve(): nodes reachable from `source` in the residual graph --
+  /// the source side of a minimum cut (max-flow/min-cut witness).
+  [[nodiscard]] std::vector<bool> min_cut_source_side(int source) const;
+
+  /// After solve(): indices of saturated edges crossing the minimum cut.
+  [[nodiscard]] std::vector<int> min_cut_edges(int source) const;
+
+  [[nodiscard]] int node_count() const noexcept {
+    return static_cast<int>(adj_.size());
+  }
+
+ private:
+  struct Arc {
+    int to;
+    Capacity cap;  // residual capacity
+    int rev;       // index of reverse arc in adj_[to]
+  };
+
+  bool bfs(int s, int t);
+  Capacity dfs(int u, int t, Capacity pushed);
+
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<std::pair<int, int>> edge_refs_;  // (node, arc index) per edge
+  std::vector<Capacity> orig_cap_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace iris::graph

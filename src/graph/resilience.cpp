@@ -1,0 +1,186 @@
+#include "graph/resilience.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <set>
+
+#include "graph/maxflow.hpp"
+
+namespace iris::graph {
+
+int edge_connectivity(const Graph& g, NodeId a, NodeId b, const EdgeMask& mask) {
+  if (a == b) return 0;
+  MaxFlow flow(g.node_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (mask.failed(e)) continue;
+    const Edge& edge = g.edge(e);
+    // Undirected unit edge: one unit each way.
+    flow.add_edge(edge.u, edge.v, 1);
+    flow.add_edge(edge.v, edge.u, 1);
+  }
+  return static_cast<int>(flow.solve(a, b));
+}
+
+std::vector<EdgeId> find_bridges(const Graph& g) {
+  const NodeId n = g.node_count();
+  std::vector<int> disc(n, -1), low(n, 0);
+  std::vector<EdgeId> bridges;
+  int timer = 0;
+
+  // Iterative DFS to stay safe on deep graphs.
+  struct Frame {
+    NodeId node;
+    EdgeId via_edge;  // edge used to enter node
+    std::size_t next = 0;
+  };
+  for (NodeId root = 0; root < n; ++root) {
+    if (disc[root] != -1) continue;
+    std::vector<Frame> stack{{root, kInvalidEdge}};
+    disc[root] = low[root] = timer++;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto incident = g.incident(frame.node);
+      if (frame.next < incident.size()) {
+        const EdgeId eid = incident[frame.next++];
+        if (eid == frame.via_edge) continue;  // don't reuse the entry edge
+        const NodeId to = g.edge(eid).other(frame.node);
+        if (disc[to] == -1) {
+          disc[to] = low[to] = timer++;
+          stack.push_back(Frame{to, eid});
+        } else {
+          low[frame.node] = std::min(low[frame.node], disc[to]);
+        }
+      } else {
+        const Frame done = frame;
+        stack.pop_back();
+        if (!stack.empty()) {
+          Frame& parent = stack.back();
+          low[parent.node] = std::min(low[parent.node], low[done.node]);
+          if (low[done.node] > disc[parent.node]) {
+            bridges.push_back(done.via_edge);
+          }
+        }
+      }
+    }
+  }
+  std::sort(bridges.begin(), bridges.end());
+  return bridges;
+}
+
+std::vector<EdgeId> critical_ducts(const Graph& g, NodeId a, NodeId b,
+                                   const EdgeMask& mask) {
+  if (a == b) return {};
+  MaxFlow flow(g.node_count());
+  std::vector<std::pair<int, int>> arc_of_edge;  // (fwd, rev) flow-edge index
+  arc_of_edge.reserve(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (mask.failed(e)) {
+      arc_of_edge.emplace_back(-1, -1);
+      continue;
+    }
+    const Edge& edge = g.edge(e);
+    const int fwd = flow.add_edge(edge.u, edge.v, 1);
+    const int rev = flow.add_edge(edge.v, edge.u, 1);
+    arc_of_edge.emplace_back(fwd, rev);
+  }
+  (void)flow.solve(a, b);
+  const auto cut = flow.min_cut_edges(a);
+  std::vector<EdgeId> ducts;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [fwd, rev] = arc_of_edge[e];
+    if (fwd < 0) continue;
+    for (int idx : cut) {
+      if (idx == fwd || idx == rev) {
+        ducts.push_back(e);
+        break;
+      }
+    }
+  }
+  return ducts;
+}
+
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId from, NodeId to,
+                                   int k) {
+  std::vector<Path> result;
+  if (k <= 0) return result;
+  auto first = shortest_path(g, from, to);
+  if (!first) return result;
+  result.push_back(std::move(*first));
+
+  // Candidate paths ordered by length; identity by node sequence.
+  auto by_length = [](const Path& a, const Path& b) {
+    return a.length_km < b.length_km;
+  };
+  std::vector<Path> candidates;
+  std::set<std::vector<NodeId>> seen{result[0].nodes};
+
+  while (static_cast<int>(result.size()) < k) {
+    const Path& last = result.back();
+    // Spur from every node of the previous shortest path.
+    for (std::size_t i = 0; i + 1 < last.nodes.size(); ++i) {
+      const NodeId spur = last.nodes[i];
+      EdgeMask mask(g.edge_count());
+      // Remove edges that would recreate a known path sharing this root.
+      for (const Path& p : result) {
+        if (p.nodes.size() > i &&
+            std::equal(p.nodes.begin(), p.nodes.begin() + i + 1,
+                       last.nodes.begin())) {
+          if (i < p.edges.size()) mask.fail(p.edges[i]);
+        }
+      }
+      // Keep paths loopless: ban the root's interior nodes by failing all
+      // their incident edges.
+      for (std::size_t r = 0; r < i; ++r) {
+        for (EdgeId e : g.incident(last.nodes[r])) mask.fail(e);
+      }
+      const auto spur_path = shortest_path(g, spur, to, mask);
+      if (!spur_path) continue;
+      Path total;
+      total.nodes.assign(last.nodes.begin(), last.nodes.begin() + i);
+      total.nodes.insert(total.nodes.end(), spur_path->nodes.begin(),
+                         spur_path->nodes.end());
+      total.edges.assign(last.edges.begin(), last.edges.begin() + i);
+      total.edges.insert(total.edges.end(), spur_path->edges.begin(),
+                         spur_path->edges.end());
+      total.length_km = spur_path->length_km;
+      for (std::size_t r = 0; r < i; ++r) {
+        total.length_km += g.edge(last.edges[r]).length_km;
+      }
+      if (seen.insert(total.nodes).second) {
+        candidates.push_back(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    const auto best =
+        std::min_element(candidates.begin(), candidates.end(), by_length);
+    result.push_back(std::move(*best));
+    candidates.erase(best);
+  }
+  return result;
+}
+
+std::vector<PairResilience> audit_resilience(const Graph& g,
+                                             std::span<const NodeId> terminals) {
+  std::vector<PairResilience> out;
+  for (std::size_t i = 0; i < terminals.size(); ++i) {
+    for (std::size_t j = i + 1; j < terminals.size(); ++j) {
+      PairResilience pr;
+      pr.a = terminals[i];
+      pr.b = terminals[j];
+      pr.edge_disjoint_paths = edge_connectivity(g, terminals[i], terminals[j]);
+      out.push_back(pr);
+    }
+  }
+  return out;
+}
+
+int max_supported_tolerance(std::span<const PairResilience> audit) {
+  int best = std::numeric_limits<int>::max();
+  for (const PairResilience& pr : audit) {
+    best = std::min(best, pr.edge_disjoint_paths - 1);
+  }
+  return audit.empty() ? 0 : std::max(0, best);
+}
+
+}  // namespace iris::graph

@@ -1,0 +1,59 @@
+// Resilience diagnostics for fiber maps (paper OC4).
+//
+// A region can only honor a k-cut tolerance for a DC pair if the fiber map
+// itself has more than k edge-disjoint paths between them. These helpers let
+// the planner and operators audit that *before* provisioning: per-pair edge
+// connectivity (via unit-capacity max flow), global bridge detection (ducts
+// whose loss disconnects the map), and Yen's k-shortest loopless paths for
+// inspecting failover routes.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace iris::graph {
+
+/// Number of edge-disjoint paths between two nodes (edge connectivity of the
+/// pair), ignoring edges failed in `mask`.
+int edge_connectivity(const Graph& g, NodeId a, NodeId b,
+                      const EdgeMask& mask = {});
+
+/// Ducts whose single failure disconnects the graph (bridges), found with a
+/// standard DFS low-link pass. Any bridge on a DC's only corridor makes a
+/// 1-cut tolerance impossible.
+std::vector<EdgeId> find_bridges(const Graph& g);
+
+/// A minimum set of ducts whose loss disconnects `a` from `b` -- the exact
+/// corridor an operator must protect to keep the pair's tolerance promise.
+/// Size equals edge_connectivity(g, a, b). Removing them is verified to
+/// disconnect the pair in tests.
+std::vector<EdgeId> critical_ducts(const Graph& g, NodeId a, NodeId b,
+                                   const EdgeMask& mask = {});
+
+/// Yen's algorithm: up to k shortest loopless paths from `from` to `to`, in
+/// nondecreasing length order. Fewer are returned if the graph has fewer.
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId from, NodeId to,
+                                   int k);
+
+/// Audit result for one DC pair.
+struct PairResilience {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  int edge_disjoint_paths = 0;
+
+  /// Tolerating `cuts` fiber cuts needs cuts+1 edge-disjoint paths.
+  [[nodiscard]] bool survives(int cuts) const {
+    return edge_disjoint_paths > cuts;
+  }
+};
+
+/// Audits every pair among `terminals` (typically the region's DCs).
+std::vector<PairResilience> audit_resilience(const Graph& g,
+                                             std::span<const NodeId> terminals);
+
+/// The largest k such that every audited pair survives k cuts.
+int max_supported_tolerance(std::span<const PairResilience> audit);
+
+}  // namespace iris::graph

@@ -1,0 +1,93 @@
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+namespace iris::graph {
+
+ShortestPathTree dijkstra(const Graph& g, NodeId source, const EdgeMask& mask) {
+  const NodeId n = g.node_count();
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.dist_km.assign(n, kUnreachable);
+  tree.parent_edge.assign(n, kInvalidEdge);
+  tree.parent_node.assign(n, kInvalidNode);
+  std::vector<int> hops(n, std::numeric_limits<int>::max());
+
+  // (dist, hops, node): hop count then node id break ties deterministically.
+  using Entry = std::tuple<double, int, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  tree.dist_km[source] = 0.0;
+  hops[source] = 0;
+  pq.emplace(0.0, 0, source);
+
+  while (!pq.empty()) {
+    const auto [d, h, u] = pq.top();
+    pq.pop();
+    if (d > tree.dist_km[u] || (d == tree.dist_km[u] && h > hops[u])) continue;
+    for (EdgeId eid : g.incident(u)) {
+      if (mask.failed(eid)) continue;
+      const Edge& e = g.edge(eid);
+      const NodeId v = e.other(u);
+      const double nd = d + e.length_km;
+      const int nh = h + 1;
+      if (nd < tree.dist_km[v] ||
+          (nd == tree.dist_km[v] &&
+           (nh < hops[v] || (nh == hops[v] && u < tree.parent_node[v])))) {
+        tree.dist_km[v] = nd;
+        hops[v] = nh;
+        tree.parent_edge[v] = eid;
+        tree.parent_node[v] = u;
+        pq.emplace(nd, nh, v);
+      }
+    }
+  }
+  return tree;
+}
+
+bool Path::uses_edge(EdgeId e) const noexcept {
+  return std::find(edges.begin(), edges.end(), e) != edges.end();
+}
+
+bool Path::visits(NodeId n) const noexcept {
+  return std::find(nodes.begin(), nodes.end(), n) != nodes.end();
+}
+
+std::optional<Path> extract_path(const ShortestPathTree& tree, NodeId target) {
+  if (!tree.reachable(target)) return std::nullopt;
+  Path path;
+  path.length_km = tree.dist_km[target];
+  NodeId cur = target;
+  while (cur != tree.source) {
+    path.nodes.push_back(cur);
+    path.edges.push_back(tree.parent_edge[cur]);
+    cur = tree.parent_node[cur];
+  }
+  path.nodes.push_back(tree.source);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+std::optional<Path> shortest_path(const Graph& g, NodeId from, NodeId to,
+                                  const EdgeMask& mask) {
+  return extract_path(dijkstra(g, from, mask), to);
+}
+
+bool has_multiple_shortest_paths(const Graph& g, NodeId from, NodeId to,
+                                 double tol_km) {
+  const auto base = shortest_path(g, from, to);
+  if (!base) return false;
+  // Knock out each edge of the found path; if an equally short path survives,
+  // the optimum is not unique.
+  for (EdgeId e : base->edges) {
+    EdgeMask mask(g.edge_count());
+    mask.fail(e);
+    const auto alt = shortest_path(g, from, to, mask);
+    if (alt && alt->length_km <= base->length_km + tol_km) return true;
+  }
+  return false;
+}
+
+}  // namespace iris::graph

@@ -1,0 +1,66 @@
+// Dijkstra shortest paths over a fiber map, with failure masks.
+//
+// Regional fiber maps are tiny (tens of nodes), so we favor clarity over
+// asymptotic tricks: a binary-heap Dijkstra per source is more than fast
+// enough for exhaustive failure enumeration (paper SS4.1).
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace iris::graph {
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Single-source shortest-path tree.
+struct ShortestPathTree {
+  NodeId source = kInvalidNode;
+  std::vector<double> dist_km;        // per node; kUnreachable if cut off
+  std::vector<EdgeId> parent_edge;    // per node; kInvalidEdge at source/unreached
+  std::vector<NodeId> parent_node;    // per node; kInvalidNode at source/unreached
+
+  [[nodiscard]] bool reachable(NodeId n) const {
+    return dist_km.at(n) != kUnreachable;
+  }
+};
+
+/// Dijkstra from `source`, ignoring edges failed in `mask`.
+/// Ties are broken deterministically by (distance, hop count, node id) so the
+/// returned tree is stable across runs and platforms.
+ShortestPathTree dijkstra(const Graph& g, NodeId source,
+                          const EdgeMask& mask = {});
+
+/// A concrete path: ordered node and edge sequences, with total length.
+struct Path {
+  std::vector<NodeId> nodes;  // size k+1
+  std::vector<EdgeId> edges;  // size k
+  double length_km = 0.0;
+
+  [[nodiscard]] bool empty() const noexcept { return nodes.empty(); }
+  [[nodiscard]] int hop_count() const noexcept {
+    return static_cast<int>(edges.size());
+  }
+  /// True if this path routes through the given edge.
+  [[nodiscard]] bool uses_edge(EdgeId e) const noexcept;
+  /// True if this path visits the given node (including endpoints).
+  [[nodiscard]] bool visits(NodeId n) const noexcept;
+};
+
+/// Extracts the path from the tree's source to `target`.
+/// Returns std::nullopt if `target` is unreachable.
+std::optional<Path> extract_path(const ShortestPathTree& tree, NodeId target);
+
+/// Convenience: shortest path between two nodes under a failure mask.
+std::optional<Path> shortest_path(const Graph& g, NodeId from, NodeId to,
+                                  const EdgeMask& mask = {});
+
+/// True if the shortest path length between `from` and `to` is achieved by
+/// more than one distinct path (within `tol_km`). Used to validate the
+/// paper's "shortest paths are typically unique" assumption on generated maps.
+bool has_multiple_shortest_paths(const Graph& g, NodeId from, NodeId to,
+                                 double tol_km = 1e-9);
+
+}  // namespace iris::graph

@@ -1,0 +1,89 @@
+#include "optical/lightpath.hpp"
+
+#include <algorithm>
+
+namespace iris::optical {
+
+std::string to_string(Violation v) {
+  switch (v) {
+    case Violation::kSpanTooLong:
+      return "TC1: unamplified span exceeds amplifier gain budget";
+    case Violation::kTooManyAmps:
+      return "TC2: amplifier cascade exceeds OSNR penalty budget";
+    case Violation::kTooManyInlineAmps:
+      return "TC2: more in-line amplifiers than allowed";
+    case Violation::kReconfigBudget:
+      return "TC4: OSS/OXC insertion loss exceeds reconfiguration budget";
+    case Violation::kPathTooLong:
+      return "OC1: path longer than the SLA fiber-distance bound";
+    case Violation::kOsnrBelowFloor:
+      return "received OSNR below transceiver floor";
+  }
+  return "unknown violation";
+}
+
+PathReport evaluate(const LightPath& path, const OpticalSpec& spec,
+                    double extra_penalty_db) {
+  PathReport report;
+  double current_span_km = 0.0;
+
+  for (const Element& el : path.elements()) {
+    switch (el.kind) {
+      case ElementKind::kFiberSpan:
+        report.total_km += el.km;
+        current_span_km += el.km;
+        break;
+      case ElementKind::kAmplifier:
+        ++report.amp_count;
+        report.max_unamplified_span_km =
+            std::max(report.max_unamplified_span_km, current_span_km);
+        current_span_km = 0.0;
+        break;
+      case ElementKind::kOss:
+        ++report.oss_count;
+        report.reconfig_loss_db += spec.oss_loss_db;
+        break;
+      case ElementKind::kOxc:
+        ++report.oxc_count;
+        report.reconfig_loss_db += spec.oxc_loss_db;
+        break;
+    }
+  }
+  report.max_unamplified_span_km =
+      std::max(report.max_unamplified_span_km, current_span_km);
+
+  report.osnr_penalty_db = cascade_osnr_penalty_db(report.amp_count, spec);
+  report.received_osnr_db =
+      received_osnr_db(report.amp_count, extra_penalty_db, spec);
+  report.pre_fec_ber = dp16qam_pre_fec_ber(report.received_osnr_db);
+
+  if (report.total_km > spec.max_path_km) {
+    report.violations.push_back(Violation::kPathTooLong);
+  }
+  if (report.max_unamplified_span_km > spec.max_span_km) {
+    report.violations.push_back(Violation::kSpanTooLong);
+  }
+  if (report.amp_count > spec.max_amps_end_to_end) {
+    report.violations.push_back(Violation::kTooManyAmps);
+  }
+  // In-line amplifiers are those strictly between the terminal pair.
+  const int inline_amps = std::max(0, report.amp_count - 2);
+  if (inline_amps > spec.max_inline_amps) {
+    report.violations.push_back(Violation::kTooManyInlineAmps);
+  }
+  if (report.reconfig_loss_db > spec.reconfig_budget_db) {
+    report.violations.push_back(Violation::kReconfigBudget);
+  }
+  if (report.received_osnr_db < spec.min_rx_osnr_db) {
+    report.violations.push_back(Violation::kOsnrBelowFloor);
+  }
+  return report;
+}
+
+LightPath point_to_point_link(double km) {
+  LightPath path;
+  path.amplifier().fiber(km).amplifier();
+  return path;
+}
+
+}  // namespace iris::optical

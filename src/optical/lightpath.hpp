@@ -1,0 +1,91 @@
+// End-to-end evaluation of an optical light path against the technology
+// constraints TC1-TC4 (paper SS3.2).
+//
+// A light path is the ordered sequence of passive/active elements a signal
+// traverses between its source and destination transceivers: fiber spans,
+// amplifiers, OSSes and OXCs. `evaluate` walks the sequence, tracks power
+// and amplifier count, and reports every violated constraint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "optical/osnr.hpp"
+#include "optical/spec.hpp"
+
+namespace iris::optical {
+
+enum class ElementKind { kFiberSpan, kAmplifier, kOss, kOxc };
+
+struct Element {
+  ElementKind kind;
+  double km = 0.0;  ///< kFiberSpan only
+};
+
+/// Builder-style element sequence.
+class LightPath {
+ public:
+  LightPath& fiber(double km) {
+    elements_.push_back({ElementKind::kFiberSpan, km});
+    return *this;
+  }
+  LightPath& amplifier() {
+    elements_.push_back({ElementKind::kAmplifier, 0.0});
+    return *this;
+  }
+  LightPath& oss() {
+    elements_.push_back({ElementKind::kOss, 0.0});
+    return *this;
+  }
+  LightPath& oxc() {
+    elements_.push_back({ElementKind::kOxc, 0.0});
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<Element>& elements() const noexcept {
+    return elements_;
+  }
+
+ private:
+  std::vector<Element> elements_;
+};
+
+enum class Violation {
+  kSpanTooLong,        // TC1: an unamplified segment exceeds the gain budget
+  kTooManyAmps,        // TC2: amplifier cascade beyond the OSNR budget
+  kTooManyInlineAmps,  // TC2: more than the allowed in-line amplifiers
+  kReconfigBudget,     // TC4: OSS/OXC insertion loss beyond the budget
+  kPathTooLong,        // OC1: total fiber distance beyond the SLA bound
+  kOsnrBelowFloor,     // received OSNR under the transceiver floor
+};
+
+std::string to_string(Violation v);
+
+/// Result of evaluating a light path.
+struct PathReport {
+  double total_km = 0.0;
+  double max_unamplified_span_km = 0.0;  ///< longest fiber run between amps
+  int amp_count = 0;                     ///< total amplifiers traversed
+  int oss_count = 0;
+  int oxc_count = 0;
+  double reconfig_loss_db = 0.0;  ///< summed OSS/OXC insertion loss
+  double osnr_penalty_db = 0.0;   ///< amplifier cascade penalty
+  double received_osnr_db = 0.0;
+  double pre_fec_ber = 0.0;
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool feasible() const noexcept { return violations.empty(); }
+};
+
+/// Evaluates a light path under `spec`. Terminal amplifiers must be included
+/// in the element sequence by the caller (Fig. 8 shows one on each side).
+/// `extra_penalty_db` models transmission impairments and gain ripple (the
+/// paper allows ~2 dB on top of the amplifier budget).
+PathReport evaluate(const LightPath& path, const OpticalSpec& spec = {},
+                    double extra_penalty_db = 2.0);
+
+/// Convenience: a conventional point-to-point DCI link (Fig. 8): Tx-side
+/// amplifier, one fiber span, Rx-side amplifier.
+LightPath point_to_point_link(double km);
+
+}  // namespace iris::optical

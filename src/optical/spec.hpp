@@ -1,0 +1,58 @@
+// Physical-layer constants: 400ZR transceiver spec and component catalog
+// (paper SS3.2, Fig. 8 and Fig. 9).
+//
+// All values come from the paper's stated numbers; where the paper gives a
+// range we take its operating point. The OSNR->BER mapping is an analytical
+// DP-16QAM model calibrated so the SD-FEC threshold sits near the paper's
+// spec margins (see osnr.hpp).
+#pragma once
+
+namespace iris::optical {
+
+/// Component catalog and transceiver thresholds used by every feasibility
+/// check. Defaults reproduce the paper's 400ZR numbers.
+struct OpticalSpec {
+  // Fiber and amplifiers (TC1, TC2).
+  double fiber_loss_db_per_km = 0.25;  ///< typical metro fiber loss
+  double amp_gain_db = 20.0;           ///< EDFA gain; bounds one span's loss
+  double amp_noise_figure_db = 4.5;    ///< first-amplifier OSNR penalty
+  int max_amps_end_to_end = 3;         ///< TC2: 9 dB penalty budget
+  int max_inline_amps = 1;             ///< at most one extra in-line amplifier
+
+  // Reconfiguration elements (TC4).
+  double oss_loss_db = 1.5;   ///< optical space switch insertion loss
+  double oxc_loss_db = 9.0;   ///< optical cross-connect insertion loss
+  double mux_loss_db = 0.0;   ///< folded into terminal budget per Fig. 8
+  double reconfig_budget_db = 10.0;  ///< loss budget for OSS/OXC elements
+
+  // Link-level limits (OC1, TC1).
+  double max_path_km = 120.0;  ///< SLA fiber-distance bound per DC pair
+  double max_span_km = 80.0;   ///< longest unamplified fiber span
+
+  // Transceiver (400ZR, Fig. 8).
+  double tx_osnr_db = 40.0;           ///< back-to-back OSNR out of the Tx
+  double min_rx_osnr_db = 26.0;       ///< receiver OSNR floor
+  double osnr_penalty_budget_db = 11.0;  ///< total tolerable OSNR penalty
+  double sd_fec_ber_threshold = 2e-2;  ///< pre-FEC BER correctable by SD-FEC
+
+  /// Max OSS traversals end-to-end under the reconfiguration budget.
+  [[nodiscard]] int max_oss_hops() const noexcept {
+    return static_cast<int>(reconfig_budget_db / oss_loss_db);
+  }
+  /// Max OXC traversals end-to-end under the reconfiguration budget.
+  [[nodiscard]] int max_oxc_hops() const noexcept {
+    return static_cast<int>(reconfig_budget_db / oxc_loss_db);
+  }
+};
+
+/// Channel plan: DWDM wavelengths per fiber and per-wavelength rate.
+struct ChannelPlan {
+  int wavelengths_per_fiber = 40;  ///< paper uses 40-64 across the C-band
+  double gbps_per_wavelength = 400.0;  ///< 400ZR
+
+  [[nodiscard]] double fiber_capacity_gbps() const noexcept {
+    return wavelengths_per_fiber * gbps_per_wavelength;
+  }
+};
+
+}  // namespace iris::optical

@@ -1,0 +1,132 @@
+#include "optical/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "optical/osnr.hpp"
+
+namespace iris::optical {
+
+namespace {
+
+double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+double mw_to_dbm(double mw) {
+  return 10.0 * std::log10(std::max(mw, 1e-12));
+}
+
+/// In-band ASE power added by one amplifier stage, in mW per channel, from
+/// the standard P_ase = NF * G * h * f * B_ref formula (linear factors).
+double stage_ase_mw(const AmplifierStage& stage, double center_thz) {
+  constexpr double kPlanck = 6.62607015e-34;  // J s
+  constexpr double kRefBandwidthHz = 12.5e9;
+  const double gain = std::pow(10.0, stage.gain_db / 10.0);
+  const double nf = std::pow(10.0, stage.noise_figure_db / 10.0);
+  const double watts = nf * gain * kPlanck * center_thz * 1e12 * kRefBandwidthHz;
+  return watts * 1e3;
+}
+
+}  // namespace
+
+SpectrumState SpectrumState::transmit(const ChannelGrid& grid,
+                                      const std::set<int>& live,
+                                      double per_channel_dbm, bool ase_fill) {
+  if (grid.count <= 0) {
+    throw std::invalid_argument("SpectrumState: empty channel grid");
+  }
+  for (int ch : live) {
+    if (ch < 0 || ch >= grid.count) {
+      throw std::out_of_range("SpectrumState: live channel out of grid");
+    }
+  }
+  SpectrumState s;
+  s.grid_ = grid;
+  s.live_ = live;
+  s.signal_mw_.assign(grid.count, 0.0);
+  s.noise_mw_.assign(grid.count, 0.0);
+  const double mw = dbm_to_mw(per_channel_dbm);
+  for (int ch = 0; ch < grid.count; ++ch) {
+    if (live.contains(ch) || ase_fill) s.signal_mw_[ch] = mw;
+  }
+  return s;
+}
+
+void SpectrumState::attenuate(double loss_db) {
+  if (loss_db < 0.0) {
+    throw std::invalid_argument("SpectrumState::attenuate: negative loss");
+  }
+  const double factor = std::pow(10.0, -loss_db / 10.0);
+  for (double& p : signal_mw_) p *= factor;
+  for (double& p : noise_mw_) p *= factor;
+}
+
+void SpectrumState::amplify(const AmplifierStage& stage) {
+  for (int ch = 0; ch < channel_count(); ++ch) {
+    // Deterministic ripple: sinusoidal across the band, peak-to-peak
+    // stage.ripple_db.
+    const double phase = 2.0 * 3.14159265358979323846 * ch /
+                         std::max(1, channel_count());
+    const double gain_db =
+        stage.gain_db + 0.5 * stage.ripple_db * std::sin(phase);
+    const double gain = std::pow(10.0, gain_db / 10.0);
+    signal_mw_[ch] *= gain;
+    noise_mw_[ch] *= gain;
+    noise_mw_[ch] += stage_ase_mw(stage, grid_.center_thz(ch));
+  }
+}
+
+void SpectrumState::limit_total_power(double max_total_dbm) {
+  const double total = total_power_dbm();
+  if (total <= max_total_dbm) return;
+  attenuate(total - max_total_dbm);
+}
+
+double SpectrumState::channel_power_dbm(int channel) const {
+  if (channel < 0 || channel >= channel_count()) {
+    throw std::out_of_range("SpectrumState: channel out of range");
+  }
+  return mw_to_dbm(signal_mw_[channel] + noise_mw_[channel]);
+}
+
+double SpectrumState::total_power_dbm() const {
+  double mw = 0.0;
+  for (int ch = 0; ch < channel_count(); ++ch) {
+    mw += signal_mw_[ch] + noise_mw_[ch];
+  }
+  return mw_to_dbm(mw);
+}
+
+double SpectrumState::flatness_db() const {
+  double lo = std::numeric_limits<double>::max();
+  double hi = std::numeric_limits<double>::lowest();
+  for (int ch = 0; ch < channel_count(); ++ch) {
+    if (signal_mw_[ch] <= 0.0) continue;  // dark channel
+    const double p = channel_power_dbm(ch);
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  return lo > hi ? 0.0 : hi - lo;
+}
+
+double SpectrumState::osnr_db(int channel) const {
+  if (!is_live(channel)) {
+    throw std::invalid_argument("SpectrumState::osnr_db: channel not live");
+  }
+  if (noise_mw_[channel] <= 0.0) return 60.0;  // pre-amplification: pristine
+  return 10.0 * std::log10(signal_mw_[channel] / noise_mw_[channel]);
+}
+
+double amplifier_input_dbm(const ChannelGrid& grid, int live_channels,
+                           bool ase_fill, double span_km,
+                           double per_channel_dbm, const OpticalSpec& spec) {
+  std::set<int> live;
+  for (int ch = 0; ch < std::min(live_channels, grid.count); ++ch) {
+    live.insert(ch);
+  }
+  auto s = SpectrumState::transmit(grid, live, per_channel_dbm, ase_fill);
+  s.attenuate(span_km * spec.fiber_loss_db_per_km);
+  return s.total_power_dbm();
+}
+
+}  // namespace iris::optical

@@ -1,0 +1,88 @@
+// Per-channel spectrum and power model (paper SS5.1, TC3, Fig. 13 insets).
+//
+// TC3 says amplifier input power must be managed when reconfigurations
+// change the spans feeding an amplifier. Iris's answer is structural: fill
+// the unused C-band spectrum with shaped ASE so every fiber always carries
+// the same total power regardless of how many live channels ride it, run
+// amplifiers at fixed gain, and bound their input with a power limiter.
+// This model tracks per-channel power (and accumulated ASE noise for OSNR)
+// through fiber, amplifiers with gain ripple, and lossy elements, so that
+// claim can be tested quantitatively instead of asserted.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "optical/spec.hpp"
+
+namespace iris::optical {
+
+/// DWDM channel grid over the C-band.
+struct ChannelGrid {
+  int count = 40;
+  double first_center_thz = 191.35;
+  double spacing_ghz = 100.0;
+
+  [[nodiscard]] double center_thz(int channel) const {
+    return first_center_thz + channel * spacing_ghz / 1000.0;
+  }
+};
+
+/// Fixed-gain EDFA stage with a (deterministic) gain ripple across the band
+/// and the usual ASE noise contribution.
+struct AmplifierStage {
+  double gain_db = 20.0;
+  double ripple_db = 0.5;          ///< peak-to-peak gain variation
+  double noise_figure_db = 4.5;
+};
+
+/// The power state of one fiber: per-channel signal power plus accumulated
+/// ASE noise power (tracked separately so OSNR is observable).
+class SpectrumState {
+ public:
+  /// Launch state: `live` channels carry signal at `per_channel_dbm`; if
+  /// `ase_fill` is true, every other channel is loaded with shaped ASE at
+  /// the same power (Iris's channel emulation), else left dark.
+  static SpectrumState transmit(const ChannelGrid& grid,
+                                const std::set<int>& live,
+                                double per_channel_dbm, bool ase_fill);
+
+  /// Uniform attenuation (fiber, mux, OSS insertion loss).
+  void attenuate(double loss_db);
+
+  /// Fixed-gain amplification with ripple and ASE noise addition.
+  void amplify(const AmplifierStage& stage);
+
+  /// Clamps total input power as Iris's per-port power limiter does: if the
+  /// total exceeds `max_total_dbm`, every channel is attenuated equally.
+  void limit_total_power(double max_total_dbm);
+
+  [[nodiscard]] int channel_count() const {
+    return static_cast<int>(signal_mw_.size());
+  }
+  [[nodiscard]] double channel_power_dbm(int channel) const;
+  [[nodiscard]] double total_power_dbm() const;
+  /// Peak-to-peak spread of *loaded* (signal or ASE-fill) channel powers.
+  [[nodiscard]] double flatness_db() const;
+  /// OSNR of a live channel: signal over accumulated amplifier ASE.
+  [[nodiscard]] double osnr_db(int channel) const;
+  [[nodiscard]] bool is_live(int channel) const { return live_.contains(channel); }
+
+ private:
+  SpectrumState() = default;
+
+  ChannelGrid grid_;
+  std::set<int> live_;
+  std::vector<double> signal_mw_;  ///< signal (or ASE-fill) power per channel
+  std::vector<double> noise_mw_;   ///< accumulated in-band amplifier ASE
+};
+
+/// Convenience: the total fiber power reaching an amplifier after `span_km`
+/// of fiber, for a given live-channel count with/without ASE fill --
+/// the quantity TC3 worries about.
+double amplifier_input_dbm(const ChannelGrid& grid, int live_channels,
+                           bool ase_fill, double span_km,
+                           double per_channel_dbm = 0.0,
+                           const OpticalSpec& spec = {});
+
+}  // namespace iris::optical

@@ -1,0 +1,44 @@
+#include "optical/transceivers.hpp"
+
+#include <algorithm>
+
+namespace iris::optical {
+
+TransceiverProfile zr400() {
+  return TransceiverProfile{"400ZR", 400.0, 120.0, 26.0, 1300.0, true};
+}
+
+TransceiverProfile dwdm100() {
+  // Roughly the same module economics per port at a quarter of the rate.
+  return TransceiverProfile{"100G-DWDM", 100.0, 120.0, 18.0, 650.0, true};
+}
+
+TransceiverProfile short_reach400() {
+  // SS3.3: SR optics cost about an electrical port; reach <= 2 km.
+  return TransceiverProfile{"400G-SR", 400.0, 2.0, 0.0, 130.0, true};
+}
+
+TransceiverProfile long_haul_coherent400() {
+  // "several times the one of custom-designed DCI transceivers" (SS3.3).
+  return TransceiverProfile{"400G-LH", 400.0, 2000.0, 20.0, 5200.0, false};
+}
+
+std::vector<TransceiverProfile> catalog() {
+  return {zr400(), dwdm100(), short_reach400(), long_haul_coherent400()};
+}
+
+bool reaches(const TransceiverProfile& profile, double km) {
+  return km <= profile.reach_km;
+}
+
+const TransceiverProfile* cheapest_reaching(double km, double min_gbps) {
+  static const std::vector<TransceiverProfile> kCatalog = catalog();
+  const TransceiverProfile* best = nullptr;
+  for (const auto& p : kCatalog) {
+    if (!reaches(p, km) || p.gbps < min_gbps) continue;
+    if (!best || p.annual_cost_usd < best->annual_cost_usd) best = &p;
+  }
+  return best;
+}
+
+}  // namespace iris::optical

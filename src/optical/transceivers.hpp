@@ -1,0 +1,54 @@
+// Transceiver catalog (paper SS3.2-3.3).
+//
+// The paper's cost analysis pivots on DCI-reach DWDM pluggables: 400ZR (the
+// standardized target), today's 100G DWDM equivalents, short-reach intra-
+// campus optics, and long-haul coherent modules ("several times the cost of
+// custom-designed DCI transceivers", excluded from their analysis). This
+// catalog captures reach/rate/price profiles so planners can re-run the
+// economics under different optics generations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "optical/spec.hpp"
+
+namespace iris::optical {
+
+struct TransceiverProfile {
+  std::string name;
+  double gbps = 400.0;
+  double reach_km = 120.0;          ///< engineering reach incl. margins
+  double min_rx_osnr_db = 26.0;
+  double annual_cost_usd = 1300.0;  ///< amortized (SS3.3)
+  bool switch_pluggable = true;
+
+  /// $/Gbps/year -- the figure vendors quote (SS3.3: ~$10/Gbps up front,
+  /// about a third of that per amortized year).
+  [[nodiscard]] double cost_per_gbps_year() const {
+    return annual_cost_usd / gbps;
+  }
+};
+
+/// The 400ZR module the paper standardizes on.
+TransceiverProfile zr400();
+/// Today's 100G DCI DWDM equivalent [20].
+TransceiverProfile dwdm100();
+/// Short-reach (<2 km) campus optics -- the Fig. 7 "SR" variant.
+TransceiverProfile short_reach400();
+/// Long-haul coherent: thousands of km of reach at several times the price;
+/// the paper excludes it from DCI consideration.
+TransceiverProfile long_haul_coherent400();
+
+/// Everything above, for sweeps.
+std::vector<TransceiverProfile> catalog();
+
+/// Can this profile close a regional link of `km` (point-to-point, amplified
+/// per the spec)? Reach is the binding constraint for SR modules.
+bool reaches(const TransceiverProfile& profile, double km);
+
+/// The cheapest catalog profile, by annual cost, that reaches `km` at at
+/// least `min_gbps`; nullptr if none does.
+const TransceiverProfile* cheapest_reaching(double km, double min_gbps = 100.0);
+
+}  // namespace iris::optical

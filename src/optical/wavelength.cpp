@@ -1,0 +1,80 @@
+#include "optical/wavelength.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace iris::optical {
+
+namespace {
+
+/// Conflict adjacency: pairs of lightpaths sharing at least one segment.
+std::vector<std::set<int>> build_conflicts(const std::vector<Lightpath>& paths) {
+  std::map<std::int64_t, std::vector<int>> users;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::set<std::int64_t> uniq(paths[i].segments.begin(),
+                                paths[i].segments.end());
+    for (std::int64_t seg : uniq) users[seg].push_back(static_cast<int>(i));
+  }
+  std::vector<std::set<int>> adj(paths.size());
+  for (const auto& [seg, list] : users) {
+    for (std::size_t x = 0; x < list.size(); ++x) {
+      for (std::size_t y = x + 1; y < list.size(); ++y) {
+        adj[list[x]].insert(list[y]);
+        adj[list[y]].insert(list[x]);
+      }
+    }
+  }
+  return adj;
+}
+
+}  // namespace
+
+WavelengthAssignment assign_wavelengths(const std::vector<Lightpath>& paths,
+                                        int max_channels) {
+  if (max_channels <= 0) {
+    throw std::invalid_argument("assign_wavelengths: need >= 1 channel");
+  }
+  const auto adj = build_conflicts(paths);
+
+  // Welsh-Powell order: highest conflict degree first, index as tie-break.
+  std::vector<int> order(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (adj[a].size() != adj[b].size()) return adj[a].size() > adj[b].size();
+    return a < b;
+  });
+
+  WavelengthAssignment out;
+  out.channel.assign(paths.size(), -1);
+  for (int i : order) {
+    std::set<int> taken;
+    for (int nb : adj[i]) {
+      if (out.channel[nb] >= 0) taken.insert(out.channel[nb]);
+    }
+    int c = 0;
+    while (taken.contains(c)) ++c;
+    if (c < max_channels) {
+      out.channel[i] = c;
+      out.channels_used = std::max(out.channels_used, c + 1);
+    }
+  }
+  out.complete = out.unassigned() == 0;
+  return out;
+}
+
+bool assignment_valid(const std::vector<Lightpath>& paths,
+                      const WavelengthAssignment& assignment) {
+  if (assignment.channel.size() != paths.size()) return false;
+  const auto adj = build_conflicts(paths);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (assignment.channel[i] < 0) continue;
+    for (int nb : adj[i]) {
+      if (assignment.channel[nb] == assignment.channel[i]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace iris::optical

@@ -1,0 +1,50 @@
+// Wavelength assignment for designs that switch below fiber granularity
+// (paper Appendix B).
+//
+// When several lightpaths share a fiber segment, they must carry distinct
+// wavelengths (the wavelength-continuity constraint along each lightpath
+// with no converters). This is the classic graph-coloring formulation:
+// vertices are lightpaths, edges join lightpaths sharing any fiber, and the
+// channels are colors. Iris's fiber switching sidesteps this entirely --
+// one of the simplifications the paper argues for -- but the hybrid design
+// needs it for the combined residual fibers, and it quantifies Appendix B's
+// "wavelength switching adds complexity" claim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace iris::optical {
+
+/// One lightpath: the ids of the fiber segments it traverses. Segment ids
+/// are opaque (duct-fiber pairs, trunk ids, ...), only equality matters.
+struct Lightpath {
+  std::vector<std::int64_t> segments;
+};
+
+/// Result of a wavelength assignment.
+struct WavelengthAssignment {
+  /// Channel per lightpath, parallel to the input; -1 if it did not fit.
+  std::vector<int> channel;
+  int channels_used = 0;
+  bool complete = false;  ///< every lightpath got a channel within the limit
+
+  /// Lightpaths that could not be colored within the channel budget.
+  [[nodiscard]] int unassigned() const {
+    int count = 0;
+    for (int c : channel) count += (c < 0);
+    return count;
+  }
+};
+
+/// Greedy coloring, highest conflict degree first, first-fit channels.
+/// `max_channels` is the fiber's lambda; pass a large value to measure the
+/// chromatic requirement itself.
+WavelengthAssignment assign_wavelengths(const std::vector<Lightpath>& paths,
+                                        int max_channels);
+
+/// Verifies that no two lightpaths sharing a segment share a channel.
+bool assignment_valid(const std::vector<Lightpath>& paths,
+                      const WavelengthAssignment& assignment);
+
+}  // namespace iris::optical

@@ -1,0 +1,214 @@
+#include "reliability/availability.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <random>
+#include <stdexcept>
+
+#include "geo/service_area.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace iris::reliability {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+PairUpFn any_path_criterion(const fibermap::FiberMap& map) {
+  return [&map](const graph::EdgeMask& mask, NodeId a, NodeId b) {
+    const auto tree = graph::dijkstra(map.graph(), a, mask);
+    return tree.reachable(b);
+  };
+}
+
+PairUpFn via_hub_criterion(const fibermap::FiberMap& map,
+                           std::vector<NodeId> hubs) {
+  if (hubs.empty()) {
+    throw std::invalid_argument("via_hub_criterion: need at least one hub");
+  }
+  return [&map, hubs = std::move(hubs)](const graph::EdgeMask& mask, NodeId a,
+                                        NodeId b) {
+    const auto tree_a = graph::dijkstra(map.graph(), a, mask);
+    const auto tree_b = graph::dijkstra(map.graph(), b, mask);
+    return std::any_of(hubs.begin(), hubs.end(), [&](NodeId hub) {
+      return tree_a.reachable(hub) && tree_b.reachable(hub);
+    });
+  };
+}
+
+AvailabilityReport simulate_availability(const fibermap::FiberMap& map,
+                                         const FailureModel& model,
+                                         const PairUpFn& pair_up) {
+  if (model.horizon_years <= 0.0 || model.cuts_per_km_year < 0.0 ||
+      model.mean_repair_hours <= 0.0) {
+    throw std::invalid_argument("simulate_availability: bad failure model");
+  }
+  const graph::Graph& g = map.graph();
+  const double hours_per_year = 365.25 * 24.0;
+  const double horizon_h = model.horizon_years * hours_per_year;
+  std::mt19937_64 rng(model.seed);
+
+  // Event queue of cuts, disasters and their repairs, in hours.
+  enum class Kind { kCut, kCutRepair, kDisaster, kDisasterRepair };
+  struct Event {
+    double at_h;
+    Kind kind;
+    EdgeId duct = graph::kInvalidEdge;          // cut events
+    std::vector<NodeId> sites;                  // disaster repair events
+    bool operator>(const Event& o) const { return at_h > o.at_h; }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+  // Per-duct failure rate in cuts/hour; pre-draw the first failure of each.
+  std::vector<double> rate_per_hour(g.edge_count(), 0.0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    rate_per_hour[e] =
+        model.cuts_per_km_year * g.edge(e).length_km / hours_per_year;
+    if (rate_per_hour[e] <= 0.0) continue;
+    std::exponential_distribution<double> next_failure(rate_per_hour[e]);
+    events.push(Event{next_failure(rng), Kind::kCut, e, {}});
+  }
+  std::exponential_distribution<double> repair(1.0 / model.mean_repair_hours);
+
+  // Regional disasters.
+  std::vector<geo::Point> site_pos;
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    site_pos.push_back(map.site(n).position);
+  }
+  const geo::Box region = geo::bounding_box(site_pos);
+  if (model.disasters_per_year > 0.0) {
+    std::exponential_distribution<double> next_disaster(
+        model.disasters_per_year / hours_per_year);
+    events.push(Event{next_disaster(rng), Kind::kDisaster, graph::kInvalidEdge, {}});
+  }
+
+  const auto& dcs = map.dcs();
+  AvailabilityReport report;
+  std::vector<double> down_hours(dcs.size() * dcs.size(), 0.0);
+  const auto pair_index = [&](std::size_t i, std::size_t j) {
+    return i * dcs.size() + j;
+  };
+
+  // Duct state: physically cut, or implicitly dead because an endpoint site
+  // is down. The mask handed to the criterion reflects both.
+  std::vector<bool> duct_cut(g.edge_count(), false);
+  std::vector<int> site_down_count(g.node_count(), 0);
+  graph::EdgeMask mask(g.edge_count());
+  const auto rebuild_mask = [&] {
+    mask = graph::EdgeMask(g.edge_count());
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const graph::Edge& edge = g.edge(e);
+      if (duct_cut[e] || site_down_count[edge.u] > 0 ||
+          site_down_count[edge.v] > 0) {
+        mask.fail(e);
+      }
+    }
+  };
+  std::vector<bool> pair_down(dcs.size() * dcs.size(), false);
+  std::vector<double> down_since(dcs.size() * dcs.size(), 0.0);
+
+  const auto refresh_pairs = [&](double now_h) {
+    for (std::size_t i = 0; i < dcs.size(); ++i) {
+      for (std::size_t j = i + 1; j < dcs.size(); ++j) {
+        const auto idx = pair_index(i, j);
+        // A destroyed endpoint DC is not the *network's* downtime: the SLA
+        // between a pair only applies while both ends exist. Such intervals
+        // count as up so the designs are compared on connectivity alone.
+        const bool endpoint_down =
+            site_down_count[dcs[i]] > 0 || site_down_count[dcs[j]] > 0;
+        const bool up = endpoint_down || pair_up(mask, dcs[i], dcs[j]);
+        if (!up && !pair_down[idx]) {
+          pair_down[idx] = true;
+          down_since[idx] = now_h;
+        } else if (up && pair_down[idx]) {
+          pair_down[idx] = false;
+          down_hours[idx] += now_h - down_since[idx];
+        }
+      }
+    }
+  };
+
+  while (!events.empty() && events.top().at_h < horizon_h) {
+    const Event ev = events.top();
+    events.pop();
+    switch (ev.kind) {
+      case Kind::kCut:
+        duct_cut[ev.duct] = true;
+        ++report.cut_events;
+        events.push(Event{ev.at_h + repair(rng), Kind::kCutRepair, ev.duct, {}});
+        break;
+      case Kind::kCutRepair: {
+        duct_cut[ev.duct] = false;
+        std::exponential_distribution<double> next_failure(
+            rate_per_hour[ev.duct]);
+        events.push(
+            Event{ev.at_h + next_failure(rng), Kind::kCut, ev.duct, {}});
+        break;
+      }
+      case Kind::kDisaster: {
+        // Epicenter uniform over the region; every site in range goes down.
+        std::uniform_real_distribution<double> ux(region.lo.x, region.hi.x);
+        std::uniform_real_distribution<double> uy(region.lo.y, region.hi.y);
+        const geo::Point epicenter{ux(rng), uy(rng)};
+        Event repair_ev{ev.at_h + model.disaster_repair_days * 24.0,
+                        Kind::kDisasterRepair, graph::kInvalidEdge, {}};
+        for (NodeId n = 0; n < g.node_count(); ++n) {
+          if (geo::distance(site_pos[n], epicenter) <=
+              model.disaster_radius_km) {
+            ++site_down_count[n];
+            repair_ev.sites.push_back(n);
+          }
+        }
+        ++report.cut_events;
+        events.push(std::move(repair_ev));
+        std::exponential_distribution<double> next_disaster(
+            model.disasters_per_year / hours_per_year);
+        events.push(Event{ev.at_h + next_disaster(rng), Kind::kDisaster,
+                          graph::kInvalidEdge, {}});
+        break;
+      }
+      case Kind::kDisasterRepair:
+        for (NodeId n : ev.sites) --site_down_count[n];
+        break;
+    }
+    rebuild_mask();
+    refresh_pairs(ev.at_h);
+  }
+  // Close any open downtime intervals at the horizon.
+  for (std::size_t i = 0; i < dcs.size(); ++i) {
+    for (std::size_t j = i + 1; j < dcs.size(); ++j) {
+      const auto idx = pair_index(i, j);
+      if (pair_down[idx]) down_hours[idx] += horizon_h - down_since[idx];
+    }
+  }
+
+  double sum = 0.0;
+  for (std::size_t i = 0; i < dcs.size(); ++i) {
+    for (std::size_t j = i + 1; j < dcs.size(); ++j) {
+      PairAvailability pa;
+      pa.a = dcs[i];
+      pa.b = dcs[j];
+      pa.availability = 1.0 - down_hours[pair_index(i, j)] / horizon_h;
+      report.worst_availability =
+          std::min(report.worst_availability, pa.availability);
+      sum += pa.availability;
+      report.pairs.push_back(pa);
+    }
+  }
+  report.mean_availability =
+      report.pairs.empty() ? 1.0 : sum / static_cast<double>(report.pairs.size());
+  return report;
+}
+
+double series_chain_availability(const std::vector<double>& duct_lengths_km,
+                                 const FailureModel& model) {
+  const double hours_per_year = 365.25 * 24.0;
+  const double mu = 1.0 / model.mean_repair_hours;
+  double availability = 1.0;
+  for (double km : duct_lengths_km) {
+    const double lambda = model.cuts_per_km_year * km / hours_per_year;
+    availability *= mu / (mu + lambda);
+  }
+  return availability;
+}
+
+}  // namespace iris::reliability

@@ -1,0 +1,45 @@
+#include "simflow/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iris::simflow {
+
+Replicated summarize_samples(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("summarize_samples: no samples");
+  }
+  Replicated out;
+  out.replicas = static_cast<int>(samples.size());
+  out.min = *std::min_element(samples.begin(), samples.end());
+  out.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  out.mean = sum / static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double s : samples) var += (s - out.mean) * (s - out.mean);
+  out.stddev = samples.size() > 1
+                   ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                   : 0.0;
+  return out;
+}
+
+Replicated replicated_slowdown(const FlowSizeDistribution& workload,
+                               SimParams params, int replicas,
+                               double max_bytes) {
+  if (replicas <= 0) {
+    throw std::invalid_argument("replicated_slowdown: need replicas > 0");
+  }
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(replicas));
+  const std::uint64_t base_seed = params.seed;
+  for (int r = 0; r < replicas; ++r) {
+    params.seed = base_seed + static_cast<std::uint64_t>(r);
+    params.traffic.seed = params.seed;
+    samples.push_back(iris_vs_eps_p99_slowdown(workload, params, max_bytes));
+  }
+  return summarize_samples(samples);
+}
+
+}  // namespace iris::simflow

@@ -1,0 +1,29 @@
+// Replicated simulation experiments (paper SS6.3 reports results over
+// multiple day-long runs; we replicate over seeds and summarize).
+#pragma once
+
+#include <vector>
+
+#include "simflow/simulator.hpp"
+
+namespace iris::simflow {
+
+/// Summary statistics of a replicated measurement.
+struct Replicated {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+  int replicas = 0;
+};
+
+/// Runs `replicas` seeds of the Iris-vs-EPS p99 slowdown and summarizes.
+/// Each replica derives its traffic and arrival seeds from `base_seed + i`.
+Replicated replicated_slowdown(const FlowSizeDistribution& workload,
+                               SimParams params, int replicas,
+                               double max_bytes = -1.0);
+
+/// Generic replication over any per-seed metric.
+Replicated summarize_samples(const std::vector<double>& samples);
+
+}  // namespace iris::simflow

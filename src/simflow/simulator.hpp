@@ -1,0 +1,90 @@
+// Region-scale flow-level simulator (paper SS6.3).
+//
+// Each DC pair is a dedicated pipe (Iris establishes per-pair circuits;
+// pairs do not contend), so pairs simulate independently and exactly as
+// processor-sharing queues with time-varying capacity. Both fabrics follow
+// the identical provisioned-capacity trajectory (the paper assumes
+// sufficient provisioning before and after each change); Iris additionally
+// takes a reconfiguration outage (~70 ms, SS6.2) whenever a pair's fiber
+// allocation changes, while the EPS baseline adapts instantly.
+// Links are drained before reconfiguration, so outages stall traffic but
+// never lose it -- matching the paper's setup where transport loss is not a
+// concern.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simflow/traffic.hpp"
+#include "simflow/workloads.hpp"
+
+namespace iris::simflow {
+
+enum class Fabric { kIris, kEps };
+
+/// A fiber-cut event: at `at_s`, the first `affected_fraction` of pairs lose
+/// their circuits entirely until the controller reroutes them (drain +
+/// switch + relock; SS5.2), after which capacity is fully restored from the
+/// failure-tolerant provisioning (OC4).
+struct CutEvent {
+  double at_s = 0.0;
+  double affected_fraction = 0.2;
+  double reroute_s = 0.110;  ///< drain 5 ms + 2-hut switch 80 ms + relock
+};
+
+struct SimParams {
+  double duration_s = 10.0;       ///< arrival window (queues then drain)
+  double utilization = 0.4;       ///< offered load / provisioned capacity
+  double change_interval_s = 5.0; ///< traffic-shift (and reconfig) period
+  double reconfig_outage_s = 0.070;
+  std::vector<CutEvent> cuts;     ///< injected fiber cuts (both fabrics)
+  /// Circuit granularity: Iris rounds each pair's capacity up to a multiple
+  /// of this (a scaled-down "fiber" -- a few percent of a typical pair's
+  /// capacity, as 1 fiber is of a real DC-pair circuit).
+  double fiber_granularity_gbps = 0.25;
+  Fabric fabric = Fabric::kIris;
+  TrafficModelParams traffic{};
+  std::uint64_t seed = 7;
+};
+
+struct FlowRecord {
+  double bytes = 0.0;
+  double fct_s = 0.0;
+};
+
+struct SimResult {
+  std::vector<FlowRecord> flows;
+  long long reconfigurations = 0;  ///< pair-capacity changes causing outages
+
+  [[nodiscard]] std::size_t flow_count() const noexcept { return flows.size(); }
+};
+
+/// Runs the simulation. Deterministic for a fixed (params, workload) pair:
+/// both fabrics see identical arrivals and sizes for the same seed, so FCT
+/// ratios isolate the reconfiguration effect.
+SimResult simulate(const FlowSizeDistribution& workload, const SimParams& params);
+
+/// p-th percentile (0..1) of FCT across flows, optionally restricted to
+/// flows strictly smaller than `max_bytes`.
+double fct_percentile(const SimResult& result, double p,
+                      double max_bytes = -1.0);
+
+/// Digest of a run's FCT distribution.
+struct FctSummary {
+  std::size_t flows = 0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p90_s = 0.0;
+  double p99_s = 0.0;
+  double p999_s = 0.0;
+  std::size_t short_flows = 0;   ///< under kShortFlowBytes
+  double short_p99_s = 0.0;
+};
+FctSummary summarize(const SimResult& result);
+
+/// 99th-percentile FCT ratio of Iris over EPS for identical parameters
+/// (Figs. 17-18's metric). `max_bytes` restricts to short flows if > 0.
+double iris_vs_eps_p99_slowdown(const FlowSizeDistribution& workload,
+                                SimParams params, double max_bytes = -1.0);
+
+}  // namespace iris::simflow

@@ -1,0 +1,47 @@
+#include "simflow/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iris::simflow {
+
+TrafficModel::TrafficModel(const TrafficModelParams& params)
+    : params_(params), rng_(params.seed) {
+  if (params.pair_count <= 0 || params.total_gbps <= 0.0) {
+    throw std::invalid_argument("TrafficModel: bad parameters");
+  }
+  demands_.resize(params.pair_count);
+  redraw();
+}
+
+void TrafficModel::redraw() {
+  // Pareto-distributed weights give a few dominant pairs.
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  double total = 0.0;
+  for (double& d : demands_) {
+    const double u = std::max(uniform(rng_), 1e-12);
+    d = std::pow(u, -1.0 / params_.pareto_alpha);
+    total += d;
+  }
+  for (double& d : demands_) d *= params_.total_gbps / total;
+}
+
+void TrafficModel::shift() {
+  if (params_.change_fraction < 0.0) {
+    redraw();
+    return;
+  }
+  std::uniform_real_distribution<double> factor(1.0 - params_.change_fraction,
+                                                1.0 + params_.change_fraction);
+  double total = 0.0;
+  for (double& d : demands_) {
+    d *= std::max(factor(rng_), 0.0);
+    total += d;
+  }
+  if (total > 0.0) {
+    for (double& d : demands_) d *= params_.total_gbps / total;
+  }
+}
+
+}  // namespace iris::simflow

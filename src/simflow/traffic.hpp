@@ -1,0 +1,48 @@
+// Heavy-tailed DC-pair traffic and its evolution over time (paper SS6.3).
+//
+// "Based on experience, we use heavy-tailed traffic between DCs, with a few
+// pairs exchanging most of the traffic." Pair intensities are Pareto-weighted
+// and renormalized; every `change_interval` the intensities shift, either
+// bounded by a maximum percentage or unbounded (full re-draw, modelling a
+// cold pair suddenly becoming hot).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace iris::simflow {
+
+struct TrafficModelParams {
+  int pair_count = 45;             ///< DC pairs in the region
+  double total_gbps = 45.0;        ///< aggregate offered load across pairs
+  double pareto_alpha = 0.9;       ///< heavy-tail exponent for pair weights
+  /// Max fractional change per pair per change event; < 0 means unbounded
+  /// (intensities are re-drawn from scratch).
+  double change_fraction = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// Generates and evolves per-pair demand rates (Gbps).
+class TrafficModel {
+ public:
+  explicit TrafficModel(const TrafficModelParams& params);
+
+  /// Current per-pair demands; sums to ~total_gbps.
+  [[nodiscard]] const std::vector<double>& demands_gbps() const noexcept {
+    return demands_;
+  }
+
+  /// Applies one change event (bounded scaling or unbounded re-draw),
+  /// renormalizing so aggregate load stays constant.
+  void shift();
+
+ private:
+  void redraw();
+
+  TrafficModelParams params_;
+  std::mt19937_64 rng_;
+  std::vector<double> demands_;
+};
+
+}  // namespace iris::simflow

@@ -1,0 +1,132 @@
+#include "simflow/workloads.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace iris::simflow {
+
+FlowSizeDistribution::FlowSizeDistribution(std::string name,
+                                           std::vector<Point> points)
+    : name_(std::move(name)), points_(std::move(points)) {
+  if (points_.size() < 2) {
+    throw std::invalid_argument("FlowSizeDistribution: need >= 2 points");
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].cdf <= points_[i - 1].cdf ||
+        points_[i].bytes <= points_[i - 1].bytes) {
+      throw std::invalid_argument(
+          "FlowSizeDistribution: points must be strictly increasing");
+    }
+  }
+  if (points_.back().cdf != 1.0) {
+    throw std::invalid_argument("FlowSizeDistribution: last CDF must be 1");
+  }
+
+  // Mean under log-linear interpolation, by fine numerical quadrature of the
+  // inverse CDF (exact enough for workload scaling).
+  double mean = 0.0;
+  constexpr int kSteps = 20000;
+  for (int s = 0; s < kSteps; ++s) {
+    const double u = (s + 0.5) / kSteps;
+    // Inline inverse CDF (same as sample()).
+    std::size_t hi = 1;
+    while (hi + 1 < points_.size() && points_[hi].cdf < u) ++hi;
+    const Point& a = points_[hi - 1];
+    const Point& b = points_[hi];
+    const double t = (u - a.cdf) / (b.cdf - a.cdf);
+    mean += std::exp(std::log(a.bytes) + t * (std::log(b.bytes) - std::log(a.bytes)));
+  }
+  mean_bytes_ = mean / kSteps;
+}
+
+double FlowSizeDistribution::sample(std::mt19937_64& rng) const {
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  const double u = std::max(uniform(rng), points_.front().cdf);
+  std::size_t hi = 1;
+  while (hi + 1 < points_.size() && points_[hi].cdf < u) ++hi;
+  const Point& a = points_[hi - 1];
+  const Point& b = points_[hi];
+  const double t = (u - a.cdf) / (b.cdf - a.cdf);
+  return std::exp(std::log(a.bytes) + t * (std::log(b.bytes) - std::log(a.bytes)));
+}
+
+double FlowSizeDistribution::mean_bytes() const { return mean_bytes_; }
+
+FlowSizeDistribution FlowSizeDistribution::web_search() {
+  // pFabric web-search [4]: half the flows are small queries, the tail
+  // reaches tens of MB.
+  return FlowSizeDistribution(
+      "web1", {{1e3, 0.0},
+               {10e3, 0.15},
+               {100e3, 0.40},
+               {1e6, 0.60},
+               {5e6, 0.85},
+               {10e6, 0.95},
+               {30e6, 1.0}});
+}
+
+FlowSizeDistribution FlowSizeDistribution::facebook_web() {
+  // Facebook web rack [41]: dominated by sub-10 KB request/response flows.
+  return FlowSizeDistribution(
+      "web2", {{100.0, 0.0},
+               {1e3, 0.30},
+               {10e3, 0.70},
+               {100e3, 0.90},
+               {1e6, 0.98},
+               {10e6, 1.0}});
+}
+
+FlowSizeDistribution FlowSizeDistribution::hadoop() {
+  // Facebook Hadoop rack [41]: shuffles push sizes up by orders of magnitude.
+  return FlowSizeDistribution(
+      "hadoop", {{300.0, 0.0},
+                 {1e3, 0.10},
+                 {10e3, 0.40},
+                 {100e3, 0.65},
+                 {1e6, 0.85},
+                 {10e6, 0.97},
+                 {100e6, 1.0}});
+}
+
+FlowSizeDistribution FlowSizeDistribution::cache_follower() {
+  // Facebook cache follower [41]: bimodal -- tiny hits plus ~MB objects.
+  return FlowSizeDistribution(
+      "cache", {{100.0, 0.0},
+                {1e3, 0.45},
+                {10e3, 0.65},
+                {100e3, 0.80},
+                {1e6, 0.95},
+                {10e6, 1.0}});
+}
+
+std::vector<FlowSizeDistribution> FlowSizeDistribution::paper_presets() {
+  return {web_search(), facebook_web(), hadoop(), cache_follower()};
+}
+
+FlowSizeDistribution FlowSizeDistribution::from_csv(const std::string& name,
+                                                    const std::string& text) {
+  std::vector<Point> points;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first) || first[0] == '#') continue;
+    Point p{};
+    try {
+      p.bytes = std::stod(first);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("FlowSizeDistribution::from_csv: bad bytes '" +
+                                  first + "'");
+    }
+    if (!(ls >> p.cdf)) {
+      throw std::invalid_argument(
+          "FlowSizeDistribution::from_csv: missing cdf value");
+    }
+    points.push_back(p);
+  }
+  return FlowSizeDistribution(name, std::move(points));
+}
+
+}  // namespace iris::simflow

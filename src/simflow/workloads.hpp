@@ -1,0 +1,64 @@
+// Empirical flow-size distributions (paper SS6.3, [4, 41]).
+//
+// Encoded as piecewise log-linear CDFs over flow size in bytes, approximating
+// the published curves:
+//   - web1: pFabric / DCTCP web-search workload [4]
+//   - web2: Facebook "web" rack traffic [41]
+//   - hadoop: Facebook Hadoop rack traffic [41]
+//   - cache: Facebook cache-follower traffic [41]
+// These intra-DC, short-flow-dominated mixes are the paper's deliberate
+// stress test for circuit reconfiguration.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace iris::simflow {
+
+/// A flow-size distribution defined by CDF breakpoints; sampling inverts the
+/// CDF with log-linear interpolation between points.
+class FlowSizeDistribution {
+ public:
+  struct Point {
+    double bytes;
+    double cdf;  // strictly increasing, last = 1.0
+  };
+
+  FlowSizeDistribution(std::string name, std::vector<Point> points);
+
+  /// Inverse-CDF sample.
+  [[nodiscard]] double sample(std::mt19937_64& rng) const;
+
+  /// Mean flow size implied by the piecewise model (numerical).
+  [[nodiscard]] double mean_bytes() const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Point>& points() const noexcept {
+    return points_;
+  }
+
+  static FlowSizeDistribution web_search();     ///< "web1"
+  static FlowSizeDistribution facebook_web();   ///< "web2"
+  static FlowSizeDistribution hadoop();
+  static FlowSizeDistribution cache_follower(); ///< "cache"
+
+  /// All four presets in the paper's Fig. 18 order.
+  static std::vector<FlowSizeDistribution> paper_presets();
+
+  /// Parses a user-supplied CDF: one "bytes cdf" pair per line, '#'
+  /// comments allowed, points in increasing order ending at cdf = 1.
+  static FlowSizeDistribution from_csv(const std::string& name,
+                                       const std::string& text);
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+  double mean_bytes_;
+};
+
+/// Paper's short-flow threshold: flows under 50 KB (SS6.3).
+inline constexpr double kShortFlowBytes = 50.0 * 1024.0;
+
+}  // namespace iris::simflow

@@ -1,0 +1,83 @@
+#include "topology/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace iris::topology {
+
+using geo::Point;
+
+std::vector<PairLatency> pair_latencies(std::span<const Point> dcs,
+                                        std::span<const Point> hubs) {
+  if (hubs.empty()) {
+    throw std::invalid_argument("pair_latencies: need at least one hub");
+  }
+  std::vector<PairLatency> out;
+  const int n = static_cast<int>(dcs.size());
+  out.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      PairLatency pl;
+      pl.dc_a = i;
+      pl.dc_b = j;
+      pl.direct_fiber_km = geo::estimated_fiber_km(dcs[i], dcs[j]);
+      double best = std::numeric_limits<double>::max();
+      for (const Point& h : hubs) {
+        best = std::min(best, geo::estimated_fiber_km(dcs[i], h) +
+                                  geo::estimated_fiber_km(h, dcs[j]));
+      }
+      pl.via_hub_fiber_km = best;
+      out.push_back(pl);
+    }
+  }
+  return out;
+}
+
+std::vector<Point> place_two_hubs(std::span<const Point> dcs,
+                                  double separation_km) {
+  if (dcs.empty()) {
+    throw std::invalid_argument("place_two_hubs: need at least one DC");
+  }
+  Point centroid{};
+  for (const Point& p : dcs) centroid = centroid + p;
+  centroid = centroid / static_cast<double>(dcs.size());
+
+  // Dominant axis: direction of largest spread (covariance principal axis,
+  // computed directly for the 2x2 case).
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (const Point& p : dcs) {
+    const Point d = p - centroid;
+    sxx += d.x * d.x;
+    syy += d.y * d.y;
+    sxy += d.x * d.y;
+  }
+  Point axis{1.0, 0.0};
+  if (sxy != 0.0 || sxx != syy) {
+    // Principal eigenvector of [[sxx, sxy], [sxy, syy]].
+    const double trace_half = (sxx + syy) / 2.0;
+    const double det = sxx * syy - sxy * sxy;
+    const double l1 = trace_half + std::sqrt(std::max(0.0, trace_half * trace_half - det));
+    if (sxy != 0.0) {
+      axis = Point{l1 - syy, sxy};
+    } else {
+      axis = sxx >= syy ? Point{1.0, 0.0} : Point{0.0, 1.0};
+    }
+    const double len = geo::norm(axis);
+    if (len > 0.0) axis = axis / len;
+  }
+  const Point offset = axis * (separation_km / 2.0);
+  return {centroid - offset, centroid + offset};
+}
+
+double fraction_above(std::span<const PairLatency> pairs, double threshold) {
+  if (pairs.empty()) return 0.0;
+  const auto count = std::count_if(pairs.begin(), pairs.end(),
+                                   [&](const PairLatency& p) {
+                                     return p.inflation() > threshold;
+                                   });
+  return static_cast<double>(count) / static_cast<double>(pairs.size());
+}
+
+}  // namespace iris::topology

@@ -1,0 +1,52 @@
+// Latency-inflation analysis of centralized vs distributed designs
+// (paper SS2.1, Figs. 2-3).
+//
+// For each DC pair, the centralized design routes DC-hub-DC through the
+// better of the two hubs; the distributed design goes direct. Fiber
+// distances follow the industry 2x-geo rule of thumb [8, 15] when only site
+// coordinates are known, matching the paper's own Fig. 3 methodology.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geo/point.hpp"
+
+namespace iris::geo {
+struct Point;
+}
+
+namespace iris::topology {
+
+/// One DC pair's latency comparison.
+struct PairLatency {
+  int dc_a = 0;
+  int dc_b = 0;
+  double direct_fiber_km = 0.0;    ///< estimated direct DC-DC fiber route
+  double via_hub_fiber_km = 0.0;   ///< best DC-hub-DC fiber route
+  /// Latency (= distance) inflation of the hub path over the direct path.
+  [[nodiscard]] double inflation() const {
+    return direct_fiber_km > 0.0 ? via_hub_fiber_km / direct_fiber_km : 1.0;
+  }
+  [[nodiscard]] double direct_rtt_ms() const {
+    return geo::round_trip_latency_ms(direct_fiber_km);
+  }
+  [[nodiscard]] double via_hub_rtt_ms() const {
+    return geo::round_trip_latency_ms(via_hub_fiber_km);
+  }
+};
+
+/// All-pairs latency comparison for one region.
+std::vector<PairLatency> pair_latencies(std::span<const geo::Point> dcs,
+                                        std::span<const geo::Point> hubs);
+
+/// Places two hubs for a region per operational practice: both near the DC
+/// centroid, separated by `separation_km` along the region's dominant axis.
+/// (Paper SS2.2 studies 4-7 km and 20-24 km separations.)
+std::vector<geo::Point> place_two_hubs(std::span<const geo::Point> dcs,
+                                       double separation_km);
+
+/// Fraction of pairs with inflation strictly above `threshold`.
+double fraction_above(std::span<const PairLatency> pairs, double threshold);
+
+}  // namespace iris::topology

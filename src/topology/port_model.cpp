@@ -1,0 +1,70 @@
+#include "topology/port_model.hpp"
+
+#include <stdexcept>
+
+namespace iris::topology {
+
+namespace {
+
+void validate(const PortModelInput& in) {
+  if (in.dc_count <= 0 || in.ports_per_dc <= 0 || in.groups <= 0 ||
+      in.wavelengths_per_fiber <= 0) {
+    throw std::invalid_argument("port model: inputs must be positive");
+  }
+  if (in.groups > in.dc_count || in.dc_count % in.groups != 0) {
+    throw std::invalid_argument(
+        "port model: groups must evenly divide dc_count");
+  }
+}
+
+long long ceil_div(long long a, long long b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+long long total_ports(const PortModelInput& in) {
+  validate(in);
+  // N*P at the DCs + N*P at each of the G group hubs (SS2.4).
+  return static_cast<long long>(in.groups + 1) * in.dc_count * in.ports_per_dc;
+}
+
+long long in_network_ports(const PortModelInput& in) {
+  validate(in);
+  return static_cast<long long>(in.groups) * in.dc_count * in.ports_per_dc;
+}
+
+PortModelCost port_model_cost(const PortModelInput& in, SwitchingVariant variant,
+                              const cost::PriceBook& prices) {
+  validate(in);
+  const long long np = static_cast<long long>(in.dc_count) * in.ports_per_dc;
+  const long long all_ports = total_ports(in);
+
+  PortModelCost out;
+  switch (variant) {
+    case SwitchingVariant::kElectrical:
+      out.electrical_ports = all_ports * prices.electrical_port;
+      out.dci_transceivers = all_ports * prices.dci_transceiver;
+      break;
+    case SwitchingVariant::kElectricalWithSr: {
+      // Intra-group segments (DC side + hub downstream) are 2*N*P ports;
+      // inter-group hub ports are (G-1)*N*P and still need DCI reach.
+      const long long intra = 2 * np;
+      const long long inter = static_cast<long long>(in.groups - 1) * np;
+      out.electrical_ports = all_ports * prices.electrical_port;
+      out.sr_transceivers = intra * prices.sr_transceiver;
+      out.dci_transceivers = inter * prices.dci_transceiver;
+      break;
+    }
+    case SwitchingVariant::kOptical:
+      // Transceivers survive only at the DCs; every in-network port becomes
+      // a fiber-granularity OSS port, dividing the port count by lambda.
+      out.electrical_ports = np * prices.electrical_port;
+      out.dci_transceivers = np * prices.dci_transceiver;
+      out.oss_ports = static_cast<double>(
+                          ceil_div(all_ports, in.wavelengths_per_fiber)) *
+                      prices.oss_port;
+      break;
+  }
+  return out;
+}
+
+}  // namespace iris::topology

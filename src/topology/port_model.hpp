@@ -1,0 +1,52 @@
+// The coarse port-count cost model of paper SS2.4 / Fig. 7.
+//
+// N DCs of capacity P ports each are organized into G balanced groups; DCs
+// within a group share a group-local hub, groups are connected all-pairs.
+// G = 1 is the centralized topology, G = N the fully distributed one.
+// Total DCI ports = (G + 1) * N * P: N*P at the DCs plus N*P at each of the
+// G hubs (hub capacity is independent of group size -- the paper's key
+// observation).
+#pragma once
+
+#include "cost/pricebook.hpp"
+
+namespace iris::topology {
+
+enum class SwitchingVariant {
+  kElectrical,        ///< every DCI port carries a long-reach DCI transceiver
+  kElectricalWithSr,  ///< intra-group ports use short-reach transceivers
+                      ///< (optimistic: assumes <=2 km DC-hub runs)
+  kOptical,           ///< in-network ports are fiber-granularity OSS ports;
+                      ///< transceivers remain only at the DCs
+};
+
+struct PortModelInput {
+  int dc_count = 16;          ///< N
+  int ports_per_dc = 100;     ///< P (electrical ports = transceivers per DC)
+  int groups = 1;             ///< G; must divide evenly into dc_count
+  int wavelengths_per_fiber = 40;  ///< lambda, for OSS fiber-port counting
+};
+
+/// Cost breakdown in dollars, per the given price book.
+struct PortModelCost {
+  double electrical_ports = 0.0;
+  double dci_transceivers = 0.0;
+  double sr_transceivers = 0.0;
+  double oss_ports = 0.0;
+
+  [[nodiscard]] double total() const {
+    return electrical_ports + dci_transceivers + sr_transceivers + oss_ports;
+  }
+};
+
+/// Total DCI ports (electrical model): (G+1) * N * P.
+long long total_ports(const PortModelInput& in);
+
+/// In-network ports, i.e. everything beyond the N*P DC-side ports.
+long long in_network_ports(const PortModelInput& in);
+
+/// Cost of the region's DCI under the given switching variant.
+PortModelCost port_model_cost(const PortModelInput& in, SwitchingVariant variant,
+                              const cost::PriceBook& prices);
+
+}  // namespace iris::topology

@@ -1,0 +1,23 @@
+#include "topology/siting.hpp"
+
+#include <vector>
+
+namespace iris::topology {
+
+SitingComparison compare_siting(std::span<const geo::Point> dcs,
+                                std::span<const geo::Point> hubs,
+                                const geo::SitingSla& sla, int raster_cells) {
+  std::vector<geo::Point> all(dcs.begin(), dcs.end());
+  all.insert(all.end(), hubs.begin(), hubs.end());
+  const geo::Box region =
+      geo::bounding_box(all).expanded(sla.direct_geo_radius_km());
+
+  SitingComparison out;
+  out.centralized_area_km2 =
+      geo::centralized_service_area(hubs, sla, region, raster_cells);
+  out.distributed_area_km2 =
+      geo::distributed_service_area(dcs, sla, region, raster_cells);
+  return out;
+}
+
+}  // namespace iris::topology

@@ -1,0 +1,37 @@
+// Siting-flexibility analysis (paper SS2.2, Figs. 4-6).
+//
+// Measures the permissible area for placing one new DC under the 120 km
+// DC-DC fiber SLA, for the centralized model (within the hub-leg radius of
+// every hub) versus the distributed model (within the direct radius of
+// every existing DC).
+#pragma once
+
+#include <span>
+
+#include "geo/point.hpp"
+#include "geo/service_area.hpp"
+
+namespace iris::topology {
+
+struct SitingComparison {
+  double centralized_area_km2 = 0.0;
+  double distributed_area_km2 = 0.0;
+
+  /// Fig. 6's metric: the x-fold increase in permissible area when moving
+  /// from the centralized to the distributed model.
+  [[nodiscard]] double area_increase() const {
+    return centralized_area_km2 > 0.0
+               ? distributed_area_km2 / centralized_area_km2
+               : 0.0;
+  }
+};
+
+/// Compares siting flexibility for a region with the given existing DCs and
+/// hubs. The analysis raster covers the union of sites expanded by the
+/// direct-connect radius, so neither area is clipped.
+SitingComparison compare_siting(std::span<const geo::Point> dcs,
+                                std::span<const geo::Point> hubs,
+                                const geo::SitingSla& sla = {},
+                                int raster_cells = 512);
+
+}  // namespace iris::topology

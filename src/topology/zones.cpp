@@ -1,0 +1,122 @@
+#include "topology/zones.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+namespace iris::topology {
+
+using geo::Point;
+
+std::vector<Zone> cluster_into_zones(std::span<const Point> dcs, int zone_count,
+                                     std::uint64_t seed) {
+  if (zone_count < 1 || zone_count > static_cast<int>(dcs.size())) {
+    throw std::invalid_argument("cluster_into_zones: bad zone count");
+  }
+  std::mt19937_64 rng(seed);
+
+  // k-means++ style seeding: first center random, then farthest-point.
+  std::vector<Point> centers;
+  std::uniform_int_distribution<std::size_t> pick(0, dcs.size() - 1);
+  centers.push_back(dcs[pick(rng)]);
+  while (static_cast<int>(centers.size()) < zone_count) {
+    std::size_t best = 0;
+    double best_d = -1.0;
+    for (std::size_t i = 0; i < dcs.size(); ++i) {
+      double nearest = std::numeric_limits<double>::max();
+      for (const Point& c : centers) {
+        nearest = std::min(nearest, geo::distance_sq(dcs[i], c));
+      }
+      if (nearest > best_d) {
+        best_d = nearest;
+        best = i;
+      }
+    }
+    centers.push_back(dcs[best]);
+  }
+
+  std::vector<int> assignment(dcs.size(), 0);
+  for (int iter = 0; iter < 50; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < dcs.size(); ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (int z = 0; z < zone_count; ++z) {
+        const double d = geo::distance_sq(dcs[i], centers[z]);
+        if (d < best_d) {
+          best_d = d;
+          best = z;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Recompute centroids; an emptied zone keeps its center.
+    std::vector<Point> sums(zone_count);
+    std::vector<int> counts(zone_count, 0);
+    for (std::size_t i = 0; i < dcs.size(); ++i) {
+      sums[assignment[i]] = sums[assignment[i]] + dcs[i];
+      ++counts[assignment[i]];
+    }
+    for (int z = 0; z < zone_count; ++z) {
+      if (counts[z] > 0) centers[z] = sums[z] / static_cast<double>(counts[z]);
+    }
+    if (!changed) break;
+  }
+
+  std::vector<Zone> zones(zone_count);
+  for (int z = 0; z < zone_count; ++z) zones[z].hub = centers[z];
+  for (std::size_t i = 0; i < dcs.size(); ++i) {
+    zones[assignment[i]].members.push_back(static_cast<int>(i));
+  }
+  // Drop empty zones (possible when DCs coincide).
+  std::erase_if(zones, [](const Zone& z) { return z.members.empty(); });
+  return zones;
+}
+
+std::vector<ZonePairLatency> zone_pair_latencies(std::span<const Point> dcs,
+                                                 std::span<const Zone> zones) {
+  std::vector<int> zone_of(dcs.size(), -1);
+  for (std::size_t z = 0; z < zones.size(); ++z) {
+    for (int m : zones[z].members) zone_of.at(m) = static_cast<int>(z);
+  }
+  for (int z : zone_of) {
+    if (z < 0) throw std::invalid_argument("zone_pair_latencies: uncovered DC");
+  }
+
+  std::vector<ZonePairLatency> out;
+  for (std::size_t i = 0; i < dcs.size(); ++i) {
+    for (std::size_t j = i + 1; j < dcs.size(); ++j) {
+      ZonePairLatency pl;
+      pl.dc_a = static_cast<int>(i);
+      pl.dc_b = static_cast<int>(j);
+      pl.same_zone = zone_of[i] == zone_of[j];
+      const Point hub_i = zones[zone_of[i]].hub;
+      const Point hub_j = zones[zone_of[j]].hub;
+      if (pl.same_zone) {
+        pl.fiber_km = geo::estimated_fiber_km(dcs[i], hub_i) +
+                      geo::estimated_fiber_km(hub_i, dcs[j]);
+      } else {
+        pl.fiber_km = geo::estimated_fiber_km(dcs[i], hub_i) +
+                      geo::estimated_fiber_km(hub_i, hub_j) +
+                      geo::estimated_fiber_km(hub_j, dcs[j]);
+      }
+      out.push_back(pl);
+    }
+  }
+  return out;
+}
+
+double mean_zone_fiber_km(std::span<const Point> dcs,
+                          std::span<const Zone> zones) {
+  const auto pairs = zone_pair_latencies(dcs, zones);
+  if (pairs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : pairs) sum += p.fiber_km;
+  return sum / static_cast<double>(pairs.size());
+}
+
+}  // namespace iris::topology

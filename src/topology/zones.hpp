@@ -1,0 +1,53 @@
+// Availability-zone (semi-distributed) topologies (paper SS2, Fig. 1(e)).
+//
+// Between the centralized hub-and-spoke and the full mesh sits the grouped
+// design: DCs cluster into zones, each zone homes to a zone hub, and hubs
+// interconnect all-pairs (AWS's publicly described approach; also footnote 2
+// on Availability Zones). These helpers cluster DCs geographically, derive
+// hub sites, and evaluate the latency profile of the grouped design so it
+// can sit alongside the centralized/distributed comparisons.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/point.hpp"
+
+namespace iris::topology {
+
+/// A zone: member indices into the DC list and the zone hub location.
+struct Zone {
+  std::vector<int> members;
+  geo::Point hub;
+};
+
+/// Clusters DCs into `zone_count` zones with Lloyd's k-means (seeded,
+/// deterministic); hubs sit at zone centroids. zone_count must be in
+/// [1, dcs.size()].
+std::vector<Zone> cluster_into_zones(std::span<const geo::Point> dcs,
+                                     int zone_count, std::uint64_t seed = 1);
+
+/// Per-pair fiber distance under the grouped design: intra-zone pairs route
+/// DC -> zone hub -> DC; inter-zone pairs route DC -> own hub -> peer hub ->
+/// DC. Distances use the 2x-geo fiber rule.
+struct ZonePairLatency {
+  int dc_a = 0;
+  int dc_b = 0;
+  bool same_zone = false;
+  double fiber_km = 0.0;
+
+  [[nodiscard]] double rtt_ms() const {
+    return geo::round_trip_latency_ms(fiber_km);
+  }
+};
+std::vector<ZonePairLatency> zone_pair_latencies(std::span<const geo::Point> dcs,
+                                                 std::span<const Zone> zones);
+
+/// Mean DC-DC fiber distance under the grouped design; lets callers sweep
+/// zone_count from 1 (centralized) to n (per-DC hubs ~ distributed) and
+/// watch latency fall as the design distributes (SS2.1).
+double mean_zone_fiber_km(std::span<const geo::Point> dcs,
+                          std::span<const Zone> zones);
+
+}  // namespace iris::topology

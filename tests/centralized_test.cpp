@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "core/centralized.hpp"
+#include "core/plan_region.hpp"
+#include "fibermap/generator.hpp"
+#include "optical/transceivers.hpp"
+
+namespace iris::core {
+namespace {
+
+PlannerParams toy_params() {
+  PlannerParams params;
+  params.failure_tolerance = 0;
+  params.channels.wavelengths_per_fiber = 40;
+  return params;
+}
+
+TEST(Centralized, ToyExampleDualHomedCapacities) {
+  const auto map = fibermap::toy_example_fig10();
+  const auto ids = fibermap::toy_example_ids();
+  const auto plan =
+      plan_centralized(map, {ids.hub_a, ids.hub_b}, toy_params());
+
+  // L1 carries dc1's full capacity to hub A plus its full capacity toward
+  // hub B (the leg shares the access duct): 2 x 400 waves -> 20 fibers.
+  EXPECT_EQ(plan.edge_capacity_wavelengths[ids.l1], 800);
+  EXPECT_EQ(plan.base_fibers[ids.l1], 20);
+  // L5 carries dc1+dc2 homing to hub B and dc3+dc4 homing to hub A.
+  EXPECT_EQ(plan.edge_capacity_wavelengths[ids.l5], 4 * 400);
+  EXPECT_EQ(plan.base_fibers[ids.l5], 40);
+  EXPECT_EQ(plan.total_base_fibers(), 4 * 20 + 40);
+}
+
+TEST(Centralized, PairLatenciesGoViaTheBetterHub) {
+  const auto map = fibermap::toy_example_fig10();
+  const auto ids = fibermap::toy_example_ids();
+  const auto plan =
+      plan_centralized(map, {ids.hub_a, ids.hub_b}, toy_params());
+  // Same-hub pair: 15 + 15 km.
+  EXPECT_DOUBLE_EQ(plan.pair_fiber_km.at(DcPair(ids.dc1, ids.dc2)), 30.0);
+  // Cross-hub pair: 15 + 35 via either hub.
+  EXPECT_DOUBLE_EQ(plan.pair_fiber_km.at(DcPair(ids.dc1, ids.dc3)), 50.0);
+  EXPECT_DOUBLE_EQ(plan.max_pair_fiber_km, 50.0);
+}
+
+TEST(Centralized, RequiresReachableHubs) {
+  const auto map = fibermap::toy_example_fig10();
+  EXPECT_THROW((void)plan_centralized(map, {}, toy_params()),
+               std::invalid_argument);
+  // An isolated hut is not reachable.
+  auto island_map = map;
+  const auto island = island_map.add_hut("island", {500, 500});
+  EXPECT_THROW((void)plan_centralized(island_map, {island}, toy_params()),
+               std::invalid_argument);
+}
+
+TEST(Centralized, OpticalBigSwitchIsCheaperThanElectricalHubs) {
+  const auto map = fibermap::toy_example_fig10();
+  const auto ids = fibermap::toy_example_ids();
+  const auto plan =
+      plan_centralized(map, {ids.hub_a, ids.hub_b}, toy_params());
+  const auto prices = cost::PriceBook::paper_defaults();
+  // Iris's benefits apply across the whole design spectrum (SS1): even the
+  // hub-and-spoke design gets cheaper with an optical core.
+  EXPECT_LT(plan.optical_total.total_cost(prices),
+            plan.eps_total.total_cost(prices));
+  EXPECT_EQ(plan.optical_total.dci_transceivers, 2 * 1600);  // dual homed
+}
+
+TEST(Centralized, DistributedIrisBeatsCentralizedOnLatencyAndFiber) {
+  // The paper's core spectrum comparison, on one generated map.
+  fibermap::RegionParams region;
+  region.seed = 7;
+  region.dc_count = 6;
+  region.hut_count = 10;
+  region.capacity_fibers = 8;
+  const auto map = fibermap::generate_region(region);
+  const auto distributed = provision(map, toy_params());
+
+  // Hubs: the two most central huts.
+  geo::Point centroid{};
+  for (const auto& p : map.dc_positions()) centroid = centroid + p;
+  centroid = centroid / static_cast<double>(map.dcs().size());
+  auto huts = map.huts();
+  std::sort(huts.begin(), huts.end(), [&](graph::NodeId a, graph::NodeId b) {
+    return geo::distance_sq(centroid, map.site(a).position) <
+           geo::distance_sq(centroid, map.site(b).position);
+  });
+  const auto central =
+      plan_centralized(map, {huts[0], huts[1]}, toy_params());
+
+  int slower = 0, faster = 0;
+  for (const auto& [pair, path] : distributed.baseline_paths) {
+    const double via_hub = central.pair_fiber_km.at(pair);
+    if (via_hub > path.length_km + 1e-9) ++slower;
+    if (via_hub < path.length_km - 1e-9) ++faster;
+  }
+  EXPECT_GT(slower, 0);   // hub detours hurt some pairs...
+  EXPECT_EQ(faster, 0);   // ...and can never beat the shortest path
+}
+
+TEST(Transceivers, CatalogProfilesMatchPaperEconomics) {
+  const auto zr = optical::zr400();
+  EXPECT_NEAR(zr.cost_per_gbps_year(), 3.25, 0.01);  // $1300/yr over 400G
+  EXPECT_TRUE(optical::reaches(zr, 120.0));
+  EXPECT_FALSE(optical::reaches(optical::short_reach400(), 10.0));
+  // Long-haul coherent costs several times the DCI module (SS3.3).
+  EXPECT_GE(optical::long_haul_coherent400().annual_cost_usd,
+            3.0 * zr.annual_cost_usd);
+  EXPECT_EQ(optical::catalog().size(), 4u);
+}
+
+TEST(Transceivers, CheapestReachingPicksSensibly) {
+  // Inside a building: SR wins.
+  const auto* sr = optical::cheapest_reaching(1.5, 400.0);
+  ASSERT_NE(sr, nullptr);
+  EXPECT_EQ(sr->name, "400G-SR");
+  // Across the metro: 400ZR.
+  const auto* metro = optical::cheapest_reaching(90.0, 400.0);
+  ASSERT_NE(metro, nullptr);
+  EXPECT_EQ(metro->name, "400ZR");
+  // At 100G the cheaper DWDM module suffices.
+  const auto* dwdm = optical::cheapest_reaching(90.0, 100.0);
+  ASSERT_NE(dwdm, nullptr);
+  EXPECT_EQ(dwdm->name, "100G-DWDM");
+  // Beyond regional reach: only long-haul coherent.
+  const auto* lh = optical::cheapest_reaching(800.0, 400.0);
+  ASSERT_NE(lh, nullptr);
+  EXPECT_EQ(lh->name, "400G-LH");
+  EXPECT_EQ(optical::cheapest_reaching(5000.0, 400.0), nullptr);
+}
+
+}  // namespace
+}  // namespace iris::core

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "clos/ecmp.hpp"
+#include "clos/fabric.hpp"
+
+namespace iris::clos {
+namespace {
+
+TEST(Fabric, SingleSwitchWhenPortsFitRadix) {
+  const auto f = design_nonblocking_fabric(24, 32);
+  EXPECT_EQ(f.tiers, 1);
+  EXPECT_EQ(f.switch_count, 1);
+  EXPECT_EQ(f.internal_links, 0);
+  EXPECT_EQ(f.total_switch_ports(), 24);
+}
+
+TEST(Fabric, TwoTierLeafSpine) {
+  // 128 external ports from radix-32: 8 leaves (16 down each), spine planes
+  // of 16, each plane one switch (8 <= 32).
+  const auto f = design_nonblocking_fabric(128, 32);
+  EXPECT_EQ(f.tiers, 2);
+  EXPECT_EQ(f.switch_count, 8 + 16);
+  EXPECT_EQ(f.internal_links, 8 * 16);
+  EXPECT_EQ(f.total_switch_ports(), 128 + 2 * 128);
+}
+
+TEST(Fabric, ThreeTiersForBigFabrics) {
+  // 10,240 ports with radix 32: leaves = 640 > 32^2/2, so planes recurse
+  // (640-port planes themselves need two tiers -> 4 tiers overall).
+  const auto f = design_nonblocking_fabric(10240, 32);
+  EXPECT_GE(f.tiers, 3);
+  EXPECT_GT(f.switch_count, 640);
+  // Non-blocking: every external port has a matching uplink at each tier.
+  EXPECT_GE(f.internal_links, 10240);
+}
+
+TEST(Fabric, SwitchCountGrowsSuperlinearlyInPorts) {
+  const auto small = design_nonblocking_fabric(512, 32);
+  const auto big = design_nonblocking_fabric(5120, 32);
+  // 10x ports needs more than 10x switches once an extra tier appears.
+  EXPECT_GT(big.switch_count, 10 * small.switch_count);
+}
+
+TEST(Fabric, RejectsBadInputs) {
+  EXPECT_THROW((void)design_nonblocking_fabric(0, 32), std::invalid_argument);
+  EXPECT_THROW((void)design_nonblocking_fabric(10, 31), std::invalid_argument);
+  EXPECT_THROW((void)design_nonblocking_fabric(10, 0), std::invalid_argument);
+}
+
+TEST(Footprint, OpticalHubIsOrdersOfMagnitudeLeaner) {
+  // A 16-DC hub at 640 wavelengths per DC: 10,240 electrical ports, vs the
+  // Iris hub switching ~1,300 fiber ports.
+  const auto electrical = electrical_hub_footprint(10240);
+  const auto optical = optical_hub_footprint(1300);
+  EXPECT_GT(electrical.kilowatts, 100.0 * optical.kilowatts);  // SS3.3
+  EXPECT_GT(electrical.rack_units, 10.0 * optical.rack_units);
+  EXPECT_GT(electrical.devices, optical.devices);
+  // "optical switches with hundreds of ports are just a few rack-units"
+  EXPECT_LE(optical_hub_footprint(384).rack_units, 7.0);
+}
+
+TEST(Footprint, ScalesWithPorts) {
+  const auto small = optical_hub_footprint(100);
+  const auto large = optical_hub_footprint(4000);
+  EXPECT_LT(small.devices, large.devices);
+  EXPECT_EQ(optical_hub_footprint(0).devices, 0);
+}
+
+TEST(Ecmp, HashIsDeterministicAndSpreads) {
+  EXPECT_EQ(flow_hash(42), flow_hash(42));
+  EXPECT_NE(flow_hash(42), flow_hash(43));
+  EXPECT_EQ(select_uplink(7, 16), select_uplink(7, 16));
+  EXPECT_THROW((void)select_uplink(1, 0), std::invalid_argument);
+}
+
+TEST(Ecmp, BalanceWithinTightBound) {
+  // SS5.1: ECMP must land wavelengths on T2 uplinks evenly.
+  const auto counts = spread_flows(200000, 16, 9);
+  EXPECT_EQ(counts.size(), 16u);
+  EXPECT_LT(imbalance(counts), 1.05);
+  long long total = 0;
+  for (long long c : counts) total += c;
+  EXPECT_EQ(total, 200000);
+}
+
+TEST(Ecmp, ImbalanceEdgeCases) {
+  EXPECT_DOUBLE_EQ(imbalance({}), 1.0);
+  EXPECT_DOUBLE_EQ(imbalance({0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(imbalance({10, 0}), 2.0);
+}
+
+class UplinkSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(UplinkSweep, BalancedForAnyUplinkCount) {
+  const auto counts = spread_flows(100000, GetParam(), 3);
+  EXPECT_LT(imbalance(counts), 1.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Uplinks, UplinkSweep,
+                         ::testing::Values(2, 3, 4, 8, 16, 33, 64));
+
+}  // namespace
+}  // namespace iris::clos

@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include "core/plan_io.hpp"
+#include "core/plan_region.hpp"
+#include "core/report.hpp"
+#include "fibermap/generator.hpp"
+
+namespace iris::core {
+namespace {
+
+PlannerParams toy_params(int tolerance = 0) {
+  PlannerParams params;
+  params.failure_tolerance = tolerance;
+  params.channels.wavelengths_per_fiber = 40;
+  return params;
+}
+
+class ToyDesigns : public ::testing::Test {
+ protected:
+  ToyDesigns()
+      : map_(fibermap::toy_example_fig10()),
+        net_(provision(map_, toy_params())),
+        plan_(place_amplifiers_and_cutthroughs(map_, net_)) {}
+
+  fibermap::FiberMap map_;
+  ProvisionedNetwork net_;
+  AmpCutPlan plan_;
+};
+
+TEST_F(ToyDesigns, EpsMatchesPaperSec34) {
+  const auto eps = build_eps(map_, net_);
+  EXPECT_EQ(eps.total.fiber_pairs, 60);            // F_E
+  EXPECT_EQ(eps.total.dci_transceivers, 4800);     // T_E = 2 * F_E * lambda
+  EXPECT_EQ(eps.total.electrical_ports, 4800);
+  EXPECT_EQ(eps.dc_side.dci_transceivers, 1600);   // 4 DCs x 10 x 40
+  EXPECT_EQ(eps.in_network.dci_transceivers, 3200);
+}
+
+TEST_F(ToyDesigns, IrisMatchesPaperSec34) {
+  const auto iris = build_iris(map_, net_, plan_);
+  // Transceivers only at the DCs: T_O = 4 * 10 * 40.
+  EXPECT_EQ(iris.total.dci_transceivers, 1600);
+  EXPECT_EQ(iris.in_network.dci_transceivers, 0);
+  // Residual overlay: +1 fiber per pair per duct of its path. L1-L4 carry 3
+  // pair paths each, L5 carries 4 -> 16 residual pairs, F_O = 76 (the paper
+  // quotes 78 with a slightly coarser residual count; within 3%).
+  EXPECT_EQ(iris.total.fiber_pairs, 76);
+  // OSS ports: 4 per fiber pair.
+  EXPECT_EQ(iris.total.oss_ports, 4 * 76);
+  // Toy distances never exceed 80 km: no in-line amplifiers, no cut-throughs.
+  EXPECT_EQ(plan_.total_amplifiers(), 0);
+  EXPECT_TRUE(plan_.cut_throughs.empty());
+  EXPECT_EQ(plan_.unresolved_paths, 0);
+}
+
+TEST_F(ToyDesigns, CostRatioNearPaper2p7) {
+  const auto prices = cost::PriceBook::paper_defaults();
+  const auto eps = build_eps(map_, net_);
+  const auto iris = build_iris(map_, net_, plan_);
+  const double ratio = eps.total_cost(prices) / iris.total_cost(prices);
+  EXPECT_GT(ratio, 2.3);  // paper: 2.7x
+  EXPECT_LT(ratio, 3.1);
+}
+
+TEST_F(ToyDesigns, FiberAndTransceiverOnlyApproximationHolds) {
+  // Paper footnote 4: counting only fiber + transceivers gives nearly the
+  // same ratio.
+  const auto prices = cost::PriceBook::paper_defaults();
+  const auto eps = build_eps(map_, net_);
+  const auto iris = build_iris(map_, net_, plan_);
+  const double approx =
+      (1300.0 * eps.total.dci_transceivers + 3600.0 * eps.total.fiber_pairs) /
+      (1300.0 * iris.total.dci_transceivers + 3600.0 * iris.total.fiber_pairs);
+  const double full = eps.total_cost(prices) / iris.total_cost(prices);
+  EXPECT_NEAR(approx, full, 0.45);
+  EXPECT_NEAR(approx, 2.73, 0.15);  // the paper's own arithmetic
+}
+
+TEST_F(ToyDesigns, InNetworkPortGapIsLarge) {
+  const auto eps = build_eps(map_, net_);
+  const auto iris = build_iris(map_, net_, plan_);
+  // Fig. 12(c): EPS needs far more in-network ports than Iris.
+  EXPECT_GT(eps.in_network.total_ports(), 5 * iris.in_network.total_ports());
+}
+
+TEST_F(ToyDesigns, HybridCombinesResiduals) {
+  const auto hybrid = build_hybrid(map_, net_, plan_);
+  // Residual spans before: (1,2)=2 + (1,3)=3 + (1,4)=3 + (2,3)=3 + (2,4)=3
+  // + (3,4)=2 = 16.
+  EXPECT_EQ(hybrid.residual_fiber_spans_before, 16);
+  EXPECT_LT(hybrid.residual_fiber_spans_after,
+            hybrid.residual_fiber_spans_before);
+  EXPECT_GT(hybrid.wavelength_devices, 0);
+  EXPECT_GT(hybrid.bom.total.oxc_ports, 0);
+  // Fiber count drops accordingly.
+  const auto iris = build_iris(map_, net_, plan_);
+  EXPECT_EQ(iris.total.fiber_pairs - hybrid.bom.total.fiber_pairs,
+            hybrid.residual_fiber_spans_before -
+                hybrid.residual_fiber_spans_after);
+}
+
+TEST_F(ToyDesigns, HybridNeverCostsMoreThanIris) {
+  const auto prices = cost::PriceBook::paper_defaults();
+  const auto iris = build_iris(map_, net_, plan_);
+  const auto hybrid = build_hybrid(map_, net_, plan_);
+  // OXC ports are cheap relative to the fiber saved, but the savings are
+  // small overall (Appendix B's conclusion).
+  EXPECT_LE(hybrid.bom.total_cost(prices), iris.total_cost(prices) * 1.02);
+}
+
+TEST_F(ToyDesigns, PureWavelengthDesignIsInferiorToIris) {
+  const auto prices = cost::PriceBook::paper_defaults();
+  const auto iris = build_iris(map_, net_, plan_);
+  const auto pure = build_pure_wavelength(map_, net_, plan_);
+  // No residual fibers at wavelength granularity...
+  EXPECT_EQ(pure.bom.total.fiber_pairs, 60);
+  // ...but the per-wavelength OXC ports swamp that saving (Appendix B).
+  EXPECT_EQ(pure.bom.total.oxc_ports, 4LL * 40 * 60);
+  EXPECT_GT(pure.bom.total_cost(prices), iris.total_cost(prices));
+  // And the 9 dB OXC loss allows only one switching point per path: the
+  // four inter-hub pairs (2 switch points each) are infeasible.
+  EXPECT_EQ(pure.paths_beyond_oxc_budget, 4);
+}
+
+TEST(AmpPlacement, LongRouteGetsOneInlineAmp) {
+  fibermap::FiberMap map;
+  const auto a = map.add_dc("a", {0, 0}, 4);
+  const auto b = map.add_dc("b", {100, 0}, 4);
+  const auto h1 = map.add_hut("h1", {50, 0});
+  map.add_duct_with_length(a, h1, 55.0);
+  map.add_duct_with_length(h1, b, 55.0);
+
+  const auto net = provision(map, toy_params());
+  const auto plan = place_amplifiers_and_cutthroughs(map, net);
+  // The pair needs min(4,4) = 4 amplified fibers at the midpoint hut.
+  EXPECT_EQ(plan.amps_at_node[h1], 4);
+  EXPECT_EQ(plan.total_amplifiers(), 4);
+  EXPECT_EQ(plan.unresolved_paths, 0);
+  EXPECT_TRUE(validate_plan(map, net, plan).ok());
+}
+
+TEST(AmpPlacement, SharedHutAmplifiersAreHoseSized) {
+  // Two independent long pairs through the same central hut: amplifier
+  // count is the hose max across both, not the naive sum when capacities
+  // make sharing impossible.
+  fibermap::FiberMap map;
+  const auto a = map.add_dc("a", {0, 0}, 4);
+  const auto b = map.add_dc("b", {100, 0}, 4);
+  const auto c = map.add_dc("c", {0, 10}, 4);
+  const auto d = map.add_dc("d", {100, 10}, 4);
+  const auto hut = map.add_hut("mid", {50, 5});
+  map.add_duct_with_length(a, hut, 55.0);
+  map.add_duct_with_length(hut, b, 55.0);
+  map.add_duct_with_length(c, hut, 55.0);
+  map.add_duct_with_length(hut, d, 55.0);
+
+  const auto net = provision(map, toy_params());
+  const auto plan = place_amplifiers_and_cutthroughs(map, net);
+  // Worst case: a-b, a-d, c-b, c-d all long; hose load at the hut = 8 fibers
+  // (a and c can emit 4 each).
+  EXPECT_EQ(plan.amps_at_node[hut], 8);
+  EXPECT_TRUE(validate_plan(map, net, plan).ok());
+}
+
+TEST(AmpPlacement, HopHeavyShortPathFixedByAmplifierAlone) {
+  // A 9-hop, 45 km corridor: fiber is fine but OSS losses bust the budget.
+  // Appendix A: an amplifier can fix hop-heavy paths too -- cheaper than
+  // leasing cut-through fiber.
+  fibermap::FiberMap map;
+  const auto a = map.add_dc("a", {0, 0}, 4);
+  std::vector<graph::NodeId> nodes{a};
+  for (int i = 0; i < 8; ++i) {
+    nodes.push_back(map.add_hut("h" + std::to_string(i), {5.0 * (i + 1), 0.0}));
+  }
+  const auto b = map.add_dc("b", {45, 0}, 4);
+  nodes.push_back(b);
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    map.add_duct_with_length(nodes[i], nodes[i + 1], 5.0);
+  }
+
+  const auto net = provision(map, toy_params());
+  const auto plan = place_amplifiers_and_cutthroughs(map, net);
+  EXPECT_GT(plan.total_amplifiers(), 0);
+  EXPECT_TRUE(plan.cut_throughs.empty());
+  EXPECT_EQ(plan.unresolved_paths, 0);
+  EXPECT_TRUE(validate_plan(map, net, plan).ok());
+}
+
+TEST(CutThroughPlacement, LongHopHeavyCorridorNeedsBypass) {
+  // 110 km over 10 ducts: even the best amplifier split leaves each segment
+  // with ~14 dB of fiber plus 4-5 OSS traversals -- beyond one amplifier's
+  // gain. The planner must lease cut-through fiber to drop switch points,
+  // then amplify.
+  fibermap::FiberMap map;
+  const auto a = map.add_dc("a", {0, 0}, 4);
+  std::vector<graph::NodeId> nodes{a};
+  for (int i = 0; i < 9; ++i) {
+    nodes.push_back(map.add_hut("h" + std::to_string(i), {11.0 * (i + 1), 0.0}));
+  }
+  const auto b = map.add_dc("b", {110, 0}, 4);
+  nodes.push_back(b);
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    map.add_duct_with_length(nodes[i], nodes[i + 1], 11.0);
+  }
+
+  const auto net = provision(map, toy_params());
+  const auto plan = place_amplifiers_and_cutthroughs(map, net);
+  EXPECT_FALSE(plan.cut_throughs.empty());
+  EXPECT_GT(plan.cut_through_fiber_spans(), 0);
+  EXPECT_GT(plan.total_amplifiers(), 0);
+  EXPECT_EQ(plan.unresolved_paths, 0);
+  EXPECT_TRUE(validate_plan(map, net, plan).ok());
+}
+
+TEST(Validation, DetectsMissingAmplifiers) {
+  fibermap::FiberMap map;
+  const auto a = map.add_dc("a", {0, 0}, 4);
+  const auto b = map.add_dc("b", {100, 0}, 4);
+  const auto h1 = map.add_hut("h1", {50, 0});
+  map.add_duct_with_length(a, h1, 55.0);
+  map.add_duct_with_length(h1, b, 55.0);
+
+  const auto net = provision(map, toy_params());
+  AmpCutPlan empty;
+  empty.amps_at_node.assign(map.graph().node_count(), 0);
+  const auto report = validate_plan(map, net, empty);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.infeasible_paths, 0);
+}
+
+TEST(PlanRegion, GeneratedRegionPlansCleanly) {
+  fibermap::RegionParams region;
+  region.seed = 7;
+  region.dc_count = 6;
+  region.hut_count = 10;
+  region.capacity_fibers = 8;
+  const auto map = fibermap::generate_region(region);
+
+  PlannerParams params = toy_params(1);
+  const auto plan = plan_region(map, params);
+  EXPECT_EQ(plan.amp_cut.unresolved_paths, 0);
+  EXPECT_TRUE(validate_plan(map, plan.network, plan.amp_cut).ok());
+
+  const auto prices = cost::PriceBook::paper_defaults();
+  const double ratio =
+      plan.eps.total_cost(prices) / plan.iris.total_cost(prices);
+  EXPECT_GT(ratio, 1.5);  // Iris is decisively cheaper
+
+  // Appendix A: amplifier + cut-through overhead is a few percent.
+  EXPECT_LT(plan.amp_cut_overhead(prices), 0.15);
+}
+
+TEST_F(ToyDesigns, PerSitePortAccountingIsConsistent) {
+  const auto eps = build_eps(map_, net_);
+  // EPS duct-end transceivers per site must sum to the total.
+  long long sum = 0;
+  for (long long p : eps.ports_per_site) sum += p;
+  EXPECT_EQ(sum, eps.total.dci_transceivers);
+  // Hubs are the busiest sites: hub A terminates L1+L2+L5 fibers.
+  const auto ids = fibermap::toy_example_ids();
+  EXPECT_EQ(eps.ports_per_site[ids.hub_a], (10 + 10 + 20) * 40);
+  EXPECT_EQ(eps.max_site_ports(), eps.ports_per_site[ids.hub_a]);
+
+  const auto iris = build_iris(map_, net_, plan_);
+  long long iris_sum = 0;
+  for (long long p : iris.ports_per_site) iris_sum += p;
+  EXPECT_EQ(iris_sum, iris.total.oss_ports);
+  // The OSS hub is dramatically smaller than the electrical one.
+  EXPECT_GT(eps.max_site_ports(), 10 * iris.max_site_ports());
+}
+
+TEST(PlanIo, RoundTripsToyPlan) {
+  const auto map = fibermap::toy_example_fig10();
+  const auto net = provision(map, toy_params(1));
+  const auto plan = place_amplifiers_and_cutthroughs(map, net);
+  const auto text = plan_to_string(net, plan);
+  const auto loaded = plan_from_string(map, text);
+
+  EXPECT_EQ(loaded.network.edge_capacity_wavelengths,
+            net.edge_capacity_wavelengths);
+  EXPECT_EQ(loaded.network.base_fibers, net.base_fibers);
+  EXPECT_EQ(loaded.network.params.failure_tolerance, 1);
+  EXPECT_EQ(loaded.network.params.channels.wavelengths_per_fiber, 40);
+  EXPECT_EQ(loaded.network.baseline_paths.size(), net.baseline_paths.size());
+  for (const auto& [pair, path] : net.baseline_paths) {
+    const auto& reloaded = loaded.network.baseline_paths.at(pair);
+    EXPECT_EQ(reloaded.nodes, path.nodes);
+    EXPECT_EQ(reloaded.edges, path.edges);
+    EXPECT_NEAR(reloaded.length_km, path.length_km, 1e-9);
+  }
+  EXPECT_EQ(loaded.amp_cut.amps_at_node, plan.amps_at_node);
+  // The reloaded plan drives the designs to identical bills of materials.
+  const auto original = build_iris(map, net, plan);
+  const auto reloaded_design =
+      build_iris(map, loaded.network, loaded.amp_cut);
+  EXPECT_EQ(original.total.fiber_pairs, reloaded_design.total.fiber_pairs);
+  EXPECT_EQ(original.total.oss_ports, reloaded_design.total.oss_ports);
+}
+
+TEST(PlanIo, RoundTripsGeneratedRegionWithAmpsAndCutthroughs) {
+  fibermap::RegionParams region;
+  region.seed = 2020;
+  region.dc_count = 8;
+  region.capacity_fibers = 16;
+  const auto map = fibermap::generate_region(region);
+  const auto net = provision(map, toy_params(1));
+  const auto plan = place_amplifiers_and_cutthroughs(map, net);
+  ASSERT_GT(plan.total_amplifiers(), 0);
+
+  const auto loaded = plan_from_string(map, plan_to_string(net, plan));
+  EXPECT_EQ(loaded.amp_cut.amps_at_node, plan.amps_at_node);
+  ASSERT_EQ(loaded.amp_cut.cut_throughs.size(), plan.cut_throughs.size());
+  for (std::size_t i = 0; i < plan.cut_throughs.size(); ++i) {
+    EXPECT_EQ(loaded.amp_cut.cut_throughs[i].nodes, plan.cut_throughs[i].nodes);
+    EXPECT_EQ(loaded.amp_cut.cut_throughs[i].ducts, plan.cut_throughs[i].ducts);
+    EXPECT_EQ(loaded.amp_cut.cut_throughs[i].fiber_pairs,
+              plan.cut_throughs[i].fiber_pairs);
+  }
+  // The reloaded plan validates just like the original.
+  EXPECT_TRUE(validate_plan(map, loaded.network, loaded.amp_cut).ok());
+}
+
+TEST(PlanIo, RejectsMalformedPlans) {
+  const auto map = fibermap::toy_example_fig10();
+  EXPECT_THROW((void)plan_from_string(map, "edge 0 400 10\n"),
+               std::runtime_error);  // missing params
+  EXPECT_THROW((void)plan_from_string(map, "params 1 40\nedge 99 1 1\n"),
+               std::runtime_error);  // edge out of range
+  EXPECT_THROW((void)plan_from_string(map, "params 1 40\npath 2 4 2 4\n"),
+               std::runtime_error);  // no duct between dc1 and dc3
+  EXPECT_THROW((void)plan_from_string(map, "params 1 40\nbogus\n"),
+               std::runtime_error);
+}
+
+TEST(Report, RendersAllSectionsForToyRegion) {
+  const auto map = fibermap::toy_example_fig10();
+  const auto plan = plan_region(map, toy_params(0));
+  ReportOptions options;
+  options.include_pair_table = true;
+  const std::string report = region_report(map, plan, options);
+
+  EXPECT_NE(report.find("region report"), std::string::npos);
+  EXPECT_NE(report.find("resilience"), std::string::npos);
+  EXPECT_NE(report.find("base fiber pairs:      60"), std::string::npos);
+  EXPECT_NE(report.find("EPS fabric:"), std::string::npos);
+  EXPECT_NE(report.find("x cheaper"), std::string::npos);
+  EXPECT_NE(report.find("DC1 - DC3"), std::string::npos);
+  // Toy DCs single-home (1 disjoint path); tolerance 0 means no warning...
+  EXPECT_EQ(report.find("WARNING"), std::string::npos);
+  // ...but a 1-cut plan must flag them.
+  const auto tolerant = plan_region(map, toy_params(1));
+  const std::string flagged = region_report(map, tolerant);
+  EXPECT_NE(flagged.find("WARNING"), std::string::npos);
+}
+
+TEST(Report, MapArtIsOptional) {
+  const auto map = fibermap::toy_example_fig10();
+  const auto plan = plan_region(map, toy_params(0));
+  ReportOptions options;
+  options.include_map_art = false;
+  const std::string report = region_report(map, plan, options);
+  EXPECT_EQ(report.find(" o "), std::string::npos);  // no hut glyph rows
+  EXPECT_LT(report.size(), region_report(map, plan).size());
+}
+
+class ToleranceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ToleranceSweep, CapacityIsMonotoneInTolerance) {
+  fibermap::RegionParams region;
+  region.seed = 13;
+  region.dc_count = 5;
+  region.hut_count = 9;
+  region.capacity_fibers = 8;
+  const auto map = fibermap::generate_region(region);
+
+  const int tol = GetParam();
+  const auto lower = provision(map, toy_params(tol));
+  const auto higher = provision(map, toy_params(tol + 1));
+  long long lower_total = 0, higher_total = 0;
+  for (graph::EdgeId e = 0; e < map.graph().edge_count(); ++e) {
+    EXPECT_GE(higher.edge_capacity_wavelengths[e],
+              lower.edge_capacity_wavelengths[e]);
+    lower_total += lower.edge_capacity_wavelengths[e];
+    higher_total += higher.edge_capacity_wavelengths[e];
+  }
+  EXPECT_GE(higher_total, lower_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, ToleranceSweep, ::testing::Values(0, 1));
+
+}  // namespace
+}  // namespace iris::core

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/expansion.hpp"
+#include "fibermap/generator.hpp"
+
+namespace iris::core {
+namespace {
+
+PlannerParams params_tol(int tolerance) {
+  PlannerParams params;
+  params.failure_tolerance = tolerance;
+  params.channels.wavelengths_per_fiber = 40;
+  return params;
+}
+
+fibermap::FiberMap base_region(std::uint64_t seed = 77) {
+  fibermap::RegionParams region;
+  region.seed = seed;
+  region.dc_count = 5;
+  region.hut_count = 10;
+  region.capacity_fibers = 8;
+  region.dc_attach_huts = 3;
+  return fibermap::generate_region(region);
+}
+
+geo::Point region_centroid(const fibermap::FiberMap& map) {
+  geo::Point c{};
+  for (const auto& p : map.dc_positions()) c = c + p;
+  return c / static_cast<double>(map.dcs().size());
+}
+
+TEST(Expansion, ReachComputesWorstPairDistance) {
+  const auto map = base_region();
+  ExpansionRequest request;
+  request.position = region_centroid(map);
+  const auto reach = expansion_fiber_reach_km(map, params_tol(1), request);
+  ASSERT_TRUE(reach.has_value());
+  EXPECT_GT(*reach, 0.0);
+  EXPECT_LT(*reach, 120.0);  // centroid of an SLA-compliant region fits
+}
+
+TEST(Expansion, AddsDcAndDucts) {
+  const auto map = base_region();
+  ExpansionRequest request;
+  request.position = region_centroid(map);
+  request.capacity_fibers = 16;
+  request.attach_huts = 2;
+  request.name = "dc-x";
+  const auto report = plan_expansion(map, params_tol(1), request);
+
+  EXPECT_EQ(report.expanded_map.dcs().size(), map.dcs().size() + 1);
+  EXPECT_EQ(report.expanded_map.duct_count(), map.duct_count() + 2);
+  const auto new_dc = report.expanded_map.dcs().back();
+  EXPECT_EQ(report.expanded_map.site(new_dc).name, "dc-x");
+  EXPECT_EQ(report.expanded_map.site(new_dc).capacity_fibers, 16);
+}
+
+TEST(Expansion, PlanValidatesAndDeltasArePositive) {
+  const auto map = base_region();
+  ExpansionRequest request;
+  request.position = region_centroid(map);
+  const auto report = plan_expansion(map, params_tol(1), request);
+
+  EXPECT_TRUE(validate_plan(report.expanded_map, report.plan.network,
+                            report.plan.amp_cut)
+                  .ok());
+  // A new DC needs new transceivers and fiber under both designs.
+  EXPECT_GT(report.iris_delta.dci_transceivers, 0);
+  EXPECT_GT(report.iris_delta.fiber_pairs, 0);
+  EXPECT_GT(report.eps_delta.dci_transceivers, 0);
+
+  const auto prices = cost::PriceBook::paper_defaults();
+  EXPECT_GT(report.iris_delta_cost(prices), 0.0);
+  // The electrical fabric pays more for the same growth step: the new DC's
+  // traffic re-terminates at every hop.
+  EXPECT_GT(report.eps_delta_cost(prices), report.iris_delta_cost(prices));
+}
+
+TEST(Expansion, RejectsOutOfSlaSites) {
+  const auto map = base_region();
+  ExpansionRequest request;
+  request.position = {500.0, 500.0};  // far outside the metro
+  EXPECT_THROW((void)plan_expansion(map, params_tol(1), request),
+               std::invalid_argument);
+}
+
+TEST(Expansion, LargerNewDcCostsMore) {
+  const auto map = base_region();
+  const auto prices = cost::PriceBook::paper_defaults();
+  ExpansionRequest small;
+  small.position = region_centroid(map);
+  small.capacity_fibers = 4;
+  ExpansionRequest big = small;
+  big.capacity_fibers = 16;
+
+  const auto small_report = plan_expansion(map, params_tol(0), small);
+  const auto big_report = plan_expansion(map, params_tol(0), big);
+  EXPECT_GT(big_report.iris_delta_cost(prices),
+            small_report.iris_delta_cost(prices));
+}
+
+class ExpansionToleranceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExpansionToleranceSweep, ExpansionStaysValidAcrossTolerances) {
+  const auto map = base_region(91);
+  ExpansionRequest request;
+  request.position = region_centroid(map);
+  const auto report = plan_expansion(map, params_tol(GetParam()), request);
+  EXPECT_TRUE(validate_plan(report.expanded_map, report.plan.network,
+                            report.plan.amp_cut)
+                  .ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, ExpansionToleranceSweep,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace iris::core

@@ -1,0 +1,291 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "fibermap/fibermap.hpp"
+#include "fibermap/generator.hpp"
+#include "fibermap/render.hpp"
+#include "fibermap/serialize.hpp"
+#include "fibermap/stats.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace iris::fibermap {
+namespace {
+
+TEST(FiberMap, AddSitesAndDucts) {
+  FiberMap map;
+  const auto dc = map.add_dc("dcA", {0.0, 0.0}, 16);
+  const auto hut = map.add_hut("hut0", {3.0, 4.0});
+  const auto duct = map.add_duct_with_length(dc, hut, 9.0);
+
+  EXPECT_EQ(map.site_count(), 2u);
+  EXPECT_EQ(map.duct_count(), 1u);
+  EXPECT_TRUE(map.is_dc(dc));
+  EXPECT_FALSE(map.is_dc(hut));
+  EXPECT_DOUBLE_EQ(map.duct_length_km(duct), 9.0);
+  EXPECT_EQ(map.dcs().size(), 1u);
+  EXPECT_EQ(map.huts().size(), 1u);
+  EXPECT_EQ(map.site(dc).capacity_fibers, 16);
+}
+
+TEST(FiberMap, DuctFromPolylineAppliesSlack) {
+  FiberMap map;
+  const auto a = map.add_hut("a", {0.0, 0.0});
+  const auto b = map.add_hut("b", {10.0, 0.0});
+  const auto duct = map.add_duct(a, b, geo::straight_duct({0, 0}, {10, 0}), 1.5);
+  EXPECT_DOUBLE_EQ(map.duct_length_km(duct), 15.0);
+  EXPECT_THROW(map.add_duct(a, b, geo::straight_duct({0, 0}, {10, 0}), 0.5),
+               std::invalid_argument);
+}
+
+TEST(FiberMap, CapacityInWavelengths) {
+  FiberMap map;
+  const auto dc = map.add_dc("dc", {0, 0}, 16);
+  const auto hut = map.add_hut("h", {1, 1});
+  EXPECT_EQ(map.dc_capacity_wavelengths(dc, 40), 640);
+  EXPECT_EQ(map.dc_capacity_wavelengths(dc, 64), 1024);
+  EXPECT_THROW((void)map.dc_capacity_wavelengths(hut, 40), std::invalid_argument);
+}
+
+TEST(FiberMap, RejectsNonPositiveCapacity) {
+  FiberMap map;
+  EXPECT_THROW((void)map.add_dc("bad", {0, 0}, 0), std::invalid_argument);
+  EXPECT_THROW((void)map.add_dc("bad", {0, 0}, -5), std::invalid_argument);
+}
+
+TEST(ToyExample, MatchesPaperFig10) {
+  const FiberMap map = toy_example_fig10();
+  const ToyExampleIds ids = toy_example_ids();
+
+  EXPECT_EQ(map.dcs().size(), 4u);
+  EXPECT_EQ(map.huts().size(), 2u);
+  EXPECT_EQ(map.duct_count(), 5u);
+  // Each DC is 160 Tbps = 10 fibers at 40 x 400G.
+  for (auto dc : map.dcs()) {
+    EXPECT_EQ(map.site(dc).capacity_fibers, 10);
+  }
+  // L1-L4 are DC-hub legs; L5 joins the hubs.
+  EXPECT_DOUBLE_EQ(map.duct_length_km(ids.l1), 15.0);
+  EXPECT_DOUBLE_EQ(map.duct_length_km(ids.l5), 20.0);
+  // DC1 and DC2 home to hub A.
+  EXPECT_EQ(map.graph().edge(ids.l1).other(ids.dc1), ids.hub_a);
+  EXPECT_EQ(map.graph().edge(ids.l2).other(ids.dc2), ids.hub_a);
+  EXPECT_EQ(map.graph().edge(ids.l3).other(ids.dc3), ids.hub_b);
+  EXPECT_EQ(map.graph().edge(ids.l4).other(ids.dc4), ids.hub_b);
+}
+
+TEST(ToyExample, ShortestPathsRouteViaHubs) {
+  const FiberMap map = toy_example_fig10();
+  const ToyExampleIds ids = toy_example_ids();
+  const auto intra = graph::shortest_path(map.graph(), ids.dc1, ids.dc2);
+  ASSERT_TRUE(intra.has_value());
+  EXPECT_DOUBLE_EQ(intra->length_km, 30.0);
+  const auto inter = graph::shortest_path(map.graph(), ids.dc1, ids.dc3);
+  ASSERT_TRUE(inter.has_value());
+  EXPECT_DOUBLE_EQ(inter->length_km, 50.0);
+  EXPECT_TRUE(inter->visits(ids.hub_a));
+  EXPECT_TRUE(inter->visits(ids.hub_b));
+}
+
+TEST(Generator, DeterministicForFixedSeed) {
+  RegionParams params;
+  params.seed = 42;
+  params.dc_count = 5;
+  const FiberMap a = generate_region(params);
+  const FiberMap b = generate_region(params);
+  EXPECT_EQ(to_string(a), to_string(b));
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  RegionParams params;
+  params.dc_count = 5;
+  params.seed = 1;
+  const FiberMap a = generate_region(params);
+  params.seed = 2;
+  const FiberMap b = generate_region(params);
+  EXPECT_NE(to_string(a), to_string(b));
+}
+
+TEST(Generator, RespectsCounts) {
+  RegionParams params;
+  params.hut_count = 12;
+  params.dc_count = 7;
+  params.capacity_fibers = 32;
+  params.seed = 3;
+  const FiberMap map = generate_region(params);
+  EXPECT_EQ(map.huts().size(), 12u);
+  EXPECT_EQ(map.dcs().size(), 7u);
+  for (auto dc : map.dcs()) EXPECT_EQ(map.site(dc).capacity_fibers, 32);
+}
+
+TEST(Generator, BackboneIsConnected) {
+  RegionParams params;
+  params.seed = 11;
+  params.dc_count = 8;
+  const FiberMap map = generate_region(params);
+  const auto tree = graph::dijkstra(map.graph(), 0);
+  for (graph::NodeId n = 0; n < map.graph().node_count(); ++n) {
+    EXPECT_TRUE(tree.reachable(n)) << "node " << n << " disconnected";
+  }
+}
+
+TEST(Generator, DcPairFiberDistancesWithinSla) {
+  RegionParams params;
+  params.seed = 5;
+  params.dc_count = 10;
+  const FiberMap map = generate_region(params);
+  const auto& dcs = map.dcs();
+  for (std::size_t i = 0; i < dcs.size(); ++i) {
+    const auto tree = graph::dijkstra(map.graph(), dcs[i]);
+    for (std::size_t j = i + 1; j < dcs.size(); ++j) {
+      // The placement filter works with the worst-case attach slack, so the
+      // realized fiber distance respects the SLA with margin.
+      EXPECT_LE(tree.dist_km[dcs[j]], params.max_dc_dc_fiber_km * 1.05)
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(Generator, ShortestPathsAreGenericallyUnique) {
+  RegionParams params;
+  params.seed = 17;
+  params.dc_count = 8;
+  const FiberMap map = generate_region(params);
+  const auto& dcs = map.dcs();
+  int multiple = 0;
+  for (std::size_t i = 0; i < dcs.size(); ++i) {
+    for (std::size_t j = i + 1; j < dcs.size(); ++j) {
+      if (graph::has_multiple_shortest_paths(map.graph(), dcs[i], dcs[j])) {
+        ++multiple;
+      }
+    }
+  }
+  EXPECT_EQ(multiple, 0);  // randomized duct slack breaks all ties
+}
+
+TEST(Generator, RejectsBadParameters) {
+  RegionParams params;
+  params.hut_count = 1;
+  EXPECT_THROW((void)generate_region(params), std::invalid_argument);
+  params = RegionParams{};
+  params.dc_count = 0;
+  EXPECT_THROW((void)generate_region(params), std::invalid_argument);
+  params = RegionParams{};
+  params.extent_km = -4.0;
+  EXPECT_THROW((void)generate_region(params), std::invalid_argument);
+}
+
+TEST(Generator, InfeasibleSlaThrows) {
+  RegionParams params;
+  params.extent_km = 500.0;  // far beyond the 120 km fiber SLA
+  params.hut_count = 9;
+  params.dc_count = 12;
+  params.seed = 2;
+  EXPECT_THROW((void)generate_region(params), std::runtime_error);
+}
+
+TEST(Serialize, RoundTripsGeneratedRegion) {
+  RegionParams params;
+  params.seed = 23;
+  params.dc_count = 6;
+  const FiberMap original = generate_region(params);
+  const FiberMap reloaded = from_string(to_string(original));
+  EXPECT_EQ(to_string(original), to_string(reloaded));
+  EXPECT_EQ(reloaded.dcs().size(), original.dcs().size());
+  EXPECT_EQ(reloaded.duct_count(), original.duct_count());
+}
+
+TEST(Serialize, ParsesHandWrittenMap) {
+  const std::string text =
+      "# comment line\n"
+      "dc east 0 0 8\n"
+      "dc west 30 0 16\n"
+      "hut mid 15 5\n"
+      "duct east mid 18\n"
+      "duct mid west 17\n";
+  const FiberMap map = from_string(text);
+  EXPECT_EQ(map.dcs().size(), 2u);
+  EXPECT_EQ(map.huts().size(), 1u);
+  EXPECT_EQ(map.duct_count(), 2u);
+  EXPECT_EQ(map.site(map.dcs()[1]).capacity_fibers, 16);
+  EXPECT_DOUBLE_EQ(map.duct_length_km(0), 18.0);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_THROW((void)from_string("dc onlyname\n"), std::runtime_error);
+  EXPECT_THROW((void)from_string("duct a b 5\n"), std::runtime_error);
+  EXPECT_THROW((void)from_string("gizmo x 1 2\n"), std::runtime_error);
+  EXPECT_THROW((void)from_string("dc a 0 0 8\ndc a 1 1 8\n"), std::runtime_error);
+}
+
+TEST(Stats, ToyExampleNumbers) {
+  const auto stats = compute_stats(toy_example_fig10());
+  EXPECT_EQ(stats.dcs, 4);
+  EXPECT_EQ(stats.huts, 2);
+  EXPECT_EQ(stats.ducts, 5);
+  EXPECT_DOUBLE_EQ(stats.total_duct_km, 4 * 15.0 + 20.0);
+  EXPECT_DOUBLE_EQ(stats.min_duct_km, 15.0);
+  EXPECT_DOUBLE_EQ(stats.max_duct_km, 20.0);
+  EXPECT_DOUBLE_EQ(stats.mean_duct_km, 16.0);
+  EXPECT_EQ(stats.min_dc_degree, 1);   // toy DCs single-home
+  EXPECT_EQ(stats.max_site_degree, 3); // each hub: 2 DCs + trunk
+  EXPECT_GT(stats.extent_km, 40.0);
+  EXPECT_FALSE(describe(stats).empty());
+}
+
+TEST(Stats, GeneratedRegionsHaveRedundantDcs) {
+  RegionParams params;
+  params.seed = 9;
+  params.dc_count = 6;
+  params.dc_attach_huts = 3;
+  const auto stats = compute_stats(generate_region(params));
+  EXPECT_GE(stats.min_dc_degree, 3);
+  EXPECT_GT(stats.total_duct_km, 0.0);
+  EXPECT_LE(stats.min_duct_km, stats.mean_duct_km);
+  EXPECT_LE(stats.mean_duct_km, stats.max_duct_km);
+}
+
+TEST(Render, AsciiMapShowsSitesAndDucts) {
+  const FiberMap map = toy_example_fig10();
+  const std::string art = render_ascii(map);
+  // 4 DCs labeled 0-3, 2 huts, ducts drawn.
+  EXPECT_NE(art.find('0'), std::string::npos);
+  EXPECT_NE(art.find('3'), std::string::npos);
+  EXPECT_EQ(std::count(art.begin(), art.end(), 'o'), 2);
+  EXPECT_NE(art.find('.'), std::string::npos);
+  // 28 lines of 72 chars by default.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 28);
+}
+
+TEST(Render, ShadeOverlayAppears) {
+  const FiberMap map = toy_example_fig10();
+  RenderOptions options;
+  options.draw_ducts = false;
+  options.shade = [](geo::Point p) { return p.x < 20.0; };
+  const std::string art = render_ascii(map, options);
+  EXPECT_NE(art.find('+'), std::string::npos);
+  EXPECT_EQ(art.find('.'), std::string::npos);
+}
+
+TEST(Render, DeterministicOutput) {
+  const FiberMap map = toy_example_fig10();
+  EXPECT_EQ(render_ascii(map), render_ascii(map));
+}
+
+class GeneratorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, EverySeedYieldsConnectedSlaCompliantRegion) {
+  RegionParams params;
+  params.seed = GetParam();
+  params.dc_count = 6;
+  params.hut_count = 12;
+  const FiberMap map = generate_region(params);
+  const auto tree = graph::dijkstra(map.graph(), map.dcs()[0]);
+  for (auto dc : map.dcs()) EXPECT_TRUE(tree.reachable(dc));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace iris::fibermap

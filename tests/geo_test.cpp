@@ -1,0 +1,214 @@
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "geo/latlon.hpp"
+#include "geo/point.hpp"
+#include "geo/polyline.hpp"
+#include "geo/service_area.hpp"
+
+namespace iris::geo {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Point, ArithmeticAndDistance) {
+  const Point a{1.0, 2.0};
+  const Point b{4.0, 6.0};
+  EXPECT_EQ((a + b), (Point{5.0, 8.0}));
+  EXPECT_EQ((b - a), (Point{3.0, 4.0}));
+  EXPECT_EQ((a * 2.0), (Point{2.0, 4.0}));
+  EXPECT_EQ((2.0 * a), (Point{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(norm(b - a), 5.0);
+}
+
+TEST(Point, DotAndLerp) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 0.0}, {0.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(dot({2.0, 3.0}, {4.0, 5.0}), 23.0);
+  EXPECT_EQ(lerp({0.0, 0.0}, {10.0, 20.0}, 0.5), (Point{5.0, 10.0}));
+  EXPECT_EQ(midpoint({0.0, 0.0}, {4.0, 8.0}), (Point{2.0, 4.0}));
+}
+
+TEST(Point, StreamOutput) {
+  std::ostringstream os;
+  os << Point{1.5, -2.0};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+TEST(Latency, FiberRuleOfThumbAndPropagation) {
+  // Industry rule: fiber distance ~2x geographic distance.
+  EXPECT_DOUBLE_EQ(estimated_fiber_km({0.0, 0.0}, {3.0, 4.0}), 10.0);
+  // Paper's anchor points: ~120 km of fiber <-> ~1.2 ms RTT (SS2.1).
+  EXPECT_NEAR(round_trip_latency_ms(120.0), 1.2, 0.05);
+  // 19 km direct -> ~0.2 ms RTT (Tokyo example).
+  EXPECT_NEAR(round_trip_latency_ms(19.0), 0.2, 0.02);
+}
+
+TEST(Polyline, LengthOfChain) {
+  Polyline line({{0.0, 0.0}, {3.0, 4.0}, {3.0, 10.0}});
+  EXPECT_DOUBLE_EQ(line.length(), 11.0);
+  EXPECT_EQ(line.size(), 3u);
+  EXPECT_FALSE(line.empty());
+}
+
+TEST(Polyline, EmptyAndSinglePoint) {
+  EXPECT_DOUBLE_EQ(Polyline().length(), 0.0);
+  EXPECT_TRUE(Polyline().empty());
+  Polyline single({{1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(single.length(), 0.0);
+  EXPECT_EQ(single.at_arc_length(5.0), (Point{1.0, 1.0}));
+}
+
+TEST(Polyline, AtArcLengthInterpolatesAndClamps) {
+  Polyline line({{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}});
+  EXPECT_EQ(line.at_arc_length(-1.0), (Point{0.0, 0.0}));
+  EXPECT_EQ(line.at_arc_length(5.0), (Point{5.0, 0.0}));
+  EXPECT_EQ(line.at_arc_length(15.0), (Point{10.0, 5.0}));
+  EXPECT_EQ(line.at_arc_length(100.0), (Point{10.0, 10.0}));
+}
+
+TEST(Polyline, StraightDuct) {
+  const Polyline duct = straight_duct({0.0, 0.0}, {6.0, 8.0});
+  EXPECT_DOUBLE_EQ(duct.length(), 10.0);
+}
+
+TEST(Box, ContainsAndExpand) {
+  const Box box{{0.0, 0.0}, {10.0, 20.0}};
+  EXPECT_DOUBLE_EQ(box.area(), 200.0);
+  EXPECT_TRUE(box.contains({5.0, 5.0}));
+  EXPECT_FALSE(box.contains({-0.1, 5.0}));
+  const Box bigger = box.expanded(1.0);
+  EXPECT_DOUBLE_EQ(bigger.area(), 12.0 * 22.0);
+  EXPECT_TRUE(bigger.contains({-0.5, -0.5}));
+}
+
+TEST(Box, BoundingBoxOfPoints) {
+  const std::vector<Point> pts{{1.0, 5.0}, {-2.0, 3.0}, {4.0, -1.0}};
+  const Box box = bounding_box(pts);
+  EXPECT_EQ(box.lo, (Point{-2.0, -1.0}));
+  EXPECT_EQ(box.hi, (Point{4.0, 5.0}));
+}
+
+TEST(RasterArea, FullAndEmptyPredicates) {
+  const Box box{{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_DOUBLE_EQ(raster_area(box, 64, [](Point) { return true; }), 100.0);
+  EXPECT_DOUBLE_EQ(raster_area(box, 64, [](Point) { return false; }), 0.0);
+}
+
+TEST(RasterArea, DiskAreaConvergesToPiR2) {
+  const Box box{{-10.0, -10.0}, {10.0, 10.0}};
+  const double r = 6.0;
+  const double area = raster_area(box, 512, [&](Point p) {
+    return distance_sq(p, {0.0, 0.0}) <= r * r;
+  });
+  EXPECT_NEAR(area, kPi * r * r, 0.5);
+}
+
+TEST(RasterArea, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(raster_area({{0, 0}, {0, 10}}, 64, [](Point) { return true; }),
+                   0.0);
+  EXPECT_DOUBLE_EQ(raster_area({{0, 0}, {10, 10}}, 0, [](Point) { return true; }),
+                   0.0);
+}
+
+TEST(SitingSla, RadiiFollowTheSla) {
+  const SitingSla sla{120.0};
+  // 120 km of fiber at 2x detour = 60 km geographic for direct links.
+  EXPECT_DOUBLE_EQ(sla.direct_geo_radius_km(), 60.0);
+  // Each DC-hub leg gets half the fiber budget -> 30 km geographic.
+  EXPECT_DOUBLE_EQ(sla.hub_leg_geo_radius_km(), 30.0);
+}
+
+TEST(ServiceArea, CentralizedIntersectionShrinksWithHubSeparation) {
+  const Box region{{-100.0, -100.0}, {100.0, 100.0}};
+  const SitingSla sla{120.0};
+  const std::vector<Point> near_hubs{{-2.0, 0.0}, {2.0, 0.0}};
+  const std::vector<Point> far_hubs{{-12.0, 0.0}, {12.0, 0.0}};
+  const double near_area = centralized_service_area(near_hubs, sla, region, 256);
+  const double far_area = centralized_service_area(far_hubs, sla, region, 256);
+  EXPECT_GT(near_area, far_area);
+  EXPECT_GT(far_area, 0.0);
+}
+
+TEST(ServiceArea, DistributedLargerThanCentralizedForSameSites) {
+  // With hubs at the same spots as two DCs, the distributed radius (60 km)
+  // doubles the hub-leg radius (30 km), so the permissible area is larger.
+  const Box region{{-150.0, -150.0}, {150.0, 150.0}};
+  const SitingSla sla{120.0};
+  const std::vector<Point> sites{{-5.0, 0.0}, {5.0, 0.0}};
+  const double central = centralized_service_area(sites, sla, region, 256);
+  const double distributed = distributed_service_area(sites, sla, region, 256);
+  EXPECT_GT(distributed, 2.0 * central);
+}
+
+TEST(ServiceArea, DisjointConstraintsYieldZeroArea) {
+  const Box region{{-200.0, -200.0}, {200.0, 200.0}};
+  const SitingSla sla{120.0};
+  // Two hubs 100 km apart: 30 km radii cannot intersect.
+  const std::vector<Point> hubs{{-50.0, 0.0}, {50.0, 0.0}};
+  EXPECT_DOUBLE_EQ(centralized_service_area(hubs, sla, region, 256), 0.0);
+}
+
+TEST(LatLon, HaversineKnownDistances) {
+  // Tokyo station to Yokohama station: ~27 km.
+  const LatLon tokyo{35.6812, 139.7671};
+  const LatLon yokohama{35.4660, 139.6222};
+  EXPECT_NEAR(haversine_km(tokyo, yokohama), 27.3, 1.0);
+  // Same point: zero.
+  EXPECT_DOUBLE_EQ(haversine_km(tokyo, tokyo), 0.0);
+  // One degree of latitude: ~111.2 km anywhere.
+  EXPECT_NEAR(haversine_km({0.0, 0.0}, {1.0, 0.0}), 111.2, 0.2);
+  EXPECT_NEAR(haversine_km({50.0, 10.0}, {51.0, 10.0}), 111.2, 0.2);
+}
+
+TEST(LatLon, TangentProjectionMatchesHaversineAtMetroScale) {
+  const LatLon reference{47.6, -122.3};  // Seattle-ish
+  for (const LatLon p : {LatLon{47.7, -122.2}, LatLon{47.5, -122.5},
+                         LatLon{47.65, -122.05}}) {
+    const Point local = to_local_km(p, reference);
+    const double projected = norm(local);
+    const double great_circle = haversine_km(p, reference);
+    EXPECT_NEAR(projected, great_circle, 0.001 * great_circle + 0.01);
+  }
+}
+
+TEST(LatLon, ProjectionRoundTrips) {
+  const LatLon reference{35.68, 139.77};
+  const LatLon p{35.47, 139.62};
+  const LatLon back = from_local_km(to_local_km(p, reference), reference);
+  EXPECT_NEAR(back.lat_deg, p.lat_deg, 1e-9);
+  EXPECT_NEAR(back.lon_deg, p.lon_deg, 1e-9);
+}
+
+TEST(LatLon, AxesPointEastAndNorth) {
+  const LatLon reference{40.0, -74.0};
+  const Point north = to_local_km({40.1, -74.0}, reference);
+  EXPECT_NEAR(north.x, 0.0, 1e-9);
+  EXPECT_GT(north.y, 10.0);
+  const Point east = to_local_km({40.0, -73.9}, reference);
+  EXPECT_GT(east.x, 7.0);
+  EXPECT_NEAR(east.y, 0.0, 1e-9);
+}
+
+class ServiceAreaSlaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ServiceAreaSlaSweep, AreaGrowsMonotonicallyWithSlaBudget) {
+  const double sla_km = GetParam();
+  const Box region{{-150.0, -150.0}, {150.0, 150.0}};
+  const std::vector<Point> dcs{{-10.0, 0.0}, {10.0, 0.0}, {0.0, 15.0}};
+  const double area =
+      distributed_service_area(dcs, SitingSla{sla_km}, region, 128);
+  const double smaller =
+      distributed_service_area(dcs, SitingSla{sla_km - 20.0}, region, 128);
+  EXPECT_GE(area, smaller);
+  EXPECT_GT(area, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SlaBudgets, ServiceAreaSlaSweep,
+                         ::testing::Values(80.0, 100.0, 120.0, 160.0, 200.0));
+
+}  // namespace
+}  // namespace iris::geo

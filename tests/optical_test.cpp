@@ -1,0 +1,244 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "optical/lightpath.hpp"
+#include "optical/osnr.hpp"
+#include "optical/spec.hpp"
+#include "optical/wavelength.hpp"
+
+namespace iris::optical {
+namespace {
+
+TEST(Spec, DefaultsMatchPaperNumbers) {
+  const OpticalSpec spec;
+  EXPECT_DOUBLE_EQ(spec.fiber_loss_db_per_km, 0.25);
+  EXPECT_DOUBLE_EQ(spec.amp_gain_db, 20.0);
+  // 20 dB gain / 0.25 dB/km = 80 km max unamplified span (TC1).
+  EXPECT_DOUBLE_EQ(spec.max_span_km, spec.amp_gain_db / spec.fiber_loss_db_per_km);
+  EXPECT_EQ(spec.max_amps_end_to_end, 3);  // TC2
+  EXPECT_EQ(spec.max_inline_amps, 1);
+  // TC4: 10 dB budget -> 6 OSSes or 1 OXC end-to-end.
+  EXPECT_EQ(spec.max_oss_hops(), 6);
+  EXPECT_EQ(spec.max_oxc_hops(), 1);
+}
+
+TEST(ChannelPlan, FiberCapacity) {
+  const ChannelPlan plan{40, 400.0};
+  EXPECT_DOUBLE_EQ(plan.fiber_capacity_gbps(), 16000.0);
+  const ChannelPlan dense{64, 400.0};
+  EXPECT_DOUBLE_EQ(dense.fiber_capacity_gbps(), 25600.0);
+}
+
+TEST(Osnr, DbLinearRoundTrip) {
+  EXPECT_DOUBLE_EQ(db_to_linear(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(db_to_linear(10.0), 10.0);
+  EXPECT_NEAR(linear_to_db(db_to_linear(13.7)), 13.7, 1e-12);
+}
+
+TEST(Osnr, CascadePenaltyMatchesFig9) {
+  const OpticalSpec spec;
+  // No amplifiers: no penalty.
+  EXPECT_DOUBLE_EQ(cascade_osnr_penalty_db(0, spec), 0.0);
+  // First amplifier: penalty equals the noise figure (~4.5 dB).
+  EXPECT_DOUBLE_EQ(cascade_osnr_penalty_db(1, spec), 4.5);
+  // Each doubling adds ~3 dB (Fig. 9's measured slope).
+  EXPECT_NEAR(cascade_osnr_penalty_db(2, spec) - cascade_osnr_penalty_db(1, spec),
+              3.0, 0.05);
+  EXPECT_NEAR(cascade_osnr_penalty_db(4, spec) - cascade_osnr_penalty_db(2, spec),
+              3.0, 0.05);
+  EXPECT_NEAR(cascade_osnr_penalty_db(8, spec) - cascade_osnr_penalty_db(4, spec),
+              3.0, 0.05);
+  // Three amplifiers stay within the ~9 dB amplifier budget (TC2).
+  EXPECT_LT(cascade_osnr_penalty_db(3, spec), 9.5);
+}
+
+TEST(Osnr, ReceivedOsnrSubtractsPenalties) {
+  const OpticalSpec spec;
+  EXPECT_DOUBLE_EQ(received_osnr_db(0, 0.0, spec), spec.tx_osnr_db);
+  EXPECT_DOUBLE_EQ(received_osnr_db(1, 2.0, spec),
+                   spec.tx_osnr_db - 4.5 - 2.0);
+}
+
+TEST(Osnr, BerIsMonotoneDecreasingInOsnr) {
+  double prev = 1.0;
+  for (double osnr = 15.0; osnr <= 40.0; osnr += 1.0) {
+    const double ber = dp16qam_pre_fec_ber(osnr);
+    EXPECT_LT(ber, prev) << "at OSNR " << osnr;
+    prev = ber;
+  }
+}
+
+TEST(Osnr, FecThresholdCrossesNearCalibration) {
+  const OpticalSpec spec;
+  // The model is calibrated so SD-FEC (2e-2) is crossed a couple of dB below
+  // the 400ZR 26 dB floor.
+  EXPECT_TRUE(ber_below_fec_threshold(spec.min_rx_osnr_db, spec));
+  EXPECT_TRUE(ber_below_fec_threshold(24.5, spec));
+  EXPECT_FALSE(ber_below_fec_threshold(20.0, spec));
+}
+
+TEST(Osnr, WorstCasePathStillDecodes) {
+  // 3 amplifiers + 2 dB impairments: the paper's worst-case budget. The
+  // received OSNR must stay above the floor and the BER under threshold.
+  const OpticalSpec spec;
+  const double osnr = received_osnr_db(3, 2.0, spec);
+  EXPECT_GE(osnr, spec.min_rx_osnr_db);
+  EXPECT_LT(dp16qam_pre_fec_ber(osnr), spec.sd_fec_ber_threshold);
+}
+
+TEST(LightPath, PointToPoint80KmIsFeasible) {
+  const auto report = evaluate(point_to_point_link(80.0));
+  EXPECT_TRUE(report.feasible());
+  EXPECT_DOUBLE_EQ(report.total_km, 80.0);
+  EXPECT_EQ(report.amp_count, 2);
+  EXPECT_DOUBLE_EQ(report.max_unamplified_span_km, 80.0);
+}
+
+TEST(LightPath, SpanBeyond80KmViolatesTc1) {
+  const auto report = evaluate(point_to_point_link(90.0));
+  EXPECT_FALSE(report.feasible());
+  EXPECT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0], Violation::kSpanTooLong);
+  EXPECT_NE(to_string(report.violations[0]).find("TC1"), std::string::npos);
+}
+
+TEST(LightPath, InlineAmpExtendsReachTo120Km) {
+  LightPath path;
+  path.amplifier().fiber(60.0).oss().amplifier().oss().fiber(60.0).amplifier();
+  const auto report = evaluate(path);
+  EXPECT_TRUE(report.feasible()) << report.violations.size();
+  EXPECT_EQ(report.amp_count, 3);
+  EXPECT_DOUBLE_EQ(report.total_km, 120.0);
+}
+
+TEST(LightPath, BeyondSlaDistanceViolatesOc1) {
+  LightPath path;
+  path.amplifier().fiber(70.0).amplifier().fiber(70.0).amplifier();
+  const auto report = evaluate(path);
+  EXPECT_FALSE(report.feasible());
+  EXPECT_TRUE(std::find(report.violations.begin(), report.violations.end(),
+                        Violation::kPathTooLong) != report.violations.end());
+}
+
+TEST(LightPath, TooManyAmpsViolatesTc2) {
+  LightPath path;
+  path.amplifier();
+  for (int i = 0; i < 3; ++i) path.fiber(25.0).amplifier();
+  const auto report = evaluate(path);
+  EXPECT_EQ(report.amp_count, 4);
+  EXPECT_TRUE(std::find(report.violations.begin(), report.violations.end(),
+                        Violation::kTooManyAmps) != report.violations.end());
+  EXPECT_TRUE(std::find(report.violations.begin(), report.violations.end(),
+                        Violation::kTooManyInlineAmps) != report.violations.end());
+}
+
+TEST(LightPath, SixOssesWithinBudgetSevenBeyond) {
+  LightPath six;
+  six.amplifier();
+  for (int i = 0; i < 6; ++i) six.oss();
+  six.fiber(10.0).amplifier();
+  EXPECT_TRUE(evaluate(six).feasible());
+
+  LightPath seven;
+  seven.amplifier();
+  for (int i = 0; i < 7; ++i) seven.oss();
+  seven.fiber(10.0).amplifier();
+  const auto report = evaluate(seven);
+  EXPECT_TRUE(std::find(report.violations.begin(), report.violations.end(),
+                        Violation::kReconfigBudget) != report.violations.end());
+}
+
+TEST(LightPath, OneOxcFitsTwoDoNot) {
+  LightPath one;
+  one.amplifier().fiber(10.0).oxc().fiber(10.0).amplifier();
+  EXPECT_TRUE(evaluate(one).feasible());
+
+  LightPath two;
+  two.amplifier().fiber(10.0).oxc().oxc().fiber(10.0).amplifier();
+  const auto report = evaluate(two);
+  EXPECT_FALSE(report.feasible());
+  EXPECT_DOUBLE_EQ(report.reconfig_loss_db, 18.0);
+}
+
+TEST(LightPath, ReportAccumulatesCounts) {
+  LightPath path;
+  path.amplifier().fiber(30.0).oss().fiber(20.0).oss().amplifier().fiber(10.0)
+      .amplifier();
+  const auto report = evaluate(path);
+  EXPECT_EQ(report.oss_count, 2);
+  EXPECT_EQ(report.amp_count, 3);
+  EXPECT_DOUBLE_EQ(report.total_km, 60.0);
+  EXPECT_DOUBLE_EQ(report.max_unamplified_span_km, 50.0);
+  EXPECT_DOUBLE_EQ(report.reconfig_loss_db, 3.0);
+  EXPECT_GT(report.pre_fec_ber, 0.0);
+}
+
+// --- Wavelength assignment (Appendix B) -------------------------------------
+
+TEST(Wavelength, DisjointPathsShareChannelZero) {
+  const std::vector<Lightpath> paths{{{1, 2}}, {{3, 4}}, {{5}}};
+  const auto a = assign_wavelengths(paths, 40);
+  EXPECT_TRUE(a.complete);
+  EXPECT_EQ(a.channels_used, 1);
+  for (int c : a.channel) EXPECT_EQ(c, 0);
+  EXPECT_TRUE(assignment_valid(paths, a));
+}
+
+TEST(Wavelength, SharedSegmentForcesDistinctChannels) {
+  const std::vector<Lightpath> paths{{{1, 2}}, {{2, 3}}, {{3, 4}}};
+  const auto a = assign_wavelengths(paths, 40);
+  EXPECT_TRUE(a.complete);
+  EXPECT_TRUE(assignment_valid(paths, a));
+  EXPECT_NE(a.channel[0], a.channel[1]);
+  EXPECT_NE(a.channel[1], a.channel[2]);
+  // Path 0 and 2 are disjoint: two channels suffice.
+  EXPECT_EQ(a.channels_used, 2);
+}
+
+TEST(Wavelength, CliqueNeedsAsManyChannelsAsMembers) {
+  // Five lightpaths over one common trunk segment.
+  std::vector<Lightpath> paths;
+  for (int i = 0; i < 5; ++i) paths.push_back({{100, 200 + i}});
+  const auto a = assign_wavelengths(paths, 40);
+  EXPECT_TRUE(a.complete);
+  EXPECT_EQ(a.channels_used, 5);
+  EXPECT_TRUE(assignment_valid(paths, a));
+}
+
+TEST(Wavelength, ChannelBudgetOverflowIsReported) {
+  std::vector<Lightpath> paths;
+  for (int i = 0; i < 5; ++i) paths.push_back({{7, 50 + i}});
+  const auto a = assign_wavelengths(paths, 3);
+  EXPECT_FALSE(a.complete);
+  EXPECT_EQ(a.unassigned(), 2);
+  EXPECT_TRUE(assignment_valid(paths, a));  // assigned part is conflict-free
+}
+
+TEST(Wavelength, RejectsNonPositiveBudget) {
+  EXPECT_THROW((void)assign_wavelengths({}, 0), std::invalid_argument);
+}
+
+TEST(Wavelength, ValidatorCatchesBadAssignments) {
+  const std::vector<Lightpath> paths{{{1}}, {{1}}};
+  WavelengthAssignment bad;
+  bad.channel = {0, 0};
+  EXPECT_FALSE(assignment_valid(paths, bad));
+  bad.channel = {0};
+  EXPECT_FALSE(assignment_valid(paths, bad));  // size mismatch
+}
+
+class AmpCountBerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AmpCountBerSweep, BerDegradesWithCascadeButStaysOrdered) {
+  const int amps = GetParam();
+  const double with = dp16qam_pre_fec_ber(received_osnr_db(amps, 2.0));
+  const double without = dp16qam_pre_fec_ber(received_osnr_db(amps - 1, 2.0));
+  EXPECT_GT(with, without);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cascades, AmpCountBerSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace iris::optical

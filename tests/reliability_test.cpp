@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "fibermap/generator.hpp"
+#include "reliability/availability.hpp"
+#include "topology/latency.hpp"
+
+namespace iris::reliability {
+namespace {
+
+FailureModel fast_model(std::uint64_t seed = 1) {
+  FailureModel model;
+  // Aggressive rates so a short horizon produces plenty of events.
+  model.cuts_per_km_year = 0.5;
+  model.mean_repair_hours = 24.0;
+  model.horizon_years = 300.0;
+  model.seed = seed;
+  return model;
+}
+
+TEST(Availability, SeriesChainAnalyticFormula) {
+  FailureModel model;
+  model.cuts_per_km_year = 0.005;
+  model.mean_repair_hours = 12.0;
+  // One 100 km duct: lambda = 0.5/yr, MTTR 12 h.
+  const double lambda = 0.5 / (365.25 * 24.0);
+  const double mu = 1.0 / 12.0;
+  EXPECT_NEAR(series_chain_availability({100.0}, model), mu / (mu + lambda),
+              1e-12);
+  // Two ducts in series multiply.
+  EXPECT_NEAR(series_chain_availability({100.0, 100.0}, model),
+              std::pow(mu / (mu + lambda), 2), 1e-12);
+}
+
+TEST(Availability, MonteCarloMatchesAnalyticOnAChain) {
+  // DC - hut - DC chain: the pair is up only when both ducts are up.
+  fibermap::FiberMap map;
+  const auto a = map.add_dc("a", {0, 0}, 4);
+  const auto hut = map.add_hut("h", {20, 0});
+  const auto b = map.add_dc("b", {40, 0}, 4);
+  map.add_duct_with_length(a, hut, 30.0);
+  map.add_duct_with_length(hut, b, 30.0);
+
+  const auto model = fast_model(7);
+  const auto report =
+      simulate_availability(map, model, any_path_criterion(map));
+  ASSERT_EQ(report.pairs.size(), 1u);
+  EXPECT_GT(report.cut_events, 100);  // enough samples to trust the estimate
+  const double analytic = series_chain_availability({30.0, 30.0}, model);
+  EXPECT_NEAR(report.pairs[0].availability, analytic,
+              4.0 * (1.0 - analytic));  // generous CI, deterministic seed
+  EXPECT_LT(report.pairs[0].availability, 1.0);
+}
+
+TEST(Availability, RedundantPathsBeatSinglePath) {
+  // Ring vs chain between the same two DCs.
+  fibermap::FiberMap chain;
+  const auto ca = chain.add_dc("a", {0, 0}, 4);
+  const auto ch = chain.add_hut("h", {20, 0});
+  const auto cb = chain.add_dc("b", {40, 0}, 4);
+  chain.add_duct_with_length(ca, ch, 30.0);
+  chain.add_duct_with_length(ch, cb, 30.0);
+
+  fibermap::FiberMap ring = chain;  // plus a disjoint southern route
+  const auto south = ring.add_hut("s", {20, -10});
+  ring.add_duct_with_length(ca, south, 35.0);
+  ring.add_duct_with_length(south, cb, 35.0);
+
+  const auto model = fast_model(11);
+  const auto chain_report =
+      simulate_availability(chain, model, any_path_criterion(chain));
+  const auto ring_report =
+      simulate_availability(ring, model, any_path_criterion(ring));
+  EXPECT_GT(ring_report.pairs[0].availability,
+            chain_report.pairs[0].availability);
+}
+
+TEST(Availability, HubCriterionIsStricterThanAnyPath) {
+  // Square: two DCs joined by a northern hub route and a direct southern
+  // duct. Centralized traffic must transit the hub; distributed may not.
+  fibermap::FiberMap map;
+  const auto a = map.add_dc("a", {0, 0}, 4);
+  const auto b = map.add_dc("b", {40, 0}, 4);
+  const auto hub = map.add_hut("hub", {20, 10});
+  map.add_duct_with_length(a, hub, 30.0);
+  map.add_duct_with_length(hub, b, 30.0);
+  map.add_duct_with_length(a, b, 45.0);  // direct southern route
+
+  const auto model = fast_model(13);
+  const auto any_report =
+      simulate_availability(map, model, any_path_criterion(map));
+  const auto hub_report = simulate_availability(
+      map, model, via_hub_criterion(map, {hub}));
+  EXPECT_GT(any_report.pairs[0].availability,
+            hub_report.pairs[0].availability);
+}
+
+TEST(Availability, ZeroFailureRateIsAlwaysUp) {
+  fibermap::FiberMap map;
+  const auto a = map.add_dc("a", {0, 0}, 4);
+  const auto b = map.add_dc("b", {10, 0}, 4);
+  map.add_duct_with_length(a, b, 15.0);
+  FailureModel model;
+  model.cuts_per_km_year = 0.0;
+  model.horizon_years = 10.0;
+  const auto report =
+      simulate_availability(map, model, any_path_criterion(map));
+  EXPECT_EQ(report.cut_events, 0);
+  EXPECT_DOUBLE_EQ(report.pairs[0].availability, 1.0);
+}
+
+TEST(Availability, RejectsBadModels) {
+  const auto map = fibermap::toy_example_fig10();
+  FailureModel model;
+  model.horizon_years = -1.0;
+  EXPECT_THROW((void)simulate_availability(map, model, any_path_criterion(map)),
+               std::invalid_argument);
+  EXPECT_THROW((void)via_hub_criterion(map, {}), std::invalid_argument);
+}
+
+TEST(Availability, GeneratedRegionReport) {
+  fibermap::RegionParams region;
+  region.seed = 5;
+  region.dc_count = 5;
+  region.dc_attach_huts = 3;
+  const auto map = fibermap::generate_region(region);
+  const auto model = fast_model(17);
+  const auto report =
+      simulate_availability(map, model, any_path_criterion(map));
+  EXPECT_EQ(report.pairs.size(), 10u);
+  EXPECT_LE(report.worst_availability, report.mean_availability);
+  for (const auto& pa : report.pairs) {
+    EXPECT_GE(pa.availability, 0.9);  // triple attachment survives most cuts
+    EXPECT_GE(pa.downtime_minutes_per_year(), 0.0);
+  }
+}
+
+TEST(Availability, DisasterAtHubsKillsCentralizedNotDistributed) {
+  // Two DCs with a direct duct AND a hub route; disasters centered on the
+  // map will regularly flatten the (central) hub. Centralized traffic must
+  // transit the hub; distributed shrugs and uses the direct duct.
+  fibermap::FiberMap map;
+  const auto a = map.add_dc("a", {0, 0}, 4);
+  const auto b = map.add_dc("b", {40, 0}, 4);
+  const auto hub = map.add_hut("hub", {20, 0});
+  map.add_duct_with_length(a, hub, 25.0);
+  map.add_duct_with_length(hub, b, 25.0);
+  map.add_duct_with_length(a, b, 55.0);
+
+  FailureModel model;
+  model.cuts_per_km_year = 0.0;  // isolate the disaster mechanism
+  model.disasters_per_year = 1.0;
+  model.disaster_radius_km = 6.0;  // only the hub neighbourhood
+  model.disaster_repair_days = 30.0;
+  model.horizon_years = 300.0;
+  model.seed = 3;
+
+  const auto dist =
+      simulate_availability(map, model, any_path_criterion(map));
+  const auto cent =
+      simulate_availability(map, model, via_hub_criterion(map, {hub}));
+  ASSERT_EQ(dist.pairs.size(), 1u);
+  // Disasters never take a whole pair down in the distributed design...
+  EXPECT_GT(dist.pairs[0].availability, 0.999);
+  // ...but hub-transit loses whole weeks per year in expectation.
+  EXPECT_LT(cent.pairs[0].availability, 0.99);
+}
+
+TEST(Availability, EndpointDestructionDoesNotCountAsNetworkDowntime) {
+  // One DC pair, disasters that can only hit DC "a" itself: the pair's
+  // availability must stay 1.0 (no network fault).
+  fibermap::FiberMap map;
+  const auto a = map.add_dc("a", {0, 0}, 4);
+  const auto b = map.add_dc("b", {100, 0}, 4);
+  map.add_duct_with_length(a, b, 60.0);
+  map.add_hut("decoy", {0, 100});  // stretches the region box northward
+
+  FailureModel model;
+  model.cuts_per_km_year = 0.0;
+  model.disasters_per_year = 2.0;
+  model.disaster_radius_km = 5.0;
+  model.horizon_years = 100.0;
+  model.seed = 5;
+  const auto report =
+      simulate_availability(map, model, any_path_criterion(map));
+  EXPECT_DOUBLE_EQ(report.pairs[0].availability, 1.0);
+}
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, EstimatesAreStableAcrossSeeds) {
+  fibermap::FiberMap map;
+  const auto a = map.add_dc("a", {0, 0}, 4);
+  const auto h = map.add_hut("h", {20, 0});
+  const auto b = map.add_dc("b", {40, 0}, 4);
+  map.add_duct_with_length(a, h, 30.0);
+  map.add_duct_with_length(h, b, 30.0);
+  const auto model = fast_model(GetParam());
+  const auto report =
+      simulate_availability(map, model, any_path_criterion(map));
+  const double analytic = series_chain_availability({30.0, 30.0}, model);
+  EXPECT_NEAR(report.pairs[0].availability, analytic, 6.0 * (1.0 - analytic));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace iris::reliability

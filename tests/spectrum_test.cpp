@@ -1,0 +1,147 @@
+// Spectrum/power model tests: the quantitative version of the paper's TC3
+// power-management argument (SS5.1, Fig. 13 insets).
+#include <gtest/gtest.h>
+
+#include "optical/spectrum.hpp"
+
+namespace iris::optical {
+namespace {
+
+ChannelGrid grid40() { return ChannelGrid{40, 191.35, 100.0}; }
+
+std::set<int> first_channels(int n) {
+  std::set<int> out;
+  for (int i = 0; i < n; ++i) out.insert(i);
+  return out;
+}
+
+TEST(ChannelGridT, CentersFollowTheGrid) {
+  const auto grid = grid40();
+  EXPECT_DOUBLE_EQ(grid.center_thz(0), 191.35);
+  EXPECT_DOUBLE_EQ(grid.center_thz(1), 191.45);
+  EXPECT_DOUBLE_EQ(grid.center_thz(39), 191.35 + 3.9);
+}
+
+TEST(Spectrum, TransmitValidatesInput) {
+  EXPECT_THROW(
+      (void)SpectrumState::transmit(ChannelGrid{0}, {}, 0.0, true),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)SpectrumState::transmit(grid40(), {99}, 0.0, true),
+      std::out_of_range);
+}
+
+TEST(Spectrum, AseFillMakesTotalPowerIndependentOfLiveCount) {
+  // The heart of TC3: with channel emulation, a fiber carrying 2 live
+  // channels presents the same total power as one carrying 38.
+  const double p2 = amplifier_input_dbm(grid40(), 2, true, 60.0);
+  const double p38 = amplifier_input_dbm(grid40(), 38, true, 60.0);
+  EXPECT_NEAR(p2, p38, 1e-9);
+
+  // Without the fill, the difference is huge -- exactly what would force
+  // online gain management.
+  const double q2 = amplifier_input_dbm(grid40(), 2, false, 60.0);
+  const double q38 = amplifier_input_dbm(grid40(), 38, false, 60.0);
+  EXPECT_GT(q38 - q2, 10.0);  // 10*log10(38/2) ~ 12.8 dB
+}
+
+TEST(Spectrum, ReconfigurationChangesSpanNotPowerProfile) {
+  // Swapping a 20 km span for a 60 km one changes the amplifier input by
+  // exactly the fiber-loss delta, for any live-channel mix -- so a fixed
+  // gain plus a limiter suffices (no synchronized gain adjustment).
+  const double short_span = amplifier_input_dbm(grid40(), 5, true, 20.0);
+  const double long_span = amplifier_input_dbm(grid40(), 30, true, 60.0);
+  EXPECT_NEAR(short_span - long_span, 40.0 * 0.25, 1e-9);
+}
+
+TEST(Spectrum, AttenuationIsUniform) {
+  auto s = SpectrumState::transmit(grid40(), first_channels(10), 0.0, true);
+  const double before = s.channel_power_dbm(3);
+  s.attenuate(7.5);
+  EXPECT_NEAR(before - s.channel_power_dbm(3), 7.5, 1e-9);
+  EXPECT_THROW(s.attenuate(-1.0), std::invalid_argument);
+}
+
+TEST(Spectrum, AmplifierAppliesGainAndNoise) {
+  auto s = SpectrumState::transmit(grid40(), first_channels(4), 0.0, true);
+  s.attenuate(20.0);
+  const double before = s.total_power_dbm();
+  s.amplify(AmplifierStage{20.0, 0.0, 4.5});
+  // Gain restores the signal (plus a sliver of ASE).
+  EXPECT_NEAR(s.total_power_dbm(), before + 20.0, 0.2);
+  // OSNR is finite after amplification and worsens with each stage.
+  const double osnr1 = s.osnr_db(0);
+  EXPECT_LT(osnr1, 60.0);
+  s.attenuate(20.0);
+  s.amplify(AmplifierStage{20.0, 0.0, 4.5});
+  EXPECT_LT(s.osnr_db(0), osnr1);
+}
+
+TEST(Spectrum, CascadedOsnrTracksTheAnalyticCascadeModel) {
+  // N identical amp stages: OSNR should fall ~3 dB per doubling, matching
+  // Fig. 9 / osnr.hpp's closed form.
+  auto run = [&](int stages) {
+    auto s = SpectrumState::transmit(grid40(), first_channels(8), 0.0, true);
+    for (int i = 0; i < stages; ++i) {
+      s.attenuate(20.0);
+      s.amplify(AmplifierStage{20.0, 0.0, 4.5});
+    }
+    return s.osnr_db(0);
+  };
+  const double drop12 = run(1) - run(2);
+  const double drop24 = run(2) - run(4);
+  EXPECT_NEAR(drop12, 3.0, 0.3);
+  EXPECT_NEAR(drop24, 3.0, 0.3);
+}
+
+TEST(Spectrum, RippleAccumulatesAcrossStagesButStaysBounded) {
+  auto s = SpectrumState::transmit(grid40(), first_channels(40), 0.0, false);
+  EXPECT_NEAR(s.flatness_db(), 0.0, 1e-9);
+  const AmplifierStage rippled{20.0, 0.6, 4.5};
+  s.attenuate(20.0);
+  s.amplify(rippled);
+  const double after_one = s.flatness_db();
+  EXPECT_NEAR(after_one, 0.6, 0.05);
+  s.attenuate(20.0);
+  s.amplify(rippled);
+  // Aligned ripple doubles peak-to-peak; the paper's ~2 dB impairment
+  // allowance (SS3.2) covers a 3-amp cascade of such ripple.
+  EXPECT_NEAR(s.flatness_db(), 1.2, 0.1);
+  EXPECT_LT(3.0 * after_one, 2.0 + 0.1);
+}
+
+TEST(Spectrum, PowerLimiterClampsHotInputs) {
+  // A short span leaves the input hot; the limiter trims it to the cap,
+  // uniformly across channels.
+  auto s = SpectrumState::transmit(grid40(), first_channels(40), 0.0, true);
+  s.attenuate(5.0);  // only 20 km of fiber
+  const double cap_dbm = 8.0;
+  s.limit_total_power(cap_dbm);
+  EXPECT_NEAR(s.total_power_dbm(), cap_dbm, 1e-9);
+  // A cold input passes untouched.
+  auto cold = SpectrumState::transmit(grid40(), first_channels(40), 0.0, true);
+  cold.attenuate(25.0);
+  const double before = cold.total_power_dbm();
+  cold.limit_total_power(cap_dbm);
+  EXPECT_DOUBLE_EQ(cold.total_power_dbm(), before);
+}
+
+TEST(Spectrum, OsnrOnlyDefinedForLiveChannels) {
+  auto s = SpectrumState::transmit(grid40(), first_channels(2), 0.0, true);
+  EXPECT_NO_THROW((void)s.osnr_db(1));
+  EXPECT_THROW((void)s.osnr_db(30), std::invalid_argument);  // ASE fill only
+}
+
+class LiveCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LiveCountSweep, FilledSpectrumPowerIsAlwaysTheSame) {
+  const double reference = amplifier_input_dbm(grid40(), 40, true, 40.0);
+  EXPECT_NEAR(amplifier_input_dbm(grid40(), GetParam(), true, 40.0), reference,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(LiveCounts, LiveCountSweep,
+                         ::testing::Values(0, 1, 2, 5, 10, 20, 39, 40));
+
+}  // namespace
+}  // namespace iris::optical

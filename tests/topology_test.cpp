@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include "topology/latency.hpp"
+#include "topology/port_model.hpp"
+#include "topology/siting.hpp"
+#include "topology/zones.hpp"
+
+namespace iris::topology {
+namespace {
+
+using geo::Point;
+
+TEST(PortModel, CentralizedNeedsTwiceTheDcPorts) {
+  PortModelInput in;
+  in.dc_count = 16;
+  in.ports_per_dc = 100;
+  in.groups = 1;
+  EXPECT_EQ(total_ports(in), 2LL * 16 * 100);  // SS2.4: 2*N*P
+  EXPECT_EQ(in_network_ports(in), 16LL * 100);
+}
+
+TEST(PortModel, TotalPortsFollowGPlusOneLaw) {
+  for (int g : {1, 2, 4, 8, 16}) {
+    PortModelInput in;
+    in.dc_count = 16;
+    in.ports_per_dc = 50;
+    in.groups = g;
+    EXPECT_EQ(total_ports(in), static_cast<long long>(g + 1) * 16 * 50);
+  }
+}
+
+TEST(PortModel, RejectsUnevenGroups) {
+  PortModelInput in;
+  in.dc_count = 16;
+  in.groups = 3;
+  EXPECT_THROW((void)total_ports(in), std::invalid_argument);
+  in.groups = 32;
+  EXPECT_THROW((void)total_ports(in), std::invalid_argument);
+  in = PortModelInput{};
+  in.ports_per_dc = 0;
+  EXPECT_THROW((void)total_ports(in), std::invalid_argument);
+}
+
+TEST(PortModel, DistributedElectricalCostsRoughly7xCentralized) {
+  // The paper's Fig. 7 headline: a fully meshed distributed topology is
+  // roughly 7x the centralized cost under electrical switching.
+  const auto prices = cost::PriceBook::paper_defaults();
+  PortModelInput central;
+  central.dc_count = 16;
+  central.ports_per_dc = 100;
+  central.groups = 1;
+  PortModelInput mesh = central;
+  mesh.groups = 16;
+  const double ratio =
+      port_model_cost(mesh, SwitchingVariant::kElectrical, prices).total() /
+      port_model_cost(central, SwitchingVariant::kElectrical, prices).total();
+  EXPECT_GT(ratio, 6.0);
+  EXPECT_LT(ratio, 9.0);
+}
+
+TEST(PortModel, OpticalCostNearlyFlatAcrossGroups) {
+  const auto prices = cost::PriceBook::paper_defaults();
+  PortModelInput in;
+  in.dc_count = 16;
+  in.ports_per_dc = 100;
+  in.groups = 1;
+  const double central =
+      port_model_cost(in, SwitchingVariant::kOptical, prices).total();
+  in.groups = 16;
+  const double mesh =
+      port_model_cost(in, SwitchingVariant::kOptical, prices).total();
+  // Transceivers dominate and stay fixed at the DCs; only cheap OSS ports
+  // grow, so the distributed optical network costs barely more.
+  EXPECT_LT(mesh / central, 1.15);
+}
+
+TEST(PortModel, SrTransceiversCheapenIntraGroupButNotInterGroup) {
+  const auto prices = cost::PriceBook::paper_defaults();
+  PortModelInput in;
+  in.dc_count = 16;
+  in.ports_per_dc = 100;
+  in.groups = 4;
+  const double plain =
+      port_model_cost(in, SwitchingVariant::kElectrical, prices).total();
+  const double with_sr =
+      port_model_cost(in, SwitchingVariant::kElectricalWithSr, prices).total();
+  EXPECT_LT(with_sr, plain);
+  // Inter-group ports still need DCI reach, so SR cannot close the gap to
+  // the optical design.
+  const double optical =
+      port_model_cost(in, SwitchingVariant::kOptical, prices).total();
+  EXPECT_GT(with_sr, optical);
+}
+
+TEST(PortModel, TransceiversDominateElectricalCost) {
+  const auto prices = cost::PriceBook::paper_defaults();
+  PortModelInput in;
+  in.dc_count = 16;
+  in.ports_per_dc = 100;
+  in.groups = 8;
+  const auto breakdown =
+      port_model_cost(in, SwitchingVariant::kElectrical, prices);
+  EXPECT_GT(breakdown.dci_transceivers, 5.0 * breakdown.electrical_ports);
+}
+
+TEST(Latency, DirectNeverSlowerThanViaHub) {
+  const std::vector<Point> dcs{{0, 0}, {10, 0}, {5, 9}, {-4, 6}};
+  const std::vector<Point> hubs{{3, 3}, {4, 4}};
+  for (const auto& pl : pair_latencies(dcs, hubs)) {
+    EXPECT_GE(pl.via_hub_fiber_km, pl.direct_fiber_km - 1e-9);
+    EXPECT_GE(pl.inflation(), 1.0 - 1e-12);
+  }
+}
+
+TEST(Latency, PairCountIsAllPairs) {
+  const std::vector<Point> dcs{{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  const std::vector<Point> hubs{{0, 5}};
+  EXPECT_EQ(pair_latencies(dcs, hubs).size(), 10u);
+}
+
+TEST(Latency, TokyoLikeExampleInflation) {
+  // Paper SS2.1: two DCs ~19 km of fiber apart, hubs far south making
+  // DC-hub legs 53-60 km -> ~6x latency reduction going direct.
+  const std::vector<Point> dcs{{0.0, 0.0}, {9.5, 0.0}};  // 19 km fiber direct
+  const std::vector<Point> hubs{{4.0, -27.0}, {6.0, -28.0}};
+  const auto pairs = pair_latencies(dcs, hubs);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_NEAR(pairs[0].direct_fiber_km, 19.0, 0.1);
+  EXPECT_GT(pairs[0].inflation(), 5.0);
+  EXPECT_NEAR(pairs[0].direct_rtt_ms(), 0.2, 0.03);
+  EXPECT_GT(pairs[0].via_hub_rtt_ms(), 1.0);
+}
+
+TEST(Latency, RequiresAtLeastOneHub) {
+  const std::vector<Point> dcs{{0, 0}, {1, 1}};
+  EXPECT_THROW((void)pair_latencies(dcs, {}), std::invalid_argument);
+}
+
+TEST(Latency, FractionAboveThreshold) {
+  std::vector<PairLatency> pairs(4);
+  for (int i = 0; i < 4; ++i) {
+    pairs[i].direct_fiber_km = 10.0;
+    pairs[i].via_hub_fiber_km = 10.0 * (i + 1);  // inflation 1,2,3,4
+  }
+  EXPECT_DOUBLE_EQ(fraction_above(pairs, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_above(pairs, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_above({}, 1.0), 0.0);
+}
+
+TEST(Hubs, PlacedAtCentroidWithRequestedSeparation) {
+  const std::vector<Point> dcs{{0, 0}, {20, 0}, {10, 10}};
+  const auto hubs = place_two_hubs(dcs, 6.0);
+  ASSERT_EQ(hubs.size(), 2u);
+  EXPECT_NEAR(geo::distance(hubs[0], hubs[1]), 6.0, 1e-9);
+  const Point mid = geo::midpoint(hubs[0], hubs[1]);
+  EXPECT_NEAR(mid.x, 10.0, 1e-9);
+  EXPECT_NEAR(mid.y, 10.0 / 3.0, 1e-9);
+}
+
+TEST(Hubs, RequiresDcs) {
+  EXPECT_THROW((void)place_two_hubs({}, 5.0), std::invalid_argument);
+}
+
+TEST(Siting, DistributedBeatsCentralized) {
+  // A plausible 6-DC region with hubs near the centroid.
+  const std::vector<Point> dcs{{0, 0},  {18, 4}, {9, 14},
+                               {4, 22}, {22, 18}, {13, -6}};
+  const auto hubs = place_two_hubs(dcs, 5.0);
+  const auto cmp = compare_siting(dcs, hubs);
+  EXPECT_GT(cmp.centralized_area_km2, 0.0);
+  EXPECT_GT(cmp.area_increase(), 1.5);
+}
+
+TEST(Siting, CloserHubsGiveLargerCentralizedArea) {
+  const std::vector<Point> dcs{{0, 0}, {14, 2}, {6, 12}, {10, -8}};
+  const auto near_cmp = compare_siting(dcs, place_two_hubs(dcs, 5.0));
+  const auto far_cmp = compare_siting(dcs, place_two_hubs(dcs, 22.0));
+  EXPECT_GT(near_cmp.centralized_area_km2, far_cmp.centralized_area_km2);
+  // Distributed area does not depend on hub placement.
+  EXPECT_NEAR(near_cmp.distributed_area_km2, far_cmp.distributed_area_km2,
+              0.01 * near_cmp.distributed_area_km2 + 1.0);
+  // So the flexibility advantage is larger when hubs are farther apart.
+  EXPECT_GT(far_cmp.area_increase(), near_cmp.area_increase());
+}
+
+TEST(Zones, SingleZoneIsCentralized) {
+  const std::vector<Point> dcs{{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+  const auto zones = cluster_into_zones(dcs, 1);
+  ASSERT_EQ(zones.size(), 1u);
+  EXPECT_EQ(zones[0].members.size(), 4u);
+  // Hub at the centroid.
+  EXPECT_NEAR(zones[0].hub.x, 5.0, 1e-9);
+  EXPECT_NEAR(zones[0].hub.y, 5.0, 1e-9);
+}
+
+TEST(Zones, TwoClustersAreSeparated) {
+  // Two tight clusters 100 km apart: k-means must split them cleanly.
+  const std::vector<Point> dcs{{0, 0}, {1, 1}, {0, 2}, {100, 0}, {101, 1},
+                               {100, 2}};
+  const auto zones = cluster_into_zones(dcs, 2, 3);
+  ASSERT_EQ(zones.size(), 2u);
+  for (const auto& z : zones) {
+    EXPECT_EQ(z.members.size(), 3u);
+    // Every member within 5 km of its hub.
+    for (int m : z.members) {
+      EXPECT_LT(geo::distance(dcs[m], z.hub), 5.0);
+    }
+  }
+}
+
+TEST(Zones, RejectsBadZoneCounts) {
+  const std::vector<Point> dcs{{0, 0}, {1, 1}};
+  EXPECT_THROW((void)cluster_into_zones(dcs, 0), std::invalid_argument);
+  EXPECT_THROW((void)cluster_into_zones(dcs, 3), std::invalid_argument);
+}
+
+TEST(Zones, PairLatenciesCoverAllPairsAndClassifyZones) {
+  const std::vector<Point> dcs{{0, 0}, {2, 0}, {100, 0}, {102, 0}};
+  const auto zones = cluster_into_zones(dcs, 2, 5);
+  const auto pairs = zone_pair_latencies(dcs, zones);
+  EXPECT_EQ(pairs.size(), 6u);
+  int same = 0, cross = 0;
+  for (const auto& p : pairs) {
+    (p.same_zone ? same : cross)++;
+    EXPECT_GT(p.fiber_km, 0.0);
+    // Cross-zone pairs traverse the ~100 km inter-hub stretch.
+    if (!p.same_zone) {
+      EXPECT_GT(p.fiber_km, 150.0);
+    }
+  }
+  EXPECT_EQ(same, 2);
+  EXPECT_EQ(cross, 4);
+}
+
+TEST(Zones, FullyDistributedMinimizesMeanLatency) {
+  // With one zone per DC, hubs coincide with the DCs and every pair goes
+  // direct -- the latency floor of SS2.1. A single central hub is always
+  // worse or equal (triangle inequality).
+  std::vector<Point> dcs;
+  for (int i = 0; i < 12; ++i) {
+    dcs.push_back({10.0 * (i % 4), 12.0 * (i / 4)});
+  }
+  const double one = mean_zone_fiber_km(dcs, cluster_into_zones(dcs, 1, 7));
+  const double twelve = mean_zone_fiber_km(dcs, cluster_into_zones(dcs, 12, 7));
+  EXPECT_GT(one, twelve);
+}
+
+TEST(Zones, ZoningHelpsClusteredRegions) {
+  // Four tight geographic clusters: matching the zone count to the cluster
+  // structure beats one central hub (intra-cluster traffic stays local) --
+  // the AWS-style semi-distributed win of Fig. 1(e).
+  std::vector<Point> dcs;
+  for (const Point base : {Point{0, 0}, Point{60, 0}, Point{0, 60},
+                           Point{60, 60}}) {
+    for (int i = 0; i < 3; ++i) {
+      dcs.push_back(base + Point{1.5 * i, 1.0 * i});
+    }
+  }
+  const double one = mean_zone_fiber_km(dcs, cluster_into_zones(dcs, 1, 7));
+  const double four = mean_zone_fiber_km(dcs, cluster_into_zones(dcs, 4, 7));
+  const double twelve = mean_zone_fiber_km(dcs, cluster_into_zones(dcs, 12, 7));
+  // Intra-cluster pairs dominate the win; the floor is still full mesh.
+  EXPECT_GT(one, twelve);
+  EXPECT_GE(four, twelve);
+  // Per-pair check: intra-zone pairs are dramatically faster with 4 zones.
+  const auto zones4 = cluster_into_zones(dcs, 4, 7);
+  for (const auto& p : zone_pair_latencies(dcs, zones4)) {
+    if (p.same_zone) {
+      EXPECT_LT(p.fiber_km, 20.0);
+    }
+  }
+}
+
+class GroupSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupSweep, ElectricalCostGrowsMonotonicallyWithDistribution) {
+  const int g = GetParam();
+  if (16 % g != 0) GTEST_SKIP();
+  const auto prices = cost::PriceBook::paper_defaults();
+  PortModelInput in;
+  in.dc_count = 16;
+  in.ports_per_dc = 10;
+  in.groups = g;
+  const double here =
+      port_model_cost(in, SwitchingVariant::kElectrical, prices).total();
+  if (g > 1) {
+    in.groups = g / 2;
+    const double before =
+        port_model_cost(in, SwitchingVariant::kElectrical, prices).total();
+    EXPECT_GT(here, before);
+  } else {
+    EXPECT_GT(here, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, GroupSweep, ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace iris::topology
