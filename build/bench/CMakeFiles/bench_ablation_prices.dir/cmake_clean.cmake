@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prices.dir/ablation_prices.cpp.o"
+  "CMakeFiles/bench_ablation_prices.dir/ablation_prices.cpp.o.d"
+  "bench_ablation_prices"
+  "bench_ablation_prices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

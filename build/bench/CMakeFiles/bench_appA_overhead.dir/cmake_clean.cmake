@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appA_overhead.dir/appA_overhead.cpp.o"
+  "CMakeFiles/bench_appA_overhead.dir/appA_overhead.cpp.o.d"
+  "bench_appA_overhead"
+  "bench_appA_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appA_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

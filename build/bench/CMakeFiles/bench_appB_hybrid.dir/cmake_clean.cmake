@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appB_hybrid.dir/appB_hybrid.cpp.o"
+  "CMakeFiles/bench_appB_hybrid.dir/appB_hybrid.cpp.o.d"
+  "bench_appB_hybrid"
+  "bench_appB_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appB_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_fct_slowdown.dir/fig17_fct_slowdown.cpp.o"
+  "CMakeFiles/bench_fig17_fct_slowdown.dir/fig17_fct_slowdown.cpp.o.d"
+  "bench_fig17_fct_slowdown"
+  "bench_fig17_fct_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_fct_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

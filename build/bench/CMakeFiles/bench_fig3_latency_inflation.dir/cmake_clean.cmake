@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_latency_inflation.dir/fig3_latency_inflation.cpp.o"
+  "CMakeFiles/bench_fig3_latency_inflation.dir/fig3_latency_inflation.cpp.o.d"
+  "bench_fig3_latency_inflation"
+  "bench_fig3_latency_inflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_latency_inflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

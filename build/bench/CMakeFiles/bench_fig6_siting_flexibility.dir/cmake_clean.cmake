@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_siting_flexibility.dir/fig6_siting_flexibility.cpp.o"
+  "CMakeFiles/bench_fig6_siting_flexibility.dir/fig6_siting_flexibility.cpp.o.d"
+  "bench_fig6_siting_flexibility"
+  "bench_fig6_siting_flexibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_siting_flexibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_osnr_cascade.dir/fig9_osnr_cascade.cpp.o"
+  "CMakeFiles/bench_fig9_osnr_cascade.dir/fig9_osnr_cascade.cpp.o.d"
+  "bench_fig9_osnr_cascade"
+  "bench_fig9_osnr_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_osnr_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hub_complexity.dir/hub_complexity.cpp.o"
+  "CMakeFiles/bench_hub_complexity.dir/hub_complexity.cpp.o.d"
+  "bench_hub_complexity"
+  "bench_hub_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hub_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

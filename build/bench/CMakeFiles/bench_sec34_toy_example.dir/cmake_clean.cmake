@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec34_toy_example.dir/sec34_toy_example.cpp.o"
+  "CMakeFiles/bench_sec34_toy_example.dir/sec34_toy_example.cpp.o.d"
+  "bench_sec34_toy_example"
+  "bench_sec34_toy_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec34_toy_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

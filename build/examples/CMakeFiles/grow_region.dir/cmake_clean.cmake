@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grow_region.dir/grow_region.cpp.o"
+  "CMakeFiles/grow_region.dir/grow_region.cpp.o.d"
+  "grow_region"
+  "grow_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grow_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

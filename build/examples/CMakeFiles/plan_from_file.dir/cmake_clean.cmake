@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_from_file.dir/plan_from_file.cpp.o"
+  "CMakeFiles/plan_from_file.dir/plan_from_file.cpp.o.d"
+  "plan_from_file"
+  "plan_from_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_from_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfigure_live.dir/reconfigure_live.cpp.o"
+  "CMakeFiles/reconfigure_live.dir/reconfigure_live.cpp.o.d"
+  "reconfigure_live"
+  "reconfigure_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfigure_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

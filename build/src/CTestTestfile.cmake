@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("geo")
+subdirs("graph")
+subdirs("fibermap")
+subdirs("optical")
+subdirs("cost")
+subdirs("topology")
+subdirs("core")
+subdirs("control")
+subdirs("simflow")
+subdirs("reliability")
+subdirs("clos")

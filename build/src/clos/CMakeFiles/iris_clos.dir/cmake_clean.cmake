@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iris_clos.dir/ecmp.cpp.o"
+  "CMakeFiles/iris_clos.dir/ecmp.cpp.o.d"
+  "CMakeFiles/iris_clos.dir/fabric.cpp.o"
+  "CMakeFiles/iris_clos.dir/fabric.cpp.o.d"
+  "libiris_clos.a"
+  "libiris_clos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iris_clos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/closed_loop.cpp" "src/control/CMakeFiles/iris_control.dir/closed_loop.cpp.o" "gcc" "src/control/CMakeFiles/iris_control.dir/closed_loop.cpp.o.d"
+  "/root/repo/src/control/commands.cpp" "src/control/CMakeFiles/iris_control.dir/commands.cpp.o" "gcc" "src/control/CMakeFiles/iris_control.dir/commands.cpp.o.d"
+  "/root/repo/src/control/controller.cpp" "src/control/CMakeFiles/iris_control.dir/controller.cpp.o" "gcc" "src/control/CMakeFiles/iris_control.dir/controller.cpp.o.d"
+  "/root/repo/src/control/devices.cpp" "src/control/CMakeFiles/iris_control.dir/devices.cpp.o" "gcc" "src/control/CMakeFiles/iris_control.dir/devices.cpp.o.d"
+  "/root/repo/src/control/policy.cpp" "src/control/CMakeFiles/iris_control.dir/policy.cpp.o" "gcc" "src/control/CMakeFiles/iris_control.dir/policy.cpp.o.d"
+  "/root/repo/src/control/port_map.cpp" "src/control/CMakeFiles/iris_control.dir/port_map.cpp.o" "gcc" "src/control/CMakeFiles/iris_control.dir/port_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iris_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fibermap/CMakeFiles/iris_fibermap.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/iris_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/iris_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/optical/CMakeFiles/iris_optical.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iris_control.dir/closed_loop.cpp.o"
+  "CMakeFiles/iris_control.dir/closed_loop.cpp.o.d"
+  "CMakeFiles/iris_control.dir/commands.cpp.o"
+  "CMakeFiles/iris_control.dir/commands.cpp.o.d"
+  "CMakeFiles/iris_control.dir/controller.cpp.o"
+  "CMakeFiles/iris_control.dir/controller.cpp.o.d"
+  "CMakeFiles/iris_control.dir/devices.cpp.o"
+  "CMakeFiles/iris_control.dir/devices.cpp.o.d"
+  "CMakeFiles/iris_control.dir/policy.cpp.o"
+  "CMakeFiles/iris_control.dir/policy.cpp.o.d"
+  "CMakeFiles/iris_control.dir/port_map.cpp.o"
+  "CMakeFiles/iris_control.dir/port_map.cpp.o.d"
+  "libiris_control.a"
+  "libiris_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iris_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/amp_cut.cpp" "src/core/CMakeFiles/iris_core.dir/amp_cut.cpp.o" "gcc" "src/core/CMakeFiles/iris_core.dir/amp_cut.cpp.o.d"
+  "/root/repo/src/core/centralized.cpp" "src/core/CMakeFiles/iris_core.dir/centralized.cpp.o" "gcc" "src/core/CMakeFiles/iris_core.dir/centralized.cpp.o.d"
+  "/root/repo/src/core/designs.cpp" "src/core/CMakeFiles/iris_core.dir/designs.cpp.o" "gcc" "src/core/CMakeFiles/iris_core.dir/designs.cpp.o.d"
+  "/root/repo/src/core/expansion.cpp" "src/core/CMakeFiles/iris_core.dir/expansion.cpp.o" "gcc" "src/core/CMakeFiles/iris_core.dir/expansion.cpp.o.d"
+  "/root/repo/src/core/path_physics.cpp" "src/core/CMakeFiles/iris_core.dir/path_physics.cpp.o" "gcc" "src/core/CMakeFiles/iris_core.dir/path_physics.cpp.o.d"
+  "/root/repo/src/core/plan_io.cpp" "src/core/CMakeFiles/iris_core.dir/plan_io.cpp.o" "gcc" "src/core/CMakeFiles/iris_core.dir/plan_io.cpp.o.d"
+  "/root/repo/src/core/plan_region.cpp" "src/core/CMakeFiles/iris_core.dir/plan_region.cpp.o" "gcc" "src/core/CMakeFiles/iris_core.dir/plan_region.cpp.o.d"
+  "/root/repo/src/core/provision.cpp" "src/core/CMakeFiles/iris_core.dir/provision.cpp.o" "gcc" "src/core/CMakeFiles/iris_core.dir/provision.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/iris_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/iris_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fibermap/CMakeFiles/iris_fibermap.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/iris_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/optical/CMakeFiles/iris_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/iris_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iris_core.dir/amp_cut.cpp.o"
+  "CMakeFiles/iris_core.dir/amp_cut.cpp.o.d"
+  "CMakeFiles/iris_core.dir/centralized.cpp.o"
+  "CMakeFiles/iris_core.dir/centralized.cpp.o.d"
+  "CMakeFiles/iris_core.dir/designs.cpp.o"
+  "CMakeFiles/iris_core.dir/designs.cpp.o.d"
+  "CMakeFiles/iris_core.dir/expansion.cpp.o"
+  "CMakeFiles/iris_core.dir/expansion.cpp.o.d"
+  "CMakeFiles/iris_core.dir/path_physics.cpp.o"
+  "CMakeFiles/iris_core.dir/path_physics.cpp.o.d"
+  "CMakeFiles/iris_core.dir/plan_io.cpp.o"
+  "CMakeFiles/iris_core.dir/plan_io.cpp.o.d"
+  "CMakeFiles/iris_core.dir/plan_region.cpp.o"
+  "CMakeFiles/iris_core.dir/plan_region.cpp.o.d"
+  "CMakeFiles/iris_core.dir/provision.cpp.o"
+  "CMakeFiles/iris_core.dir/provision.cpp.o.d"
+  "CMakeFiles/iris_core.dir/report.cpp.o"
+  "CMakeFiles/iris_core.dir/report.cpp.o.d"
+  "libiris_core.a"
+  "libiris_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iris_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

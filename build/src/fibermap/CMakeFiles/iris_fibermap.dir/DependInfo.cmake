@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fibermap/fibermap.cpp" "src/fibermap/CMakeFiles/iris_fibermap.dir/fibermap.cpp.o" "gcc" "src/fibermap/CMakeFiles/iris_fibermap.dir/fibermap.cpp.o.d"
+  "/root/repo/src/fibermap/generator.cpp" "src/fibermap/CMakeFiles/iris_fibermap.dir/generator.cpp.o" "gcc" "src/fibermap/CMakeFiles/iris_fibermap.dir/generator.cpp.o.d"
+  "/root/repo/src/fibermap/render.cpp" "src/fibermap/CMakeFiles/iris_fibermap.dir/render.cpp.o" "gcc" "src/fibermap/CMakeFiles/iris_fibermap.dir/render.cpp.o.d"
+  "/root/repo/src/fibermap/serialize.cpp" "src/fibermap/CMakeFiles/iris_fibermap.dir/serialize.cpp.o" "gcc" "src/fibermap/CMakeFiles/iris_fibermap.dir/serialize.cpp.o.d"
+  "/root/repo/src/fibermap/stats.cpp" "src/fibermap/CMakeFiles/iris_fibermap.dir/stats.cpp.o" "gcc" "src/fibermap/CMakeFiles/iris_fibermap.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/iris_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/iris_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iris_fibermap.dir/fibermap.cpp.o"
+  "CMakeFiles/iris_fibermap.dir/fibermap.cpp.o.d"
+  "CMakeFiles/iris_fibermap.dir/generator.cpp.o"
+  "CMakeFiles/iris_fibermap.dir/generator.cpp.o.d"
+  "CMakeFiles/iris_fibermap.dir/render.cpp.o"
+  "CMakeFiles/iris_fibermap.dir/render.cpp.o.d"
+  "CMakeFiles/iris_fibermap.dir/serialize.cpp.o"
+  "CMakeFiles/iris_fibermap.dir/serialize.cpp.o.d"
+  "CMakeFiles/iris_fibermap.dir/stats.cpp.o"
+  "CMakeFiles/iris_fibermap.dir/stats.cpp.o.d"
+  "libiris_fibermap.a"
+  "libiris_fibermap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iris_fibermap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

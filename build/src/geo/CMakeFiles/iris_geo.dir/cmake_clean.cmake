@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iris_geo.dir/latlon.cpp.o"
+  "CMakeFiles/iris_geo.dir/latlon.cpp.o.d"
+  "CMakeFiles/iris_geo.dir/point.cpp.o"
+  "CMakeFiles/iris_geo.dir/point.cpp.o.d"
+  "CMakeFiles/iris_geo.dir/polyline.cpp.o"
+  "CMakeFiles/iris_geo.dir/polyline.cpp.o.d"
+  "CMakeFiles/iris_geo.dir/service_area.cpp.o"
+  "CMakeFiles/iris_geo.dir/service_area.cpp.o.d"
+  "libiris_geo.a"
+  "libiris_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iris_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

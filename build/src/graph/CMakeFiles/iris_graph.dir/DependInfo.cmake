@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/failures.cpp" "src/graph/CMakeFiles/iris_graph.dir/failures.cpp.o" "gcc" "src/graph/CMakeFiles/iris_graph.dir/failures.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/iris_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/iris_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/hose.cpp" "src/graph/CMakeFiles/iris_graph.dir/hose.cpp.o" "gcc" "src/graph/CMakeFiles/iris_graph.dir/hose.cpp.o.d"
+  "/root/repo/src/graph/maxflow.cpp" "src/graph/CMakeFiles/iris_graph.dir/maxflow.cpp.o" "gcc" "src/graph/CMakeFiles/iris_graph.dir/maxflow.cpp.o.d"
+  "/root/repo/src/graph/resilience.cpp" "src/graph/CMakeFiles/iris_graph.dir/resilience.cpp.o" "gcc" "src/graph/CMakeFiles/iris_graph.dir/resilience.cpp.o.d"
+  "/root/repo/src/graph/shortest_path.cpp" "src/graph/CMakeFiles/iris_graph.dir/shortest_path.cpp.o" "gcc" "src/graph/CMakeFiles/iris_graph.dir/shortest_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iris_graph.dir/failures.cpp.o"
+  "CMakeFiles/iris_graph.dir/failures.cpp.o.d"
+  "CMakeFiles/iris_graph.dir/graph.cpp.o"
+  "CMakeFiles/iris_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/iris_graph.dir/hose.cpp.o"
+  "CMakeFiles/iris_graph.dir/hose.cpp.o.d"
+  "CMakeFiles/iris_graph.dir/maxflow.cpp.o"
+  "CMakeFiles/iris_graph.dir/maxflow.cpp.o.d"
+  "CMakeFiles/iris_graph.dir/resilience.cpp.o"
+  "CMakeFiles/iris_graph.dir/resilience.cpp.o.d"
+  "CMakeFiles/iris_graph.dir/shortest_path.cpp.o"
+  "CMakeFiles/iris_graph.dir/shortest_path.cpp.o.d"
+  "libiris_graph.a"
+  "libiris_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iris_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

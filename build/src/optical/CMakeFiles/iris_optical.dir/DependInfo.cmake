@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optical/lightpath.cpp" "src/optical/CMakeFiles/iris_optical.dir/lightpath.cpp.o" "gcc" "src/optical/CMakeFiles/iris_optical.dir/lightpath.cpp.o.d"
+  "/root/repo/src/optical/osnr.cpp" "src/optical/CMakeFiles/iris_optical.dir/osnr.cpp.o" "gcc" "src/optical/CMakeFiles/iris_optical.dir/osnr.cpp.o.d"
+  "/root/repo/src/optical/spectrum.cpp" "src/optical/CMakeFiles/iris_optical.dir/spectrum.cpp.o" "gcc" "src/optical/CMakeFiles/iris_optical.dir/spectrum.cpp.o.d"
+  "/root/repo/src/optical/transceivers.cpp" "src/optical/CMakeFiles/iris_optical.dir/transceivers.cpp.o" "gcc" "src/optical/CMakeFiles/iris_optical.dir/transceivers.cpp.o.d"
+  "/root/repo/src/optical/wavelength.cpp" "src/optical/CMakeFiles/iris_optical.dir/wavelength.cpp.o" "gcc" "src/optical/CMakeFiles/iris_optical.dir/wavelength.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iris_optical.dir/lightpath.cpp.o"
+  "CMakeFiles/iris_optical.dir/lightpath.cpp.o.d"
+  "CMakeFiles/iris_optical.dir/osnr.cpp.o"
+  "CMakeFiles/iris_optical.dir/osnr.cpp.o.d"
+  "CMakeFiles/iris_optical.dir/spectrum.cpp.o"
+  "CMakeFiles/iris_optical.dir/spectrum.cpp.o.d"
+  "CMakeFiles/iris_optical.dir/transceivers.cpp.o"
+  "CMakeFiles/iris_optical.dir/transceivers.cpp.o.d"
+  "CMakeFiles/iris_optical.dir/wavelength.cpp.o"
+  "CMakeFiles/iris_optical.dir/wavelength.cpp.o.d"
+  "libiris_optical.a"
+  "libiris_optical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iris_optical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

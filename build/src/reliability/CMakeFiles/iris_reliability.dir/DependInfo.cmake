@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/availability.cpp" "src/reliability/CMakeFiles/iris_reliability.dir/availability.cpp.o" "gcc" "src/reliability/CMakeFiles/iris_reliability.dir/availability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fibermap/CMakeFiles/iris_fibermap.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/iris_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/iris_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

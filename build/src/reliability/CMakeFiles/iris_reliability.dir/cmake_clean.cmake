@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iris_reliability.dir/availability.cpp.o"
+  "CMakeFiles/iris_reliability.dir/availability.cpp.o.d"
+  "libiris_reliability.a"
+  "libiris_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iris_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

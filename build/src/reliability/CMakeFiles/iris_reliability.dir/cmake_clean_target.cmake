@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiris_reliability.a"
+)

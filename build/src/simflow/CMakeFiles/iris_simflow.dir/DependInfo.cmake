@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simflow/experiment.cpp" "src/simflow/CMakeFiles/iris_simflow.dir/experiment.cpp.o" "gcc" "src/simflow/CMakeFiles/iris_simflow.dir/experiment.cpp.o.d"
+  "/root/repo/src/simflow/simulator.cpp" "src/simflow/CMakeFiles/iris_simflow.dir/simulator.cpp.o" "gcc" "src/simflow/CMakeFiles/iris_simflow.dir/simulator.cpp.o.d"
+  "/root/repo/src/simflow/traffic.cpp" "src/simflow/CMakeFiles/iris_simflow.dir/traffic.cpp.o" "gcc" "src/simflow/CMakeFiles/iris_simflow.dir/traffic.cpp.o.d"
+  "/root/repo/src/simflow/workloads.cpp" "src/simflow/CMakeFiles/iris_simflow.dir/workloads.cpp.o" "gcc" "src/simflow/CMakeFiles/iris_simflow.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iris_simflow.dir/experiment.cpp.o"
+  "CMakeFiles/iris_simflow.dir/experiment.cpp.o.d"
+  "CMakeFiles/iris_simflow.dir/simulator.cpp.o"
+  "CMakeFiles/iris_simflow.dir/simulator.cpp.o.d"
+  "CMakeFiles/iris_simflow.dir/traffic.cpp.o"
+  "CMakeFiles/iris_simflow.dir/traffic.cpp.o.d"
+  "CMakeFiles/iris_simflow.dir/workloads.cpp.o"
+  "CMakeFiles/iris_simflow.dir/workloads.cpp.o.d"
+  "libiris_simflow.a"
+  "libiris_simflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iris_simflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

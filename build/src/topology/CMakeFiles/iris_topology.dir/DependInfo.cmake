@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/latency.cpp" "src/topology/CMakeFiles/iris_topology.dir/latency.cpp.o" "gcc" "src/topology/CMakeFiles/iris_topology.dir/latency.cpp.o.d"
+  "/root/repo/src/topology/port_model.cpp" "src/topology/CMakeFiles/iris_topology.dir/port_model.cpp.o" "gcc" "src/topology/CMakeFiles/iris_topology.dir/port_model.cpp.o.d"
+  "/root/repo/src/topology/siting.cpp" "src/topology/CMakeFiles/iris_topology.dir/siting.cpp.o" "gcc" "src/topology/CMakeFiles/iris_topology.dir/siting.cpp.o.d"
+  "/root/repo/src/topology/zones.cpp" "src/topology/CMakeFiles/iris_topology.dir/zones.cpp.o" "gcc" "src/topology/CMakeFiles/iris_topology.dir/zones.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/iris_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iris_topology.dir/latency.cpp.o"
+  "CMakeFiles/iris_topology.dir/latency.cpp.o.d"
+  "CMakeFiles/iris_topology.dir/port_model.cpp.o"
+  "CMakeFiles/iris_topology.dir/port_model.cpp.o.d"
+  "CMakeFiles/iris_topology.dir/siting.cpp.o"
+  "CMakeFiles/iris_topology.dir/siting.cpp.o.d"
+  "CMakeFiles/iris_topology.dir/zones.cpp.o"
+  "CMakeFiles/iris_topology.dir/zones.cpp.o.d"
+  "libiris_topology.a"
+  "libiris_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iris_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

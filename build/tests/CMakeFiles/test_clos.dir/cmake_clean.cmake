@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clos.dir/clos_test.cpp.o"
+  "CMakeFiles/test_clos.dir/clos_test.cpp.o.d"
+  "test_clos"
+  "test_clos.pdb"
+  "test_clos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

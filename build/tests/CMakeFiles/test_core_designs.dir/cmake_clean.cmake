@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_designs.dir/core_designs_test.cpp.o"
+  "CMakeFiles/test_core_designs.dir/core_designs_test.cpp.o.d"
+  "test_core_designs"
+  "test_core_designs.pdb"
+  "test_core_designs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

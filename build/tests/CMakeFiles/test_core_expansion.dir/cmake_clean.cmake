@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_expansion.dir/core_expansion_test.cpp.o"
+  "CMakeFiles/test_core_expansion.dir/core_expansion_test.cpp.o.d"
+  "test_core_expansion"
+  "test_core_expansion.pdb"
+  "test_core_expansion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

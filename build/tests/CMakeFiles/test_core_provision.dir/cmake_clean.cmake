@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_provision.dir/core_provision_test.cpp.o"
+  "CMakeFiles/test_core_provision.dir/core_provision_test.cpp.o.d"
+  "test_core_provision"
+  "test_core_provision.pdb"
+  "test_core_provision[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_provision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fibermap.dir/fibermap_test.cpp.o"
+  "CMakeFiles/test_fibermap.dir/fibermap_test.cpp.o.d"
+  "test_fibermap"
+  "test_fibermap.pdb"
+  "test_fibermap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fibermap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optical.dir/optical_test.cpp.o"
+  "CMakeFiles/test_optical.dir/optical_test.cpp.o.d"
+  "test_optical"
+  "test_optical.pdb"
+  "test_optical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simflow.dir/simflow_test.cpp.o"
+  "CMakeFiles/test_simflow.dir/simflow_test.cpp.o.d"
+  "test_simflow"
+  "test_simflow.pdb"
+  "test_simflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_geo[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_fibermap[1]_include.cmake")
+include("/root/repo/build/tests/test_optical[1]_include.cmake")
+include("/root/repo/build/tests/test_spectrum[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_core_provision[1]_include.cmake")
+include("/root/repo/build/tests/test_core_designs[1]_include.cmake")
+include("/root/repo/build/tests/test_core_expansion[1]_include.cmake")
+include("/root/repo/build/tests/test_centralized[1]_include.cmake")
+include("/root/repo/build/tests/test_control[1]_include.cmake")
+include("/root/repo/build/tests/test_simflow[1]_include.cmake")
+include("/root/repo/build/tests/test_reliability[1]_include.cmake")
+include("/root/repo/build/tests/test_clos[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
