@@ -1,7 +1,13 @@
 // Microbenchmarks for the planner's building blocks, plus the paper's
 // "executes within a few minutes for even large region sizes with 20 DCs"
-// runtime claim (SS4.3).
+// runtime claim (SS4.3), and the serial-vs-parallel scenario-sweep speedup
+// table (run before the google-benchmark timings).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
 
 #include "bench_util.hpp"
 #include "graph/failures.hpp"
@@ -11,6 +17,63 @@
 namespace {
 
 using namespace iris;
+
+double timed_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Serial-vs-parallel provision() at failure tolerance 2, asserting the
+/// parallel sweep reproduces the serial provisioning bit for bit.
+void print_parallel_speedup() {
+  const auto map = bench::make_eval_region(11, 10, 8);
+  auto params = bench::eval_params(2, 40);
+
+  params.threads = 1;
+  core::provision(map, params);  // warm-up: caches, allocator, page-ins
+  core::ProvisionedNetwork serial;
+  const double serial_ms =
+      timed_ms([&] { serial = core::provision(map, params); });
+
+  std::printf(
+      "# provision() scenario-sweep speedup (10 DCs, tolerance 2, %lld "
+      "scenarios, %d hardware threads)\n",
+      serial.scenarios_evaluated, graph::resolve_thread_count(0));
+  std::printf("%8s %12s %10s %10s\n", "threads", "ms", "speedup", "identical");
+  std::printf("%8d %12.1f %10.2f %10s\n", 1, serial_ms, 1.0, "ref");
+
+  std::vector<int> thread_counts;
+  for (const int t : {2, 4, graph::resolve_thread_count(0)}) {
+    if (t > 1 && std::find(thread_counts.begin(), thread_counts.end(), t) ==
+                     thread_counts.end()) {
+      thread_counts.push_back(t);
+    }
+  }
+  for (const int threads : thread_counts) {
+    params.threads = threads;
+    core::ProvisionedNetwork parallel;
+    const double ms = timed_ms([&] { parallel = core::provision(map, params); });
+    const bool identical =
+        parallel.edge_capacity_wavelengths == serial.edge_capacity_wavelengths &&
+        parallel.base_fibers == serial.base_fibers &&
+        parallel.scenarios_evaluated == serial.scenarios_evaluated &&
+        parallel.pair_paths_skipped_unreachable ==
+            serial.pair_paths_skipped_unreachable &&
+        parallel.pair_paths_beyond_sla == serial.pair_paths_beyond_sla;
+    std::printf("%8d %12.1f %10.2f %10s\n", threads, ms, serial_ms / ms,
+                identical ? "yes" : "NO");
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: parallel sweep (threads=%d) diverged from serial "
+                   "provisioning\n",
+                   threads);
+      std::abort();
+    }
+  }
+}
 
 void BM_Dijkstra(benchmark::State& state) {
   const auto map = bench::make_eval_region(11, static_cast<int>(state.range(0)), 8);
@@ -50,13 +113,30 @@ void BM_FullProvision(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
   const auto tol = static_cast<int>(state.range(1));
   const auto map = bench::make_eval_region(11, n, 8);
+  auto params = bench::eval_params(tol, 40);
+  params.threads = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::provision(map, bench::eval_params(tol, 40)));
+    benchmark::DoNotOptimize(core::provision(map, params));
   }
 }
 BENCHMARK(BM_FullProvision)
     ->Args({5, 1})
     ->Args({10, 1})
+    ->Args({10, 2})
+    ->Args({20, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullProvisionParallel(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const auto tol = static_cast<int>(state.range(1));
+  const auto map = bench::make_eval_region(11, n, 8);
+  auto params = bench::eval_params(tol, 40);
+  params.threads = 0;  // hardware_concurrency
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::provision(map, params));
+  }
+}
+BENCHMARK(BM_FullProvisionParallel)
     ->Args({10, 2})
     ->Args({20, 2})
     ->Unit(benchmark::kMillisecond);
@@ -72,4 +152,9 @@ BENCHMARK(BM_EndToEndPlan20Dcs)->Unit(benchmark::kSecond)->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  print_parallel_speedup();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -12,6 +12,43 @@ using core::DcPair;
 using graph::EdgeId;
 using graph::NodeId;
 
+namespace {
+
+// Free-resource pools hold their entries sorted descending, smallest index
+// at the back: take_from_pool pops the `count` smallest in O(count) and
+// return_to_pool re-merges in O(n + k log k), instead of the former
+// sort-per-allocation (O(n log n) on every hop of every establish()).
+
+/// Pops the `count` smallest entries (ascending) from a descending-sorted
+/// free list; throws if short.
+std::vector<int> take_from_pool(std::vector<int>& pool, int count,
+                                const char* what) {
+  if (static_cast<int>(pool.size()) < count) {
+    throw std::runtime_error(std::string("IrisController: ") + what +
+                             " pool exhausted");
+  }
+  std::vector<int> taken(pool.rbegin(), pool.rbegin() + count);
+  pool.erase(pool.end() - count, pool.end());
+  return taken;
+}
+
+void return_to_pool(std::vector<int>& pool, const std::vector<int>& items) {
+  if (items.empty()) return;
+  std::vector<int> released(items.rbegin(), items.rend());
+  std::sort(released.begin(), released.end(), std::greater<>());
+  pool.insert(pool.end(), released.begin(), released.end());
+  std::inplace_merge(pool.begin(), pool.end() - released.size(), pool.end(),
+                     std::greater<>());
+}
+
+/// Fills a pool with {0..count-1}, respecting the descending invariant.
+void init_pool(std::vector<int>& pool, int count) {
+  pool.resize(static_cast<std::size_t>(std::max(0, count)));
+  for (int k = 0; k < count; ++k) pool[k] = count - 1 - k;
+}
+
+}  // namespace
+
 IrisController::IrisController(const fibermap::FiberMap& map,
                                const core::ProvisionedNetwork& network,
                                const core::AmpCutPlan& amp_cut,
@@ -24,8 +61,7 @@ IrisController::IrisController(const fibermap::FiberMap& map,
   duct_failed_.assign(g.edge_count(), false);
   free_fibers_.resize(g.edge_count());
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
-    free_fibers_[e].resize(fibers_provisioned_[e]);
-    for (int k = 0; k < fibers_provisioned_[e]; ++k) free_fibers_[e][k] = k;
+    init_pool(free_fibers_[e], fibers_provisioned_[e]);
   }
 
   port_maps_ = build_port_maps(map, network, amp_cut);
@@ -34,13 +70,10 @@ IrisController::IrisController(const fibermap::FiberMap& map,
   for (NodeId n = 0; n < g.node_count(); ++n) {
     oss_.emplace_back(map.site(n).name + "-oss",
                       std::max(1, port_maps_[n].port_count()));
-    free_amps_[n].resize(amp_cut.amps_at_node[n]);
-    for (int a = 0; a < amp_cut.amps_at_node[n]; ++a) free_amps_[n][a] = a;
+    init_pool(free_amps_[n], amp_cut.amps_at_node[n]);
   }
   for (NodeId dc : map.dcs()) {
-    auto& pool = free_add_drop_[dc];
-    pool.resize(port_maps_[dc].add_drop_pairs());
-    for (int k = 0; k < port_maps_[dc].add_drop_pairs(); ++k) pool[k] = k;
+    init_pool(free_add_drop_[dc], port_maps_[dc].add_drop_pairs());
 
     emulators_.emplace(dc, ChannelEmulator(lambda));
     auto& txs = transceivers_[dc];
@@ -83,27 +116,6 @@ std::vector<Circuit> IrisController::circuits_for(const TrafficMatrix& tm) const
   }
   return out;
 }
-
-namespace {
-
-/// Pops `count` smallest entries from a sorted free list; throws if short.
-std::vector<int> take_from_pool(std::vector<int>& pool, int count,
-                                const char* what) {
-  if (static_cast<int>(pool.size()) < count) {
-    throw std::runtime_error(std::string("IrisController: ") + what +
-                             " pool exhausted");
-  }
-  std::sort(pool.begin(), pool.end());
-  std::vector<int> taken(pool.begin(), pool.begin() + count);
-  pool.erase(pool.begin(), pool.begin() + count);
-  return taken;
-}
-
-void return_to_pool(std::vector<int>& pool, const std::vector<int>& items) {
-  pool.insert(pool.end(), items.begin(), items.end());
-}
-
-}  // namespace
 
 long long IrisController::establish(const Circuit& c, Allocation& alloc) {
   const graph::Graph& g = map_.graph();

@@ -31,30 +31,52 @@ ValidationReport validate_plan(const fibermap::FiberMap& map,
   const graph::Graph& g = map.graph();
   const optical::OpticalSpec& spec = net.params.spec;
   const auto& dcs = map.dcs();
-  ValidationReport report;
 
-  for_each_scenario(map, net.params, [&](const graph::EdgeMask& mask) {
-    std::vector<graph::ShortestPathTree> trees;
-    trees.reserve(dcs.size());
-    for (graph::NodeId dc : dcs) trees.push_back(graph::dijkstra(g, dc, mask));
-    for (std::size_t i = 0; i < dcs.size(); ++i) {
-      for (std::size_t j = i + 1; j < dcs.size(); ++j) {
-        const auto path = graph::extract_path(trees[i], dcs[j]);
-        if (!path) {
-          ++report.pairs_disconnected;
-          continue;
-        }
-        if (path->length_km > spec.max_path_km) {
-          ++report.paths_beyond_sla;
-          continue;
-        }
-        ++report.paths_checked;
-        if (!path_feasible_with_plan(g, *path, plan, spec)) {
-          ++report.infeasible_paths;
-        }
-      }
-    }
-  });
+  // Per-worker report + Dijkstra scratch; the counters are plain sums, so
+  // merging in worker order is bit-identical to the serial sweep.
+  struct Worker {
+    ValidationReport report;
+    std::vector<graph::DijkstraWorkspace> dijkstra;
+  };
+  const int workers = graph::resolve_thread_count(net.params.threads);
+  std::vector<Worker> acc(static_cast<std::size_t>(workers));
+  for (auto& w : acc) w.dijkstra.resize(dcs.size());
+
+  planner_scenarios(map, net.params)
+      .for_each_parallel(workers, [&](int worker) -> graph::ScenarioVisitor {
+        return [&, worker](const graph::EdgeMask& mask,
+                           std::span<const graph::EdgeId>) {
+          Worker& w = acc[static_cast<std::size_t>(worker)];
+          for (std::size_t i = 0; i < dcs.size(); ++i) {
+            graph::dijkstra(g, dcs[i], mask, w.dijkstra[i]);
+          }
+          for (std::size_t i = 0; i < dcs.size(); ++i) {
+            for (std::size_t j = i + 1; j < dcs.size(); ++j) {
+              const auto path = graph::extract_path(w.dijkstra[i].tree, dcs[j]);
+              if (!path) {
+                ++w.report.pairs_disconnected;
+                continue;
+              }
+              if (path->length_km > spec.max_path_km) {
+                ++w.report.paths_beyond_sla;
+                continue;
+              }
+              ++w.report.paths_checked;
+              if (!path_feasible_with_plan(g, *path, plan, spec)) {
+                ++w.report.infeasible_paths;
+              }
+            }
+          }
+        };
+      });
+
+  ValidationReport report;
+  for (const Worker& w : acc) {
+    report.paths_checked += w.report.paths_checked;
+    report.infeasible_paths += w.report.infeasible_paths;
+    report.pairs_disconnected += w.report.pairs_disconnected;
+    report.paths_beyond_sla += w.report.paths_beyond_sla;
+  }
   return report;
 }
 

@@ -42,31 +42,50 @@ ProvisionedNetwork scale_uniform_provision(const ProvisionedNetwork& unit,
   return out;
 }
 
-void for_each_scenario(
-    const fibermap::FiberMap& map, const PlannerParams& params,
-    const std::function<void(const graph::EdgeMask&)>& visit) {
+graph::ScenarioSet planner_scenarios(const fibermap::FiberMap& map,
+                                     const PlannerParams& params) {
   const graph::Graph& g = map.graph();
-  graph::EdgeMask mask(g.edge_count());
+  graph::EdgeMask base(g.edge_count());
   std::vector<EdgeId> eligible;
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     if (g.edge(e).length_km > params.spec.max_span_km) {
-      mask.fail(e);  // TC1: permanently excluded
+      base.fail(e);  // TC1: permanently excluded
     } else {
       eligible.push_back(e);
     }
   }
-  const std::function<void(int, std::size_t)> rec = [&](int remaining,
-                                                        std::size_t first) {
-    visit(mask);
-    if (remaining == 0) return;
-    for (std::size_t i = first; i < eligible.size(); ++i) {
-      mask.fail(eligible[i]);
-      rec(remaining - 1, i + 1);
-      mask.restore(eligible[i]);
-    }
-  };
-  rec(params.failure_tolerance, 0);
+  return graph::ScenarioSet(g.edge_count(), std::move(eligible),
+                            params.failure_tolerance, std::move(base));
 }
+
+void for_each_scenario(
+    const fibermap::FiberMap& map, const PlannerParams& params,
+    const std::function<void(const graph::EdgeMask&)>& visit) {
+  planner_scenarios(map, params)
+      .for_each([&](const graph::EdgeMask& mask, std::span<const EdgeId>) {
+        visit(mask);
+      });
+}
+
+namespace {
+
+/// Per-worker state for the provisioning sweep. Every field merges
+/// order-independently (integer max/sum; the baseline map is filled by
+/// exactly one worker -- whichever visits the no-failure scenario), so the
+/// merged result is bit-identical to a serial sweep.
+struct ProvisionAccumulator {
+  std::vector<long long> edge_max_wavelengths;
+  long long scenarios = 0;
+  long long unreachable = 0;
+  long long beyond_sla = 0;
+  std::map<DcPair, graph::Path> baseline_paths;
+
+  // Scratch, reused across this worker's scenarios.
+  std::vector<graph::DijkstraWorkspace> dijkstra;           // one per DC
+  std::vector<std::vector<graph::OrientedPair>> pairs_on_edge;
+};
+
+}  // namespace
 
 ProvisionedNetwork provision(const fibermap::FiberMap& map,
                              const PlannerParams& params) {
@@ -85,49 +104,73 @@ ProvisionedNetwork provision(const fibermap::FiberMap& map,
     return map.dc_capacity_wavelengths(dc, lambda);
   };
 
-  // Per-edge buckets of DC pairs routed over the edge, rebuilt per scenario.
-  std::vector<std::vector<graph::OrientedPair>> pairs_on_edge(g.edge_count());
-  bool first_scenario = true;
+  const int workers = graph::resolve_thread_count(params.threads);
+  std::vector<ProvisionAccumulator> acc(static_cast<std::size_t>(workers));
+  for (auto& a : acc) {
+    a.edge_max_wavelengths.assign(g.edge_count(), 0);
+    a.dijkstra.resize(dcs.size());
+    a.pairs_on_edge.resize(g.edge_count());
+  }
 
-  for_each_scenario(map, params, [&](const graph::EdgeMask& mask) {
-    ++out.scenarios_evaluated;
-    for (auto& bucket : pairs_on_edge) bucket.clear();
+  planner_scenarios(map, params)
+      .for_each_parallel(workers, [&](int worker) -> graph::ScenarioVisitor {
+        return [&, worker](const graph::EdgeMask& mask,
+                           std::span<const EdgeId> failed) {
+          ProvisionAccumulator& a = acc[static_cast<std::size_t>(worker)];
+          ++a.scenarios;
+          for (auto& bucket : a.pairs_on_edge) bucket.clear();
+          const bool is_baseline = failed.empty();
 
-    // One Dijkstra per DC covers all pairs.
-    std::vector<graph::ShortestPathTree> trees;
-    trees.reserve(dcs.size());
-    for (NodeId dc : dcs) trees.push_back(graph::dijkstra(g, dc, mask));
+          // One Dijkstra per DC covers all pairs.
+          for (std::size_t i = 0; i < dcs.size(); ++i) {
+            graph::dijkstra(g, dcs[i], mask, a.dijkstra[i]);
+          }
 
-    for (std::size_t i = 0; i < dcs.size(); ++i) {
-      for (std::size_t j = i + 1; j < dcs.size(); ++j) {
-        const auto path = graph::extract_path(trees[i], dcs[j]);
-        if (!path) {
-          ++out.pair_paths_skipped_unreachable;
-          continue;
-        }
-        if (path->length_km > params.spec.max_path_km) {
-          ++out.pair_paths_beyond_sla;
-        }
-        for (EdgeId e : path->edges) {
-          pairs_on_edge[e].push_back(
-              graph::orient_pair(g, e, dcs[i], dcs[j], *path));
-        }
-        if (first_scenario) {
-          out.baseline_paths.emplace(DcPair(dcs[i], dcs[j]), *path);
-        }
-      }
-    }
-    first_scenario = false;
+          for (std::size_t i = 0; i < dcs.size(); ++i) {
+            for (std::size_t j = i + 1; j < dcs.size(); ++j) {
+              const auto path =
+                  graph::extract_path(a.dijkstra[i].tree, dcs[j]);
+              if (!path) {
+                ++a.unreachable;
+                continue;
+              }
+              if (path->length_km > params.spec.max_path_km) {
+                ++a.beyond_sla;
+              }
+              for (EdgeId e : path->edges) {
+                a.pairs_on_edge[e].push_back(
+                    graph::orient_pair(g, e, dcs[i], dcs[j], *path));
+              }
+              if (is_baseline) {
+                a.baseline_paths.emplace(DcPair(dcs[i], dcs[j]), *path);
+              }
+            }
+          }
 
+          for (EdgeId e = 0; e < g.edge_count(); ++e) {
+            if (a.pairs_on_edge[e].empty()) continue;
+            const graph::Capacity load =
+                graph::hose_edge_load(a.pairs_on_edge[e], capacity_of);
+            a.edge_max_wavelengths[e] = std::max(
+                a.edge_max_wavelengths[e], static_cast<long long>(load));
+          }
+        };
+      });
+
+  // Deterministic merge: max/sum over integers is independent of which
+  // worker evaluated which scenario.
+  for (const ProvisionAccumulator& a : acc) {
+    out.scenarios_evaluated += a.scenarios;
+    out.pair_paths_skipped_unreachable += a.unreachable;
+    out.pair_paths_beyond_sla += a.beyond_sla;
     for (EdgeId e = 0; e < g.edge_count(); ++e) {
-      if (pairs_on_edge[e].empty()) continue;
-      const graph::Capacity load =
-          graph::hose_edge_load(pairs_on_edge[e], capacity_of);
-      out.edge_capacity_wavelengths[e] =
-          std::max(out.edge_capacity_wavelengths[e],
-                   static_cast<long long>(load));
+      out.edge_capacity_wavelengths[e] = std::max(
+          out.edge_capacity_wavelengths[e], a.edge_max_wavelengths[e]);
     }
-  });
+    for (const auto& [pair, path] : a.baseline_paths) {
+      out.baseline_paths.emplace(pair, path);
+    }
+  }
 
   // OC2 relaxation: an oversubscribed fabric provisions a fraction of the
   // worst-case hose load (ceil so a used duct never rounds to zero).

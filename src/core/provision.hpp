@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "fibermap/fibermap.hpp"
+#include "graph/failures.hpp"
 #include "graph/shortest_path.hpp"
 #include "optical/spec.hpp"
 
@@ -27,6 +28,11 @@ struct PlannerParams {
   /// 1.0 provisions non-blocking hose capacity; k > 1 provisions 1/k of the
   /// worst-case load on every duct, trading cost for admission risk.
   double oversubscription = 1.0;
+
+  /// Workers for the failure-scenario sweeps in provision() and
+  /// validate_plan(); 0 = hardware_concurrency. Results are bit-identical
+  /// for every thread count.
+  int threads = 0;
 };
 
 /// Unordered DC pair, normalized so a < b.
@@ -81,10 +87,16 @@ ProvisionedNetwork provision(const fibermap::FiberMap& map,
 ProvisionedNetwork scale_uniform_provision(const ProvisionedNetwork& unit,
                                            int capacity_fibers, int lambda);
 
-/// Enumerates every failure scenario over the *eligible* ducts (those within
-/// the point-to-point span limit) and invokes `visit(mask)`; the mask also
-/// permanently excludes over-long ducts. Shared by Algorithm 1, amplifier
-/// placement and the design validators.
+/// The planner's scenario domain: every duct within the point-to-point span
+/// limit is eligible to fail; over-long ducts are permanently excluded in
+/// the base mask (TC1). Shared by Algorithm 1, amplifier placement and the
+/// design validators.
+graph::ScenarioSet planner_scenarios(const fibermap::FiberMap& map,
+                                     const PlannerParams& params);
+
+/// Serial convenience wrapper over planner_scenarios().for_each for callers
+/// whose per-scenario work is order-dependent (e.g. the greedy amplifier
+/// placement) or too small to parallelize.
 void for_each_scenario(
     const fibermap::FiberMap& map, const PlannerParams& params,
     const std::function<void(const graph::EdgeMask&)>& visit);

@@ -1,35 +1,165 @@
 #include "graph/failures.hpp"
 
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
 namespace iris::graph {
 
 namespace {
 
-void enumerate_rec(EdgeId edge_count, int remaining, EdgeId first,
-                   std::vector<EdgeId>& current,
-                   const std::function<void(std::span<const EdgeId>)>& emit) {
-  emit(current);
-  if (remaining == 0) return;
-  for (EdgeId e = first; e < edge_count; ++e) {
-    current.push_back(e);
-    enumerate_rec(edge_count, remaining - 1, e + 1, current, emit);
+/// Emits every size-`remaining` extension of `current` drawn from
+/// eligible[first..): each subset of the requested size exactly once.
+void enumerate_exact_rec(std::span<const EdgeId> eligible, int remaining,
+                         std::size_t first, std::vector<EdgeId>& current,
+                         const std::function<void(std::span<const EdgeId>)>& emit) {
+  if (remaining == 0) {
+    emit(current);
+    return;
+  }
+  // Stop once fewer than `remaining` edges are left to draw from.
+  for (std::size_t i = first;
+       i + static_cast<std::size_t>(remaining) <= eligible.size(); ++i) {
+    current.push_back(eligible[i]);
+    enumerate_exact_rec(eligible, remaining - 1, i + 1, current, emit);
     current.pop_back();
+  }
+}
+
+/// Depth-first prefix enumeration over eligible[first..): visits the current
+/// scenario, then every extension with up to `remaining` more failed edges.
+void sweep_rec(std::span<const EdgeId> eligible, int remaining,
+               std::size_t first, EdgeMask& mask, std::vector<EdgeId>& current,
+               const ScenarioVisitor& visit) {
+  visit(mask, current);
+  if (remaining == 0) return;
+  for (std::size_t i = first; i < eligible.size(); ++i) {
+    mask.fail(eligible[i]);
+    current.push_back(eligible[i]);
+    sweep_rec(eligible, remaining - 1, i + 1, mask, current, visit);
+    current.pop_back();
+    mask.restore(eligible[i]);
   }
 }
 
 }  // namespace
 
+ScenarioSet::ScenarioSet(EdgeId edge_count, std::vector<EdgeId> eligible_edges,
+                         int tolerance, EdgeMask base_mask)
+    : edge_count_(edge_count),
+      eligible_(std::move(eligible_edges)),
+      tolerance_(tolerance),
+      base_mask_(base_mask.empty() ? EdgeMask(edge_count)
+                                   : std::move(base_mask)) {
+  if (tolerance_ < 0) {
+    throw std::invalid_argument("ScenarioSet: negative tolerance");
+  }
+  for (EdgeId e : eligible_) {
+    if (e < 0 || e >= edge_count_) {
+      throw std::out_of_range("ScenarioSet: eligible edge out of range");
+    }
+    if (base_mask_.failed(e)) {
+      throw std::invalid_argument(
+          "ScenarioSet: eligible edge pre-failed in base mask");
+    }
+  }
+}
+
+ScenarioSet ScenarioSet::all_edges(const Graph& g, int tolerance) {
+  std::vector<EdgeId> eligible(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) eligible[e] = e;
+  return ScenarioSet(g.edge_count(), std::move(eligible), tolerance);
+}
+
+long long ScenarioSet::scenario_count() const {
+  return failure_scenario_count(static_cast<EdgeId>(eligible_.size()),
+                                tolerance_);
+}
+
+void ScenarioSet::for_each(const ScenarioVisitor& visit) const {
+  EdgeMask mask = base_mask_;
+  std::vector<EdgeId> current;
+  current.reserve(static_cast<std::size_t>(tolerance_));
+  sweep_rec(eligible_, tolerance_, 0, mask, current, visit);
+}
+
+void ScenarioSet::for_each_parallel(
+    int threads,
+    const std::function<ScenarioVisitor(int worker)>& make_visitor) const {
+  const int n = resolve_thread_count(threads);
+  if (n <= 1 || tolerance_ == 0 || eligible_.empty()) {
+    for_each(make_visitor(0));
+    return;
+  }
+
+  // Task 0 is the no-failure scenario; task i >= 1 is the subtree of
+  // scenarios whose smallest failed edge is eligible[i-1]. Subtree sizes
+  // shrink geometrically with i, so dealing tasks in order off a shared
+  // counter keeps the big prefixes spread across workers.
+  std::vector<ScenarioVisitor> visitors;
+  visitors.reserve(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w) visitors.push_back(make_visitor(w));
+
+  std::atomic<std::size_t> next_task{0};
+  const std::size_t task_count = eligible_.size() + 1;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker_loop = [&](int w) {
+    try {
+      const ScenarioVisitor& visit = visitors[static_cast<std::size_t>(w)];
+      EdgeMask mask = base_mask_;
+      std::vector<EdgeId> current;
+      current.reserve(static_cast<std::size_t>(tolerance_));
+      for (std::size_t task = next_task.fetch_add(1); task < task_count;
+           task = next_task.fetch_add(1)) {
+        if (task == 0) {
+          visit(mask, current);
+          continue;
+        }
+        const std::size_t i = task - 1;
+        mask.fail(eligible_[i]);
+        current.push_back(eligible_[i]);
+        sweep_rec(eligible_, tolerance_ - 1, i + 1, mask, current, visit);
+        current.pop_back();
+        mask.restore(eligible_[i]);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(n - 1));
+  for (int w = 1; w < n; ++w) pool.emplace_back(worker_loop, w);
+  worker_loop(0);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+int resolve_thread_count(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
 std::vector<std::vector<EdgeId>> enumerate_failure_scenarios(EdgeId edge_count,
                                                              int tolerance) {
+  std::vector<EdgeId> all(static_cast<std::size_t>(edge_count));
+  for (EdgeId e = 0; e < edge_count; ++e) all[e] = e;
   std::vector<std::vector<EdgeId>> scenarios;
-  // Order by size: emit all size-k subsets before size-(k+1).
+  // Order by size: emit all size-k subsets before size-(k+1), each exactly
+  // once (one exact-size pass per k, not a filtered full <=k enumeration).
+  std::vector<EdgeId> current;
   for (int k = 0; k <= tolerance; ++k) {
-    std::vector<EdgeId> current;
-    enumerate_rec(edge_count, k, 0, current,
-                  [&](std::span<const EdgeId> subset) {
-                    if (static_cast<int>(subset.size()) == k) {
-                      scenarios.emplace_back(subset.begin(), subset.end());
-                    }
-                  });
+    current.clear();
+    enumerate_exact_rec(all, k, 0, current,
+                        [&](std::span<const EdgeId> subset) {
+                          scenarios.emplace_back(subset.begin(), subset.end());
+                        });
   }
   return scenarios;
 }
@@ -37,7 +167,7 @@ std::vector<std::vector<EdgeId>> enumerate_failure_scenarios(EdgeId edge_count,
 long long failure_scenario_count(EdgeId edge_count, int tolerance) {
   long long total = 0;
   long long binom = 1;  // C(edge_count, k)
-  for (int k = 0; k <= tolerance; ++k) {
+  for (int k = 0; k <= tolerance && k <= edge_count; ++k) {
     total += binom;
     binom = binom * (edge_count - k) / (k + 1);
   }
@@ -47,21 +177,7 @@ long long failure_scenario_count(EdgeId edge_count, int tolerance) {
 void for_each_failure_scenario(
     const Graph& g, int tolerance,
     const std::function<void(const EdgeMask&, std::span<const EdgeId>)>& visit) {
-  EdgeMask mask(g.edge_count());
-  std::vector<EdgeId> current;
-
-  const std::function<void(int, EdgeId)> rec = [&](int remaining, EdgeId first) {
-    visit(mask, current);
-    if (remaining == 0) return;
-    for (EdgeId e = first; e < g.edge_count(); ++e) {
-      mask.fail(e);
-      current.push_back(e);
-      rec(remaining - 1, e + 1);
-      current.pop_back();
-      mask.restore(e);
-    }
-  };
-  rec(tolerance, 0);
+  ScenarioSet::all_edges(g, tolerance).for_each(visit);
 }
 
 }  // namespace iris::graph

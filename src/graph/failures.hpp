@@ -3,14 +3,80 @@
 // A failure scenario is a set of destroyed fiber ducts; all fibers in a
 // destroyed duct are lost. Algorithm 1 enumerates every scenario with at most
 // `tolerance` simultaneous cuts, including the no-failure scenario.
+//
+// ScenarioSet is the one enumeration engine shared by the planner, the
+// validators and amplifier placement: it owns the eligible-duct list, a base
+// mask of permanently excluded ducts, and both a serial and a parallel sweep.
+// The parallel sweep partitions the subset tree by first-failed-edge prefix
+// and hands each worker its own mask + visitor, so per-thread scratch
+// (Dijkstra trees, accumulators) never crosses threads; callers merge the
+// per-worker results deterministically at the end.
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
 
 namespace iris::graph {
+
+/// Visitor for one failure scenario: the full edge mask (base exclusions plus
+/// the failed subset) and the failed subset itself, smallest edge first. The
+/// subset is empty exactly for the no-failure scenario.
+using ScenarioVisitor =
+    std::function<void(const EdgeMask&, std::span<const EdgeId>)>;
+
+/// The set of failure scenarios over a chosen subset of ducts: every subset
+/// of `eligible_edges` with size <= tolerance, on top of a base mask of
+/// permanently excluded ducts (e.g. over-long spans, TC1).
+class ScenarioSet {
+ public:
+  /// `base_mask` must either be empty (nothing pre-failed) or sized to
+  /// `edge_count`; eligible edges must not be failed in it.
+  ScenarioSet(EdgeId edge_count, std::vector<EdgeId> eligible_edges,
+              int tolerance, EdgeMask base_mask = {});
+
+  /// Every duct of `g` eligible, nothing pre-failed.
+  static ScenarioSet all_edges(const Graph& g, int tolerance);
+
+  [[nodiscard]] int tolerance() const noexcept { return tolerance_; }
+  [[nodiscard]] const std::vector<EdgeId>& eligible_edges() const noexcept {
+    return eligible_;
+  }
+
+  /// Number of scenarios a sweep visits: sum_k C(|eligible|, k), k=0..tol.
+  [[nodiscard]] long long scenario_count() const;
+
+  /// Serial sweep in deterministic depth-first prefix order: the no-failure
+  /// scenario first, then {e0}, {e0,e1}, ... One mask allocation is reused.
+  void for_each(const ScenarioVisitor& visit) const;
+
+  /// Parallel sweep over `threads` workers (<= 1 degrades to serial).
+  /// `make_visitor(w)` is called once per worker w in [0, threads) from the
+  /// main thread before the sweep starts; the returned visitor then runs on
+  /// that worker's thread only. Work is dealt by first-failed-edge prefix:
+  /// the subtree of scenarios whose smallest failed edge is eligible[i] is
+  /// one task, claimed dynamically. Every scenario is visited exactly once;
+  /// which worker sees which scenario is nondeterministic, so visitors must
+  /// accumulate into per-worker state that merges order-independently
+  /// (max/sum over integers) for bit-identical results vs the serial sweep.
+  /// The first exception thrown by any visitor is rethrown on the caller's
+  /// thread after all workers have stopped.
+  void for_each_parallel(
+      int threads,
+      const std::function<ScenarioVisitor(int worker)>& make_visitor) const;
+
+ private:
+  EdgeId edge_count_ = 0;
+  std::vector<EdgeId> eligible_;
+  int tolerance_ = 0;
+  EdgeMask base_mask_;
+};
+
+/// Worker count for a parallel sweep: `requested` if positive, otherwise
+/// std::thread::hardware_concurrency (at least 1).
+int resolve_thread_count(int requested);
 
 /// All subsets of {0..edge_count-1} with size <= tolerance, in deterministic
 /// order (by size, then lexicographic). Includes the empty set.

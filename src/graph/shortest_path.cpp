@@ -1,30 +1,43 @@
 #include "graph/shortest_path.hpp"
 
 #include <algorithm>
-#include <queue>
 #include <tuple>
 
 namespace iris::graph {
 
 ShortestPathTree dijkstra(const Graph& g, NodeId source, const EdgeMask& mask) {
+  DijkstraWorkspace ws;
+  dijkstra(g, source, mask, ws);
+  return std::move(ws.tree);
+}
+
+const ShortestPathTree& dijkstra(const Graph& g, NodeId source,
+                                 const EdgeMask& mask, DijkstraWorkspace& ws) {
   const NodeId n = g.node_count();
-  ShortestPathTree tree;
+  ShortestPathTree& tree = ws.tree;
   tree.source = source;
   tree.dist_km.assign(n, kUnreachable);
   tree.parent_edge.assign(n, kInvalidEdge);
   tree.parent_node.assign(n, kInvalidNode);
-  std::vector<int> hops(n, std::numeric_limits<int>::max());
+  std::vector<int>& hops = ws.hops;
+  hops.assign(n, std::numeric_limits<int>::max());
 
   // (dist, hops, node): hop count then node id break ties deterministically.
   using Entry = std::tuple<double, int, NodeId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  auto& heap = ws.heap;  // min-heap via std::greater
+  heap.clear();
+  const auto push = [&](Entry entry) {
+    heap.push_back(entry);
+    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+  };
   tree.dist_km[source] = 0.0;
   hops[source] = 0;
-  pq.emplace(0.0, 0, source);
+  push({0.0, 0, source});
 
-  while (!pq.empty()) {
-    const auto [d, h, u] = pq.top();
-    pq.pop();
+  while (!heap.empty()) {
+    const auto [d, h, u] = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    heap.pop_back();
     if (d > tree.dist_km[u] || (d == tree.dist_km[u] && h > hops[u])) continue;
     for (EdgeId eid : g.incident(u)) {
       if (mask.failed(eid)) continue;
@@ -39,7 +52,7 @@ ShortestPathTree dijkstra(const Graph& g, NodeId source, const EdgeMask& mask) {
         hops[v] = nh;
         tree.parent_edge[v] = eid;
         tree.parent_node[v] = u;
-        pq.emplace(nd, nh, v);
+        push({nd, nh, v});
       }
     }
   }

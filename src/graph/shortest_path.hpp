@@ -7,6 +7,7 @@
 
 #include <limits>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -32,6 +33,21 @@ struct ShortestPathTree {
 /// returned tree is stable across runs and platforms.
 ShortestPathTree dijkstra(const Graph& g, NodeId source,
                           const EdgeMask& mask = {});
+
+/// Reusable scratch for repeated Dijkstra runs over one graph. The planner's
+/// failure-scenario sweep runs one Dijkstra per DC per scenario; keeping a
+/// workspace per (worker, DC) makes those runs allocation-free after the
+/// first.
+struct DijkstraWorkspace {
+  ShortestPathTree tree;
+  std::vector<int> hops;                           // scratch
+  std::vector<std::tuple<double, int, NodeId>> heap;  // scratch
+};
+
+/// Dijkstra into `ws.tree`, reusing the workspace's buffers. Returns the
+/// tree, which stays valid until the workspace is reused.
+const ShortestPathTree& dijkstra(const Graph& g, NodeId source,
+                                 const EdgeMask& mask, DijkstraWorkspace& ws);
 
 /// A concrete path: ordered node and edge sequences, with total length.
 struct Path {

@@ -52,21 +52,28 @@ void simulate_pair(const FlowSizeDistribution& workload,
     return gbps * 1e9 / 8.0;
   };
 
-  // Next Poisson arrival after `from`; infinity once past the window.
-  auto draw_next_arrival = [&](double from) {
-    if (from >= duration_s) return kInf;
+  // Next arrival-process event after `from`: a real Poisson arrival when the
+  // current interval has demand, or a rate-redraw at the next interval
+  // boundary when it does not (the boundary itself must not inject a flow).
+  // Infinity once past the window.
+  struct ArrivalEvent {
+    double at_s;
+    bool is_arrival;  // false: just re-draw the rate at this time
+  };
+  auto draw_next_arrival = [&](double from) -> ArrivalEvent {
+    if (from >= duration_s) return {kInf, false};
     const double rate = interval_demand_bps(from) / mean_bytes;  // flows/s
     if (rate <= 0.0) {
       // Jump to the next interval boundary and retry from there.
       const double boundary =
           (std::floor(from / change_interval_s) + 1.0) * change_interval_s;
-      return std::min(boundary, duration_s) + 1e-12;
+      return {std::min(boundary, duration_s) + 1e-12, false};
     }
     std::exponential_distribution<double> exp_dist(rate);
-    return from + exp_dist(rng);
+    return {from + exp_dist(rng), true};
   };
 
-  double next_arrival = draw_next_arrival(0.0);
+  ArrivalEvent next_arrival = draw_next_arrival(0.0);
   // Re-draw arrivals that cross an interval boundary so the rate tracks the
   // piecewise-constant demand (thinning-free approximation: boundaries are
   // also events).
@@ -80,7 +87,7 @@ void simulate_pair(const FlowSizeDistribution& workload,
       next_completion =
           t + (active.top().finish_service - service) * n / cap_bps;
     }
-    const double next_t = std::min({next_arrival, next_cap, next_completion});
+    const double next_t = std::min({next_arrival.at_s, next_cap, next_completion});
     if (next_t == kInf) break;
 
     if (!active.empty() && cap_bps > 0.0) {
@@ -99,8 +106,8 @@ void simulate_pair(const FlowSizeDistribution& workload,
       cap_bps = capacity[cap_idx].capacity_gbps * 1e9 / 8.0;
       continue;
     }
-    // Arrival.
-    if (t <= duration_s) {
+    // Arrival (or a zero-demand boundary: re-draw the rate, inject nothing).
+    if (next_arrival.is_arrival && t <= duration_s) {
       const double bytes = workload.sample(rng);
       active.push(ActiveFlow{service + bytes, t, bytes});
     }

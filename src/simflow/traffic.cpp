@@ -8,7 +8,8 @@ namespace iris::simflow {
 
 TrafficModel::TrafficModel(const TrafficModelParams& params)
     : params_(params), rng_(params.seed) {
-  if (params.pair_count <= 0 || params.total_gbps <= 0.0) {
+  // total_gbps == 0 is a valid idle region (every pair's demand is zero).
+  if (params.pair_count <= 0 || params.total_gbps < 0.0) {
     throw std::invalid_argument("TrafficModel: bad parameters");
   }
   demands_.resize(params.pair_count);

@@ -1,3 +1,5 @@
+#include <algorithm>
+#include <map>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -179,6 +181,25 @@ TEST(Failures, EnumerationCountsMatchBinomials) {
       EXPECT_NE(scenarios[i], scenarios[j]);
     }
   }
+}
+
+TEST(Failures, EmitsEachSizeOnceInSizeOrder) {
+  // One exact-size pass per k (no filtered re-enumeration): sizes appear in
+  // nondecreasing order with exactly C(6, k) subsets of each size.
+  const auto scenarios = enumerate_failure_scenarios(6, 3);
+  ASSERT_EQ(scenarios.size(), 1u + 6u + 15u + 20u);
+  std::size_t prev_size = 0;
+  std::map<std::size_t, int> per_size;
+  for (const auto& s : scenarios) {
+    EXPECT_GE(s.size(), prev_size);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    prev_size = s.size();
+    ++per_size[s.size()];
+  }
+  EXPECT_EQ(per_size[0], 1);
+  EXPECT_EQ(per_size[1], 6);
+  EXPECT_EQ(per_size[2], 15);
+  EXPECT_EQ(per_size[3], 20);
 }
 
 TEST(Failures, ToleranceZeroIsJustBaseline) {

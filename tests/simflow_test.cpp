@@ -194,6 +194,20 @@ TEST(Simulator, AllFctsArePositiveAndFinite) {
   }
 }
 
+TEST(Simulator, ZeroDemandIntervalsProduceNoFlows) {
+  // Regression: the event loop used to treat a zero-demand interval's
+  // boundary as an arrival, injecting one spurious flow per boundary. A
+  // region with zero offered load must complete zero flows.
+  auto params = small_sim(Fabric::kIris);
+  params.traffic.total_gbps = 0.0;
+  const auto result = simulate(FlowSizeDistribution::facebook_web(), params);
+  EXPECT_EQ(result.flow_count(), 0u);
+  // And EPS likewise, across several zero-demand boundaries.
+  params.fabric = Fabric::kEps;
+  EXPECT_EQ(simulate(FlowSizeDistribution::web_search(), params).flow_count(),
+            0u);
+}
+
 TEST(Simulator, EpsNeverReconfigures) {
   const auto workload = FlowSizeDistribution::facebook_web();
   const auto eps = simulate(workload, small_sim(Fabric::kEps));
