@@ -11,6 +11,7 @@ ClosedLoopResult run_closed_loop(IrisController& controller,
     throw std::invalid_argument("run_closed_loop: bad parameters");
   }
   ClosedLoopResult result;
+  double degraded_since = -1.0;
   for (double t = 0.0; t < params.duration_s; t += params.sample_interval_s) {
     policy.observe(demand(t), t);
     ++result.samples;
@@ -19,14 +20,35 @@ ClosedLoopResult run_closed_loop(IrisController& controller,
     try {
       const auto report =
           controller.apply_traffic_matrix(*proposal, params.strategy);
-      policy.mark_applied(*proposal);
-      ++result.reconfigurations;
       result.oss_operations += report.oss_operations;
       result.total_capacity_gap_ms += report.capacity_gap_ms();
-      result.last_apply_s = t;
+      result.command_retries += report.command_retries;
+      result.commands_timed_out += report.commands_timed_out;
+      result.circuit_retries += report.circuit_retries;
+      result.resources_quarantined += report.resources_quarantined;
+      if (report.outcome == ApplyOutcome::kRolledBack) ++result.rolled_back;
+      if (report.outcome == ApplyOutcome::kDegraded) ++result.degraded_applies;
+      if (report.target_reached()) {
+        policy.mark_applied(*proposal);
+        ++result.reconfigurations;
+        result.last_apply_s = t;
+        if (degraded_since >= 0.0) {
+          result.time_degraded_s += t - degraded_since;
+          degraded_since = -1.0;
+        }
+      } else {
+        // Rolled back (or worse): the network still carries the old circuit
+        // set. Leave the proposal unmarked so the policy re-proposes once
+        // its retry backoff expires.
+        policy.defer_retry(t);
+        if (degraded_since < 0.0) degraded_since = t;
+      }
     } catch (const std::runtime_error&) {
       ++result.rejected;  // keep observing; the demand may become feasible
     }
+  }
+  if (degraded_since >= 0.0) {
+    result.time_degraded_s += params.duration_s - degraded_since;
   }
   return result;
 }

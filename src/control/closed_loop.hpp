@@ -30,6 +30,17 @@ struct ClosedLoopResult {
   double total_capacity_gap_ms = 0.0;
   double last_apply_s = -1.0;
 
+  // Fault handling (all zero when the controller injects no faults).
+  int rolled_back = 0;          ///< applies undone by compensating rollback
+  int degraded_applies = 0;     ///< applies that ended kDegraded
+  long long command_retries = 0;
+  long long commands_timed_out = 0;
+  long long circuit_retries = 0;
+  long long resources_quarantined = 0;
+  /// Time during which the network carried something other than the last
+  /// proposed target (from a failed apply until the next successful one).
+  double time_degraded_s = 0.0;
+
   /// Mean seconds between reconfigurations; the paper's premise is that
   /// this is large ("relatively infrequent").
   [[nodiscard]] double mean_reconfig_spacing_s(double duration_s) const {
@@ -41,7 +52,10 @@ struct ClosedLoopResult {
 using DemandAt = std::function<TrafficMatrix(double t_s)>;
 
 /// Runs the loop. Proposals that the controller rejects (hose violation,
-/// pool exhaustion) are counted and skipped; the loop keeps running.
+/// pool exhaustion) are counted and skipped; the loop keeps running. With
+/// fault injection on, applies that roll back or lose circuits leave the
+/// proposal unmarked -- the policy re-proposes after its retry backoff --
+/// and the loop accounts the time spent off-target in `time_degraded_s`.
 ClosedLoopResult run_closed_loop(IrisController& controller,
                                  ReconfigPolicy& policy, const DemandAt& demand,
                                  const ClosedLoopParams& params);

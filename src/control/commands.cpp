@@ -26,6 +26,11 @@ std::string to_string(const DeviceCommand& cmd) {
       return "dc[" + std::to_string(c.dc) + "].ase.fill(live=" +
              std::to_string(c.live_channels) + ")";
     }
+    std::string operator()(const AmpPowerCheckCmd& c) const {
+      return "site[" + std::to_string(c.site) + "].amp[" +
+             std::to_string(c.unit) + "].power_check() -> " +
+             (c.ok ? "ok" : "DEAD");
+    }
   };
   return std::visit(Printer{}, cmd);
 }

@@ -36,10 +36,18 @@ struct SetAseFillCmd {
   graph::NodeId dc;
   int live_channels;  ///< remaining spectrum is ASE-filled
 };
+/// Power reading on an amplifier unit before cabling it into a circuit; the
+/// state-check API the testbed controller exposes (SS6.2). `ok` records the
+/// verdict so a replayed trace can reproduce quarantine decisions.
+struct AmpPowerCheckCmd {
+  graph::NodeId site;
+  int unit;
+  bool ok;
+};
 
 using DeviceCommand =
     std::variant<OssConnectCmd, OssDisconnectCmd, TuneTransceiverCmd,
-                 DisableTransceiverCmd, SetAseFillCmd>;
+                 DisableTransceiverCmd, SetAseFillCmd, AmpPowerCheckCmd>;
 
 /// Human-readable rendering for ops logs.
 std::string to_string(const DeviceCommand& cmd);

@@ -47,19 +47,43 @@ void init_pool(std::vector<int>& pool, int count) {
   for (int k = 0; k < count; ++k) pool[k] = count - 1 - k;
 }
 
+/// Exact-partition check: free + quarantined + allocated must tile
+/// {0..total-1} with no duplicates and no strays.
+bool tiles_exactly(int total, const std::vector<int>& free_items,
+                   const std::vector<int>& quarantined,
+                   const std::vector<int>& allocated) {
+  std::vector<char> seen(static_cast<std::size_t>(std::max(0, total)), 0);
+  const auto mark = [&](const std::vector<int>& items) {
+    for (int idx : items) {
+      if (idx < 0 || idx >= total || seen[static_cast<std::size_t>(idx)]) {
+        return false;
+      }
+      seen[static_cast<std::size_t>(idx)] = 1;
+    }
+    return true;
+  };
+  if (!mark(free_items) || !mark(quarantined) || !mark(allocated)) return false;
+  return std::all_of(seen.begin(), seen.end(), [](char c) { return c != 0; });
+}
+
 }  // namespace
 
 IrisController::IrisController(const fibermap::FiberMap& map,
                                const core::ProvisionedNetwork& network,
                                const core::AmpCutPlan& amp_cut,
-                               DeviceLatencies latencies)
-    : map_(map), network_(network), amp_cut_(amp_cut), latencies_(latencies) {
+                               DeviceLatencies latencies, FaultConfig faults)
+    : map_(map),
+      network_(network),
+      amp_cut_(amp_cut),
+      latencies_(latencies),
+      faults_(faults) {
   const graph::Graph& g = map.graph();
   const int lambda = network.params.channels.wavelengths_per_fiber;
 
   fibers_provisioned_ = leased_fibers_per_duct(map, network, amp_cut);
   duct_failed_.assign(g.edge_count(), false);
   free_fibers_.resize(g.edge_count());
+  quarantined_fibers_.resize(g.edge_count());
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     init_pool(free_fibers_[e], fibers_provisioned_[e]);
   }
@@ -67,6 +91,7 @@ IrisController::IrisController(const fibermap::FiberMap& map,
   port_maps_ = build_port_maps(map, network, amp_cut);
   oss_.reserve(static_cast<std::size_t>(g.node_count()));
   free_amps_.resize(g.node_count());
+  quarantined_amps_.resize(g.node_count());
   for (NodeId n = 0; n < g.node_count(); ++n) {
     oss_.emplace_back(map.site(n).name + "-oss",
                       std::max(1, port_maps_[n].port_count()));
@@ -83,11 +108,34 @@ IrisController::IrisController(const fibermap::FiberMap& map,
       txs.emplace_back(map.site(dc).name + "-tx" + std::to_string(t), lambda);
     }
   }
+
+  // Wire the fault source into the emulators once every container is final
+  // (the injector pointer must not dangle on vector growth). With faults
+  // disabled the devices keep their null injector: the default path is
+  // exactly the pre-fault-injection code.
+  if (faults_.enabled()) {
+    for (NodeId n = 0; n < g.node_count(); ++n) {
+      oss_[static_cast<std::size_t>(n)].attach_fault_injector(&faults_, n);
+    }
+    for (auto& [dc, txs] : transceivers_) {
+      for (std::size_t t = 0; t < txs.size(); ++t) {
+        txs[t].attach_fault_injector(&faults_, dc, static_cast<int>(t));
+      }
+    }
+  }
 }
 
 long long IrisController::dc_capacity_wavelengths(NodeId dc) const {
   return map_.dc_capacity_wavelengths(
       dc, network_.params.channels.wavelengths_per_fiber);
+}
+
+long long IrisController::usable_tx_count(NodeId dc) const {
+  const auto it = quarantined_txs_.find(dc);
+  const long long quarantined =
+      it == quarantined_txs_.end() ? 0
+                                   : static_cast<long long>(it->second.size());
+  return dc_capacity_wavelengths(dc) - quarantined;
 }
 
 std::vector<Circuit> IrisController::circuits_for(const TrafficMatrix& tm) const {
@@ -117,10 +165,78 @@ std::vector<Circuit> IrisController::circuits_for(const TrafficMatrix& tm) const
   return out;
 }
 
-long long IrisController::establish(const Circuit& c, Allocation& alloc) {
+CommandResult IrisController::run_with_retry(
+    ReconfigReport& report, const std::function<CommandResult()>& attempt) {
+  CommandResult r = attempt();
+  if (r.ok() || !faults_.enabled()) return r;
+  const RetryPolicy& rp = faults_.retry();
+  double backoff = rp.backoff_base_ms;
+  for (int a = 1; a < rp.max_command_attempts; ++a) {
+    if (r.status == CommandStatus::kTimeout) {
+      ++report.commands_timed_out;
+      report.fault_delay_ms += rp.command_timeout_ms;
+    }
+    ++report.command_retries;
+    report.fault_delay_ms += backoff;
+    backoff *= rp.backoff_factor;
+    r = attempt();
+    if (r.ok()) return r;
+  }
+  if (r.status == CommandStatus::kTimeout) {
+    ++report.commands_timed_out;
+    report.fault_delay_ms += rp.command_timeout_ms;
+  }
+  return r;
+}
+
+IrisController::ResKey IrisController::res_for_port(NodeId site,
+                                                    int port) const {
+  const auto o = port_maps_[static_cast<std::size_t>(site)].owner(port);
+  using Kind = SitePortMap::PortOwner::Kind;
+  switch (o.kind) {
+    case Kind::kDuctIn:
+    case Kind::kDuctOut:
+      return ResKey{0, o.duct, o.index};
+    case Kind::kAdd:
+    case Kind::kDrop:
+      return ResKey{1, site, o.index};
+    case Kind::kAmpFeed:
+    case Kind::kAmpReturn:
+      return ResKey{2, site, o.index};
+  }
+  throw std::logic_error("res_for_port: unmapped port owner");
+}
+
+std::optional<std::vector<int>> IrisController::take_healthy_amp_units(
+    NodeId site, int count, ReconfigReport& report) {
+  auto& pool = free_amps_[static_cast<std::size_t>(site)];
+  std::vector<int> taken;
+  taken.reserve(static_cast<std::size_t>(count));
+  while (static_cast<int>(taken.size()) < count && !pool.empty()) {
+    const int unit = pool.back();  // smallest free index
+    pool.pop_back();
+    const CommandResult check = faults_.amp_power_check(site, unit);
+    if (faults_.enabled()) {
+      trace_.push_back(AmpPowerCheckCmd{site, unit, check.ok()});
+    }
+    if (check.ok()) {
+      taken.push_back(unit);
+    } else {
+      quarantined_amps_[static_cast<std::size_t>(site)].push_back(unit);
+      ++report.resources_quarantined;
+    }
+  }
+  if (static_cast<int>(taken.size()) < count) {
+    return_to_pool(pool, taken);
+    return std::nullopt;
+  }
+  return taken;
+}
+
+void IrisController::establish(const Circuit& c, Allocation& alloc,
+                               ReconfigReport& report) {
   const graph::Graph& g = map_.graph();
   const auto& spec = network_.params.spec;
-  long long ops = 0;
 
   // Fibers on every hop.
   alloc.fibers_per_hop.reserve(c.route.edges.size());
@@ -130,16 +246,18 @@ long long IrisController::establish(const Circuit& c, Allocation& alloc) {
   }
 
   // Does this route need an in-line amplifier? Pick the first feasible site
-  // that still has free amplifier units.
+  // that can supply enough healthy amplifier units (dead units found by the
+  // power check are quarantined on the spot).
   const auto bypassed = amp_cut_.bypassed_sites(c.route);
   if (!core::path_feasible(g, c.route, std::nullopt, bypassed, spec)) {
     for (int m : core::feasible_amp_indices(g, c.route, bypassed, spec)) {
       const NodeId site = c.route.nodes[m];
       if (static_cast<int>(free_amps_[site].size()) >= c.fiber_pairs) {
-        alloc.amp_site = site;
-        alloc.amp_units =
-            take_from_pool(free_amps_[site], c.fiber_pairs, "amplifier");
-        break;
+        if (auto units = take_healthy_amp_units(site, c.fiber_pairs, report)) {
+          alloc.amp_site = site;
+          alloc.amp_units = std::move(*units);
+          break;
+        }
       }
     }
     if (!alloc.amp_site) {
@@ -155,10 +273,14 @@ long long IrisController::establish(const Circuit& c, Allocation& alloc) {
                                     "add/drop");
 
   const auto connect = [&](NodeId site, int in, int out) {
-    oss_[site].connect(in, out);
+    const CommandResult r = run_with_retry(
+        report, [&] { return oss_[site].connect(in, out); });
+    if (!r.ok()) {
+      throw DeviceCommandError{site, in, out, r.detail};
+    }
     alloc.connects.push_back(Connect{site, in, out});
     trace_.push_back(OssConnectCmd{site, in, out});
-    ++ops;
+    ++report.oss_operations;
   };
 
   // Program the cross-connects, fiber by fiber. Route orientation: nodes[0]
@@ -213,17 +335,85 @@ long long IrisController::establish(const Circuit& c, Allocation& alloc) {
                                          alloc.fibers_per_hop.back()[f]),
             port_maps_[dst].drop_port(back_pairs[f]));
   }
-  return ops;
 }
 
-long long IrisController::release(const Allocation& alloc) {
-  long long ops = 0;
+void IrisController::unwind_allocation(const Circuit& c, Allocation& alloc,
+                                       ReconfigReport& report,
+                                       std::set<ResKey> culprits) {
+  // Tear down the programmed cross-connects, newest first. A disconnect a
+  // stuck mirror refuses after all retries leaves a zombie cross-connect:
+  // it stays recorded (audits expect it on the device) and the resources
+  // whose ports it pins are quarantined so they are never re-issued.
   for (auto it = alloc.connects.rbegin(); it != alloc.connects.rend(); ++it) {
-    oss_[it->site].disconnect(it->in_port);
-    trace_.push_back(OssDisconnectCmd{it->site, it->in_port});
-    ++ops;
+    const CommandResult r = run_with_retry(
+        report, [&] { return oss_[it->site].disconnect(it->in_port); });
+    if (r.ok()) {
+      trace_.push_back(OssDisconnectCmd{it->site, it->in_port});
+      ++report.oss_operations;
+    } else {
+      zombie_connects_.push_back(*it);
+      culprits.insert(res_for_port(it->site, it->in_port));
+      culprits.insert(res_for_port(it->site, it->out_port));
+    }
   }
-  return ops;
+
+  const auto partition = [&](std::vector<int>& pool,
+                             std::vector<int>& quarantine,
+                             const std::vector<int>& items, int kind, int a) {
+    std::vector<int> to_free;
+    to_free.reserve(items.size());
+    for (int idx : items) {
+      if (culprits.contains(ResKey{kind, a, idx})) {
+        quarantine.push_back(idx);
+        ++report.resources_quarantined;
+      } else {
+        to_free.push_back(idx);
+      }
+    }
+    return_to_pool(pool, to_free);
+  };
+
+  for (std::size_t h = 0; h < alloc.fibers_per_hop.size(); ++h) {
+    const EdgeId e = c.route.edges[h];
+    partition(free_fibers_[e], quarantined_fibers_[e], alloc.fibers_per_hop[h],
+              0, e);
+  }
+  if (alloc.amp_site) {
+    partition(free_amps_[*alloc.amp_site], quarantined_amps_[*alloc.amp_site],
+              alloc.amp_units, 2, *alloc.amp_site);
+  }
+  partition(free_add_drop_.at(c.pair.a), quarantined_add_drop_[c.pair.a],
+            alloc.add_drop_a, 1, c.pair.a);
+  partition(free_add_drop_.at(c.pair.b), quarantined_add_drop_[c.pair.b],
+            alloc.add_drop_b, 1, c.pair.b);
+  alloc = Allocation{};
+}
+
+std::optional<std::string> IrisController::try_establish(
+    const Circuit& c, Allocation& alloc, ReconfigReport& report) {
+  const int max_attempts = faults_.retry().max_circuit_attempts;
+  std::string last_error;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) ++report.circuit_retries;
+    Allocation partial;
+    try {
+      establish(c, partial, report);
+      alloc = std::move(partial);
+      return std::nullopt;
+    } catch (const DeviceCommandError& e) {
+      // A command failed even after retries: quarantine the resources whose
+      // ports it touched and try again on fresh ones.
+      last_error = e.detail;
+      std::set<ResKey> culprits{res_for_port(e.site, e.in_port),
+                                res_for_port(e.site, e.out_port)};
+      unwind_allocation(c, partial, report, std::move(culprits));
+    } catch (const std::runtime_error& e) {
+      // Pool exhausted: retrying cannot help.
+      unwind_allocation(c, partial, report, {});
+      return std::string(e.what());
+    }
+  }
+  return last_error;
 }
 
 void IrisController::retune_all_dcs(ReconfigReport& report) {
@@ -233,24 +423,44 @@ void IrisController::retune_all_dcs(ReconfigReport& report) {
     for (auto& tx : txs) tx.disable();
     next_tx[dc] = 0;
   }
+  expected_tuned_.clear();
   std::map<NodeId, std::set<int>> live;
   for (const Circuit& c : active_) {
     for (const NodeId dc : {c.pair.a, c.pair.b}) {
       auto& txs = transceivers_.at(dc);
       long long& cursor = next_tx.at(dc);
+      const auto quarantined_it = quarantined_txs_.find(dc);
       for (long long w = 0; w < c.wavelengths; ++w) {
-        if (cursor >= static_cast<long long>(txs.size())) {
-          throw std::logic_error("transceiver pool exhausted despite admission");
-        }
         const int channel = static_cast<int>(w % lambda);
-        txs[static_cast<std::size_t>(cursor)].tune(channel);
-        trace_.push_back(
-            TuneTransceiverCmd{dc, static_cast<int>(cursor), channel});
-        live[dc].insert(channel);
-        ++cursor;
-        ++report.transceivers_retuned;
+        bool tuned = false;
+        while (cursor < static_cast<long long>(txs.size())) {
+          const int idx = static_cast<int>(cursor++);
+          if (quarantined_it != quarantined_txs_.end() &&
+              quarantined_it->second.contains(idx)) {
+            continue;
+          }
+          const CommandResult r = run_with_retry(
+              report,
+              [&] { return txs[static_cast<std::size_t>(idx)].tune(channel); });
+          if (r.ok()) {
+            trace_.push_back(TuneTransceiverCmd{dc, idx, channel});
+            live[dc].insert(channel);
+            ++report.transceivers_retuned;
+            ++expected_tuned_[dc];
+            tuned = true;
+            break;
+          }
+          // Permanent tune failure: pull the transceiver from service and
+          // carry the wavelength on the next one.
+          quarantined_txs_[dc].insert(idx);
+          ++report.resources_quarantined;
+        }
+        if (!tuned) ++report.wavelengths_untuned;
       }
     }
+  }
+  if (!faults_.enabled() && report.wavelengths_untuned > 0) {
+    throw std::logic_error("transceiver pool exhausted despite admission");
   }
   for (auto& [dc, emulator] : emulators_) {
     emulator.set_live_channels(live.contains(dc) ? live.at(dc)
@@ -262,14 +472,15 @@ void IrisController::retune_all_dcs(ReconfigReport& report) {
 
 ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
                                                    ReconfigStrategy strategy) {
-  // Hose-capacity admission check (OC2) before touching any device.
+  // Hose-capacity admission check (OC2) before touching any device. The
+  // usable transceiver count shrinks as units are quarantined.
   std::map<NodeId, long long> per_dc;
   for (const auto& [pair, waves] : tm) {
     per_dc[pair.a] += waves;
     per_dc[pair.b] += waves;
   }
   for (const auto& [dc, waves] : per_dc) {
-    if (waves > dc_capacity_wavelengths(dc)) {
+    if (waves > usable_tx_count(dc)) {
       throw std::runtime_error(
           "apply_traffic_matrix: demand exceeds hose capacity of " +
           map_.site(dc).name);
@@ -284,7 +495,7 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
     return a.pair == b.pair && a.route.nodes == b.route.nodes &&
            a.fiber_pairs == b.fiber_pairs;
   };
-  std::vector<std::size_t> kept_indices;
+  std::vector<std::size_t> kept_idx, torn_idx;
   for (std::size_t i = 0; i < active_.size(); ++i) {
     const auto it = std::find_if(target.begin(), target.end(),
                                  [&](const Circuit& t) {
@@ -292,8 +503,9 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
                                  });
     if (it == target.end()) {
       report.torn_down.push_back(active_[i]);
+      torn_idx.push_back(i);
     } else {
-      kept_indices.push_back(i);
+      kept_idx.push_back(i);
     }
   }
   for (const Circuit& t : target) {
@@ -304,7 +516,8 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
     if (!existed) report.set_up.push_back(t);
   }
 
-  // Admission pre-check for new circuits: fibers free after teardown.
+  // Admission pre-check for new circuits: fibers free after teardown (the
+  // free pools already exclude quarantined fiber).
   {
     std::vector<long long> demand(map_.graph().edge_count(), 0);
     for (const Circuit& c : report.set_up) {
@@ -345,87 +558,159 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
   }
 
   double clock = 0.0;
-  std::vector<Circuit> new_active;
-  std::vector<Allocation> new_allocs;
-  for (std::size_t i : kept_indices) {
+  std::vector<Circuit> kept_c;
+  std::vector<Allocation> kept_a;
+  std::vector<long long> kept_orig_waves;
+  for (std::size_t i : kept_idx) {
     // Wavelength counts may have changed on an unchanged circuit.
     const auto it = std::find_if(target.begin(), target.end(),
                                  [&](const Circuit& t) {
                                    return same_circuit(t, active_[i]);
                                  });
     Circuit updated = active_[i];
+    kept_orig_waves.push_back(updated.wavelengths);
     updated.wavelengths = it->wavelengths;
-    new_active.push_back(std::move(updated));
-    new_allocs.push_back(std::move(allocations_[i]));
+    kept_c.push_back(std::move(updated));
+    kept_a.push_back(std::move(allocations_[i]));
   }
-
-  const auto release_torn = [&] {
-    for (const Circuit& c : report.torn_down) {
-      for (std::size_t i = 0; i < active_.size(); ++i) {
-        if (same_circuit(active_[i], c) && !allocations_[i].connects.empty()) {
-          report.oss_operations += release(allocations_[i]);
-          for (std::size_t h = 0; h < c.route.edges.size(); ++h) {
-            return_to_pool(free_fibers_[c.route.edges[h]],
-                           allocations_[i].fibers_per_hop[h]);
-          }
-          if (allocations_[i].amp_site) {
-            return_to_pool(free_amps_[*allocations_[i].amp_site],
-                           allocations_[i].amp_units);
-          }
-          return_to_pool(free_add_drop_.at(c.pair.a),
-                         allocations_[i].add_drop_a);
-          return_to_pool(free_add_drop_.at(c.pair.b),
-                         allocations_[i].add_drop_b);
-          allocations_[i] = Allocation{};
-          break;
-        }
-      }
+  const auto revert_kept_waves = [&] {
+    for (std::size_t j = 0; j < kept_c.size(); ++j) {
+      kept_c[j].wavelengths = kept_orig_waves[j];
     }
   };
 
+  // Once anything on a device has changed -- a cross-connect made or a torn
+  // circuit's teardown begun -- the transaction may no longer throw: every
+  // failure from here is resolved by retry, quarantine or rollback.
+  bool devices_touched = false;
+
+  const auto release_torn = [&] {
+    if (!torn_idx.empty()) devices_touched = true;
+    for (std::size_t i : torn_idx) {
+      unwind_allocation(active_[i], allocations_[i], report, {});
+    }
+  };
+
+  std::vector<Circuit> added_c;
+  std::vector<Allocation> added_a;
   int max_switch_sites = 0;
-  const auto establish_new = [&] {
-    for (const Circuit& c : report.set_up) {
+  std::optional<std::string> establish_error;
+  const auto establish_new = [&]() -> bool {
+    for (std::size_t k = 0; k < report.set_up.size(); ++k) {
+      const Circuit& c = report.set_up[k];
+      const long long ops_before = report.oss_operations;
       Allocation alloc;
-      try {
-        report.oss_operations += establish(c, alloc);
-      } catch (...) {
-        // Roll the partial allocation back so devices and pools stay sane,
-        // then surface the error (e.g. amplifier pool exhausted).
-        release(alloc);
-        for (std::size_t h = 0; h < alloc.fibers_per_hop.size(); ++h) {
-          return_to_pool(free_fibers_[c.route.edges[h]],
-                         alloc.fibers_per_hop[h]);
+      establish_error = try_establish(c, alloc, report);
+      if (report.oss_operations != ops_before) devices_touched = true;
+      if (establish_error) {
+        // Transaction aborts: this circuit and the rest are not established.
+        for (std::size_t r = k; r < report.set_up.size(); ++r) {
+          report.not_established.push_back(report.set_up[r]);
         }
-        if (alloc.amp_site) {
-          return_to_pool(free_amps_[*alloc.amp_site], alloc.amp_units);
-        }
-        return_to_pool(free_add_drop_.at(c.pair.a), alloc.add_drop_a);
-        return_to_pool(free_add_drop_.at(c.pair.b), alloc.add_drop_b);
-        active_ = std::move(new_active);
-        allocations_ = std::move(new_allocs);
-        throw;
+        return false;
       }
-      new_active.push_back(c);
-      new_allocs.push_back(std::move(alloc));
+      added_c.push_back(c);
+      added_a.push_back(std::move(alloc));
       max_switch_sites = std::max(
           max_switch_sites, static_cast<int>(c.route.nodes.size()) - 2);
+    }
+    return true;
+  };
+
+  /// Compensating rollback for break-before-make: the torn circuits are
+  /// already off the devices, so re-establish them; what cannot be restored
+  /// is lost and the apply is degraded.
+  const auto rollback_reestablish = [&] {
+    report.timeline.push_back(
+        {clock, "apply failed: rolling back to pre-apply circuit set"});
+    for (std::size_t j = 0; j < added_c.size(); ++j) {
+      unwind_allocation(added_c[j], added_a[j], report, {});
+    }
+    added_c.clear();
+    added_a.clear();
+    std::vector<Circuit> restored_c;
+    std::vector<Allocation> restored_a;
+    for (const Circuit& c : report.torn_down) {
+      Allocation alloc;
+      if (try_establish(c, alloc, report)) {
+        report.lost_circuits.push_back(c);
+      } else {
+        restored_c.push_back(c);
+        restored_a.push_back(std::move(alloc));
+      }
+    }
+    revert_kept_waves();
+    active_ = kept_c;
+    active_.insert(active_.end(), restored_c.begin(), restored_c.end());
+    allocations_ = std::move(kept_a);
+    std::move(restored_a.begin(), restored_a.end(),
+              std::back_inserter(allocations_));
+    if (report.lost_circuits.empty()) {
+      report.outcome = ApplyOutcome::kRolledBack;
+      report.timeline.push_back({clock, "pre-apply circuit set restored"});
+    } else {
+      report.outcome = ApplyOutcome::kDegraded;
+      report.timeline.push_back(
+          {clock, "DEGRADED: " + std::to_string(report.lost_circuits.size()) +
+                      " circuit(s) lost"});
     }
   };
 
   if (make_first) {
     // Hitless: light the replacements, move traffic, then drain + tear down.
-    establish_new();
-    report.timeline.push_back({clock, "replacement circuits lit"});
-    if (!report.torn_down.empty()) {
-      report.drain_ms = latencies_.drain_window_ms;
-      clock += report.drain_ms;
+    if (!establish_new()) {
+      if (!devices_touched) {
+        // Nothing moved: keep the old generation fully intact (torn circuits
+        // were never released in make-before-break).
+        revert_kept_waves();
+        std::vector<Circuit> restored = kept_c;
+        std::vector<Allocation> restored_a = std::move(kept_a);
+        for (std::size_t i : torn_idx) {
+          restored.push_back(std::move(active_[i]));
+          restored_a.push_back(std::move(allocations_[i]));
+        }
+        active_ = std::move(restored);
+        allocations_ = std::move(restored_a);
+        throw std::runtime_error(*establish_error);
+      }
+      // Devices changed while trying the new generation: unwind it; the old
+      // generation never stopped carrying traffic, so this is a pure
+      // rollback with no capacity gap.
+      for (std::size_t j = 0; j < added_c.size(); ++j) {
+        unwind_allocation(added_c[j], added_a[j], report, {});
+      }
+      added_c.clear();
+      added_a.clear();
+      revert_kept_waves();
+      std::vector<Circuit> restored = kept_c;
+      std::vector<Allocation> restored_a = std::move(kept_a);
+      for (std::size_t i : torn_idx) {
+        restored.push_back(std::move(active_[i]));
+        restored_a.push_back(std::move(allocations_[i]));
+      }
+      active_ = std::move(restored);
+      allocations_ = std::move(restored_a);
+      report.outcome = ApplyOutcome::kRolledBack;
+      report.hitless = true;
       report.timeline.push_back(
-          {clock, "drained " + std::to_string(report.torn_down.size()) +
-                      " old circuit(s)"});
+          {clock, "apply failed: replacement generation torn back down"});
+    } else {
+      report.timeline.push_back({clock, "replacement circuits lit"});
+      if (!report.torn_down.empty()) {
+        report.drain_ms = latencies_.drain_window_ms;
+        clock += report.drain_ms;
+        report.timeline.push_back(
+            {clock, "drained " + std::to_string(report.torn_down.size()) +
+                        " old circuit(s)"});
+      }
+      release_torn();
+      report.hitless = true;
+      active_ = kept_c;
+      active_.insert(active_.end(), added_c.begin(), added_c.end());
+      allocations_ = std::move(kept_a);
+      std::move(added_a.begin(), added_a.end(),
+                std::back_inserter(allocations_));
     }
-    release_torn();
-    report.hitless = true;
   } else {
     // Drain, tear down, set up -- in that order (SS5.2).
     if (!report.torn_down.empty()) {
@@ -436,15 +721,26 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
                       " circuit(s)"});
     }
     release_torn();
-    establish_new();
+    if (!establish_new()) {
+      if (!devices_touched) {
+        revert_kept_waves();
+        active_ = kept_c;
+        allocations_ = std::move(kept_a);
+        throw std::runtime_error(*establish_error);
+      }
+      rollback_reestablish();
+    } else {
+      active_ = kept_c;
+      active_.insert(active_.end(), added_c.begin(), added_c.end());
+      allocations_ = std::move(kept_a);
+      std::move(added_a.begin(), added_a.end(),
+                std::back_inserter(allocations_));
+    }
   }
   for (const Circuit& c : report.torn_down) {
     max_switch_sites = std::max(
         max_switch_sites, static_cast<int>(c.route.nodes.size()) - 2);
   }
-
-  active_ = std::move(new_active);
-  allocations_ = std::move(new_allocs);
 
   if (!report.set_up.empty() || !report.torn_down.empty()) {
     // All OSSes at one site switch in parallel; sites along a path settle in
@@ -459,22 +755,106 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
   }
 
   retune_all_dcs(report);
+  if (report.wavelengths_untuned > 0 &&
+      report.outcome == ApplyOutcome::kCommitted) {
+    report.outcome = ApplyOutcome::kDegraded;
+  }
+  if (report.resources_quarantined > 0) {
+    report.timeline.push_back(
+        {clock, "quarantined " + std::to_string(report.resources_quarantined) +
+                    " failing resource(s)"});
+  }
   report.verified = audit_devices();
-  report.total_ms = clock;
+  report.total_ms = clock + report.fault_delay_ms;
   return report;
 }
 
 bool IrisController::audit_devices() const {
+  // 1. Every recorded cross-connect -- live or zombie -- is programmed.
   for (const Allocation& alloc : allocations_) {
     for (const Connect& c : alloc.connects) {
       const auto out = oss_[c.site].output_for(c.in_port);
       if (!out || *out != c.out_port) return false;
     }
   }
+  for (const Connect& z : zombie_connects_) {
+    const auto out = oss_[z.site].output_for(z.in_port);
+    if (!out || *out != z.out_port) return false;
+  }
+
+  // 2. No leaked cross-connects: per-site counts match exactly.
+  std::vector<int> expected_connects(
+      static_cast<std::size_t>(map_.graph().node_count()), 0);
+  for (const Allocation& alloc : allocations_) {
+    for (const Connect& c : alloc.connects) ++expected_connects[c.site];
+  }
+  for (const Connect& z : zombie_connects_) ++expected_connects[z.site];
+  for (NodeId n = 0; n < map_.graph().node_count(); ++n) {
+    if (oss_[n].connection_count() != expected_connects[n]) return false;
+  }
+
+  if (active_.size() != allocations_.size()) return false;
+
+  // 3. Exact resource partition: free + quarantined + allocated tiles the
+  // provisioned inventory of every duct, amplifier site and DC -- no fiber
+  // double-allocated, none lost.
+  std::vector<std::vector<int>> fiber_alloc(
+      static_cast<std::size_t>(map_.graph().edge_count()));
+  std::vector<std::vector<int>> amp_alloc(
+      static_cast<std::size_t>(map_.graph().node_count()));
+  std::map<NodeId, std::vector<int>> add_drop_alloc;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const Circuit& c = active_[i];
+    const Allocation& alloc = allocations_[i];
+    if (alloc.fibers_per_hop.size() != c.route.edges.size()) return false;
+    for (std::size_t h = 0; h < alloc.fibers_per_hop.size(); ++h) {
+      const EdgeId e = c.route.edges[h];
+      fiber_alloc[e].insert(fiber_alloc[e].end(),
+                            alloc.fibers_per_hop[h].begin(),
+                            alloc.fibers_per_hop[h].end());
+    }
+    if (alloc.amp_site) {
+      amp_alloc[*alloc.amp_site].insert(amp_alloc[*alloc.amp_site].end(),
+                                        alloc.amp_units.begin(),
+                                        alloc.amp_units.end());
+    }
+    auto& at_a = add_drop_alloc[c.pair.a];
+    at_a.insert(at_a.end(), alloc.add_drop_a.begin(), alloc.add_drop_a.end());
+    auto& at_b = add_drop_alloc[c.pair.b];
+    at_b.insert(at_b.end(), alloc.add_drop_b.begin(), alloc.add_drop_b.end());
+  }
   for (EdgeId e = 0; e < map_.graph().edge_count(); ++e) {
-    if (static_cast<int>(free_fibers_[e].size()) > fibers_provisioned_[e]) {
+    if (!tiles_exactly(fibers_provisioned_[e], free_fibers_[e],
+                       quarantined_fibers_[e], fiber_alloc[e])) {
       return false;
     }
+  }
+  for (NodeId n = 0; n < map_.graph().node_count(); ++n) {
+    if (!tiles_exactly(amp_cut_.amps_at_node[n], free_amps_[n],
+                       quarantined_amps_[n], amp_alloc[n])) {
+      return false;
+    }
+  }
+  for (const auto& [dc, pool] : free_add_drop_) {
+    const auto quarantined_it = quarantined_add_drop_.find(dc);
+    static const std::vector<int> kNone;
+    const auto alloc_it = add_drop_alloc.find(dc);
+    if (!tiles_exactly(port_maps_[dc].add_drop_pairs(), pool,
+                       quarantined_it == quarantined_add_drop_.end()
+                           ? kNone
+                           : quarantined_it->second,
+                       alloc_it == add_drop_alloc.end() ? kNone
+                                                        : alloc_it->second)) {
+      return false;
+    }
+  }
+
+  // 4. DC-local wavelength state matches the last retune.
+  for (const auto& [dc, txs] : transceivers_) {
+    long long tuned = 0;
+    for (const auto& tx : txs) tuned += tx.wavelength().has_value();
+    const auto it = expected_tuned_.find(dc);
+    if (tuned != (it == expected_tuned_.end() ? 0 : it->second)) return false;
   }
   return true;
 }
@@ -487,11 +867,20 @@ IrisController::Status IrisController::status() const {
     s.fibers_allocated += allocated_fibers(e);
     s.fibers_provisioned += fibers_provisioned_[e];
     s.failed_ducts += duct_failed_[e];
+    s.quarantined_fibers += static_cast<int>(quarantined_fibers_[e].size());
   }
   for (NodeId n = 0; n < map_.graph().node_count(); ++n) {
     s.amplifiers_in_use += amplifiers_in_use(n);
     s.amplifiers_total += amp_cut_.amps_at_node[n];
+    s.quarantined_amplifiers += static_cast<int>(quarantined_amps_[n].size());
   }
+  for (const auto& [dc, q] : quarantined_add_drop_) {
+    s.quarantined_add_drops += static_cast<int>(q.size());
+  }
+  for (const auto& [dc, q] : quarantined_txs_) {
+    s.quarantined_transceivers += static_cast<int>(q.size());
+  }
+  s.zombie_connects = static_cast<int>(zombie_connects_.size());
   s.devices_consistent = audit_devices();
   return s;
 }
@@ -505,7 +894,13 @@ ReconfigReport IrisController::drain_duct_for_maintenance(
   for (const Circuit& c : active_) tm[c.pair] += c.wavelengths;
   duct_failed_.at(duct) = true;
   try {
-    return apply_traffic_matrix(tm, strategy);
+    ReconfigReport report = apply_traffic_matrix(tm, strategy);
+    if (!report.target_reached()) {
+      // The move failed after touching devices; whatever survived is back in
+      // service, so the duct must be too -- maintenance is refused.
+      duct_failed_.at(duct) = false;
+    }
+    return report;
   } catch (...) {
     duct_failed_.at(duct) = false;  // refuse the maintenance, keep traffic
     throw;
@@ -530,7 +925,8 @@ const SitePortMap& IrisController::port_map_at(NodeId site) const {
 
 long long IrisController::allocated_fibers(EdgeId duct) const {
   return fibers_provisioned_.at(duct) -
-         static_cast<long long>(free_fibers_.at(duct).size());
+         static_cast<long long>(free_fibers_.at(duct).size()) -
+         static_cast<long long>(quarantined_fibers_.at(duct).size());
 }
 
 int IrisController::provisioned_fibers(EdgeId duct) const {
@@ -539,7 +935,8 @@ int IrisController::provisioned_fibers(EdgeId duct) const {
 
 int IrisController::amplifiers_in_use(NodeId site) const {
   return amp_cut_.amps_at_node.at(site) -
-         static_cast<int>(free_amps_.at(site).size());
+         static_cast<int>(free_amps_.at(site).size()) -
+         static_cast<int>(quarantined_amps_.at(site).size());
 }
 
 }  // namespace iris::control

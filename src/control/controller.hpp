@@ -9,12 +9,16 @@
 // + power limiters + full-spectrum ASE).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
+#include <set>
+#include <tuple>
 
 #include "control/circuits.hpp"
 #include "control/commands.hpp"
 #include "control/devices.hpp"
+#include "control/faults.hpp"
 #include "control/port_map.hpp"
 #include "core/amp_cut.hpp"
 
@@ -39,6 +43,19 @@ enum class ReconfigStrategy {
   kMakeBeforeBreak,
 };
 
+/// How an apply_traffic_matrix transaction ended.
+enum class ApplyOutcome {
+  /// The target circuit set is fully established.
+  kCommitted,
+  /// A mid-apply device failure was unrecoverable; compensating teardown and
+  /// re-establishment restored the pre-apply circuit set.
+  kRolledBack,
+  /// Capacity was lost: either circuits could not be restored during
+  /// rollback (`lost_circuits`), or the target was reached but quarantined
+  /// transceivers left wavelengths untuned (`wavelengths_untuned`).
+  kDegraded,
+};
+
 /// Outcome of applying a new traffic matrix.
 struct ReconfigReport {
   std::vector<Circuit> torn_down;
@@ -53,6 +70,30 @@ struct ReconfigReport {
   bool hitless = false;  ///< make-before-break succeeded: no capacity gap
   std::vector<ReconfigStep> timeline;
 
+  // Fault handling (all zero when no faults were injected).
+  ApplyOutcome outcome = ApplyOutcome::kCommitted;
+  std::vector<Circuit> not_established;  ///< requested circuits that failed
+  std::vector<Circuit> lost_circuits;    ///< pre-apply circuits not restored
+  int command_retries = 0;       ///< device-command re-attempts
+  int commands_timed_out = 0;    ///< attempts that hit the command deadline
+  int circuit_retries = 0;       ///< establishments retried on fresh resources
+  int resources_quarantined = 0; ///< fibers/ports/amps/txs pulled this apply
+  long long wavelengths_untuned = 0;  ///< demand not carried for lack of txs
+  double fault_delay_ms = 0.0;   ///< retry backoff + command timeouts
+
+  /// True when the network ended the apply carrying the requested circuit
+  /// set (possibly with fewer tuned wavelengths than asked). Closed-loop
+  /// callers use this to decide whether to mark the proposal applied or to
+  /// keep retrying.
+  [[nodiscard]] bool target_reached() const {
+    return outcome == ApplyOutcome::kCommitted ||
+           (outcome == ApplyOutcome::kDegraded && lost_circuits.empty() &&
+            not_established.empty());
+  }
+  [[nodiscard]] bool committed() const {
+    return outcome == ApplyOutcome::kCommitted;
+  }
+
   /// Window during which torn/re-routed capacity is unavailable; the paper
   /// measures ~50 ms via one hut and ~70 ms across two (SS6.2). Zero when a
   /// make-before-break apply kept both generations lit.
@@ -66,7 +107,12 @@ class IrisController {
   IrisController(const fibermap::FiberMap& map,
                  const core::ProvisionedNetwork& network,
                  const core::AmpCutPlan& amp_cut,
-                 DeviceLatencies latencies = {});
+                 DeviceLatencies latencies = {}, FaultConfig faults = {});
+
+  // The emulated devices hold a pointer to the controller's fault injector;
+  // moving or copying the controller would dangle it.
+  IrisController(const IrisController&) = delete;
+  IrisController& operator=(const IrisController&) = delete;
 
   /// Computes the circuits a traffic matrix needs: one circuit per DC pair
   /// with positive demand, ceil(wavelengths / lambda) whole fibers, routed
@@ -76,8 +122,15 @@ class IrisController {
   /// Applies a new traffic matrix: diffs against the active circuit set,
   /// drains and tears down obsolete circuits, establishes new ones (with
   /// real OSS cross-connects and amplifier loopbacks), and audits the
-  /// device layer. Throws std::runtime_error -- without touching devices --
-  /// if the demand violates a DC's hose capacity or a duct's leased fibers.
+  /// device layer. Transactional: std::runtime_error is thrown only before
+  /// any device has been touched (hose violation, fiber lease exhausted,
+  /// disconnected pair, or an establishment that failed before its first
+  /// cross-connect). Once a device has changed, failures are handled by
+  /// bounded retries, quarantine of misbehaving resources, and -- if the
+  /// apply still cannot complete -- a compensating rollback that restores
+  /// the pre-apply circuit set; the returned report's `outcome` says what
+  /// happened (kRolledBack, or kDegraded with `lost_circuits` when the
+  /// restore itself failed).
   ReconfigReport apply_traffic_matrix(
       const TrafficMatrix& tm,
       ReconfigStrategy strategy = ReconfigStrategy::kBreakBeforeMake);
@@ -113,6 +166,18 @@ class IrisController {
     int failed_ducts = 0;
     bool devices_consistent = false;
 
+    // Resources pulled from the free pools after repeated faults.
+    int quarantined_fibers = 0;
+    int quarantined_add_drops = 0;
+    int quarantined_amplifiers = 0;
+    int quarantined_transceivers = 0;
+    int zombie_connects = 0;  ///< cross-connects a stuck mirror won't release
+
+    [[nodiscard]] int quarantined_total() const {
+      return quarantined_fibers + quarantined_add_drops +
+             quarantined_amplifiers + quarantined_transceivers;
+    }
+
     [[nodiscard]] double fiber_utilization() const {
       return fibers_provisioned > 0
                  ? static_cast<double>(fibers_allocated) / fibers_provisioned
@@ -126,6 +191,12 @@ class IrisController {
   /// wavelength state (tunes + ASE fill).
   [[nodiscard]] const std::vector<DeviceCommand>& last_command_trace() const {
     return trace_;
+  }
+
+  /// The controller's fault source (disabled unless a FaultConfig with
+  /// non-zero rates was supplied at construction).
+  [[nodiscard]] const FaultInjector& fault_injector() const noexcept {
+    return faults_;
   }
 
   // Device-layer introspection for tests.
@@ -153,16 +224,56 @@ class IrisController {
     std::vector<int> add_drop_b;       ///< ... and at pair.b
   };
 
+  /// A concrete allocatable resource, for quarantine bookkeeping.
+  /// kind: 0 = duct fiber (a=edge, b=index), 1 = add/drop pair (a=dc,
+  /// b=index), 2 = amplifier unit (a=site, b=index).
+  using ResKey = std::tuple<int, int, int>;
+  /// Thrown inside establish() when a device command fails after all
+  /// retries; carries the ports needed to attribute blame. Internal control
+  /// flow only -- never escapes apply_traffic_matrix.
+  struct DeviceCommandError {
+    graph::NodeId site;
+    int in_port;
+    int out_port;
+    std::string detail;
+  };
+
   [[nodiscard]] long long dc_capacity_wavelengths(graph::NodeId dc) const;
-  /// Builds and programs the allocation for a circuit; returns the ops done.
-  long long establish(const Circuit& c, Allocation& alloc);
-  long long release(const Allocation& alloc);
+  [[nodiscard]] long long usable_tx_count(graph::NodeId dc) const;
+  /// Runs one device command with bounded retry + exponential backoff,
+  /// accounting retries/timeouts/backoff into the report.
+  CommandResult run_with_retry(ReconfigReport& report,
+                               const std::function<CommandResult()>& attempt);
+  /// Maps a port of `site` to the resource that owns it.
+  [[nodiscard]] ResKey res_for_port(graph::NodeId site, int port) const;
+  /// Pops `count` amplifier units at `site` that pass their power check;
+  /// dead units are quarantined on the spot. nullopt (pool returned) if the
+  /// site cannot supply enough healthy units.
+  std::optional<std::vector<int>> take_healthy_amp_units(
+      graph::NodeId site, int count, ReconfigReport& report);
+  /// Builds and programs the allocation for a circuit. Throws
+  /// DeviceCommandError on a permanently failing command and
+  /// std::runtime_error on pool exhaustion; either way the caller unwinds
+  /// the partial allocation.
+  void establish(const Circuit& c, Allocation& alloc, ReconfigReport& report);
+  /// Tears down an allocation and returns its resources to the free pools,
+  /// except `culprits`, which are quarantined. Disconnects that fail after
+  /// all retries leave zombie cross-connects; their resources are
+  /// quarantined too. Never throws.
+  void unwind_allocation(const Circuit& c, Allocation& alloc,
+                         ReconfigReport& report, std::set<ResKey> culprits);
+  /// Establishment with self-healing: on a command failure, quarantines the
+  /// blamed resources and retries on fresh ones (bounded). Returns the error
+  /// message on definitive failure, nullopt on success.
+  std::optional<std::string> try_establish(const Circuit& c, Allocation& alloc,
+                                           ReconfigReport& report);
   void retune_all_dcs(ReconfigReport& report);
 
   const fibermap::FiberMap& map_;
   const core::ProvisionedNetwork& network_;
   core::AmpCutPlan amp_cut_;
   DeviceLatencies latencies_;
+  FaultInjector faults_;
 
   std::vector<Circuit> active_;
   std::vector<Allocation> allocations_;  ///< parallel to active_
@@ -176,6 +287,19 @@ class IrisController {
   std::map<graph::NodeId, ChannelEmulator> emulators_;
   std::map<graph::NodeId, std::vector<TunableTransceiver>> transceivers_;
   std::vector<DeviceCommand> trace_;
+
+  // Resources pulled from service after repeated faults. Disjoint from both
+  // the free pools and live allocations; audit_devices() checks that the
+  // three partitions exactly tile the provisioned inventory.
+  std::vector<std::vector<int>> quarantined_fibers_;  ///< per duct
+  std::vector<std::vector<int>> quarantined_amps_;    ///< per site
+  std::map<graph::NodeId, std::vector<int>> quarantined_add_drop_;
+  std::map<graph::NodeId, std::set<int>> quarantined_txs_;
+  /// Cross-connects a stuck mirror refused to release: still programmed on
+  /// the OSS, owned by no circuit, their ports quarantined.
+  std::vector<Connect> zombie_connects_;
+  /// Transceivers successfully tuned at the last retune, per DC (audit).
+  std::map<graph::NodeId, long long> expected_tuned_;
 };
 
 }  // namespace iris::control

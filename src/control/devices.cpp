@@ -18,7 +18,7 @@ void OpticalSpaceSwitch::check_port(int port) const {
   }
 }
 
-void OpticalSpaceSwitch::connect(int in_port, int out_port) {
+CommandResult OpticalSpaceSwitch::connect(int in_port, int out_port) {
   check_port(in_port);
   check_port(out_port);
   if (cross_.contains(in_port)) {
@@ -27,18 +27,28 @@ void OpticalSpaceSwitch::connect(int in_port, int out_port) {
   if (outputs_in_use_.contains(out_port)) {
     throw std::logic_error(name_ + ": output port already connected");
   }
+  if (faults_ != nullptr) {
+    CommandResult r = faults_->oss_connect(site_, in_port, out_port);
+    if (!r.ok()) return r;  // crossbar untouched
+  }
   cross_[in_port] = out_port;
   outputs_in_use_.insert(out_port);
+  return CommandResult::success();
 }
 
-void OpticalSpaceSwitch::disconnect(int in_port) {
+CommandResult OpticalSpaceSwitch::disconnect(int in_port) {
   check_port(in_port);
   const auto it = cross_.find(in_port);
   if (it == cross_.end()) {
     throw std::logic_error(name_ + ": input port not connected");
   }
+  if (faults_ != nullptr) {
+    CommandResult r = faults_->oss_disconnect(site_, in_port, it->second);
+    if (!r.ok()) return r;  // connection stays programmed
+  }
   outputs_in_use_.erase(it->second);
   cross_.erase(it);
+  return CommandResult::success();
 }
 
 std::optional<int> OpticalSpaceSwitch::output_for(int in_port) const {
@@ -53,11 +63,16 @@ bool OpticalSpaceSwitch::output_in_use(int out_port) const {
   return outputs_in_use_.contains(out_port);
 }
 
-void TunableTransceiver::tune(int wavelength) {
+CommandResult TunableTransceiver::tune(int wavelength) {
   if (wavelength < 0 || wavelength >= wavelength_count_) {
     throw std::out_of_range(name_ + ": wavelength out of range");
   }
+  if (faults_ != nullptr) {
+    CommandResult r = faults_->tx_tune(dc_, index_);
+    if (!r.ok()) return r;  // previous wavelength kept
+  }
   wavelength_ = wavelength;
+  return CommandResult::success();
 }
 
 void ChannelEmulator::set_live_channels(std::set<int> live) {

@@ -5,7 +5,10 @@
 // same controller logic drives in-process emulators with the reconfiguration
 // latencies reported in the paper (OSS ~20 ms, tunable laser <1 ms, EDFA
 // <2 ms), so control-plane behaviour -- ordering, drain windows, verify
-// steps, failure handling -- is exercised end to end.
+// steps, failure handling -- is exercised end to end. Devices can misbehave:
+// each consults an optional FaultInjector (faults.hpp) before mutating state
+// and reports the outcome as a CommandResult, so retries, quarantine and
+// rollback in the controller run against deterministic hardware faults.
 #pragma once
 
 #include <map>
@@ -14,6 +17,8 @@
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "control/faults.hpp"
 
 namespace iris::control {
 
@@ -33,10 +38,21 @@ class OpticalSpaceSwitch {
  public:
   OpticalSpaceSwitch(std::string name, int port_count);
 
-  /// Connects input port -> output port. Throws if either port is busy.
-  void connect(int in_port, int out_port);
-  /// Removes the connection from `in_port`. Throws if none exists.
-  void disconnect(int in_port);
+  /// Routes this switch's commands through a fault injector. The switch does
+  /// not own the injector; `site` keys its fault streams.
+  void attach_fault_injector(FaultInjector* injector,
+                             graph::NodeId site) noexcept {
+    faults_ = injector;
+    site_ = site;
+  }
+
+  /// Connects input port -> output port. Throws if either port is busy or
+  /// out of range (programming errors); returns a non-ok CommandResult --
+  /// with the crossbar untouched -- when a fault is injected.
+  CommandResult connect(int in_port, int out_port);
+  /// Removes the connection from `in_port`. Throws if none exists; returns a
+  /// non-ok CommandResult -- connection intact -- on an injected fault.
+  CommandResult disconnect(int in_port);
   /// Output port the input is patched to, if any.
   [[nodiscard]] std::optional<int> output_for(int in_port) const;
   [[nodiscard]] bool output_in_use(int out_port) const;
@@ -53,6 +69,8 @@ class OpticalSpaceSwitch {
   int port_count_;
   std::map<int, int> cross_;      // in -> out
   std::set<int> outputs_in_use_;
+  FaultInjector* faults_ = nullptr;
+  graph::NodeId site_ = graph::kInvalidNode;
 };
 
 /// Tunable DWDM transceiver: carries one wavelength index in [0, lambda).
@@ -61,7 +79,16 @@ class TunableTransceiver {
   TunableTransceiver(std::string name, int wavelength_count)
       : name_(std::move(name)), wavelength_count_(wavelength_count) {}
 
-  void tune(int wavelength);
+  void attach_fault_injector(FaultInjector* injector, graph::NodeId dc,
+                             int index) noexcept {
+    faults_ = injector;
+    dc_ = dc;
+    index_ = index;
+  }
+
+  /// Tunes the laser. Throws on an out-of-range wavelength; returns a non-ok
+  /// CommandResult -- previous wavelength kept -- on an injected fault.
+  CommandResult tune(int wavelength);
   void disable() { wavelength_.reset(); }
   [[nodiscard]] std::optional<int> wavelength() const noexcept {
     return wavelength_;
@@ -72,6 +99,9 @@ class TunableTransceiver {
   std::string name_;
   int wavelength_count_;
   std::optional<int> wavelength_;
+  FaultInjector* faults_ = nullptr;
+  graph::NodeId dc_ = graph::kInvalidNode;
+  int index_ = 0;
 };
 
 /// Fixed-gain EDFA with an input power limiter (SS5.1: no online gain

@@ -1,0 +1,142 @@
+#include "control/faults.hpp"
+
+#include <stdexcept>
+
+namespace iris::control {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Distinct stream salts so the same tick never feeds two decisions.
+constexpr std::uint64_t kSaltTimeout = 0x74696d656f757421ULL;
+constexpr std::uint64_t kSaltStuck = 0x737475636b706f72ULL;
+constexpr std::uint64_t kSaltDead = 0x646561642d646576ULL;
+
+void check_rate(double r, const char* what) {
+  if (r < 0.0 || r > 1.0) {
+    throw std::invalid_argument(std::string("FaultConfig: ") + what +
+                                " must be a probability in [0, 1]");
+  }
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(config), enabled_(config.rates.any()) {
+  const FaultRates& r = config.rates;
+  check_rate(r.oss_connect_fail, "oss_connect_fail");
+  check_rate(r.oss_disconnect_fail, "oss_disconnect_fail");
+  check_rate(r.oss_port_stuck, "oss_port_stuck");
+  check_rate(r.tx_tune_fail, "tx_tune_fail");
+  check_rate(r.tx_dead, "tx_dead");
+  check_rate(r.amp_dead, "amp_dead");
+  check_rate(r.timeout_fraction, "timeout_fraction");
+  const RetryPolicy& p = config.retry;
+  if (p.max_command_attempts < 1 || p.max_circuit_attempts < 1 ||
+      p.backoff_base_ms < 0.0 || p.backoff_factor < 1.0 ||
+      p.command_timeout_ms < 0.0) {
+    throw std::invalid_argument("RetryPolicy: bad parameters");
+  }
+}
+
+double FaultInjector::roll(std::uint64_t stream) {
+  const std::uint64_t u =
+      splitmix64(config_.seed ^ splitmix64(stream) ^ (++ticks_ * 0xd1342543de82ef95ULL));
+  return static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+
+CommandResult FaultInjector::transient(double rate, std::uint64_t stream,
+                                       const char* what) {
+  if (rate <= 0.0 || roll(stream) >= rate) return CommandResult::success();
+  ++injected_;
+  if (config_.rates.timeout_fraction > 0.0 &&
+      roll(stream ^ kSaltTimeout) < config_.rates.timeout_fraction) {
+    return CommandResult::timeout(std::string(what) + ": command timed out");
+  }
+  return CommandResult::failed(std::string(what) + ": device NACK");
+}
+
+CommandResult FaultInjector::oss_connect(graph::NodeId site, int in_port,
+                                         int out_port) {
+  if (!enabled_) return CommandResult::success();
+  if (port_stuck(site, in_port) || port_stuck(site, out_port)) {
+    return CommandResult::failed("oss connect: port stuck");
+  }
+  const std::uint64_t stream =
+      (static_cast<std::uint64_t>(site) << 32) ^
+      (static_cast<std::uint64_t>(in_port) << 16) ^
+      static_cast<std::uint64_t>(out_port);
+  if (config_.rates.oss_port_stuck > 0.0 &&
+      roll(stream ^ kSaltStuck) < config_.rates.oss_port_stuck) {
+    // The mirror jammed mid-travel: both ports are unusable from now on.
+    stuck_ports_.insert({site, in_port});
+    stuck_ports_.insert({site, out_port});
+    ++injected_;
+    return CommandResult::failed("oss connect: mirror stuck");
+  }
+  return transient(config_.rates.oss_connect_fail, stream, "oss connect");
+}
+
+CommandResult FaultInjector::oss_disconnect(graph::NodeId site, int in_port,
+                                            int out_port) {
+  if (!enabled_) return CommandResult::success();
+  if (port_stuck(site, in_port) || port_stuck(site, out_port)) {
+    return CommandResult::failed("oss disconnect: port stuck");
+  }
+  const std::uint64_t stream =
+      (static_cast<std::uint64_t>(site) << 32) ^
+      (static_cast<std::uint64_t>(in_port) << 16) ^
+      static_cast<std::uint64_t>(out_port) ^ 0x1ULL;
+  if (config_.rates.oss_port_stuck > 0.0 &&
+      roll(stream ^ kSaltStuck) < config_.rates.oss_port_stuck) {
+    stuck_ports_.insert({site, in_port});
+    stuck_ports_.insert({site, out_port});
+    ++injected_;
+    return CommandResult::failed("oss disconnect: mirror stuck");
+  }
+  return transient(config_.rates.oss_disconnect_fail, stream,
+                   "oss disconnect");
+}
+
+CommandResult FaultInjector::tx_tune(graph::NodeId dc, int transceiver) {
+  if (!enabled_) return CommandResult::success();
+  if (transceiver_dead(dc, transceiver)) {
+    return CommandResult::failed("tx tune: transceiver dead");
+  }
+  const std::uint64_t stream = (static_cast<std::uint64_t>(dc) << 32) ^
+                               static_cast<std::uint64_t>(transceiver);
+  if (config_.rates.tx_dead > 0.0 &&
+      roll(stream ^ kSaltDead) < config_.rates.tx_dead) {
+    dead_txs_.insert({dc, transceiver});
+    ++injected_;
+    return CommandResult::failed("tx tune: laser died");
+  }
+  return transient(config_.rates.tx_tune_fail, stream, "tx tune");
+}
+
+CommandResult FaultInjector::amp_power_check(graph::NodeId site, int unit) {
+  if (!enabled_) return CommandResult::success();
+  auto [it, inserted] = dead_amps_.try_emplace({site, unit}, false);
+  if (inserted && config_.rates.amp_dead > 0.0) {
+    const std::uint64_t stream = (static_cast<std::uint64_t>(site) << 32) ^
+                                 static_cast<std::uint64_t>(unit);
+    it->second = roll(stream ^ kSaltDead) < config_.rates.amp_dead;
+    if (it->second) ++injected_;
+  }
+  return it->second ? CommandResult::failed("amp power check: unit dead")
+                    : CommandResult::success();
+}
+
+void FaultInjector::clear_sticky() {
+  stuck_ports_.clear();
+  dead_txs_.clear();
+  dead_amps_.clear();
+}
+
+}  // namespace iris::control

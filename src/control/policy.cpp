@@ -10,7 +10,7 @@ using core::DcPair;
 ReconfigPolicy::ReconfigPolicy(PolicyParams params) : params_(params) {
   if (params.ewma_alpha <= 0.0 || params.ewma_alpha > 1.0 ||
       params.headroom < 1.0 || params.hysteresis_s < 0.0 ||
-      params.wavelengths_per_fiber <= 0) {
+      params.wavelengths_per_fiber <= 0 || params.retry_backoff_s < 0.0) {
     throw std::invalid_argument("ReconfigPolicy: bad parameters");
   }
 }
@@ -67,6 +67,7 @@ TrafficMatrix ReconfigPolicy::target() const {
 }
 
 std::optional<TrafficMatrix> ReconfigPolicy::propose(double now_s) const {
+  if (now_s < defer_until_) return std::nullopt;
   for (const auto& [pair, since] : diverged_since_) {
     if (since >= 0.0 && now_s - since >= params_.hysteresis_s) {
       return target();
@@ -79,6 +80,10 @@ void ReconfigPolicy::mark_applied(const TrafficMatrix& applied) {
   applied_.clear();
   for (const auto& [pair, waves] : applied) applied_[pair] = waves;
   for (auto& [pair, since] : diverged_since_) since = -1.0;
+}
+
+void ReconfigPolicy::defer_retry(double now_s) {
+  defer_until_ = now_s + params_.retry_backoff_s;
 }
 
 int ReconfigPolicy::diverging_pairs(double now_s) const {

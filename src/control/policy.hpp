@@ -21,6 +21,9 @@ struct PolicyParams {
   double headroom = 1.25;       ///< provisioned capacity / smoothed demand
   double hysteresis_s = 10.0;   ///< target must persist this long
   int wavelengths_per_fiber = 40;
+  /// After a failed (rolled-back) apply, hold further proposals for this
+  /// long so a faulty device layer is not hammered. 0 = re-propose at once.
+  double retry_backoff_s = 0.0;
 };
 
 /// Feed demand samples; harvest a new traffic matrix only when warranted.
@@ -45,6 +48,10 @@ class ReconfigPolicy {
   /// Tells the policy the proposal was applied (resets the divergence clock).
   void mark_applied(const TrafficMatrix& applied);
 
+  /// Tells the policy an apply failed at `now_s`: propose() stays quiet until
+  /// `now_s + retry_backoff_s` so the controller can clear its quarantines.
+  void defer_retry(double now_s);
+
   /// Pairs whose fiber requirement currently diverges from the applied plan.
   [[nodiscard]] int diverging_pairs(double now_s) const;
 
@@ -55,6 +62,7 @@ class ReconfigPolicy {
   std::map<core::DcPair, double> smoothed_;      // EWMA of wavelengths
   std::map<core::DcPair, long long> applied_;    // wavelengths last applied
   std::map<core::DcPair, double> diverged_since_;  // -1 = in agreement
+  double defer_until_ = 0.0;  // no proposals before this time
 };
 
 }  // namespace iris::control

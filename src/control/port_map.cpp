@@ -61,6 +61,35 @@ int SitePortMap::drop_port(int k) const {
   return add_drop_base_ + 2 * k + 1;
 }
 
+SitePortMap::PortOwner SitePortMap::owner(int port) const {
+  if (port < 0 || port >= total_ports_) {
+    throw std::out_of_range("SitePortMap::owner: port out of range");
+  }
+  PortOwner o;
+  if (port >= amp_base_ && amplifiers_ > 0) {
+    o.kind = (port - amp_base_) % 2 == 0 ? PortOwner::Kind::kAmpFeed
+                                         : PortOwner::Kind::kAmpReturn;
+    o.index = (port - amp_base_) / 2;
+    return o;
+  }
+  if (port >= add_drop_base_ && add_drop_pairs_ > 0) {
+    o.kind = (port - add_drop_base_) % 2 == 0 ? PortOwner::Kind::kAdd
+                                              : PortOwner::Kind::kDrop;
+    o.index = (port - add_drop_base_) / 2;
+    return o;
+  }
+  for (const DuctRegion& r : regions_) {
+    if (port >= r.base && port < r.base + 2 * r.fibers) {
+      o.kind = (port - r.base) % 2 == 0 ? PortOwner::Kind::kDuctIn
+                                        : PortOwner::Kind::kDuctOut;
+      o.duct = r.duct;
+      o.index = (port - r.base) / 2;
+      return o;
+    }
+  }
+  throw std::logic_error("SitePortMap::owner: port not mapped");
+}
+
 int SitePortMap::amp_feed_port(int a) const {
   if (a < 0 || a >= amplifiers_) {
     throw std::out_of_range("SitePortMap: amplifier out of range");

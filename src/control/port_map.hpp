@@ -49,6 +49,17 @@ class SitePortMap {
   /// Total ports the site's OSS needs.
   [[nodiscard]] int port_count() const noexcept { return total_ports_; }
 
+  /// Reverse lookup: which physical resource owns a port. Used by the
+  /// controller to attribute a failing cross-connect to the duct fiber,
+  /// add/drop pair or amplifier unit that must be quarantined.
+  struct PortOwner {
+    enum class Kind { kDuctIn, kDuctOut, kAdd, kDrop, kAmpFeed, kAmpReturn };
+    Kind kind = Kind::kDuctIn;
+    graph::EdgeId duct = graph::kInvalidEdge;  ///< kDuctIn/kDuctOut only
+    int index = 0;  ///< fiber, add/drop pair, or amplifier unit
+  };
+  [[nodiscard]] PortOwner owner(int port) const;
+
   [[nodiscard]] int add_drop_pairs() const noexcept { return add_drop_pairs_; }
   [[nodiscard]] int amplifier_count() const noexcept { return amplifiers_; }
 

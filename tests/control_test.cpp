@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "control/controller.hpp"
 #include "control/closed_loop.hpp"
 #include "control/policy.hpp"
@@ -371,8 +373,10 @@ TEST_F(ToyController, MakeBeforeBreakIsHitless) {
   EXPECT_EQ(report.set_up.size(), 1u);
   EXPECT_EQ(report.torn_down.size(), 1u);
   EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.outcome, ApplyOutcome::kCommitted);
   // Old resources fully returned afterwards.
   EXPECT_EQ(controller_.allocated_fibers(ids_.l1), 2);  // dc1->dc3: 2 fibers
+  EXPECT_TRUE(controller_.status().devices_consistent);
 }
 
 TEST_F(ToyController, MakeBeforeBreakFallsBackWhenSparesRunOut) {
@@ -582,6 +586,7 @@ TEST(Maintenance, DrainReroutesHitlessly) {
   EXPECT_FALSE(controller.active_circuits()[0].route.uses_edge(victim));
   // The demand is untouched.
   EXPECT_EQ(controller.active_circuits()[0].wavelengths, 40);
+  EXPECT_TRUE(controller.status().devices_consistent);
 }
 
 TEST_F(ToyController, MaintenanceRefusedWhenNoAlternateRoute) {
@@ -591,6 +596,10 @@ TEST_F(ToyController, MaintenanceRefusedWhenNoAlternateRoute) {
   EXPECT_THROW(controller_.drain_duct_for_maintenance(ids_.l5),
                std::runtime_error);
   EXPECT_EQ(controller_.allocated_fibers(ids_.l5), 2);
+  // The refusal is clean: the duct is back in service, the circuit and its
+  // device state untouched.
+  EXPECT_EQ(controller_.status().failed_ducts, 0);
+  EXPECT_TRUE(controller_.status().devices_consistent);
   EXPECT_NO_THROW(controller_.apply_traffic_matrix(demand(0, 60)));
 }
 
@@ -660,6 +669,390 @@ TEST(Commands, HumanReadableRendering) {
             "dc[2].tx[7].disable()");
   EXPECT_EQ(to_string(DeviceCommand{SetAseFillCmd{2, 5}}),
             "dc[2].ase.fill(live=5)");
+  EXPECT_EQ(to_string(DeviceCommand{AmpPowerCheckCmd{4, 2, true}}),
+            "site[4].amp[2].power_check() -> ok");
+  EXPECT_EQ(to_string(DeviceCommand{AmpPowerCheckCmd{4, 2, false}}),
+            "site[4].amp[2].power_check() -> DEAD");
+}
+
+// --- Fault injection ---------------------------------------------------------
+
+TEST(FaultInjector, DisabledByDefaultAndEverythingSucceeds) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.enabled());
+  EXPECT_TRUE(inj.oss_connect(0, 1, 2).ok());
+  EXPECT_TRUE(inj.oss_disconnect(0, 1, 2).ok());
+  EXPECT_TRUE(inj.tx_tune(0, 3).ok());
+  EXPECT_TRUE(inj.amp_power_check(1, 0).ok());
+  EXPECT_EQ(inj.faults_injected(), 0);
+
+  FaultConfig zero;  // all-zero rates: still disabled
+  EXPECT_FALSE(FaultInjector(zero).enabled());
+}
+
+TEST(FaultInjector, RejectsBadConfig) {
+  FaultConfig cfg;
+  cfg.rates.oss_connect_fail = 1.5;
+  EXPECT_THROW(FaultInjector{cfg}, std::invalid_argument);
+  cfg.rates.oss_connect_fail = 0.1;
+  cfg.retry.max_command_attempts = 0;
+  EXPECT_THROW(FaultInjector{cfg}, std::invalid_argument);
+  cfg.retry.max_command_attempts = 1;
+  cfg.retry.backoff_factor = 0.5;
+  EXPECT_THROW(FaultInjector{cfg}, std::invalid_argument);
+}
+
+TEST(FaultInjector, SameSeedSameSequence) {
+  FaultConfig cfg;
+  cfg.rates.oss_connect_fail = 0.4;
+  cfg.rates.tx_tune_fail = 0.4;
+  cfg.rates.timeout_fraction = 0.5;
+  cfg.seed = 12345;
+  FaultInjector a(cfg), b(cfg);
+  for (int i = 0; i < 200; ++i) {
+    const auto ra = a.oss_connect(i % 5, i, i + 1);
+    const auto rb = b.oss_connect(i % 5, i, i + 1);
+    EXPECT_EQ(ra.status, rb.status);
+    EXPECT_EQ(a.tx_tune(0, i).status, b.tx_tune(0, i).status);
+  }
+  EXPECT_EQ(a.faults_injected(), b.faults_injected());
+  EXPECT_GT(a.faults_injected(), 0);
+
+  // A different seed gives a different schedule.
+  cfg.seed = 54321;
+  FaultInjector c(cfg);
+  long long diverged = 0;
+  FaultInjector a2(FaultConfig{cfg.rates, cfg.retry, 12345});
+  for (int i = 0; i < 200; ++i) {
+    diverged += a2.oss_connect(i % 5, i, i + 1).status !=
+                c.oss_connect(i % 5, i, i + 1).status;
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(FaultInjector, StickyFaultsPersistUntilCleared) {
+  FaultConfig cfg;
+  cfg.rates.oss_port_stuck = 1.0;
+  cfg.seed = 7;
+  FaultInjector inj(cfg);
+  EXPECT_FALSE(inj.oss_connect(2, 4, 5).ok());
+  EXPECT_TRUE(inj.port_stuck(2, 4));
+  EXPECT_TRUE(inj.port_stuck(2, 5));
+  EXPECT_EQ(inj.stuck_port_count(), 2);
+  // Any command touching a stuck port keeps failing.
+  EXPECT_FALSE(inj.oss_disconnect(2, 4, 5).ok());
+  inj.clear_sticky();
+  EXPECT_EQ(inj.stuck_port_count(), 0);
+}
+
+/// The break-before-make partial-apply hole (regression): growing a circuit
+/// tears the old generation down first; if establishment then fails, the old
+/// circuit used to be silently dropped with its cross-connects leaked. The
+/// transactional controller must roll back to the pre-apply circuit set.
+TEST(Transactional, BreakBeforeMakeFailureRollsBackToOldCircuits) {
+  fibermap::FiberMap map;
+  const auto a = map.add_dc("a", {0, 0}, 4);
+  const auto b = map.add_dc("b", {100, 0}, 4);
+  const auto h1 = map.add_hut("h1", {50, 0});
+  const auto duct_a = map.add_duct_with_length(a, h1, 55.0);
+  map.add_duct_with_length(h1, b, 55.0);
+  const auto net = core::provision(map, toy_params());
+  auto plan = core::place_amplifiers_and_cutthroughs(map, net);
+  plan.amps_at_node[h1] = 1;  // sabotage: only one amplifier unit exists
+  IrisController controller(map, net, plan);
+
+  TrafficMatrix tm;
+  tm[DcPair(a, b)] = 40;  // 1 fiber, 1 amplifier unit: fits
+  controller.apply_traffic_matrix(tm);
+  ASSERT_EQ(controller.amplifiers_in_use(h1), 1);
+
+  // Growing to 2 fibers needs 2 amplifier units. Break-before-make releases
+  // the old circuit first, so the failure strikes after devices changed.
+  tm[DcPair(a, b)] = 80;
+  ReconfigReport report;
+  ASSERT_NO_THROW(report = controller.apply_traffic_matrix(tm));
+  EXPECT_EQ(report.outcome, ApplyOutcome::kRolledBack);
+  EXPECT_FALSE(report.target_reached());
+  EXPECT_EQ(report.not_established.size(), 1u);
+  EXPECT_TRUE(report.lost_circuits.empty());
+  // The pre-apply circuit is back, carrying its original wavelengths.
+  ASSERT_EQ(controller.active_circuits().size(), 1u);
+  EXPECT_EQ(controller.active_circuits()[0].wavelengths, 40);
+  EXPECT_EQ(controller.active_circuits()[0].fiber_pairs, 1);
+  EXPECT_EQ(controller.allocated_fibers(duct_a), 1);
+  EXPECT_EQ(controller.amplifiers_in_use(h1), 1);
+  EXPECT_TRUE(controller.status().devices_consistent);
+  // The restored circuit still carries traffic end to end.
+  EXPECT_GT(controller.oss_at(h1).connection_count(), 0);
+}
+
+/// Same failure under make-before-break: the new generation is tried first,
+/// fails before any cross-connect, and the old generation -- bookkeeping
+/// included -- must survive the thrown refusal (this used to leak the torn
+/// circuits out of active_ while their connects stayed programmed).
+TEST(Transactional, MakeBeforeBreakFailureKeepsOldCircuitsIntact) {
+  fibermap::FiberMap map;
+  const auto a = map.add_dc("a", {0, 0}, 4);
+  const auto b = map.add_dc("b", {100, 0}, 4);
+  const auto h1 = map.add_hut("h1", {50, 0});
+  const auto duct_a = map.add_duct_with_length(a, h1, 55.0);
+  map.add_duct_with_length(h1, b, 55.0);
+  const auto net = core::provision(map, toy_params());
+  auto plan = core::place_amplifiers_and_cutthroughs(map, net);
+  plan.amps_at_node[h1] = 1;
+  IrisController controller(map, net, plan);
+
+  TrafficMatrix tm;
+  tm[DcPair(a, b)] = 40;
+  controller.apply_traffic_matrix(tm);
+  const int connects_before =
+      controller.oss_at(h1).connection_count() +
+      controller.oss_at(a).connection_count() +
+      controller.oss_at(b).connection_count();
+
+  tm[DcPair(a, b)] = 80;  // needs 2 amp units; fails before any connect
+  EXPECT_THROW(
+      controller.apply_traffic_matrix(tm, ReconfigStrategy::kMakeBeforeBreak),
+      std::runtime_error);
+  ASSERT_EQ(controller.active_circuits().size(), 1u);
+  EXPECT_EQ(controller.active_circuits()[0].wavelengths, 40);
+  EXPECT_EQ(controller.allocated_fibers(duct_a), 1);
+  EXPECT_EQ(controller.amplifiers_in_use(h1), 1);
+  EXPECT_EQ(controller.oss_at(h1).connection_count() +
+                controller.oss_at(a).connection_count() +
+                controller.oss_at(b).connection_count(),
+            connects_before);
+  EXPECT_TRUE(controller.status().devices_consistent);
+  // The old circuit's allocation is still live: tearing it down must return
+  // every resource.
+  controller.apply_traffic_matrix({});
+  EXPECT_EQ(controller.allocated_fibers(duct_a), 0);
+  EXPECT_EQ(controller.amplifiers_in_use(h1), 0);
+  EXPECT_TRUE(controller.status().devices_consistent);
+}
+
+class FaultyToyController : public ::testing::Test {
+ protected:
+  explicit FaultyToyController()
+      : map_(fibermap::toy_example_fig10()),
+        ids_(fibermap::toy_example_ids()),
+        net_(core::provision(map_, toy_params())),
+        plan_(core::place_amplifiers_and_cutthroughs(map_, net_)) {}
+
+  std::unique_ptr<IrisController> make_controller(const FaultConfig& cfg) {
+    return std::make_unique<IrisController>(map_, net_, plan_,
+                                            DeviceLatencies{}, cfg);
+  }
+
+  TrafficMatrix demand(long long w12, long long w13) const {
+    TrafficMatrix tm;
+    if (w12 > 0) tm[DcPair(ids_.dc1, ids_.dc2)] = w12;
+    if (w13 > 0) tm[DcPair(ids_.dc1, ids_.dc3)] = w13;
+    return tm;
+  }
+
+  fibermap::FiberMap map_;
+  fibermap::ToyExampleIds ids_;
+  core::ProvisionedNetwork net_;
+  core::AmpCutPlan plan_;
+};
+
+TEST_F(FaultyToyController, TransientFaultsAreHealedByRetries) {
+  FaultConfig cfg;
+  cfg.rates.oss_connect_fail = 0.2;
+  cfg.rates.tx_tune_fail = 0.1;
+  cfg.rates.timeout_fraction = 0.3;
+  cfg.seed = 2020;
+  auto controller = make_controller(cfg);
+
+  const auto report = controller->apply_traffic_matrix(demand(100, 60));
+  // Independent per-attempt rolls: bounded retry absorbs a 20% transient
+  // rate, so the apply lands (possibly after quarantining an unlucky
+  // resource and retrying the circuit on a fresh one).
+  EXPECT_TRUE(report.target_reached());
+  EXPECT_GT(report.command_retries, 0);
+  EXPECT_GT(report.fault_delay_ms, 0.0);
+  EXPECT_GE(report.total_ms, report.fault_delay_ms);
+  EXPECT_TRUE(report.verified);
+  EXPECT_TRUE(controller->status().devices_consistent);
+  EXPECT_EQ(controller->active_circuits().size(), 2u);
+}
+
+TEST_F(FaultyToyController, AllPortsStuckIsACleanRefusal) {
+  FaultConfig cfg;
+  cfg.rates.oss_port_stuck = 1.0;  // every cross-connect jams its mirror
+  cfg.seed = 9;
+  auto controller = make_controller(cfg);
+
+  // No device ever changes state, so the transactional contract allows (and
+  // the legacy API expects) a thrown refusal -- with the blamed resources
+  // quarantined for the attempts that were made.
+  EXPECT_THROW(controller->apply_traffic_matrix(demand(40, 0)),
+               std::runtime_error);
+  EXPECT_TRUE(controller->active_circuits().empty());
+  const auto s = controller->status();
+  EXPECT_GT(s.quarantined_total(), 0);
+  EXPECT_TRUE(s.devices_consistent);
+  EXPECT_GT(controller->fault_injector().stuck_port_count(), 0);
+}
+
+TEST_F(FaultyToyController, DeadTransceiversDegradeTheApply) {
+  FaultConfig cfg;
+  cfg.rates.tx_dead = 1.0;  // every laser dies on first tune
+  cfg.seed = 3;
+  auto controller = make_controller(cfg);
+
+  ReconfigReport report;
+  ASSERT_NO_THROW(report = controller->apply_traffic_matrix(demand(100, 60)));
+  // The circuit set is exactly as requested -- only the DC-local wavelength
+  // activation failed -- so the apply commits in a degraded state.
+  EXPECT_EQ(report.outcome, ApplyOutcome::kDegraded);
+  EXPECT_TRUE(report.target_reached());
+  // Both ends of both circuits: (100 + 60) wavelengths x 2 ends.
+  EXPECT_EQ(report.wavelengths_untuned, 2 * (100 + 60));
+  EXPECT_EQ(report.transceivers_retuned, 0);
+  EXPECT_GT(controller->status().quarantined_transceivers, 0);
+  EXPECT_TRUE(controller->status().devices_consistent);
+
+  // The hose admission now sees zero usable transceivers at the DCs touched.
+  EXPECT_THROW(controller->apply_traffic_matrix(demand(40, 0)),
+               std::runtime_error);
+}
+
+TEST_F(FaultyToyController, StuckDisconnectLeavesAuditedZombies) {
+  FaultConfig cfg;
+  cfg.rates.oss_disconnect_fail = 1.0;  // teardown commands always fail
+  cfg.seed = 11;
+  auto controller = make_controller(cfg);
+
+  controller->apply_traffic_matrix(demand(40, 0));
+  ASSERT_EQ(controller->active_circuits().size(), 1u);
+
+  // Tear the circuit down: every disconnect fails after retries, leaving the
+  // cross-connects programmed as zombies and their resources quarantined.
+  ReconfigReport report;
+  ASSERT_NO_THROW(report = controller->apply_traffic_matrix({}));
+  EXPECT_EQ(report.outcome, ApplyOutcome::kCommitted);
+  EXPECT_TRUE(controller->active_circuits().empty());
+  const auto s = controller->status();
+  EXPECT_EQ(s.zombie_connects, 6);  // 2 terminals x 2 + 2 hub pass-throughs
+  EXPECT_GT(s.quarantined_fibers, 0);
+  EXPECT_GT(s.quarantined_add_drops, 0);
+  EXPECT_TRUE(s.devices_consistent);
+
+  // Quarantine keeps the pinned resources out of circulation: a fresh
+  // circuit picks different fibers and still establishes.
+  ASSERT_NO_THROW(controller->apply_traffic_matrix(demand(40, 0)));
+  EXPECT_TRUE(controller->status().devices_consistent);
+}
+
+TEST_F(FaultyToyController, SameSeedSameOutcomeAndTrace) {
+  FaultConfig cfg;
+  cfg.rates.oss_connect_fail = 0.15;
+  cfg.rates.oss_disconnect_fail = 0.1;
+  cfg.rates.tx_tune_fail = 0.05;
+  cfg.rates.oss_port_stuck = 0.02;
+  cfg.rates.timeout_fraction = 0.25;
+  cfg.seed = 777;
+
+  const auto run = [&](IrisController& c) {
+    std::vector<std::string> log;
+    const auto record = [&](const ReconfigReport& r) {
+      log.push_back(std::to_string(static_cast<int>(r.outcome)) + "/" +
+                    std::to_string(r.command_retries) + "/" +
+                    std::to_string(r.commands_timed_out) + "/" +
+                    std::to_string(r.circuit_retries) + "/" +
+                    std::to_string(r.resources_quarantined) + "/" +
+                    std::to_string(r.oss_operations) + "/" +
+                    std::to_string(r.wavelengths_untuned));
+      for (const auto& cmd : c.last_command_trace()) {
+        log.push_back(to_string(cmd));
+      }
+    };
+    try {
+      record(c.apply_traffic_matrix(demand(100, 60)));
+      record(c.apply_traffic_matrix(demand(40, 120),
+                                    ReconfigStrategy::kMakeBeforeBreak));
+      record(c.apply_traffic_matrix(demand(0, 40)));
+      record(c.apply_traffic_matrix({}));
+    } catch (const std::runtime_error& e) {
+      log.push_back(std::string("refused: ") + e.what());
+    }
+    return log;
+  };
+
+  auto c1 = make_controller(cfg);
+  auto c2 = make_controller(cfg);
+  const auto log1 = run(*c1);
+  const auto log2 = run(*c2);
+  EXPECT_EQ(log1, log2);
+  EXPECT_EQ(c1->fault_injector().faults_injected(),
+            c2->fault_injector().faults_injected());
+  EXPECT_TRUE(c1->status().devices_consistent);
+  EXPECT_TRUE(c2->status().devices_consistent);
+}
+
+TEST(Maintenance, FallsBackToBreakBeforeMakeUnderFiberPressure) {
+  // Two routes a->b share the trunk h1-b; the alternate detours via h2. The
+  // shared trunk cannot hold both circuit generations at once, so a
+  // make-before-break drain must fall back to break-before-make -- and still
+  // complete the maintenance.
+  fibermap::FiberMap map;
+  const auto a = map.add_dc("a", {0, 0}, 4);
+  const auto b = map.add_dc("b", {30, 0}, 4);
+  const auto h1 = map.add_hut("h1", {15, 0});
+  const auto h2 = map.add_hut("h2", {8, 8});
+  const auto victim = map.add_duct_with_length(a, h1, 15.0);
+  map.add_duct_with_length(h1, b, 15.0);
+  map.add_duct_with_length(a, h2, 11.0);
+  map.add_duct_with_length(h2, h1, 10.0);
+  const auto net = core::provision(map, toy_params(1));
+  const auto plan = core::place_amplifiers_and_cutthroughs(map, net);
+  IrisController controller(map, net, plan);
+
+  TrafficMatrix tm;
+  tm[DcPair(a, b)] = 160;  // 4 fibers: the DC's full hose capacity
+  controller.apply_traffic_matrix(tm);
+  ASSERT_TRUE(controller.active_circuits()[0].route.uses_edge(victim));
+
+  const auto report = controller.drain_duct_for_maintenance(victim);
+  EXPECT_TRUE(report.target_reached());
+  EXPECT_FALSE(report.hitless);  // spares could not hold both generations
+  EXPECT_GT(report.capacity_gap_ms(), 0.0);
+  EXPECT_EQ(controller.allocated_fibers(victim), 0);
+  EXPECT_FALSE(controller.active_circuits()[0].route.uses_edge(victim));
+  EXPECT_EQ(controller.active_circuits()[0].wavelengths, 160);
+  EXPECT_TRUE(controller.status().devices_consistent);
+}
+
+TEST(Policy, DeferRetrySilencesProposalsForTheBackoffWindow) {
+  PolicyParams pp;
+  pp.ewma_alpha = 1.0;
+  pp.hysteresis_s = 1.0;
+  pp.retry_backoff_s = 5.0;
+  ReconfigPolicy policy(pp);
+
+  TrafficMatrix tm;
+  tm[DcPair(0, 1)] = 100;
+  policy.observe(tm, 0.0);
+  policy.observe(tm, 1.0);
+  ASSERT_TRUE(policy.propose(1.0).has_value());
+
+  policy.defer_retry(1.0);  // apply failed at t=1
+  EXPECT_FALSE(policy.propose(2.0).has_value());
+  EXPECT_FALSE(policy.propose(5.9).has_value());
+  EXPECT_TRUE(policy.propose(6.0).has_value());
+
+  // Zero backoff (the default) never defers.
+  pp.retry_backoff_s = 0.0;
+  ReconfigPolicy eager(pp);
+  eager.observe(tm, 0.0);
+  eager.observe(tm, 1.0);
+  eager.defer_retry(1.0);
+  EXPECT_TRUE(eager.propose(1.0).has_value());
+
+  pp.retry_backoff_s = -1.0;
+  EXPECT_THROW(ReconfigPolicy{pp}, std::invalid_argument);
 }
 
 class DemandSweep : public ::testing::TestWithParam<long long> {};
