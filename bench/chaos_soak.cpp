@@ -4,8 +4,14 @@
 // pool invariants after every single apply. Prints reconfiguration, retry,
 // rollback and quarantine statistics; exits non-zero on any invariant
 // violation, so CI can run it under the sanitizers as an acceptance gate.
+//
+// Usage: bench_chaos_soak [samples] [seed] [key=value...]
+//   keys: oss_connect_fail oss_disconnect_fail oss_port_stuck tx_tune_fail
+//         tx_dead amp_dead timeout_fraction
+// With no arguments the soak is byte-identical to the unparameterized run.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "control/controller.hpp"
@@ -42,6 +48,25 @@ control::FaultConfig soak_faults(std::uint64_t seed) {
   return cfg;
 }
 
+/// Applies one `key=value` fault-rate override; returns false on an
+/// unknown key or malformed argument.
+bool apply_rate_override(control::FaultRates& rates, const char* arg) {
+  const char* eq = std::strchr(arg, '=');
+  if (eq == nullptr) return false;
+  const std::string key(arg, eq - arg);
+  const double value = std::atof(eq + 1);
+  if (value < 0.0 || value > 1.0) return false;
+  if (key == "oss_connect_fail") rates.oss_connect_fail = value;
+  else if (key == "oss_disconnect_fail") rates.oss_disconnect_fail = value;
+  else if (key == "oss_port_stuck") rates.oss_port_stuck = value;
+  else if (key == "tx_tune_fail") rates.tx_tune_fail = value;
+  else if (key == "tx_dead") rates.tx_dead = value;
+  else if (key == "amp_dead") rates.amp_dead = value;
+  else if (key == "timeout_fraction") rates.timeout_fraction = value;
+  else return false;
+  return true;
+}
+
 /// Deterministic demand wobble (no RNG: the whole soak must be replayable).
 control::TrafficMatrix demand_at(const fibermap::FiberMap& map, double t) {
   control::TrafficMatrix tm;
@@ -66,6 +91,16 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0x5eed;
   if (argc > 1) samples = std::atoi(argv[1]);
   if (argc > 2) seed = std::strtoull(argv[2], nullptr, 0);
+  auto faults = soak_faults(seed);
+  for (int i = 3; i < argc; ++i) {
+    if (!apply_rate_override(faults.rates, argv[i])) {
+      std::fprintf(stderr,
+                   "unknown fault override '%s' (want key=value, rate in "
+                   "[0,1])\n",
+                   argv[i]);
+      return 2;
+    }
+  }
 
   fibermap::RegionParams region;
   region.seed = 7;
@@ -79,8 +114,7 @@ int main(int argc, char** argv) {
   const auto net = core::provision(map, params);
   const auto plan = core::place_amplifiers_and_cutthroughs(map, net);
   control::IrisController controller(map, net, plan,
-                                     control::DeviceLatencies{},
-                                     soak_faults(seed));
+                                     control::DeviceLatencies{}, faults);
 
   control::PolicyParams pp;
   pp.ewma_alpha = 0.5;

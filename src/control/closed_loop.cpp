@@ -4,8 +4,8 @@
 
 namespace iris::control {
 
-ClosedLoopResult run_closed_loop(IrisController& controller,
-                                 ReconfigPolicy& policy, const DemandAt& demand,
+ClosedLoopResult run_closed_loop(IrisController& controller, Policy& policy,
+                                 const DemandAt& demand,
                                  const ClosedLoopParams& params) {
   if (params.duration_s <= 0.0 || params.sample_interval_s <= 0.0) {
     throw std::invalid_argument("run_closed_loop: bad parameters");
@@ -50,6 +50,8 @@ ClosedLoopResult run_closed_loop(IrisController& controller,
   if (degraded_since >= 0.0) {
     result.time_degraded_s += params.duration_s - degraded_since;
   }
+  result.diverging_pairs_end = policy.diverging_pairs(params.duration_s);
+  result.proposals_suppressed = policy.proposals_suppressed();
   return result;
 }
 

@@ -16,10 +16,19 @@
 
 namespace iris::control {
 
+/// Which planning brain drives the loop. The loop itself only sees the
+/// abstract Policy interface; this knob lets configuration surfaces (bench
+/// CLIs, te::make_policy) select the implementation without new plumbing.
+enum class PolicyStrategy {
+  kEwma,         ///< ReconfigPolicy: per-pair EWMA + headroom + hysteresis
+  kDemandAware,  ///< te::DemandAwarePolicy: TM history -> cluster -> robust
+};
+
 struct ClosedLoopParams {
   double duration_s = 60.0;
   double sample_interval_s = 1.0;
   ReconfigStrategy strategy = ReconfigStrategy::kBreakBeforeMake;
+  PolicyStrategy policy = PolicyStrategy::kEwma;
 };
 
 struct ClosedLoopResult {
@@ -41,6 +50,12 @@ struct ClosedLoopResult {
   /// proposed target (from a failed apply until the next successful one).
   double time_degraded_s = 0.0;
 
+  // Policy observability (filled from the Policy interface at loop end).
+  int diverging_pairs_end = 0;  ///< pairs still off-plan when the loop ended
+  /// Cumulative propose() calls that saw divergence but stayed quiet because
+  /// of hysteresis or retry backoff -- reconfigurations damped away.
+  long long proposals_suppressed = 0;
+
   /// Mean seconds between reconfigurations; the paper's premise is that
   /// this is large ("relatively infrequent").
   [[nodiscard]] double mean_reconfig_spacing_s(double duration_s) const {
@@ -56,8 +71,8 @@ using DemandAt = std::function<TrafficMatrix(double t_s)>;
 /// fault injection on, applies that roll back or lose circuits leave the
 /// proposal unmarked -- the policy re-proposes after its retry backoff --
 /// and the loop accounts the time spent off-target in `time_degraded_s`.
-ClosedLoopResult run_closed_loop(IrisController& controller,
-                                 ReconfigPolicy& policy, const DemandAt& demand,
+ClosedLoopResult run_closed_loop(IrisController& controller, Policy& policy,
+                                 const DemandAt& demand,
                                  const ClosedLoopParams& params);
 
 }  // namespace iris::control

@@ -66,13 +66,17 @@ TrafficMatrix ReconfigPolicy::target() const {
   return out;
 }
 
-std::optional<TrafficMatrix> ReconfigPolicy::propose(double now_s) const {
-  if (now_s < defer_until_) return std::nullopt;
+std::optional<TrafficMatrix> ReconfigPolicy::propose(double now_s) {
+  if (now_s < defer_until_) {
+    if (diverging_pairs(now_s) > 0) ++suppressed_;
+    return std::nullopt;
+  }
   for (const auto& [pair, since] : diverged_since_) {
     if (since >= 0.0 && now_s - since >= params_.hysteresis_s) {
       return target();
     }
   }
+  if (diverging_pairs(now_s) > 0) ++suppressed_;  // hysteresis still running
   return std::nullopt;
 }
 

@@ -2,11 +2,16 @@
 // layer? (paper SS5.2, SS6.3).
 //
 // The controller "gathers DC-DC traffic demands" and reconfigures
-// "relatively infrequently". This policy makes that concrete: demands are
+// "relatively infrequently". `Policy` is the contract the closed loop and
+// the fault-injected controller drive: feed demand samples, harvest a
+// proposal only when warranted, acknowledge applies, and back off after a
+// failed one. `ReconfigPolicy` is the baseline implementation: demands are
 // smoothed with an EWMA, translated into target fiber counts with headroom,
 // and a reconfiguration is proposed only after a pair's target has differed
 // from its provisioned count for a full hysteresis window -- so measurement
-// noise and short bursts never churn circuits, but sustained shifts converge.
+// noise and short bursts never churn circuits, but sustained shifts
+// converge. `te::DemandAwarePolicy` (src/te) implements the same contract
+// with clustered traffic-matrix history and a robust fiber allocation.
 #pragma once
 
 #include <map>
@@ -15,6 +20,39 @@
 #include "control/circuits.hpp"
 
 namespace iris::control {
+
+/// The observe/propose/mark_applied/defer_retry surface shared by every
+/// reconfiguration policy. run_closed_loop and the chaos harnesses drive
+/// this interface only, so alternative planners (e.g. the demand-aware TE
+/// engine) slot in without touching the loop or the controller.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Records a demand sample (wavelengths of offered load per pair) taken at
+  /// `now_s`. Samples must arrive in non-decreasing time order.
+  virtual void observe(const TrafficMatrix& sample, double now_s) = 0;
+
+  /// Returns the matrix to apply if a reconfiguration is warranted at
+  /// `now_s`; std::nullopt otherwise. Callers pass the result to
+  /// IrisController::apply_traffic_matrix and then call mark_applied().
+  virtual std::optional<TrafficMatrix> propose(double now_s) = 0;
+
+  /// Tells the policy the proposal was applied (resets divergence clocks).
+  virtual void mark_applied(const TrafficMatrix& applied) = 0;
+
+  /// Tells the policy an apply failed at `now_s`: propose() stays quiet for
+  /// the policy's retry backoff so the controller can clear its quarantines.
+  virtual void defer_retry(double now_s) = 0;
+
+  /// Pairs whose fiber requirement currently diverges from the applied plan.
+  [[nodiscard]] virtual int diverging_pairs(double now_s) const = 0;
+
+  /// Cumulative propose() calls that found divergence but stayed quiet
+  /// because of hysteresis or retry backoff -- the reconfigurations the
+  /// policy's damping machinery avoided.
+  [[nodiscard]] virtual long long proposals_suppressed() const = 0;
+};
 
 struct PolicyParams {
   double ewma_alpha = 0.3;      ///< smoothing weight for new samples
@@ -27,13 +65,11 @@ struct PolicyParams {
 };
 
 /// Feed demand samples; harvest a new traffic matrix only when warranted.
-class ReconfigPolicy {
+class ReconfigPolicy final : public Policy {
  public:
   explicit ReconfigPolicy(PolicyParams params);
 
-  /// Records a demand sample (wavelengths of offered load per pair) taken at
-  /// `now_s`. Missing pairs decay toward zero.
-  void observe(const TrafficMatrix& sample, double now_s);
+  void observe(const TrafficMatrix& sample, double now_s) override;
 
   /// The wavelength allocation the policy would provision right now:
   /// smoothed demand with headroom, rounded up to whole wavelengths.
@@ -41,19 +77,18 @@ class ReconfigPolicy {
 
   /// Returns the matrix to apply if some pair's *fiber* requirement has
   /// differed from the currently-provisioned plan for at least the
-  /// hysteresis window; std::nullopt otherwise. Callers pass the result to
-  /// IrisController::apply_traffic_matrix and then call mark_applied().
-  [[nodiscard]] std::optional<TrafficMatrix> propose(double now_s) const;
+  /// hysteresis window; std::nullopt otherwise.
+  [[nodiscard]] std::optional<TrafficMatrix> propose(double now_s) override;
 
-  /// Tells the policy the proposal was applied (resets the divergence clock).
-  void mark_applied(const TrafficMatrix& applied);
+  void mark_applied(const TrafficMatrix& applied) override;
 
-  /// Tells the policy an apply failed at `now_s`: propose() stays quiet until
-  /// `now_s + retry_backoff_s` so the controller can clear its quarantines.
-  void defer_retry(double now_s);
+  void defer_retry(double now_s) override;
 
-  /// Pairs whose fiber requirement currently diverges from the applied plan.
-  [[nodiscard]] int diverging_pairs(double now_s) const;
+  [[nodiscard]] int diverging_pairs(double now_s) const override;
+
+  [[nodiscard]] long long proposals_suppressed() const override {
+    return suppressed_;
+  }
 
  private:
   [[nodiscard]] int fibers_for(long long wavelengths) const;
@@ -63,6 +98,7 @@ class ReconfigPolicy {
   std::map<core::DcPair, long long> applied_;    // wavelengths last applied
   std::map<core::DcPair, double> diverged_since_;  // -1 = in agreement
   double defer_until_ = 0.0;  // no proposals before this time
+  long long suppressed_ = 0;  // divergent propose() calls damped away
 };
 
 }  // namespace iris::control

@@ -1,0 +1,75 @@
+#include "simflow/demand_adapter.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace iris::simflow {
+
+namespace {
+
+std::vector<core::DcPair> all_pairs(const fibermap::FiberMap& map) {
+  const auto& dcs = map.dcs();
+  std::vector<core::DcPair> pairs;
+  pairs.reserve(dcs.size() * (dcs.size() - 1) / 2);
+  for (std::size_t i = 0; i < dcs.size(); ++i) {
+    for (std::size_t j = i + 1; j < dcs.size(); ++j) {
+      pairs.emplace_back(dcs[i], dcs[j]);
+    }
+  }
+  return pairs;
+}
+
+TrafficModelParams model_params(int pair_count,
+                                const RegionDemandParams& params) {
+  TrafficModelParams mp;
+  mp.pair_count = pair_count;
+  mp.total_gbps = 1.0;  // unit weights; scaled onto the wavelength budget
+  mp.pareto_alpha = params.pareto_alpha;
+  mp.change_fraction = params.change_fraction;
+  mp.seed = params.seed;
+  return mp;
+}
+
+}  // namespace
+
+RegionDemand::RegionDemand(const fibermap::FiberMap& map,
+                           int wavelengths_per_fiber,
+                           const RegionDemandParams& params)
+    : params_(params),
+      pairs_(all_pairs(map)),
+      model_(model_params(static_cast<int>(pairs_.size()), params)) {
+  if (params.change_interval_s <= 0.0 || params.utilization <= 0.0 ||
+      params.utilization > 1.0 || wavelengths_per_fiber <= 0) {
+    throw std::invalid_argument("RegionDemand: bad parameters");
+  }
+  if (pairs_.empty()) {
+    throw std::invalid_argument("RegionDemand: region has fewer than 2 DCs");
+  }
+  long long min_capacity = std::numeric_limits<long long>::max();
+  for (graph::NodeId dc : map.dcs()) {
+    min_capacity = std::min(
+        min_capacity, map.dc_capacity_wavelengths(dc, wavelengths_per_fiber));
+  }
+  budget_ = static_cast<long long>(
+      std::floor(params.utilization * static_cast<double>(min_capacity)));
+}
+
+control::TrafficMatrix RegionDemand::at(double t_s) {
+  const auto due =
+      static_cast<long long>(std::floor(t_s / params_.change_interval_s));
+  while (shifts_done_ < due) {
+    model_.shift();
+    ++shifts_done_;
+  }
+  control::TrafficMatrix tm;
+  const auto& weights = model_.demands_gbps();
+  for (std::size_t p = 0; p < pairs_.size(); ++p) {
+    const auto waves = static_cast<long long>(
+        weights[p] * static_cast<double>(budget_));
+    if (waves > 0) tm[pairs_[p]] = waves;
+  }
+  return tm;
+}
+
+}  // namespace iris::simflow

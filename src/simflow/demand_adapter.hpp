@@ -1,0 +1,54 @@
+// Demand adapter: maps the heavy-tailed TrafficModel (paper SS6.3) onto the
+// control plane's DC pairs, producing the wavelength-granularity traffic
+// matrices the policies consume.
+//
+// The adapter owns a TrafficModel over every DC pair of a region, shifts it
+// deterministically every `change_interval_s` of simulated time, and scales
+// the unit pair weights to a wavelength budget derived from the region's
+// hose capacity. Querying at a time t advances exactly floor(t / interval)
+// shifts -- monotone, clock-free, bit-identical for a fixed seed.
+#pragma once
+
+#include "control/circuits.hpp"
+#include "fibermap/fibermap.hpp"
+#include "simflow/traffic.hpp"
+
+namespace iris::simflow {
+
+struct RegionDemandParams {
+  double change_interval_s = 10.0;  ///< TrafficModel::shift cadence
+  /// Aggregate offered load, as a fraction of the smallest DC's hose
+  /// capacity -- keeps every instantaneous matrix admissible with headroom.
+  double utilization = 0.35;
+  double pareto_alpha = 0.9;    ///< heavy-tail exponent for pair weights
+  double change_fraction = 0.5; ///< per-shift bound; < 0 = full re-draw
+  std::uint64_t seed = 1;
+};
+
+/// Heavy-tailed, drifting demand over all DC pairs of a fiber map.
+class RegionDemand {
+ public:
+  RegionDemand(const fibermap::FiberMap& map, int wavelengths_per_fiber,
+               const RegionDemandParams& params);
+
+  /// Demand at simulated time `t_s` (>= the last queried time), in whole
+  /// wavelengths per pair. Pairs rounding to zero are omitted.
+  [[nodiscard]] control::TrafficMatrix at(double t_s);
+
+  [[nodiscard]] const std::vector<core::DcPair>& pairs() const noexcept {
+    return pairs_;
+  }
+  /// Aggregate wavelength budget the pair weights are scaled to.
+  [[nodiscard]] long long budget_wavelengths() const noexcept {
+    return budget_;
+  }
+
+ private:
+  RegionDemandParams params_;
+  std::vector<core::DcPair> pairs_;
+  TrafficModel model_;
+  long long budget_ = 0;
+  long long shifts_done_ = 0;
+};
+
+}  // namespace iris::simflow

@@ -1,0 +1,149 @@
+#include "te/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+namespace iris::te {
+
+namespace {
+
+using Vec = std::vector<double>;
+
+double sq_dist(const Vec& a, const Vec& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// Draws an index with probability proportional to `weights` (hand-rolled
+/// cumulative scan: no implementation-defined distribution internals beyond
+/// the uniform draw the rest of the repo already relies on).
+std::size_t weighted_pick(const Vec& weights, double total,
+                          std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> uniform(0.0, total);
+  const double needle = uniform(rng);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (needle < cumulative) return i;
+  }
+  return weights.size() - 1;  // needle == total (fp slack): last positive
+}
+
+}  // namespace
+
+std::vector<Representative> cluster_history(const TmStore& store,
+                                            const ClusterParams& params) {
+  if (params.k < 1 || params.max_iterations < 1) {
+    throw std::invalid_argument("cluster_history: bad parameters");
+  }
+  const auto& history = store.history();
+  if (history.empty()) return {};
+  const auto pairs = store.pair_universe();
+
+  // Vectorize snapshots over the sorted pair universe.
+  const std::size_t n = history.size();
+  const std::size_t dims = pairs.size();
+  std::vector<Vec> points(n, Vec(dims, 0.0));
+  Vec weights(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = history[i].weight;
+    for (std::size_t d = 0; d < dims; ++d) {
+      const auto it = history[i].demand.find(pairs[d]);
+      if (it != history[i].demand.end()) points[i][d] = it->second;
+    }
+  }
+
+  const std::size_t k = std::min<std::size_t>(params.k, n);
+  std::mt19937_64 rng(params.seed);
+
+  // k-means++ seeding: first center weight-proportional, then each next
+  // center proportional to weight x squared distance to the nearest center.
+  std::vector<Vec> centers;
+  centers.reserve(k);
+  double total_weight = 0.0;
+  for (double w : weights) total_weight += w;
+  centers.push_back(points[weighted_pick(weights, total_weight, rng)]);
+  Vec nearest_sq(n, 0.0);
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const Vec& c : centers) best = std::min(best, sq_dist(points[i], c));
+      nearest_sq[i] = weights[i] * best;
+      total += nearest_sq[i];
+    }
+    if (total <= 0.0) {
+      // All points coincide with a center; further centers are redundant.
+      break;
+    }
+    centers.push_back(points[weighted_pick(nearest_sq, total, rng)]);
+  }
+
+  // Lloyd iterations; assignment ties break toward the lower center index.
+  std::vector<std::size_t> assignment(n, 0);
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    bool moved = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (std::size_t c = 0; c < centers.size(); ++c) {
+        const double d = sq_dist(points[i], centers[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        moved = true;
+      }
+    }
+    if (!moved && iter > 0) break;
+    // Recompute weighted centroids; empty clusters keep their center.
+    std::vector<Vec> sums(centers.size(), Vec(dims, 0.0));
+    Vec cluster_weight(centers.size(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      cluster_weight[assignment[i]] += weights[i];
+      for (std::size_t d = 0; d < dims; ++d) {
+        sums[assignment[i]][d] += weights[i] * points[i][d];
+      }
+    }
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      if (cluster_weight[c] <= 0.0) continue;
+      for (std::size_t d = 0; d < dims; ++d) {
+        centers[c][d] = sums[c][d] / cluster_weight[c];
+      }
+    }
+  }
+
+  // Materialize non-empty clusters as representatives.
+  std::vector<Representative> reps(centers.size());
+  std::vector<Vec> peaks(centers.size(), Vec(dims, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    reps[assignment[i]].weight += weights[i];
+    reps[assignment[i]].members += 1;
+    for (std::size_t d = 0; d < dims; ++d) {
+      peaks[assignment[i]][d] = std::max(peaks[assignment[i]][d], points[i][d]);
+    }
+  }
+  std::vector<Representative> out;
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    if (reps[c].members == 0) continue;
+    Representative rep = reps[c];
+    for (std::size_t d = 0; d < dims; ++d) {
+      if (centers[c][d] > 0.0) rep.demand[pairs[d]] = centers[c][d];
+      if (peaks[c][d] > 0.0) rep.peak[pairs[d]] = peaks[c][d];
+    }
+    out.push_back(std::move(rep));
+  }
+  return out;
+}
+
+}  // namespace iris::te

@@ -1,0 +1,45 @@
+// Seeded, deterministic k-means++ clustering of the traffic-matrix history
+// into K representative matrices (METTEOR's "hedging" set; see PAPERS.md).
+//
+// Snapshots are vectorized over the store's sorted pair universe and
+// clustered with weighted k-means++ seeding followed by Lloyd iterations.
+// All randomness flows through one seeded mt19937_64, iteration counts are
+// fixed, and ties break toward the lower snapshot index, so the same
+// history and seed give bit-identical representatives on every run and
+// every thread count (the algorithm is single-threaded by construction).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "te/tm_store.hpp"
+
+namespace iris::te {
+
+struct ClusterParams {
+  int k = 4;                ///< representatives to extract (>= 1)
+  int max_iterations = 32;  ///< Lloyd iteration cap
+  std::uint64_t seed = 0x7e5eedULL;
+};
+
+/// One representative traffic matrix. `demand` is the cluster's weighted
+/// centroid (where its members sit on average); `peak` is the element-wise
+/// max over members -- an allocation covering `peak` admits every matrix
+/// assigned to the cluster, which is what a robust plan must hedge against
+/// (a centroid averages bursts away). Old peaks still decay: compacted
+/// history snapshots are themselves weighted averages.
+struct Representative {
+  std::map<core::DcPair, double> demand;  ///< wavelengths per pair (centroid)
+  std::map<core::DcPair, double> peak;    ///< element-wise max over members
+  double weight = 0.0;  ///< total snapshot weight assigned to the cluster
+  int members = 0;      ///< snapshots assigned
+};
+
+/// Clusters the retained history into at most `params.k` representatives
+/// (fewer when the history is shorter). Empty history gives no
+/// representatives. Deterministic for a fixed (history, seed).
+std::vector<Representative> cluster_history(const TmStore& store,
+                                            const ClusterParams& params);
+
+}  // namespace iris::te

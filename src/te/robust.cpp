@@ -1,0 +1,204 @@
+#include "te/robust.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "control/port_map.hpp"
+
+namespace iris::te {
+
+namespace {
+
+long long ceil_ll(double v) { return static_cast<long long>(std::ceil(v)); }
+
+int fibers_for(long long wavelengths, int lambda) {
+  return static_cast<int>((wavelengths + lambda - 1) / lambda);
+}
+
+/// Per-pair union demand (wavelengths, real-valued): headroom x the worst
+/// representative's peak. Covering each cluster's element-wise peak is what
+/// makes the plan admit ANY matrix assigned to the cluster, not just its
+/// average. Pairs without a route are dropped -- no circuit can carry them.
+std::map<core::DcPair, double> union_demand(
+    const std::vector<Representative>& reps, const NetworkLimits& limits,
+    double headroom) {
+  std::map<core::DcPair, double> out;
+  for (const auto& rep : reps) {
+    for (const auto& [pair, demand] : rep.peak) {
+      if (demand <= 0.0 || !limits.routes.contains(pair)) continue;
+      auto [it, inserted] = out.try_emplace(pair, 0.0);
+      it->second = std::max(it->second, demand * headroom);
+    }
+  }
+  return out;
+}
+
+/// Feasibility of the scaled union target: per-DC wavelength sums within
+/// hose capacity, per-duct fiber sums within the lease.
+bool feasible(const std::map<core::DcPair, double>& target, double scale,
+              const NetworkLimits& limits, int lambda) {
+  std::map<graph::NodeId, long long> dc_load;
+  std::vector<long long> duct_load(limits.duct_fiber_limit.size(), 0);
+  for (const auto& [pair, demand] : target) {
+    const long long waves = ceil_ll(demand * scale);
+    if (waves <= 0) continue;
+    dc_load[pair.a] += waves;
+    dc_load[pair.b] += waves;
+    const int fibers = fibers_for(waves, lambda);
+    for (graph::EdgeId e : limits.routes.at(pair).edges) {
+      duct_load[e] += fibers;
+    }
+  }
+  for (const auto& [dc, load] : dc_load) {
+    const auto it = limits.dc_capacity_wavelengths.find(dc);
+    const long long cap = it == limits.dc_capacity_wavelengths.end() ? 0
+                                                                     : it->second;
+    if (load > cap) return false;
+  }
+  for (std::size_t e = 0; e < duct_load.size(); ++e) {
+    if (duct_load[e] > limits.duct_fiber_limit[e]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+NetworkLimits make_network_limits(const fibermap::FiberMap& map,
+                                  const core::ProvisionedNetwork& net,
+                                  const core::AmpCutPlan& plan) {
+  NetworkLimits limits;
+  const int lambda = net.params.channels.wavelengths_per_fiber;
+  for (graph::NodeId dc : map.dcs()) {
+    limits.dc_capacity_wavelengths[dc] =
+        map.dc_capacity_wavelengths(dc, lambda);
+  }
+  limits.duct_fiber_limit = control::leased_fibers_per_duct(map, net, plan);
+  limits.routes = net.baseline_paths;
+  return limits;
+}
+
+RobustPlan solve_robust_allocation(
+    const std::vector<Representative>& representatives,
+    const NetworkLimits& limits,
+    const std::map<core::DcPair, int>& applied_fibers,
+    const RobustParams& params) {
+  if (params.headroom < 1.0 || params.wavelengths_per_fiber <= 0 ||
+      params.scale_search_iterations < 1) {
+    throw std::invalid_argument("solve_robust_allocation: bad parameters");
+  }
+  const int lambda = params.wavelengths_per_fiber;
+  const auto target = union_demand(representatives, limits, params.headroom);
+
+  // Objective 1: the largest uniform admission scale that fits the limits.
+  // feasible() is monotone non-increasing in the scale, so bisect; a fixed
+  // iteration count keeps the search deterministic.
+  double scale = 1.0;
+  if (!feasible(target, 1.0, limits, lambda)) {
+    double lo = 0.0, hi = 1.0;  // feasible at 0 (empty plan), not at 1
+    for (int i = 0; i < params.scale_search_iterations; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      (feasible(target, mid, limits, lambda) ? lo : hi) = mid;
+    }
+    scale = lo;
+  }
+
+  RobustPlan plan;
+  for (const auto& [pair, demand] : target) {
+    const long long waves = ceil_ll(demand * scale);
+    if (waves <= 0) continue;
+    plan.wavelengths[pair] = waves;
+    plan.fibers[pair] = fibers_for(waves, lambda);
+  }
+
+  // Objectives 2 & 3: retain surplus fibers the applied plan already has
+  // switched, so the circuit (and its cross-connects) stays untouched.
+  // Pairs are visited in sorted order against residual lease / hose budgets
+  // -- deterministic, and never at the expense of objective 1 because the
+  // required allocation is already reserved before any surplus is granted.
+  if (params.retain_surplus) {
+    std::map<graph::NodeId, long long> dc_load;
+    std::vector<long long> duct_load(limits.duct_fiber_limit.size(), 0);
+    for (const auto& [pair, waves] : plan.wavelengths) {
+      dc_load[pair.a] += waves;
+      dc_load[pair.b] += waves;
+      for (graph::EdgeId e : limits.routes.at(pair).edges) {
+        duct_load[e] += plan.fibers.at(pair);
+      }
+    }
+    for (const auto& [pair, applied] : applied_fibers) {
+      if (applied <= 0 || !limits.routes.contains(pair)) continue;
+      const auto it = plan.fibers.find(pair);
+      const int needed = it == plan.fibers.end() ? 0 : it->second;
+      if (applied <= needed) continue;
+      // Keeping the circuit at `applied` fibers means proposing just enough
+      // wavelengths to round up to the applied fiber count.
+      const long long kept_waves = std::max(
+          needed > 0 ? plan.wavelengths.at(pair) : 0,
+          static_cast<long long>(applied - 1) * lambda + 1);
+      const long long extra_waves =
+          kept_waves - (needed > 0 ? plan.wavelengths.at(pair) : 0);
+      const int extra_fibers = applied - needed;
+      const auto cap_a = limits.dc_capacity_wavelengths.find(pair.a);
+      const auto cap_b = limits.dc_capacity_wavelengths.find(pair.b);
+      if (cap_a == limits.dc_capacity_wavelengths.end() ||
+          cap_b == limits.dc_capacity_wavelengths.end() ||
+          dc_load[pair.a] + extra_waves > cap_a->second ||
+          dc_load[pair.b] + extra_waves > cap_b->second) {
+        continue;
+      }
+      const auto& route = limits.routes.at(pair);
+      bool fits = true;
+      for (graph::EdgeId e : route.edges) {
+        if (duct_load[e] + extra_fibers > limits.duct_fiber_limit[e]) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) continue;
+      dc_load[pair.a] += extra_waves;
+      dc_load[pair.b] += extra_waves;
+      for (graph::EdgeId e : route.edges) duct_load[e] += extra_fibers;
+      plan.wavelengths[pair] = kept_waves;
+      plan.fibers[pair] = applied;
+    }
+  }
+
+  // Churn accounting against the applied plan. A circuit whose fiber count
+  // changes is torn down and re-established by the controller, so both the
+  // old and the new generation count as moved fibers.
+  for (const auto& [pair, fibers] : plan.fibers) {
+    const auto it = applied_fibers.find(pair);
+    const int applied = it == applied_fibers.end() ? 0 : it->second;
+    if (fibers != applied) {
+      ++plan.churn_pairs;
+      plan.moved_fibers += fibers + applied;
+    }
+  }
+  for (const auto& [pair, applied] : applied_fibers) {
+    if (applied > 0 && !plan.fibers.contains(pair)) {
+      ++plan.churn_pairs;
+      plan.moved_fibers += applied;  // torn down, nothing replaces it
+    }
+  }
+
+  // Worst-case admitted fraction across representative peaks under this
+  // plan (a plan admitting every peak admits every member matrix).
+  for (const auto& rep : representatives) {
+    double offered = 0.0, admitted = 0.0;
+    for (const auto& [pair, demand] : rep.peak) {
+      if (demand <= 0.0) continue;
+      offered += demand;
+      const auto it = plan.wavelengths.find(pair);
+      if (it == plan.wavelengths.end()) continue;
+      admitted += std::min(demand, static_cast<double>(it->second));
+    }
+    if (offered > 0.0) {
+      plan.worst_case_admitted =
+          std::min(plan.worst_case_admitted, admitted / offered);
+    }
+  }
+  return plan;
+}
+
+}  // namespace iris::te

@@ -1,0 +1,74 @@
+// Robust fiber allocation: one per-pair plan that is simultaneously good
+// for every cluster representative (COUDER-style robustness; PAPERS.md),
+// with churn minimized against the currently-applied plan.
+//
+// Objective hierarchy:
+//   1. maximize the worst-case admitted throughput across representatives
+//      (a uniform admission scale is binary-searched when the union target
+//      does not fit the hose / fiber-lease limits);
+//   2. minimize circuit churn relative to the applied plan -- pairs whose
+//      fiber count must change;
+//   3. tie-break toward fewer moved fibers: surplus fibers already switched
+//      for a pair are retained (instead of torn down) whenever the leases
+//      and hose capacity allow, so a later demand swing back needs no
+//      reconfiguration at all.
+//
+// The solver is pure arithmetic over sorted maps -- deterministic, bit for
+// bit, for a fixed input.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/amp_cut.hpp"
+#include "core/provision.hpp"
+#include "te/cluster.hpp"
+
+namespace iris::te {
+
+/// The controller-facing constraints a plan must respect: hose capacity per
+/// DC (wavelengths), leased fiber pairs per duct, and the baseline route
+/// every pair's circuit follows.
+struct NetworkLimits {
+  std::map<graph::NodeId, long long> dc_capacity_wavelengths;
+  std::vector<int> duct_fiber_limit;            ///< per graph edge
+  std::map<core::DcPair, graph::Path> routes;   ///< baseline path per pair
+};
+
+/// Extracts the limits the IrisController enforces at admission time.
+NetworkLimits make_network_limits(const fibermap::FiberMap& map,
+                                  const core::ProvisionedNetwork& net,
+                                  const core::AmpCutPlan& plan);
+
+struct RobustParams {
+  double headroom = 1.1;  ///< provisioned capacity / representative demand
+  int wavelengths_per_fiber = 40;
+  /// Keep surplus fibers from the applied plan when limits allow (churn
+  /// avoidance). Disable to always shrink to the exact requirement.
+  bool retain_surplus = true;
+  int scale_search_iterations = 48;  ///< bisection steps when infeasible
+};
+
+struct RobustPlan {
+  control::TrafficMatrix wavelengths;  ///< the proposal, per pair
+  std::map<core::DcPair, int> fibers;  ///< implied circuit sizes
+  /// min over representatives of (admitted demand / offered demand) under
+  /// this plan; 1.0 when every representative fits entirely.
+  double worst_case_admitted = 1.0;
+  int churn_pairs = 0;    ///< pairs whose fiber count differs from applied
+  /// Fibers the controller would switch applying this plan: a changed
+  /// circuit is torn down and re-established, so both generations count.
+  int moved_fibers = 0;
+};
+
+/// Solves for the robust allocation. `applied_fibers` is the currently
+/// provisioned circuit set (fiber pairs per DC pair); pairs absent count as
+/// zero. Representatives with pairs missing from `limits.routes` are
+/// ignored for those pairs (no route means no circuit can exist).
+RobustPlan solve_robust_allocation(
+    const std::vector<Representative>& representatives,
+    const NetworkLimits& limits,
+    const std::map<core::DcPair, int>& applied_fibers,
+    const RobustParams& params);
+
+}  // namespace iris::te

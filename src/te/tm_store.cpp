@@ -1,0 +1,88 @@
+#include "te/tm_store.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace iris::te {
+
+namespace {
+
+/// demand += tm * w, treating missing pairs as zero.
+void accumulate(std::map<core::DcPair, double>& demand,
+                const std::map<core::DcPair, double>& add, double w) {
+  for (const auto& [pair, value] : add) demand[pair] += value * w;
+}
+
+/// Weighted mean of two snapshots; `at_s` advances to the newer one.
+TmSnapshot merge(const TmSnapshot& a, const TmSnapshot& b) {
+  TmSnapshot out;
+  out.at_s = std::max(a.at_s, b.at_s);
+  out.weight = a.weight + b.weight;
+  accumulate(out.demand, a.demand, a.weight);
+  accumulate(out.demand, b.demand, b.weight);
+  for (auto& [pair, value] : out.demand) value /= out.weight;
+  return out;
+}
+
+}  // namespace
+
+TmStore::TmStore(const TmStoreParams& params) : params_(params) {
+  if (params.capacity < 2 || params.capacity % 2 != 0 ||
+      params.min_spacing_s < 0.0) {
+    throw std::invalid_argument("TmStore: bad parameters");
+  }
+}
+
+void TmStore::record(const control::TrafficMatrix& sample, double now_s) {
+  ++samples_recorded_;
+  std::map<core::DcPair, double> demand;
+  for (const auto& [pair, waves] : sample) {
+    if (waves > 0) demand[pair] = static_cast<double>(waves);
+  }
+  // Too close to the newest retained bucket: fold in, don't grow. The
+  // bucket stays anchored at its FIRST sample's time -- if the anchor
+  // advanced with each fold, every subsequent sample would land within
+  // min_spacing and the whole history would collapse into one average.
+  if (!history_.empty() && params_.min_spacing_s > 0.0 &&
+      now_s - history_.back().at_s < params_.min_spacing_s) {
+    const double anchor_s = history_.back().at_s;
+    TmSnapshot fresh{now_s, 1.0, std::move(demand)};
+    history_.back() = merge(history_.back(), fresh);
+    history_.back().at_s = anchor_s;
+    return;
+  }
+  if (static_cast<int>(history_.size()) == params_.capacity) compact();
+  history_.push_back(TmSnapshot{now_s, 1.0, std::move(demand)});
+}
+
+void TmStore::compact() {
+  // Merge the oldest half pairwise: the old quarter of the buffer frees up,
+  // and each surviving aggregate doubles its weight. Repeated compaction
+  // gives the distant past geometrically decaying resolution.
+  const auto half = history_.size() / 2;
+  std::deque<TmSnapshot> merged;
+  for (std::size_t i = 0; i + 1 < half; i += 2) {
+    merged.push_back(merge(history_[i], history_[i + 1]));
+  }
+  if (half % 2 != 0) merged.push_back(history_[half - 1]);
+  for (std::size_t i = half; i < history_.size(); ++i) {
+    merged.push_back(history_[i]);
+  }
+  history_ = std::move(merged);
+}
+
+std::vector<core::DcPair> TmStore::pair_universe() const {
+  std::set<core::DcPair> pairs;
+  for (const auto& snap : history_) {
+    for (const auto& [pair, value] : snap.demand) pairs.insert(pair);
+  }
+  return {pairs.begin(), pairs.end()};
+}
+
+double TmStore::total_weight() const {
+  double total = 0.0;
+  for (const auto& snap : history_) total += snap.weight;
+  return total;
+}
+
+}  // namespace iris::te

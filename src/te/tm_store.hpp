@@ -1,0 +1,64 @@
+// Bounded, deterministic history of sampled traffic matrices -- the raw
+// material of demand-aware traffic engineering (METTEOR/COUDER-style; see
+// PAPERS.md).
+//
+// The store keeps at most `capacity` snapshots. When full, it does not drop
+// history: it *compacts* the oldest half by merging adjacent snapshots into
+// weighted averages, so recent demand is kept at full resolution while the
+// distant past decays into progressively coarser aggregates. Every
+// operation is pure arithmetic on the sample sequence -- no clocks, no RNG
+// -- so the same samples always produce the same history, bit for bit.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "control/circuits.hpp"
+
+namespace iris::te {
+
+struct TmStoreParams {
+  int capacity = 128;          ///< max snapshots retained (>= 2, even)
+  /// Samples closer than this to the last retained one are folded into it
+  /// (running average) instead of opening a new snapshot. 0 keeps them all.
+  double min_spacing_s = 0.0;
+};
+
+/// One (possibly aggregated) demand observation, in wavelengths per pair.
+struct TmSnapshot {
+  double at_s = 0.0;    ///< bucket anchor: time of its first raw sample
+  double weight = 1.0;  ///< raw samples aggregated into this snapshot
+  std::map<core::DcPair, double> demand;  ///< weighted-mean wavelengths
+};
+
+class TmStore {
+ public:
+  explicit TmStore(const TmStoreParams& params);
+
+  /// Records a demand sample taken at `now_s` (non-decreasing).
+  void record(const control::TrafficMatrix& sample, double now_s);
+
+  /// Oldest-to-newest retained history.
+  [[nodiscard]] const std::deque<TmSnapshot>& history() const noexcept {
+    return history_;
+  }
+
+  /// Sorted union of every pair ever retained -- the clustering dimensions.
+  [[nodiscard]] std::vector<core::DcPair> pair_universe() const;
+
+  [[nodiscard]] long long samples_recorded() const noexcept {
+    return samples_recorded_;
+  }
+  /// Raw samples currently represented (sum of snapshot weights).
+  [[nodiscard]] double total_weight() const;
+
+ private:
+  void compact();
+
+  TmStoreParams params_;
+  std::deque<TmSnapshot> history_;
+  long long samples_recorded_ = 0;
+};
+
+}  // namespace iris::te

@@ -624,6 +624,11 @@ TEST(ClosedLoop, StableDemandSettlesAfterOneApply) {
   EXPECT_EQ(result.rejected, 0);
   EXPECT_EQ(result.samples, 60);
   EXPECT_EQ(controller.active_circuits().size(), 1u);
+  // Observability: the loop ends converged, and the only suppressed
+  // proposals are the hysteresis gating of the bring-up itself.
+  EXPECT_EQ(result.diverging_pairs_end, 0);
+  EXPECT_GE(result.proposals_suppressed, 1);
+  EXPECT_LE(result.proposals_suppressed, 3);  // hysteresis_s at 1 Hz
 }
 
 TEST(ClosedLoop, InfeasibleDemandIsRejectedNotFatal) {
@@ -650,12 +655,54 @@ TEST(ClosedLoop, InfeasibleDemandIsRejectedNotFatal) {
   EXPECT_EQ(result.reconfigurations, 0);
   EXPECT_GT(result.rejected, 0);
   EXPECT_TRUE(controller.active_circuits().empty());
+  // Observability: the loop ends with the demand still unmet -- both pairs
+  // report as diverging -- and the hysteresis window suppressed at least
+  // the first proposal.
+  EXPECT_EQ(result.diverging_pairs_end, 2);
+  EXPECT_GE(result.proposals_suppressed, 1);
   EXPECT_THROW(
       (void)run_closed_loop(controller, policy,
                             [&](double) { return hose_violating; },
                             ClosedLoopParams{-1.0, 1.0,
                                              ReconfigStrategy::kBreakBeforeMake}),
       std::invalid_argument);
+}
+
+TEST(Policy, BackoffWindowsAreCountedAsSuppressedProposals) {
+  // The drive loops that defer_retry() on a refusal (chaos soak, te
+  // benches) lean on proposals_suppressed() to see how much demand the
+  // backoff swallowed; each 4 s window at 1 Hz must count ~4 suppressions.
+  const auto map = fibermap::toy_example_fig10();
+  const auto ids = fibermap::toy_example_ids();
+  const auto net = core::provision(map, toy_params());
+  const auto plan = core::place_amplifiers_and_cutthroughs(map, net);
+  IrisController controller(map, net, plan);
+  PolicyParams pp;
+  pp.hysteresis_s = 1.0;
+  pp.ewma_alpha = 1.0;
+  pp.headroom = 1.0;
+  pp.retry_backoff_s = 4.0;
+  ReconfigPolicy policy(pp);
+
+  TrafficMatrix hose_violating;
+  hose_violating[DcPair(ids.dc1, ids.dc2)] = 300;
+  hose_violating[DcPair(ids.dc1, ids.dc3)] = 300;
+  int refused = 0;
+  for (double t = 0.0; t < 20.0; t += 1.0) {
+    policy.observe(hose_violating, t);
+    const auto proposal = policy.propose(t);
+    if (!proposal) continue;
+    try {
+      controller.apply_traffic_matrix(*proposal);
+      FAIL() << "hose-violating demand must be refused";
+    } catch (const std::runtime_error&) {
+      ++refused;
+      policy.defer_retry(t);
+    }
+  }
+  EXPECT_GT(refused, 0);
+  EXPECT_EQ(policy.diverging_pairs(20.0), 2);
+  EXPECT_GE(policy.proposals_suppressed(), 3 * refused);
 }
 
 TEST(Commands, HumanReadableRendering) {

@@ -320,6 +320,43 @@ TEST(PlanIo, RoundTripsGeneratedRegionWithAmpsAndCutthroughs) {
   EXPECT_TRUE(validate_plan(map, loaded.network, loaded.amp_cut).ok());
 }
 
+TEST(PlanIo, SaveLoadSaveIsIdempotentAndValidatesIdentically) {
+  // One full trip through the serializer must be a fixed point: the
+  // reloaded plan re-serializes to the exact same text, carries the same
+  // fiber counts and amplifier placements, and validates field-for-field
+  // like the original.
+  fibermap::RegionParams region;
+  region.seed = 4242;
+  region.dc_count = 7;
+  region.capacity_fibers = 12;
+  const auto map = fibermap::generate_region(region);
+  const auto net = provision(map, toy_params(1));
+  const auto plan = place_amplifiers_and_cutthroughs(map, net);
+
+  const auto first = plan_to_string(net, plan);
+  const auto loaded = plan_from_string(map, first);
+  const auto second = plan_to_string(loaded.network, loaded.amp_cut);
+  EXPECT_EQ(first, second);
+
+  EXPECT_EQ(loaded.network.base_fibers, net.base_fibers);
+  EXPECT_EQ(loaded.network.edge_capacity_wavelengths,
+            net.edge_capacity_wavelengths);
+  EXPECT_EQ(loaded.amp_cut.amps_at_node, plan.amps_at_node);
+  EXPECT_EQ(loaded.amp_cut.total_amplifiers(), plan.total_amplifiers());
+
+  const auto original_report = validate_plan(map, net, plan);
+  const auto reloaded_report = validate_plan(map, loaded.network,
+                                             loaded.amp_cut);
+  EXPECT_EQ(reloaded_report.paths_checked, original_report.paths_checked);
+  EXPECT_EQ(reloaded_report.infeasible_paths,
+            original_report.infeasible_paths);
+  EXPECT_EQ(reloaded_report.pairs_disconnected,
+            original_report.pairs_disconnected);
+  EXPECT_EQ(reloaded_report.paths_beyond_sla,
+            original_report.paths_beyond_sla);
+  EXPECT_TRUE(reloaded_report.ok());
+}
+
 TEST(PlanIo, RejectsMalformedPlans) {
   const auto map = fibermap::toy_example_fig10();
   EXPECT_THROW((void)plan_from_string(map, "edge 0 400 10\n"),

@@ -145,6 +145,54 @@ TEST(Traffic, UnboundedShiftRedraws) {
   EXPECT_GT(big_moves, 5);  // cold pairs became hot and vice versa
 }
 
+TEST(Traffic, StaysRenormalizedOverLongHorizons) {
+  // Renormalization must not drift: after thousands of bounded shifts the
+  // aggregate is still exactly the configured load and no pair has decayed
+  // to zero or gone negative.
+  TrafficModelParams params;
+  params.pair_count = 40;
+  params.total_gbps = 250.0;
+  params.change_fraction = 0.5;
+  params.seed = 17;
+  TrafficModel model(params);
+  for (int step = 0; step < 2000; ++step) {
+    model.shift();
+    double sum = 0.0;
+    for (double d : model.demands_gbps()) {
+      ASSERT_GE(d, 0.0);
+      sum += d;
+    }
+    ASSERT_NEAR(sum, 250.0, 1e-6) << "drifted by step " << step;
+  }
+}
+
+TEST(Traffic, BoundedShiftRespectsChangeFractionEveryStep) {
+  // Each pair's per-step ratio is a draw in [1-cf, 1+cf] times the global
+  // renormalization, itself within [1/(1+cf), 1/(1-cf)] -- so the ratio is
+  // bounded by (1-cf)/(1+cf) and (1+cf)/(1-cf) on EVERY step, not just the
+  // first.
+  TrafficModelParams params;
+  params.pair_count = 25;
+  params.change_fraction = 0.3;
+  params.seed = 23;
+  TrafficModel model(params);
+  const double lo = (1.0 - params.change_fraction) /
+                    (1.0 + params.change_fraction);
+  const double hi = (1.0 + params.change_fraction) /
+                    (1.0 - params.change_fraction);
+  auto before = model.demands_gbps();
+  for (int step = 0; step < 500; ++step) {
+    model.shift();
+    const auto& after = model.demands_gbps();
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      const double ratio = after[i] / before[i];
+      ASSERT_GE(ratio, lo - 1e-9) << "pair " << i << " step " << step;
+      ASSERT_LE(ratio, hi + 1e-9) << "pair " << i << " step " << step;
+    }
+    before = after;
+  }
+}
+
 TEST(Traffic, RejectsBadParams) {
   TrafficModelParams params;
   params.pair_count = 0;
