@@ -5,16 +5,23 @@
 // rollback and quarantine statistics; exits non-zero on any invariant
 // violation, so CI can run it under the sanitizers as an acceptance gate.
 //
+// With `crash_every_cmds=K` the soak additionally kills the controller
+// every K device commands: the DeviceLayer and the intent journal survive,
+// a successor controller recovers from the journal, and the audit must be
+// clean after every recovery -- the crash-tolerance acceptance gate.
+//
 // Usage: bench_chaos_soak [samples] [seed] [key=value...]
 //   keys: oss_connect_fail oss_disconnect_fail oss_port_stuck tx_tune_fail
-//         tx_dead amp_dead timeout_fraction
+//         tx_dead amp_dead timeout_fraction crash_every_cmds
 // With no arguments the soak is byte-identical to the unparameterized run.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "control/controller.hpp"
+#include "control/journal.hpp"
 #include "control/policy.hpp"
 #include "fibermap/generator.hpp"
 
@@ -93,6 +100,10 @@ int main(int argc, char** argv) {
   if (argc > 2) seed = std::strtoull(argv[2], nullptr, 0);
   auto faults = soak_faults(seed);
   for (int i = 3; i < argc; ++i) {
+    if (std::strncmp(argv[i], "crash_every_cmds=", 17) == 0) {
+      faults.crash_after_commands = std::atoll(argv[i] + 17);
+      continue;
+    }
     if (!apply_rate_override(faults.rates, argv[i])) {
       std::fprintf(stderr,
                    "unknown fault override '%s' (want key=value, rate in "
@@ -113,8 +124,15 @@ int main(int argc, char** argv) {
   params.channels.wavelengths_per_fiber = 40;
   const auto net = core::provision(map, params);
   const auto plan = core::place_amplifiers_and_cutthroughs(map, net);
-  control::IrisController controller(map, net, plan,
-                                     control::DeviceLatencies{}, faults);
+  // Crash-tolerant deployment shape: the device layer and the intent
+  // journal outlive any one controller process; each crash replaces only
+  // the controller.
+  const long long crash_every = faults.crash_after_commands;
+  control::DeviceLayer devices(map, net, plan, faults);
+  control::IntentJournal journal;
+  auto controller =
+      std::make_unique<control::IrisController>(map, net, plan, devices);
+  controller->attach_journal(&journal);
 
   control::PolicyParams pp;
   pp.ewma_alpha = 0.5;
@@ -124,27 +142,32 @@ int main(int argc, char** argv) {
 
   std::printf("# chaos soak: %d closed-loop samples, fault seed 0x%llx\n",
               samples, static_cast<unsigned long long>(seed));
+  if (crash_every > 0) {
+    std::printf("# crash schedule: controller killed every %lld commands\n",
+                crash_every);
+  }
 
   long long applies = 0, committed = 0, rolled_back = 0, degraded = 0,
             rejected = 0, command_retries = 0, timeouts = 0, circuit_retries = 0,
-            oss_ops = 0, audits = 0;
+            oss_ops = 0, audits = 0, crashes = 0, recovered_finished = 0,
+            recovered_reissued = 0, orphans_adopted = 0;
   const graph::EdgeId victim = map.graph().edge_count() / 2;
   bool victim_down = false;
   for (int i = 0; i < samples; ++i) {
     const double t = static_cast<double>(i);
     // Periodic maintenance chaos: fail a duct, repair it later.
     if (i % 997 == 500 && !victim_down) {
-      controller.fail_duct(victim);
+      controller->fail_duct(victim);
       victim_down = true;
     } else if (i % 997 == 650 && victim_down) {
-      controller.restore_duct(victim);
+      controller->restore_duct(victim);
       victim_down = false;
     }
     policy.observe(demand_at(map, t), t);
     const auto proposal = policy.propose(t);
     if (!proposal) continue;
     try {
-      const auto report = controller.apply_traffic_matrix(*proposal);
+      const auto report = controller->apply_traffic_matrix(*proposal);
       ++applies;
       oss_ops += report.oss_operations;
       command_retries += report.command_retries;
@@ -164,16 +187,38 @@ int main(int argc, char** argv) {
       // back or degraded -- the device layer matches the books and the
       // free/quarantined/allocated pools exactly tile the inventory.
       check(report.verified, "report.verified", t);
-      check(controller.audit_devices(), "audit_devices()", t);
+      check(controller->audit_devices(), "audit_devices()", t);
       ++audits;
     } catch (const std::runtime_error&) {
       ++rejected;
       policy.defer_retry(t);  // don't hammer an infeasible proposal
-      check(controller.audit_devices(), "audit_devices() after refusal", t);
+      check(controller->audit_devices(), "audit_devices() after refusal", t);
+    } catch (const control::ControllerCrash&) {
+      // The controller process died mid-apply. The device layer keeps its
+      // state; a successor recovers from the journal and the audit must be
+      // clean before the loop continues.
+      ++crashes;
+      controller.reset();
+      controller = std::make_unique<control::IrisController>(map, net, plan,
+                                                             devices);
+      const control::RecoveryReport rr = controller->recover(journal);
+      recovered_finished += rr.finished_establishes;
+      recovered_reissued += rr.reissued_establishes;
+      orphans_adopted += rr.orphan_connects_adopted;
+      check(rr.audit.clean(), "post-recovery audit", t);
+      ++audits;
+      devices.fault_injector().arm_crash(crash_every);
+      // Deterministic bookkeeping: a committed roll-forward counts as the
+      // apply landing; anything else retries after backoff.
+      if (rr.resumed_outcome == ApplyOutcome::kCommitted) {
+        policy.mark_applied(*proposal);
+      } else {
+        policy.defer_retry(t);
+      }
     }
   }
 
-  const auto s = controller.status();
+  const auto s = controller->status();
   check(s.devices_consistent, "status().devices_consistent", samples);
   check(s.fibers_allocated >= 0, "fiber accounting", samples);
 
@@ -187,7 +232,13 @@ int main(int argc, char** argv) {
   std::printf("%-28s %12lld\n", "command timeouts", timeouts);
   std::printf("%-28s %12lld\n", "circuit retries", circuit_retries);
   std::printf("%-28s %12lld\n", "faults injected",
-              controller.fault_injector().faults_injected());
+              controller->fault_injector().faults_injected());
+  if (crash_every > 0) {
+    std::printf("%-28s %12lld\n", "controller crashes", crashes);
+    std::printf("%-28s %12lld\n", "  establishes finished", recovered_finished);
+    std::printf("%-28s %12lld\n", "  establishes reissued", recovered_reissued);
+    std::printf("%-28s %12lld\n", "  orphan connects adopted", orphans_adopted);
+  }
   std::printf("%-28s %12d\n", "quarantined resources", s.quarantined_total());
   std::printf("%-28s %12d\n", "  fibers", s.quarantined_fibers);
   std::printf("%-28s %12d\n", "  add/drop pairs", s.quarantined_add_drops);

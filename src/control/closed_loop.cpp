@@ -15,6 +15,34 @@ ClosedLoopResult run_closed_loop(IrisController& controller, Policy& policy,
   for (double t = 0.0; t < params.duration_s; t += params.sample_interval_s) {
     policy.observe(demand(t), t);
     ++result.samples;
+    if (params.replan_on_failed_ducts &&
+        controller.circuits_on_failed_ducts() > 0) {
+      // Escape hatch: active circuits are black-holed on a failed duct.
+      // Re-apply the current intent immediately -- circuits_for reroutes
+      // around failed ducts -- rather than waiting out policy hysteresis.
+      TrafficMatrix reroute;
+      for (const Circuit& c : controller.active_circuits()) {
+        reroute[c.pair] += c.wavelengths;
+      }
+      try {
+        const auto report =
+            controller.apply_traffic_matrix(reroute, params.strategy);
+        ++result.escape_hatch_replans;
+        result.oss_operations += report.oss_operations;
+        result.total_capacity_gap_ms += report.capacity_gap_ms();
+        result.command_retries += report.command_retries;
+        result.commands_timed_out += report.commands_timed_out;
+        result.circuit_retries += report.circuit_retries;
+        result.resources_quarantined += report.resources_quarantined;
+        if (report.outcome == ApplyOutcome::kRolledBack) ++result.rolled_back;
+        if (report.outcome == ApplyOutcome::kDegraded) {
+          ++result.degraded_applies;
+        }
+      } catch (const std::runtime_error&) {
+        ++result.rejected;  // e.g. no alternate route while the duct is down
+      }
+      continue;  // the policy proposes again at the next sample
+    }
     const auto proposal = policy.propose(t);
     if (!proposal) continue;
     try {

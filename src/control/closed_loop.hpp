@@ -29,12 +29,19 @@ struct ClosedLoopParams {
   double sample_interval_s = 1.0;
   ReconfigStrategy strategy = ReconfigStrategy::kBreakBeforeMake;
   PolicyStrategy policy = PolicyStrategy::kEwma;
+  /// Escape hatch: when an active circuit is black-holed by a failed duct
+  /// (fail_duct mid-loop), replan immediately around the failure instead of
+  /// waiting for the policy's divergence hysteresis to notice.
+  bool replan_on_failed_ducts = true;
 };
 
 struct ClosedLoopResult {
   int samples = 0;
   int reconfigurations = 0;
   int rejected = 0;             ///< proposals the controller refused
+  /// Applies forced by the failed-duct escape hatch: circuits were carrying
+  /// no traffic over a failed duct, so the loop rerouted them immediately.
+  int escape_hatch_replans = 0;
   long long oss_operations = 0;
   double total_capacity_gap_ms = 0.0;
   double last_apply_s = -1.0;

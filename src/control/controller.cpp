@@ -1,6 +1,7 @@
 #include "control/controller.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/path_physics.hpp"
@@ -8,7 +9,6 @@
 
 namespace iris::control {
 
-using core::DcPair;
 using graph::EdgeId;
 using graph::NodeId;
 
@@ -68,6 +68,14 @@ bool tiles_exactly(int total, const std::vector<int>& free_items,
 
 }  // namespace
 
+std::string AuditReport::summary() const {
+  if (clean()) return "device audit clean";
+  std::ostringstream os;
+  os << "device audit: " << total_mismatches() << " mismatch(es); first: "
+     << first->detail;
+  return os.str();
+}
+
 IrisController::IrisController(const fibermap::FiberMap& map,
                                const core::ProvisionedNetwork& network,
                                const core::AmpCutPlan& amp_cut,
@@ -76,10 +84,10 @@ IrisController::IrisController(const fibermap::FiberMap& map,
       network_(network),
       amp_cut_(amp_cut),
       latencies_(latencies),
-      faults_(faults) {
+      owned_devices_(
+          std::make_unique<DeviceLayer>(map, network, amp_cut, faults)),
+      devices_(owned_devices_.get()) {
   const graph::Graph& g = map.graph();
-  const int lambda = network.params.channels.wavelengths_per_fiber;
-
   fibers_provisioned_ = leased_fibers_per_duct(map, network, amp_cut);
   duct_failed_.assign(g.edge_count(), false);
   free_fibers_.resize(g.edge_count());
@@ -87,43 +95,88 @@ IrisController::IrisController(const fibermap::FiberMap& map,
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     init_pool(free_fibers_[e], fibers_provisioned_[e]);
   }
-
-  port_maps_ = build_port_maps(map, network, amp_cut);
-  oss_.reserve(static_cast<std::size_t>(g.node_count()));
   free_amps_.resize(g.node_count());
   quarantined_amps_.resize(g.node_count());
   for (NodeId n = 0; n < g.node_count(); ++n) {
-    oss_.emplace_back(map.site(n).name + "-oss",
-                      std::max(1, port_maps_[n].port_count()));
     init_pool(free_amps_[n], amp_cut.amps_at_node[n]);
   }
   for (NodeId dc : map.dcs()) {
-    init_pool(free_add_drop_[dc], port_maps_[dc].add_drop_pairs());
-
-    emulators_.emplace(dc, ChannelEmulator(lambda));
-    auto& txs = transceivers_[dc];
-    const long long count = map.dc_capacity_wavelengths(dc, lambda);
-    txs.reserve(static_cast<std::size_t>(count));
-    for (long long t = 0; t < count; ++t) {
-      txs.emplace_back(map.site(dc).name + "-tx" + std::to_string(t), lambda);
-    }
-  }
-
-  // Wire the fault source into the emulators once every container is final
-  // (the injector pointer must not dangle on vector growth). With faults
-  // disabled the devices keep their null injector: the default path is
-  // exactly the pre-fault-injection code.
-  if (faults_.enabled()) {
-    for (NodeId n = 0; n < g.node_count(); ++n) {
-      oss_[static_cast<std::size_t>(n)].attach_fault_injector(&faults_, n);
-    }
-    for (auto& [dc, txs] : transceivers_) {
-      for (std::size_t t = 0; t < txs.size(); ++t) {
-        txs[t].attach_fault_injector(&faults_, dc, static_cast<int>(t));
-      }
-    }
+    init_pool(free_add_drop_[dc], devices_->port_map(dc).add_drop_pairs());
   }
 }
+
+IrisController::IrisController(const fibermap::FiberMap& map,
+                               const core::ProvisionedNetwork& network,
+                               const core::AmpCutPlan& amp_cut,
+                               DeviceLayer& devices, DeviceLatencies latencies)
+    : map_(map),
+      network_(network),
+      amp_cut_(amp_cut),
+      latencies_(latencies),
+      devices_(&devices) {
+  const graph::Graph& g = map.graph();
+  fibers_provisioned_ = leased_fibers_per_duct(map, network, amp_cut);
+  duct_failed_.assign(g.edge_count(), false);
+  free_fibers_.resize(g.edge_count());
+  quarantined_fibers_.resize(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    init_pool(free_fibers_[e], fibers_provisioned_[e]);
+  }
+  free_amps_.resize(g.node_count());
+  quarantined_amps_.resize(g.node_count());
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    init_pool(free_amps_[n], amp_cut.amps_at_node[n]);
+  }
+  for (NodeId dc : map.dcs()) {
+    init_pool(free_add_drop_[dc], devices_->port_map(dc).add_drop_pairs());
+  }
+}
+
+// ---- journal plumbing ------------------------------------------------------
+
+void IrisController::jrec(JournalEntry entry) {
+  if (journal_ != nullptr) journal_->append(std::move(entry));
+}
+
+void IrisController::jrec_quarantine(int kind, int a, int b) {
+  if (journal_ != nullptr) journal_->append(QuarantineRecord{kind, a, b});
+}
+
+AllocationRecord IrisController::to_record(const Allocation& alloc) const {
+  AllocationRecord r;
+  r.fibers_per_hop = alloc.fibers_per_hop;
+  r.amp_site = alloc.amp_site;
+  r.amp_units = alloc.amp_units;
+  r.add_drop_a = alloc.add_drop_a;
+  r.add_drop_b = alloc.add_drop_b;
+  return r;
+}
+
+IrisController::Allocation IrisController::from_record(
+    const Circuit& c, const AllocationRecord& rec) const {
+  Allocation a;
+  a.fibers_per_hop = rec.fibers_per_hop;
+  a.amp_site = rec.amp_site;
+  a.amp_units = rec.amp_units;
+  a.add_drop_a = rec.add_drop_a;
+  a.add_drop_b = rec.add_drop_b;
+  a.connects = planned_connects(c, a);
+  return a;
+}
+
+void IrisController::attach_journal(IntentJournal* journal) {
+  journal_ = journal;
+  if (journal_ != nullptr) journal_->append(CheckpointRecord{snapshot()});
+}
+
+void IrisController::maybe_checkpoint() {
+  if (journal_ != nullptr && checkpoint_every_ > 0 &&
+      applies_completed_ % static_cast<std::uint64_t>(checkpoint_every_) == 0) {
+    journal_->append(CheckpointRecord{snapshot()});
+  }
+}
+
+// ---- circuit computation and device commands -------------------------------
 
 long long IrisController::dc_capacity_wavelengths(NodeId dc) const {
   return map_.dc_capacity_wavelengths(
@@ -167,9 +220,10 @@ std::vector<Circuit> IrisController::circuits_for(const TrafficMatrix& tm) const
 
 CommandResult IrisController::run_with_retry(
     ReconfigReport& report, const std::function<CommandResult()>& attempt) {
+  const FaultInjector& faults = devices_->fault_injector();
   CommandResult r = attempt();
-  if (r.ok() || !faults_.enabled()) return r;
-  const RetryPolicy& rp = faults_.retry();
+  if (r.ok() || !faults.enabled()) return r;
+  const RetryPolicy& rp = faults.retry();
   double backoff = rp.backoff_base_ms;
   for (int a = 1; a < rp.max_command_attempts; ++a) {
     if (r.status == CommandStatus::kTimeout) {
@@ -191,7 +245,7 @@ CommandResult IrisController::run_with_retry(
 
 IrisController::ResKey IrisController::res_for_port(NodeId site,
                                                     int port) const {
-  const auto o = port_maps_[static_cast<std::size_t>(site)].owner(port);
+  const auto o = devices_->port_map(site).owner(port);
   using Kind = SitePortMap::PortOwner::Kind;
   switch (o.kind) {
     case Kind::kDuctIn:
@@ -209,20 +263,22 @@ IrisController::ResKey IrisController::res_for_port(NodeId site,
 
 std::optional<std::vector<int>> IrisController::take_healthy_amp_units(
     NodeId site, int count, ReconfigReport& report) {
+  FaultInjector& faults = devices_->fault_injector();
   auto& pool = free_amps_[static_cast<std::size_t>(site)];
   std::vector<int> taken;
   taken.reserve(static_cast<std::size_t>(count));
   while (static_cast<int>(taken.size()) < count && !pool.empty()) {
     const int unit = pool.back();  // smallest free index
     pool.pop_back();
-    const CommandResult check = faults_.amp_power_check(site, unit);
-    if (faults_.enabled()) {
+    const CommandResult check = faults.amp_power_check(site, unit);
+    if (faults.enabled()) {
       trace_.push_back(AmpPowerCheckCmd{site, unit, check.ok()});
     }
     if (check.ok()) {
       taken.push_back(unit);
     } else {
       quarantined_amps_[static_cast<std::size_t>(site)].push_back(unit);
+      jrec_quarantine(2, site, unit);
       ++report.resources_quarantined;
     }
   }
@@ -231,6 +287,66 @@ std::optional<std::vector<int>> IrisController::take_healthy_amp_units(
     return std::nullopt;
   }
   return taken;
+}
+
+std::vector<IrisController::Connect> IrisController::planned_connects(
+    const Circuit& c, const Allocation& alloc) const {
+  // Route orientation: nodes[0] is one terminal; "forward" is the direction
+  // away from it.
+  std::vector<Connect> plan;
+  const auto& nodes = c.route.nodes;
+  const auto& edges = c.route.edges;
+  const auto add = [&](NodeId site, int in, int out) {
+    plan.push_back(Connect{site, in, out});
+  };
+  for (int f = 0; f < c.fiber_pairs; ++f) {
+    // Terminal at nodes.front(): mux add -> first duct out; first duct in ->
+    // demux drop. The terminal could be pair.a or pair.b depending on how
+    // the path was extracted.
+    const bool front_is_a = nodes.front() == c.pair.a;
+    const auto& front_pairs = front_is_a ? alloc.add_drop_a : alloc.add_drop_b;
+    const auto& back_pairs = front_is_a ? alloc.add_drop_b : alloc.add_drop_a;
+
+    const NodeId src = nodes.front();
+    const SitePortMap& src_map = devices_->port_map(src);
+    add(src, src_map.add_port(front_pairs[f]),
+        src_map.duct_out_port(edges.front(), alloc.fibers_per_hop.front()[f]));
+    add(src,
+        src_map.duct_in_port(edges.front(), alloc.fibers_per_hop.front()[f]),
+        src_map.drop_port(front_pairs[f]));
+
+    // Intermediate sites: pass-through, or loopback through an amplifier.
+    for (std::size_t h = 1; h + 1 < nodes.size(); ++h) {
+      const NodeId site = nodes[h];
+      const SitePortMap& site_map = devices_->port_map(site);
+      const int in_fiber = alloc.fibers_per_hop[h - 1][f];
+      const int out_fiber = alloc.fibers_per_hop[h][f];
+      const int fwd_in = site_map.duct_in_port(edges[h - 1], in_fiber);
+      const int fwd_out = site_map.duct_out_port(edges[h], out_fiber);
+      if (alloc.amp_site && *alloc.amp_site == site) {
+        // Loopback: OSS -> amplifier -> OSS -> next duct. Each "amplifier"
+        // is a dual-stage unit; its return-direction stage is cabled
+        // in-line, so only the forward strand crosses the OSS twice.
+        const int unit = alloc.amp_units[f];
+        add(site, fwd_in, site_map.amp_feed_port(unit));
+        add(site, site_map.amp_return_port(unit), fwd_out);
+      } else {
+        add(site, fwd_in, fwd_out);
+      }
+      // Reverse strand: next duct in -> previous duct out.
+      add(site, site_map.duct_in_port(edges[h], out_fiber),
+          site_map.duct_out_port(edges[h - 1], in_fiber));
+    }
+
+    const NodeId dst = nodes.back();
+    const SitePortMap& dst_map = devices_->port_map(dst);
+    add(dst, dst_map.add_port(back_pairs[f]),
+        dst_map.duct_out_port(edges.back(), alloc.fibers_per_hop.back()[f]));
+    add(dst,
+        dst_map.duct_in_port(edges.back(), alloc.fibers_per_hop.back()[f]),
+        dst_map.drop_port(back_pairs[f]));
+  }
+  return plan;
 }
 
 void IrisController::establish(const Circuit& c, Allocation& alloc,
@@ -272,86 +388,43 @@ void IrisController::establish(const Circuit& c, Allocation& alloc,
   alloc.add_drop_b = take_from_pool(free_add_drop_.at(c.pair.b), c.fiber_pairs,
                                     "add/drop");
 
-  const auto connect = [&](NodeId site, int in, int out) {
-    const CommandResult r = run_with_retry(
-        report, [&] { return oss_[site].connect(in, out); });
+  // Intent goes durable here: the draws above are pure bookkeeping a
+  // successor re-derives from the journal, the cross-connects below are not.
+  jrec(EstablishBeginRecord{c, to_record(alloc)});
+
+  for (const Connect& pc : planned_connects(c, alloc)) {
+    const CommandResult r = run_with_retry(report, [&] {
+      return devices_->oss(pc.site).connect(pc.in_port, pc.out_port);
+    });
     if (!r.ok()) {
-      throw DeviceCommandError{site, in, out, r.detail};
+      throw DeviceCommandError{pc.site, pc.in_port, pc.out_port, r.detail};
     }
-    alloc.connects.push_back(Connect{site, in, out});
-    trace_.push_back(OssConnectCmd{site, in, out});
+    alloc.connects.push_back(pc);
+    trace_.push_back(OssConnectCmd{pc.site, pc.in_port, pc.out_port});
     ++report.oss_operations;
-  };
-
-  // Program the cross-connects, fiber by fiber. Route orientation: nodes[0]
-  // is one terminal; "forward" is the direction away from it.
-  const auto& nodes = c.route.nodes;
-  const auto& edges = c.route.edges;
-  for (int f = 0; f < c.fiber_pairs; ++f) {
-    // Terminal at nodes.front(): mux add -> first duct out; first duct in ->
-    // demux drop. The terminal could be pair.a or pair.b depending on how
-    // the path was extracted.
-    const bool front_is_a = nodes.front() == c.pair.a;
-    const auto& front_pairs = front_is_a ? alloc.add_drop_a : alloc.add_drop_b;
-    const auto& back_pairs = front_is_a ? alloc.add_drop_b : alloc.add_drop_a;
-
-    const NodeId src = nodes.front();
-    connect(src, port_maps_[src].add_port(front_pairs[f]),
-            port_maps_[src].duct_out_port(edges.front(),
-                                          alloc.fibers_per_hop.front()[f]));
-    connect(src,
-            port_maps_[src].duct_in_port(edges.front(),
-                                         alloc.fibers_per_hop.front()[f]),
-            port_maps_[src].drop_port(front_pairs[f]));
-
-    // Intermediate sites: pass-through, or loopback through an amplifier.
-    for (std::size_t h = 1; h + 1 < nodes.size(); ++h) {
-      const NodeId site = nodes[h];
-      const int in_fiber = alloc.fibers_per_hop[h - 1][f];
-      const int out_fiber = alloc.fibers_per_hop[h][f];
-      const int fwd_in = port_maps_[site].duct_in_port(edges[h - 1], in_fiber);
-      const int fwd_out = port_maps_[site].duct_out_port(edges[h], out_fiber);
-      if (alloc.amp_site && *alloc.amp_site == site) {
-        // Loopback: OSS -> amplifier -> OSS -> next duct. Each "amplifier"
-        // is a dual-stage unit; its return-direction stage is cabled
-        // in-line, so only the forward strand crosses the OSS twice.
-        const int unit = alloc.amp_units[f];
-        connect(site, fwd_in, port_maps_[site].amp_feed_port(unit));
-        connect(site, port_maps_[site].amp_return_port(unit), fwd_out);
-      } else {
-        connect(site, fwd_in, fwd_out);
-      }
-      // Reverse strand: next duct in -> previous duct out.
-      connect(site, port_maps_[site].duct_in_port(edges[h], out_fiber),
-              port_maps_[site].duct_out_port(edges[h - 1], in_fiber));
-    }
-
-    const NodeId dst = nodes.back();
-    connect(dst, port_maps_[dst].add_port(back_pairs[f]),
-            port_maps_[dst].duct_out_port(edges.back(),
-                                          alloc.fibers_per_hop.back()[f]));
-    connect(dst,
-            port_maps_[dst].duct_in_port(edges.back(),
-                                         alloc.fibers_per_hop.back()[f]),
-            port_maps_[dst].drop_port(back_pairs[f]));
   }
+
+  jrec(EstablishDoneRecord{c});
 }
 
 void IrisController::unwind_allocation(const Circuit& c, Allocation& alloc,
                                        ReconfigReport& report,
                                        std::set<ResKey> culprits) {
+  jrec(TeardownBeginRecord{c});
   // Tear down the programmed cross-connects, newest first. A disconnect a
   // stuck mirror refuses after all retries leaves a zombie cross-connect:
   // it stays recorded (audits expect it on the device) and the resources
   // whose ports it pins are quarantined so they are never re-issued.
   for (auto it = alloc.connects.rbegin(); it != alloc.connects.rend(); ++it) {
-    const CommandResult r = run_with_retry(
-        report, [&] { return oss_[it->site].disconnect(it->in_port); });
+    const CommandResult r = run_with_retry(report, [&] {
+      return devices_->oss(it->site).disconnect(it->in_port);
+    });
     if (r.ok()) {
       trace_.push_back(OssDisconnectCmd{it->site, it->in_port});
       ++report.oss_operations;
     } else {
       zombie_connects_.push_back(*it);
+      jrec(ZombieRecord{ZombieConnect{it->site, it->in_port, it->out_port}});
       culprits.insert(res_for_port(it->site, it->in_port));
       culprits.insert(res_for_port(it->site, it->out_port));
     }
@@ -365,6 +438,7 @@ void IrisController::unwind_allocation(const Circuit& c, Allocation& alloc,
     for (int idx : items) {
       if (culprits.contains(ResKey{kind, a, idx})) {
         quarantine.push_back(idx);
+        jrec_quarantine(kind, a, idx);
         ++report.resources_quarantined;
       } else {
         to_free.push_back(idx);
@@ -387,11 +461,13 @@ void IrisController::unwind_allocation(const Circuit& c, Allocation& alloc,
   partition(free_add_drop_.at(c.pair.b), quarantined_add_drop_[c.pair.b],
             alloc.add_drop_b, 1, c.pair.b);
   alloc = Allocation{};
+  jrec(TeardownDoneRecord{c});
 }
 
 std::optional<std::string> IrisController::try_establish(
     const Circuit& c, Allocation& alloc, ReconfigReport& report) {
-  const int max_attempts = faults_.retry().max_circuit_attempts;
+  const int max_attempts =
+      devices_->fault_injector().retry().max_circuit_attempts;
   std::string last_error;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) ++report.circuit_retries;
@@ -419,7 +495,7 @@ std::optional<std::string> IrisController::try_establish(
 void IrisController::retune_all_dcs(ReconfigReport& report) {
   const int lambda = network_.params.channels.wavelengths_per_fiber;
   std::map<NodeId, long long> next_tx;
-  for (auto& [dc, txs] : transceivers_) {
+  for (auto& [dc, txs] : devices_->all_transceivers()) {
     for (auto& tx : txs) tx.disable();
     next_tx[dc] = 0;
   }
@@ -427,7 +503,7 @@ void IrisController::retune_all_dcs(ReconfigReport& report) {
   std::map<NodeId, std::set<int>> live;
   for (const Circuit& c : active_) {
     for (const NodeId dc : {c.pair.a, c.pair.b}) {
-      auto& txs = transceivers_.at(dc);
+      auto& txs = devices_->transceivers(dc);
       long long& cursor = next_tx.at(dc);
       const auto quarantined_it = quarantined_txs_.find(dc);
       for (long long w = 0; w < c.wavelengths; ++w) {
@@ -453,16 +529,17 @@ void IrisController::retune_all_dcs(ReconfigReport& report) {
           // Permanent tune failure: pull the transceiver from service and
           // carry the wavelength on the next one.
           quarantined_txs_[dc].insert(idx);
+          jrec_quarantine(3, dc, idx);
           ++report.resources_quarantined;
         }
         if (!tuned) ++report.wavelengths_untuned;
       }
     }
   }
-  if (!faults_.enabled() && report.wavelengths_untuned > 0) {
+  if (!devices_->fault_injector().enabled() && report.wavelengths_untuned > 0) {
     throw std::logic_error("transceiver pool exhausted despite admission");
   }
-  for (auto& [dc, emulator] : emulators_) {
+  for (auto& [dc, emulator] : devices_->emulators()) {
     emulator.set_live_channels(live.contains(dc) ? live.at(dc)
                                                  : std::set<int>{});
     trace_.push_back(
@@ -557,6 +634,16 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
     }
   }
 
+  // All pre-device validation passed: the transaction opens. The effective
+  // strategy (after the fallback decision) is recorded so a recovering
+  // successor re-derives the same teardown/establish order.
+  const std::uint64_t seq = applies_completed_;
+  jrec(BeginApplyRecord{
+      seq,
+      static_cast<int>(make_first ? ReconfigStrategy::kMakeBeforeBreak
+                                  : ReconfigStrategy::kBreakBeforeMake),
+      target});
+
   double clock = 0.0;
   std::vector<Circuit> kept_c;
   std::vector<Allocation> kept_a;
@@ -617,6 +704,16 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
     return true;
   };
 
+  // The apply is refused (books restored, nothing on a device changed):
+  // journal the terminal record before rethrowing so replay never sees an
+  // open transaction for it.
+  const auto refuse = [&](const std::string& error) {
+    jrec(ApplyEndRecord{seq, static_cast<int>(ApplyOutcome::kRolledBack),
+                        active_, expected_tuned_});
+    ++applies_completed_;
+    throw std::runtime_error(error);
+  };
+
   /// Compensating rollback for break-before-make: the torn circuits are
   /// already off the devices, so re-establish them; what cannot be restored
   /// is lost and the apply is degraded.
@@ -671,7 +768,7 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
         }
         active_ = std::move(restored);
         allocations_ = std::move(restored_a);
-        throw std::runtime_error(*establish_error);
+        refuse(*establish_error);
       }
       // Devices changed while trying the new generation: unwind it; the old
       // generation never stopped carrying traffic, so this is a pure
@@ -726,7 +823,7 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
         revert_kept_waves();
         active_ = kept_c;
         allocations_ = std::move(kept_a);
-        throw std::runtime_error(*establish_error);
+        refuse(*establish_error);
       }
       rollback_reestablish();
     } else {
@@ -766,48 +863,95 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
   }
   report.verified = audit_devices();
   report.total_ms = clock + report.fault_delay_ms;
+
+  jrec(ApplyEndRecord{seq, static_cast<int>(report.outcome), active_,
+                      expected_tuned_});
+  ++applies_completed_;
+  maybe_checkpoint();
   return report;
 }
 
-bool IrisController::audit_devices() const {
-  // 1. Every recorded cross-connect -- live or zombie -- is programmed.
-  for (const Allocation& alloc : allocations_) {
-    for (const Connect& c : alloc.connects) {
-      const auto out = oss_[c.site].output_for(c.in_port);
-      if (!out || *out != c.out_port) return false;
+AuditReport IrisController::audit_report() const {
+  AuditReport rep;
+  using Kind = AuditReport::Kind;
+  const auto note = [&](Kind kind, NodeId site, int port, EdgeId duct,
+                        std::string detail) {
+    if (!rep.first) {
+      rep.first = AuditReport::Divergence{kind, site, port, duct,
+                                          std::move(detail)};
     }
+  };
+  const graph::Graph& g = map_.graph();
+
+  // 1. Every recorded cross-connect -- live or zombie -- is programmed.
+  const auto check_connect = [&](const Connect& c, const char* what) {
+    const auto out = devices_->oss(c.site).output_for(c.in_port);
+    if (!out) {
+      ++rep.missing_connects;
+      note(Kind::kMissingConnect, c.site, c.in_port, graph::kInvalidEdge,
+           map_.site(c.site).name + ": " + what + " cross-connect " +
+               std::to_string(c.in_port) + "->" + std::to_string(c.out_port) +
+               " missing from OSS");
+    } else if (*out != c.out_port) {
+      ++rep.wrong_connects;
+      note(Kind::kWrongConnect, c.site, c.in_port, graph::kInvalidEdge,
+           map_.site(c.site).name + ": " + what + " cross-connect input " +
+               std::to_string(c.in_port) + " patched to " +
+               std::to_string(*out) + ", books say " +
+               std::to_string(c.out_port));
+    }
+  };
+  for (const Allocation& alloc : allocations_) {
+    for (const Connect& c : alloc.connects) check_connect(c, "recorded");
   }
-  for (const Connect& z : zombie_connects_) {
-    const auto out = oss_[z.site].output_for(z.in_port);
-    if (!out || *out != z.out_port) return false;
-  }
+  for (const Connect& z : zombie_connects_) check_connect(z, "zombie");
 
   // 2. No leaked cross-connects: per-site counts match exactly.
   std::vector<int> expected_connects(
-      static_cast<std::size_t>(map_.graph().node_count()), 0);
+      static_cast<std::size_t>(g.node_count()), 0);
   for (const Allocation& alloc : allocations_) {
     for (const Connect& c : alloc.connects) ++expected_connects[c.site];
   }
   for (const Connect& z : zombie_connects_) ++expected_connects[z.site];
-  for (NodeId n = 0; n < map_.graph().node_count(); ++n) {
-    if (oss_[n].connection_count() != expected_connects[n]) return false;
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    const int on_device = devices_->oss(n).connection_count();
+    if (on_device != expected_connects[n]) {
+      ++rep.leaked_connect_sites;
+      note(Kind::kLeakedConnects, n, -1, graph::kInvalidEdge,
+           map_.site(n).name + ": OSS carries " + std::to_string(on_device) +
+               " connect(s), books expect " +
+               std::to_string(expected_connects[n]));
+    }
   }
 
-  if (active_.size() != allocations_.size()) return false;
+  if (active_.size() != allocations_.size()) {
+    rep.bookkeeping_ok = false;
+    note(Kind::kBookkeeping, graph::kInvalidNode, -1, graph::kInvalidEdge,
+         "active circuits (" + std::to_string(active_.size()) +
+             ") and allocations (" + std::to_string(allocations_.size()) +
+             ") out of step");
+  }
 
   // 3. Exact resource partition: free + quarantined + allocated tiles the
   // provisioned inventory of every duct, amplifier site and DC -- no fiber
   // double-allocated, none lost.
   std::vector<std::vector<int>> fiber_alloc(
-      static_cast<std::size_t>(map_.graph().edge_count()));
+      static_cast<std::size_t>(g.edge_count()));
   std::vector<std::vector<int>> amp_alloc(
-      static_cast<std::size_t>(map_.graph().node_count()));
+      static_cast<std::size_t>(g.node_count()));
   std::map<NodeId, std::vector<int>> add_drop_alloc;
-  for (std::size_t i = 0; i < active_.size(); ++i) {
+  const std::size_t n_books = std::min(active_.size(), allocations_.size());
+  for (std::size_t i = 0; i < n_books; ++i) {
     const Circuit& c = active_[i];
     const Allocation& alloc = allocations_[i];
-    if (alloc.fibers_per_hop.size() != c.route.edges.size()) return false;
-    for (std::size_t h = 0; h < alloc.fibers_per_hop.size(); ++h) {
+    if (alloc.fibers_per_hop.size() != c.route.edges.size()) {
+      rep.bookkeeping_ok = false;
+      note(Kind::kBookkeeping, graph::kInvalidNode, -1, graph::kInvalidEdge,
+           "allocation hop count does not match the circuit route");
+    }
+    const std::size_t hops =
+        std::min(alloc.fibers_per_hop.size(), c.route.edges.size());
+    for (std::size_t h = 0; h < hops; ++h) {
       const EdgeId e = c.route.edges[h];
       fiber_alloc[e].insert(fiber_alloc[e].end(),
                             alloc.fibers_per_hop[h].begin(),
@@ -823,40 +967,120 @@ bool IrisController::audit_devices() const {
     auto& at_b = add_drop_alloc[c.pair.b];
     at_b.insert(at_b.end(), alloc.add_drop_b.begin(), alloc.add_drop_b.end());
   }
-  for (EdgeId e = 0; e < map_.graph().edge_count(); ++e) {
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
     if (!tiles_exactly(fibers_provisioned_[e], free_fibers_[e],
                        quarantined_fibers_[e], fiber_alloc[e])) {
-      return false;
+      ++rep.fiber_pool_mismatches;
+      note(Kind::kFiberPool, graph::kInvalidNode, -1, e,
+           "duct " + std::to_string(e) +
+               ": fiber partition does not tile the provisioned inventory");
     }
   }
-  for (NodeId n = 0; n < map_.graph().node_count(); ++n) {
+  for (NodeId n = 0; n < g.node_count(); ++n) {
     if (!tiles_exactly(amp_cut_.amps_at_node[n], free_amps_[n],
                        quarantined_amps_[n], amp_alloc[n])) {
-      return false;
+      ++rep.amp_pool_mismatches;
+      note(Kind::kAmpPool, n, -1, graph::kInvalidEdge,
+           map_.site(n).name + ": amplifier partition broken");
     }
   }
   for (const auto& [dc, pool] : free_add_drop_) {
     const auto quarantined_it = quarantined_add_drop_.find(dc);
     static const std::vector<int> kNone;
     const auto alloc_it = add_drop_alloc.find(dc);
-    if (!tiles_exactly(port_maps_[dc].add_drop_pairs(), pool,
+    if (!tiles_exactly(devices_->port_map(dc).add_drop_pairs(), pool,
                        quarantined_it == quarantined_add_drop_.end()
                            ? kNone
                            : quarantined_it->second,
                        alloc_it == add_drop_alloc.end() ? kNone
                                                         : alloc_it->second)) {
-      return false;
+      ++rep.add_drop_pool_mismatches;
+      note(Kind::kAddDropPool, dc, -1, graph::kInvalidEdge,
+           map_.site(dc).name + ": add/drop partition broken");
     }
   }
 
   // 4. DC-local wavelength state matches the last retune.
-  for (const auto& [dc, txs] : transceivers_) {
-    long long tuned = 0;
-    for (const auto& tx : txs) tuned += tx.wavelength().has_value();
+  for (const auto& [dc, txs] : devices_->all_transceivers()) {
+    const long long tuned = devices_->tuned_count(dc);
     const auto it = expected_tuned_.find(dc);
-    if (tuned != (it == expected_tuned_.end() ? 0 : it->second)) return false;
+    const long long expected = it == expected_tuned_.end() ? 0 : it->second;
+    if (tuned != expected) {
+      ++rep.transceiver_mismatches;
+      note(Kind::kTransceiverTune, dc, -1, graph::kInvalidEdge,
+           map_.site(dc).name + ": " + std::to_string(tuned) +
+               " transceiver(s) tuned, expected " + std::to_string(expected));
+    }
   }
-  return true;
+  return rep;
+}
+
+ControllerCheckpoint IrisController::snapshot() const {
+  ControllerCheckpoint cp;
+  cp.applies_completed = applies_completed_;
+  cp.active = active_;
+  cp.allocations.reserve(allocations_.size());
+  for (const Allocation& a : allocations_) cp.allocations.push_back(to_record(a));
+  cp.free_fibers = free_fibers_;
+  cp.quarantined_fibers = quarantined_fibers_;
+  cp.free_amps = free_amps_;
+  cp.quarantined_amps = quarantined_amps_;
+  cp.free_add_drop = free_add_drop_;
+  cp.quarantined_add_drop = quarantined_add_drop_;
+  cp.quarantined_txs = quarantined_txs_;
+  cp.zombies.reserve(zombie_connects_.size());
+  for (const Connect& z : zombie_connects_) {
+    cp.zombies.push_back(ZombieConnect{z.site, z.in_port, z.out_port});
+  }
+  cp.expected_tuned = expected_tuned_;
+  for (EdgeId e = 0; e < map_.graph().edge_count(); ++e) {
+    if (duct_failed_[e]) cp.failed_ducts.push_back(e);
+  }
+  return cp;
+}
+
+std::string IrisController::state_fingerprint() const {
+  // Books as checkpoint text + hardware read-back. The command trace is
+  // deliberately excluded: arming a crash enables the fault injector, which
+  // adds amp power-check entries to the trace without changing any state.
+  IntentJournal tmp;
+  tmp.append(CheckpointRecord{snapshot()});
+  std::ostringstream os;
+  tmp.save(os);
+  os << "hardware\n";
+  for (NodeId n = 0; n < map_.graph().node_count(); ++n) {
+    os << "oss " << n;
+    for (const auto& [in, out] : devices_->oss(n).connections()) {
+      os << ' ' << in << ':' << out;
+    }
+    os << '\n';
+  }
+  for (const auto& [dc, txs] : devices_->all_transceivers()) {
+    os << "tx " << dc;
+    for (const auto& tx : txs) {
+      os << ' ' << (tx.wavelength() ? *tx.wavelength() : -1);
+    }
+    os << '\n';
+  }
+  for (const auto& [dc, em] : devices_->emulators()) {
+    os << "ase " << dc;
+    for (int ch : em.live_channels()) os << ' ' << ch;
+    os << '\n';
+  }
+  return os.str();
+}
+
+int IrisController::circuits_on_failed_ducts() const {
+  int count = 0;
+  for (const Circuit& c : active_) {
+    for (EdgeId e : c.route.edges) {
+      if (duct_failed_[e]) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
 }
 
 IrisController::Status IrisController::status() const {
@@ -881,11 +1105,15 @@ IrisController::Status IrisController::status() const {
     s.quarantined_transceivers += static_cast<int>(q.size());
   }
   s.zombie_connects = static_cast<int>(zombie_connects_.size());
+  s.circuits_on_failed_ducts = circuits_on_failed_ducts();
   s.devices_consistent = audit_devices();
   return s;
 }
 
-void IrisController::fail_duct(EdgeId duct) { duct_failed_.at(duct) = true; }
+void IrisController::fail_duct(EdgeId duct) {
+  duct_failed_.at(duct) = true;
+  jrec(DuctEventRecord{duct, true});
+}
 
 ReconfigReport IrisController::drain_duct_for_maintenance(
     EdgeId duct, ReconfigStrategy strategy) {
@@ -893,34 +1121,42 @@ ReconfigReport IrisController::drain_duct_for_maintenance(
   TrafficMatrix tm;
   for (const Circuit& c : active_) tm[c.pair] += c.wavelengths;
   duct_failed_.at(duct) = true;
+  jrec(DuctEventRecord{duct, true});
   try {
     ReconfigReport report = apply_traffic_matrix(tm, strategy);
     if (!report.target_reached()) {
       // The move failed after touching devices; whatever survived is back in
       // service, so the duct must be too -- maintenance is refused.
       duct_failed_.at(duct) = false;
+      jrec(DuctEventRecord{duct, false});
     }
     return report;
+  } catch (const ControllerCrash&) {
+    // The controller process is dying: no compensation, no journaling -- the
+    // successor rolls the drain forward from the journal.
+    throw;
   } catch (...) {
     duct_failed_.at(duct) = false;  // refuse the maintenance, keep traffic
+    jrec(DuctEventRecord{duct, false});
     throw;
   }
 }
 
 void IrisController::restore_duct(EdgeId duct) {
   duct_failed_.at(duct) = false;
+  jrec(DuctEventRecord{duct, false});
 }
 
 const OpticalSpaceSwitch& IrisController::oss_at(NodeId site) const {
-  return oss_.at(site);
+  return devices_->oss(site);
 }
 
 const ChannelEmulator& IrisController::channel_emulator_at(NodeId dc) const {
-  return emulators_.at(dc);
+  return devices_->emulator(dc);
 }
 
 const SitePortMap& IrisController::port_map_at(NodeId site) const {
-  return port_maps_.at(site);
+  return devices_->port_map(site);
 }
 
 long long IrisController::allocated_fibers(EdgeId duct) const {
@@ -937,6 +1173,597 @@ int IrisController::amplifiers_in_use(NodeId site) const {
   return amp_cut_.amps_at_node.at(site) -
          static_cast<int>(free_amps_.at(site).size()) -
          static_cast<int>(quarantined_amps_.at(site).size());
+}
+
+// ---- cold-restart reconciliation -------------------------------------------
+
+void IrisController::install_stable(const ControllerCheckpoint& cp) {
+  validate_checkpoint(cp);
+  const graph::Graph& g = map_.graph();
+  // An empty journal replays to an all-empty checkpoint; anything else must
+  // have been written against this network's shape.
+  if (!cp.free_fibers.empty() &&
+      cp.free_fibers.size() != static_cast<std::size_t>(g.edge_count())) {
+    throw std::runtime_error("recover: journal does not match this network");
+  }
+  if (!cp.free_amps.empty() &&
+      cp.free_amps.size() != static_cast<std::size_t>(g.node_count())) {
+    throw std::runtime_error("recover: journal does not match this network");
+  }
+
+  applies_completed_ = cp.applies_completed;
+  active_ = cp.active;
+  allocations_.clear();
+  allocations_.reserve(cp.active.size());
+  for (std::size_t i = 0; i < cp.active.size(); ++i) {
+    allocations_.push_back(from_record(cp.active[i], cp.allocations[i]));
+  }
+  quarantined_fibers_.assign(static_cast<std::size_t>(g.edge_count()), {});
+  for (std::size_t e = 0;
+       e < std::min(cp.quarantined_fibers.size(), quarantined_fibers_.size());
+       ++e) {
+    quarantined_fibers_[e] = cp.quarantined_fibers[e];
+  }
+  quarantined_amps_.assign(static_cast<std::size_t>(g.node_count()), {});
+  for (std::size_t n = 0;
+       n < std::min(cp.quarantined_amps.size(), quarantined_amps_.size());
+       ++n) {
+    quarantined_amps_[n] = cp.quarantined_amps[n];
+  }
+  quarantined_add_drop_ = cp.quarantined_add_drop;
+  quarantined_txs_ = cp.quarantined_txs;
+  zombie_connects_.clear();
+  for (const ZombieConnect& z : cp.zombies) {
+    zombie_connects_.push_back(Connect{z.site, z.in_port, z.out_port});
+  }
+  expected_tuned_ = cp.expected_tuned;
+  duct_failed_.assign(g.edge_count(), false);
+  for (EdgeId e : cp.failed_ducts) {
+    if (e < 0 || e >= g.edge_count()) {
+      throw std::runtime_error("recover: journal does not match this network");
+    }
+    duct_failed_[e] = true;
+  }
+  // Free pools are re-derived by derive_free_pools: the replayed stable pools
+  // go stale as committed applies fold in, so they are never trusted here.
+}
+
+void IrisController::derive_free_pools(
+    const std::vector<std::pair<Circuit, Allocation>>& pinned) {
+  const graph::Graph& g = map_.graph();
+  std::vector<std::vector<char>> fiber_used(
+      static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    fiber_used[e].assign(
+        static_cast<std::size_t>(std::max(0, fibers_provisioned_[e])), 0);
+  }
+  std::vector<std::vector<char>> amp_used(
+      static_cast<std::size_t>(g.node_count()));
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    amp_used[n].assign(
+        static_cast<std::size_t>(std::max(0, amp_cut_.amps_at_node[n])), 0);
+  }
+  std::map<NodeId, std::vector<char>> ad_used;
+  for (NodeId dc : map_.dcs()) {
+    ad_used[dc].assign(static_cast<std::size_t>(std::max(
+                           0, devices_->port_map(dc).add_drop_pairs())),
+                       0);
+  }
+
+  const auto use = [](std::vector<char>& v, int idx, const char* what) {
+    if (idx < 0 || idx >= static_cast<int>(v.size()) ||
+        v[static_cast<std::size_t>(idx)]) {
+      throw std::runtime_error(
+          std::string("recover: corrupt journaled allocation: ") + what +
+          " index " + std::to_string(idx));
+    }
+    v[static_cast<std::size_t>(idx)] = 1;
+  };
+  const auto use_alloc = [&](const Circuit& c, const Allocation& a) {
+    if (a.fibers_per_hop.size() != c.route.edges.size()) {
+      throw std::runtime_error(
+          "recover: corrupt journaled allocation: hop count mismatch");
+    }
+    for (std::size_t h = 0; h < a.fibers_per_hop.size(); ++h) {
+      for (int idx : a.fibers_per_hop[h]) {
+        use(fiber_used[c.route.edges[h]], idx, "duct fiber");
+      }
+    }
+    if (a.amp_site) {
+      for (int u : a.amp_units) use(amp_used[*a.amp_site], u, "amplifier");
+    }
+    for (int idx : a.add_drop_a) use(ad_used.at(c.pair.a), idx, "add/drop");
+    for (int idx : a.add_drop_b) use(ad_used.at(c.pair.b), idx, "add/drop");
+  };
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    use_alloc(active_[i], allocations_[i]);
+  }
+  for (const auto& [c, a] : pinned) use_alloc(c, a);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    for (int idx : quarantined_fibers_[e]) {
+      use(fiber_used[e], idx, "quarantined fiber");
+    }
+  }
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    for (int idx : quarantined_amps_[n]) {
+      use(amp_used[n], idx, "quarantined amplifier");
+    }
+  }
+  for (const auto& [dc, items] : quarantined_add_drop_) {
+    for (int idx : items) use(ad_used.at(dc), idx, "quarantined add/drop");
+  }
+
+  // Free = descending-sorted complement. take/return keep incrementally
+  // maintained pools in exactly this canonical form, so the derived pools
+  // are byte-equal to what a crash-free controller would hold.
+  const auto complement = [](const std::vector<char>& used) {
+    std::vector<int> pool;
+    for (int idx = static_cast<int>(used.size()) - 1; idx >= 0; --idx) {
+      if (!used[static_cast<std::size_t>(idx)]) pool.push_back(idx);
+    }
+    return pool;
+  };
+  free_fibers_.assign(static_cast<std::size_t>(g.edge_count()), {});
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    free_fibers_[e] = complement(fiber_used[e]);
+  }
+  free_amps_.assign(static_cast<std::size_t>(g.node_count()), {});
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    free_amps_[n] = complement(amp_used[n]);
+  }
+  free_add_drop_.clear();
+  for (NodeId dc : map_.dcs()) {
+    free_add_drop_[dc] = complement(ad_used.at(dc));
+  }
+}
+
+void IrisController::repair_connects(Allocation& alloc, ReconfigReport& report,
+                                     RecoveryReport& rr) {
+  for (const Connect& k : alloc.connects) {
+    OpticalSpaceSwitch& sw = devices_->oss(k.site);
+    const auto out = sw.output_for(k.in_port);
+    if (out && *out == k.out_port) continue;  // already programmed
+    if (out) {
+      // The input is patched somewhere unplanned: clear it first.
+      const CommandResult r =
+          run_with_retry(report, [&] { return sw.disconnect(k.in_port); });
+      if (!r.ok()) {
+        throw DeviceCommandError{k.site, k.in_port, *out, r.detail};
+      }
+      trace_.push_back(OssDisconnectCmd{k.site, k.in_port});
+      ++report.oss_operations;
+      ++rr.connects_removed;
+    }
+    if (sw.output_in_use(k.out_port)) {
+      // The planned output is held by a stale connect: find its input.
+      int stale_in = -1;
+      for (const auto& [in, o] : sw.connections()) {
+        if (o == k.out_port) {
+          stale_in = in;
+          break;
+        }
+      }
+      if (stale_in >= 0) {
+        const CommandResult r =
+            run_with_retry(report, [&] { return sw.disconnect(stale_in); });
+        if (!r.ok()) {
+          throw DeviceCommandError{k.site, stale_in, k.out_port, r.detail};
+        }
+        trace_.push_back(OssDisconnectCmd{k.site, stale_in});
+        ++report.oss_operations;
+        ++rr.connects_removed;
+      }
+    }
+    const CommandResult r = run_with_retry(
+        report, [&] { return sw.connect(k.in_port, k.out_port); });
+    if (!r.ok()) {
+      throw DeviceCommandError{k.site, k.in_port, k.out_port, r.detail};
+    }
+    trace_.push_back(OssConnectCmd{k.site, k.in_port, k.out_port});
+    ++report.oss_operations;
+    ++rr.connects_programmed;
+  }
+}
+
+void IrisController::quarantine_port_resource(NodeId site, int port) {
+  const auto [kind, a, b] = res_for_port(site, port);
+  const auto pull = [&](std::vector<int>& pool, std::vector<int>& quarantine) {
+    const auto it = std::find(pool.begin(), pool.end(), b);
+    if (it == pool.end()) return;  // allocated or already quarantined
+    pool.erase(it);
+    quarantine.push_back(b);
+    jrec_quarantine(kind, a, b);
+  };
+  switch (kind) {
+    case 0:
+      pull(free_fibers_[static_cast<std::size_t>(a)],
+           quarantined_fibers_[static_cast<std::size_t>(a)]);
+      break;
+    case 1:
+      pull(free_add_drop_.at(a), quarantined_add_drop_[a]);
+      break;
+    case 2:
+      pull(free_amps_[static_cast<std::size_t>(a)],
+           quarantined_amps_[static_cast<std::size_t>(a)]);
+      break;
+    default:
+      break;
+  }
+}
+
+RecoveryReport IrisController::recover(IntentJournal& journal) {
+  if (journal_ != nullptr || applies_completed_ != 0 || !active_.empty()) {
+    throw std::logic_error(
+        "recover: requires a freshly constructed controller");
+  }
+  const IntentJournal::Intent intent = journal.replay();
+  install_stable(intent.stable);
+  // Attach directly: attach_journal would write a checkpoint, and a
+  // checkpoint inside a still-open apply is a replay error -- recovery
+  // itself is journaled into the same open transaction.
+  journal_ = &journal;
+  trace_.clear();
+
+  RecoveryReport rr;
+  ReconfigReport report;  // absorbs retry/quarantine accounting
+
+  // Fold the interrupted apply's ops to each circuit's final journaled
+  // state: what was the controller doing to it when the crash hit?
+  enum class FState { kEstablishing, kEstablished, kTearing, kGone };
+  struct Fold {
+    Circuit circuit;
+    FState state = FState::kGone;
+    std::optional<Allocation> alloc;
+  };
+  std::vector<Fold> folds;
+  if (intent.in_flight) {
+    rr.had_in_flight = true;
+    rr.resumed_seq = intent.in_flight->seq;
+    for (const IntentJournal::PendingOp& op : intent.in_flight->ops) {
+      auto it = std::find_if(
+          folds.begin(), folds.end(),
+          [&](const Fold& f) { return f.circuit == op.circuit; });
+      if (it == folds.end()) {
+        folds.push_back(Fold{op.circuit, FState::kGone, std::nullopt});
+        it = folds.end() - 1;
+      }
+      if (op.teardown) {
+        it->state = op.done ? FState::kGone : FState::kTearing;
+      } else {
+        it->state = op.done ? FState::kEstablished : FState::kEstablishing;
+        it->circuit = op.circuit;  // latest wavelength count wins
+        if (op.alloc) it->alloc = from_record(op.circuit, *op.alloc);
+      }
+    }
+  }
+
+  // Adjust the stable books to those final states, pinning the allocations
+  // of circuits that hold resources without being in the books
+  // (half-established or half-torn) so pool derivation sees them.
+  const auto book_index = [&](const Circuit& c) -> std::optional<std::size_t> {
+    const auto it = std::find(active_.begin(), active_.end(), c);
+    if (it == active_.end()) return std::nullopt;
+    return static_cast<std::size_t>(it - active_.begin());
+  };
+  std::vector<std::pair<Circuit, Allocation>> pinned;
+  for (const Fold& f : folds) {
+    const auto i = book_index(f.circuit);
+    switch (f.state) {
+      case FState::kGone:
+        if (i) {
+          active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(*i));
+          allocations_.erase(allocations_.begin() +
+                             static_cast<std::ptrdiff_t>(*i));
+        }
+        break;
+      case FState::kEstablished:
+        if (i) {
+          active_[*i] = f.circuit;
+          if (f.alloc) allocations_[*i] = *f.alloc;
+        } else if (f.alloc) {
+          active_.push_back(f.circuit);
+          allocations_.push_back(*f.alloc);
+        }
+        break;
+      case FState::kEstablishing:
+      case FState::kTearing:
+        if (i) {
+          if (f.alloc) allocations_[*i] = *f.alloc;
+        } else if (f.alloc) {
+          pinned.emplace_back(f.circuit, *f.alloc);
+        }
+        break;
+    }
+  }
+  derive_free_pools(pinned);
+
+  // Orphan sweep BEFORE the roll-forward: every hardware cross-connect owned
+  // by neither a book circuit, a pinned in-flight allocation, nor a known
+  // zombie is adopted as a zombie and its ports quarantined. This matters
+  // when a torn journal tail dropped an establish record: the leftover
+  // cross-connects would otherwise collide with the ports a fresh
+  // establishment draws (the pools, derived from the journal alone, believe
+  // them free). Adopting first keeps every hardware-busy port out of the
+  // pools. When the journal is complete this sweep is a no-op.
+  {
+    std::set<std::tuple<NodeId, int, int>> expected;
+    for (const Allocation& a : allocations_) {
+      for (const Connect& k : a.connects) {
+        expected.insert({k.site, k.in_port, k.out_port});
+      }
+    }
+    for (const auto& [c, a] : pinned) {
+      for (const Connect& k : a.connects) {
+        expected.insert({k.site, k.in_port, k.out_port});
+      }
+    }
+    for (const Connect& z : zombie_connects_) {
+      expected.insert({z.site, z.in_port, z.out_port});
+    }
+    for (NodeId n = 0; n < map_.graph().node_count(); ++n) {
+      for (const auto& [in, out] : devices_->oss(n).connections()) {
+        if (expected.contains({n, in, out})) continue;
+        zombie_connects_.push_back(Connect{n, in, out});
+        jrec(ZombieRecord{ZombieConnect{n, in, out}});
+        quarantine_port_resource(n, in);
+        quarantine_port_resource(n, out);
+        ++rr.orphan_connects_adopted;
+      }
+    }
+  }
+
+  // Roll the interrupted apply forward to its journaled target, in the
+  // order the recorded strategy would have used.
+  std::optional<std::string> resume_error;
+  if (intent.in_flight) {
+    const IntentJournal::InFlightApply& ifa = *intent.in_flight;
+    const std::vector<Circuit>& target = ifa.target;
+
+    const auto is_zombie = [&](const Connect& k) {
+      return std::find(zombie_connects_.begin(), zombie_connects_.end(), k) !=
+             zombie_connects_.end();
+    };
+    // The subset of an allocation's connects actually present on hardware;
+    // zombies among them become teardown culprits instead.
+    const auto hw_present = [&](const Allocation& a,
+                                std::set<ResKey>& culprits) {
+      Allocation present = a;
+      present.connects.clear();
+      for (const Connect& k : a.connects) {
+        if (is_zombie(k)) {
+          culprits.insert(res_for_port(k.site, k.in_port));
+          culprits.insert(res_for_port(k.site, k.out_port));
+          continue;
+        }
+        const auto out = devices_->oss(k.site).output_for(k.in_port);
+        if (out && *out == k.out_port) present.connects.push_back(k);
+      }
+      return present;
+    };
+    const auto finish_teardown = [&](const Circuit& c, const Allocation& a) {
+      std::set<ResKey> culprits;
+      Allocation present = hw_present(a, culprits);
+      unwind_allocation(c, present, report, std::move(culprits));
+      ++rr.completed_teardowns;
+    };
+
+    // Half-torn circuits that never reached the books: finish their
+    // teardown first, whatever the strategy.
+    for (Fold& f : folds) {
+      if (f.state != FState::kTearing || !f.alloc || book_index(f.circuit)) {
+        continue;
+      }
+      finish_teardown(f.circuit, *f.alloc);
+      f.state = FState::kGone;
+    }
+
+    const auto in_target = [&](const Circuit& c) {
+      return std::find(target.begin(), target.end(), c) != target.end();
+    };
+    const auto do_teardowns = [&] {
+      for (std::size_t i = 0; i < active_.size();) {
+        if (in_target(active_[i])) {
+          ++i;
+          continue;
+        }
+        const Circuit c = active_[i];
+        Allocation a = std::move(allocations_[i]);
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+        allocations_.erase(allocations_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        finish_teardown(c, a);
+      }
+    };
+    const auto do_establishes = [&] {
+      for (const Circuit& t : target) {
+        if (book_index(t)) continue;  // adopted, kept, or already finished
+        const auto fit = std::find_if(
+            folds.begin(), folds.end(),
+            [&](const Fold& f) { return f.circuit == t; });
+        if (fit != folds.end() && fit->state == FState::kEstablishing &&
+            fit->alloc) {
+          // Half-programmed pre-crash: finish it in place.
+          Allocation a = *fit->alloc;
+          try {
+            repair_connects(a, report, rr);
+            jrec(EstablishDoneRecord{t});
+            active_.push_back(t);
+            allocations_.push_back(std::move(a));
+            ++rr.finished_establishes;
+            continue;
+          } catch (const DeviceCommandError& e) {
+            std::set<ResKey> culprits{res_for_port(e.site, e.in_port),
+                                      res_for_port(e.site, e.out_port)};
+            Allocation present = hw_present(*fit->alloc, culprits);
+            unwind_allocation(t, present, report, std::move(culprits));
+            // Fall through to a fresh establishment on new resources.
+          }
+        }
+        Allocation a;
+        if (const auto err = try_establish(t, a, report)) {
+          resume_error = err;
+          continue;
+        }
+        active_.push_back(t);
+        allocations_.push_back(std::move(a));
+        ++rr.reissued_establishes;
+      }
+    };
+    // An apply whose target cannot be fully established must not commit a
+    // partial target: the crash-free execution would have compensated back
+    // to the pre-apply circuit set, and recovery has to land on the same
+    // state or the two histories diverge. Mirrors apply_traffic_matrix's
+    // rollback paths: make-before-break keeps the still-untouched old
+    // generation; break-before-make re-establishes what was already torn
+    // (anything unrestorable is lost and the apply is degraded).
+    const auto in_stable = [&](const Circuit& c) {
+      return std::find(intent.stable.active.begin(),
+                       intent.stable.active.end(),
+                       c) != intent.stable.active.end();
+    };
+    std::optional<ApplyOutcome> rolled_back;
+    const auto rollback_to_stable = [&] {
+      // Tear the partially established target generation back down.
+      for (std::size_t i = 0; i < active_.size();) {
+        if (in_stable(active_[i])) {
+          ++i;
+          continue;
+        }
+        const Circuit c = active_[i];
+        Allocation a = std::move(allocations_[i]);
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+        allocations_.erase(allocations_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        std::set<ResKey> culprits;
+        Allocation present = hw_present(a, culprits);
+        unwind_allocation(c, present, report, std::move(culprits));
+      }
+      // Restore the stable set in the order the failed apply would have
+      // left it: kept circuits first (pre-apply order, pre-apply
+      // wavelengths), then the torn ones re-established.
+      std::vector<Circuit> restored_c;
+      std::vector<Allocation> restored_a;
+      std::vector<Circuit> lost;
+      for (const int torn_pass : {0, 1}) {
+        for (const Circuit& s : intent.stable.active) {
+          if (in_target(s) != (torn_pass == 0)) continue;
+          if (const auto i = book_index(s)) {
+            restored_c.push_back(active_[*i]);
+            restored_a.push_back(std::move(allocations_[*i]));
+            active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(*i));
+            allocations_.erase(allocations_.begin() +
+                               static_cast<std::ptrdiff_t>(*i));
+          } else {
+            Allocation a;
+            if (try_establish(s, a, report)) {
+              lost.push_back(s);
+            } else {
+              restored_c.push_back(s);
+              restored_a.push_back(std::move(a));
+              ++rr.reissued_establishes;
+            }
+          }
+        }
+      }
+      active_ = std::move(restored_c);
+      allocations_ = std::move(restored_a);
+      rolled_back = lost.empty() ? ApplyOutcome::kRolledBack
+                                 : ApplyOutcome::kDegraded;
+    };
+    // Make-before-break may only roll back while the old generation is
+    // still whole: a journaled teardown of a STABLE circuit means the break
+    // phase began. Teardowns of non-stable circuits are the apply's own
+    // on-device rollback unwinding its replacement generation -- those
+    // leave the old generation untouched.
+    bool stable_teardown_started = false;
+    for (const IntentJournal::PendingOp& op : ifa.ops) {
+      if (op.teardown && in_stable(op.circuit)) stable_teardown_started = true;
+    }
+    if (ifa.strategy == static_cast<int>(ReconfigStrategy::kMakeBeforeBreak)) {
+      do_establishes();
+      if (resume_error && !stable_teardown_started) {
+        rollback_to_stable();  // the old generation never stopped carrying
+      } else {
+        do_teardowns();
+      }
+    } else {
+      do_teardowns();
+      do_establishes();
+      if (resume_error) rollback_to_stable();
+    }
+
+    if (!rolled_back) {
+      // Re-order the books exactly as the crash-free apply would have left
+      // them: kept circuits in pre-apply order (wavelengths from the
+      // target), then new circuits in target order.
+      std::vector<Circuit> final_c;
+      std::vector<Allocation> final_a;
+      const auto take_books = [&](const Circuit& c, long long waves) {
+        const auto i = book_index(c);
+        if (!i) return;
+        Circuit cc = active_[*i];
+        cc.wavelengths = waves;
+        final_c.push_back(std::move(cc));
+        final_a.push_back(std::move(allocations_[*i]));
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(*i));
+        allocations_.erase(allocations_.begin() +
+                           static_cast<std::ptrdiff_t>(*i));
+      };
+      for (const Circuit& s : intent.stable.active) {
+        const auto t = std::find(target.begin(), target.end(), s);
+        if (t != target.end()) take_books(s, t->wavelengths);
+      }
+      for (const Circuit& t : target) {
+        if (std::find(intent.stable.active.begin(),
+                      intent.stable.active.end(),
+                      t) == intent.stable.active.end()) {
+          take_books(t, t.wavelengths);
+        }
+      }
+      for (std::size_t i = 0; i < active_.size(); ++i) {
+        final_c.push_back(std::move(active_[i]));  // defensive: none expected
+        final_a.push_back(std::move(allocations_[i]));
+      }
+      active_ = std::move(final_c);
+      allocations_ = std::move(final_a);
+    }
+
+    retune_all_dcs(report);
+    // An untuned wavelength degrades a committed apply but not a rollback,
+    // exactly as in apply_traffic_matrix.
+    const ApplyOutcome outcome =
+        rolled_back ? *rolled_back
+                    : ((resume_error || report.wavelengths_untuned > 0)
+                           ? ApplyOutcome::kDegraded
+                           : ApplyOutcome::kCommitted);
+    rr.resumed_outcome = outcome;
+    jrec(ApplyEndRecord{ifa.seq, static_cast<int>(outcome), active_,
+                        expected_tuned_});
+    ++applies_completed_;
+  }
+
+  // Defensive convergence: re-program any recorded cross-connect the
+  // hardware lost. A no-op when hardware already matches the books, so a
+  // crash-free cold recovery issues zero device commands here.
+  for (Allocation& a : allocations_) {
+    try {
+      repair_connects(a, report, rr);
+    } catch (const DeviceCommandError&) {
+      // Left for the audit to report.
+    }
+  }
+  // Zombies the hardware no longer carries (their mirror recovered, or a
+  // repair displaced them) stop being tracked; their ports stay quarantined.
+  std::erase_if(zombie_connects_, [&](const Connect& z) {
+    const auto out = devices_->oss(z.site).output_for(z.in_port);
+    return !out || *out != z.out_port;
+  });
+
+  jrec(CheckpointRecord{snapshot()});
+  rr.audit = audit_report();
+  rr.adopted_circuits = static_cast<int>(active_.size()) -
+                        rr.finished_establishes - rr.reissued_establishes;
+  return rr;
 }
 
 }  // namespace iris::control

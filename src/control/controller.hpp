@@ -7,8 +7,14 @@
 // ASE channel emulation independently at each DC, then verify device state
 // against intent. No online amplifier management is ever needed (fixed gain
 // + power limiters + full-spectrum ASE).
+//
+// The controller is crash-tolerant: it can journal its intent to an
+// IntentJournal (attach_journal) and a successor constructed against the
+// same DeviceLayer rebuilds the books from checkpoint + log replay and
+// reconciles them with the live hardware (recover).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -19,6 +25,7 @@
 #include "control/commands.hpp"
 #include "control/devices.hpp"
 #include "control/faults.hpp"
+#include "control/journal.hpp"
 #include "control/port_map.hpp"
 #include "core/amp_cut.hpp"
 
@@ -102,17 +109,109 @@ struct ReconfigReport {
   }
 };
 
+/// Structured result of the controller's device-state audit: instead of a
+/// bare bool, the first divergence is pinpointed (which site/port/duct, what
+/// kind of mismatch) and every mismatch class is counted, so a failing soak
+/// or recovery names the broken invariant instead of just "false".
+struct AuditReport {
+  enum class Kind {
+    kNone,
+    kBookkeeping,      ///< active/allocation vectors out of step
+    kMissingConnect,   ///< recorded cross-connect absent on the OSS
+    kWrongConnect,     ///< input patched to a different output than recorded
+    kLeakedConnects,   ///< OSS carries connects the books do not know
+    kFiberPool,        ///< duct fiber partition does not tile the inventory
+    kAmpPool,          ///< amplifier partition broken at a site
+    kAddDropPool,      ///< add/drop partition broken at a DC
+    kTransceiverTune,  ///< tuned-transceiver count != expected at a DC
+  };
+  struct Divergence {
+    Kind kind = Kind::kNone;
+    graph::NodeId site = graph::kInvalidNode;  ///< site/DC involved, if any
+    int port = -1;                             ///< OSS port, if any
+    graph::EdgeId duct = graph::kInvalidEdge;  ///< duct, if any
+    std::string detail;
+  };
+
+  std::optional<Divergence> first;  ///< earliest divergence found, if any
+  int missing_connects = 0;
+  int wrong_connects = 0;
+  int leaked_connect_sites = 0;    ///< sites whose connect counts mismatch
+  int fiber_pool_mismatches = 0;   ///< ducts failing the exact-tiling check
+  int amp_pool_mismatches = 0;     ///< sites failing it
+  int add_drop_pool_mismatches = 0;  ///< DCs failing it
+  int transceiver_mismatches = 0;  ///< DCs with tuned != expected
+  bool bookkeeping_ok = true;
+
+  [[nodiscard]] bool clean() const noexcept { return !first.has_value(); }
+  [[nodiscard]] int total_mismatches() const noexcept {
+    return missing_connects + wrong_connects + leaked_connect_sites +
+           fiber_pool_mismatches + amp_pool_mismatches +
+           add_drop_pool_mismatches + transceiver_mismatches +
+           (bookkeeping_ok ? 0 : 1);
+  }
+  /// One line: "clean" or the first divergence plus mismatch counts.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// What recover() did to converge journaled intent with live hardware.
+struct RecoveryReport {
+  bool had_in_flight = false;     ///< the crash interrupted an apply
+  std::uint64_t resumed_seq = 0;  ///< its begin_apply sequence number
+  ApplyOutcome resumed_outcome = ApplyOutcome::kCommitted;
+  int adopted_circuits = 0;       ///< established pre-crash, taken over as-is
+  int finished_establishes = 0;   ///< half-programmed, completed in place
+  int reissued_establishes = 0;   ///< not started (or unwound), set up fresh
+  int completed_teardowns = 0;    ///< teardowns finished or rolled forward
+  int orphan_connects_adopted = 0;  ///< hardware connects owned by nobody,
+                                    ///< reclassified as zombies
+  long long connects_programmed = 0;  ///< OSS connects issued during recovery
+  long long connects_removed = 0;     ///< OSS disconnects issued
+  AuditReport audit;              ///< post-recovery device audit
+};
+
 class IrisController {
  public:
+  /// Self-contained controller: builds and owns its DeviceLayer (the
+  /// pre-crash-tolerance construction; devices die with the controller).
   IrisController(const fibermap::FiberMap& map,
                  const core::ProvisionedNetwork& network,
                  const core::AmpCutPlan& amp_cut,
                  DeviceLatencies latencies = {}, FaultConfig faults = {});
 
-  // The emulated devices hold a pointer to the controller's fault injector;
-  // moving or copying the controller would dangle it.
+  /// Controller over an externally owned DeviceLayer, which survives this
+  /// controller's destruction: the crash-tolerant deployment shape. The
+  /// layer must outlive the controller and have been built from the same
+  /// map/network/amp_cut.
+  IrisController(const fibermap::FiberMap& map,
+                 const core::ProvisionedNetwork& network,
+                 const core::AmpCutPlan& amp_cut, DeviceLayer& devices,
+                 DeviceLatencies latencies = {});
+
+  // The books reference the device layer; copying or moving the controller
+  // would alias or dangle it.
   IrisController(const IrisController&) = delete;
   IrisController& operator=(const IrisController&) = delete;
+
+  /// Attaches the write-ahead intent journal (not owned; must outlive the
+  /// controller). Immediately records a checkpoint of the current state so
+  /// replay has an anchor. Pass nullptr to detach.
+  void attach_journal(IntentJournal* journal);
+  [[nodiscard]] IntentJournal* journal() const noexcept { return journal_; }
+  /// A full-state checkpoint is appended to the journal every N committed
+  /// applies (default 16); 0 disables periodic checkpoints.
+  void set_checkpoint_interval(int applies) { checkpoint_every_ = applies; }
+
+  /// Cold-restart reconciliation. Call on a freshly constructed controller
+  /// (external-DeviceLayer form, no applies yet): rebuilds intent from the
+  /// journal's checkpoint + log replay, interrogates the live devices, and
+  /// converges the two -- surviving circuits are adopted, a half-finished
+  /// apply is rolled forward to its target, orphaned cross-connects are
+  /// reclassified as zombies, and every free pool is re-derived from the
+  /// provisioned inventory. The journal is attached (recovery itself is
+  /// journaled, so a crash during recovery is recoverable too) and a fresh
+  /// checkpoint is written at the end. audit_devices() holds on return.
+  RecoveryReport recover(IntentJournal& journal);
 
   /// Computes the circuits a traffic matrix needs: one circuit per DC pair
   /// with positive demand, ceil(wavelengths / lambda) whole fibers, routed
@@ -136,6 +235,8 @@ class IrisController {
       ReconfigStrategy strategy = ReconfigStrategy::kBreakBeforeMake);
 
   /// Marks a duct failed; the next apply_traffic_matrix reroutes around it.
+  /// Circuits already riding the duct keep their resources but carry no
+  /// traffic until replanned -- see circuits_on_failed_ducts().
   void fail_duct(graph::EdgeId duct);
   void restore_duct(graph::EdgeId duct);
 
@@ -152,8 +253,24 @@ class IrisController {
     return active_;
   }
 
-  /// Re-audits every programmed cross-connect against the devices.
-  [[nodiscard]] bool audit_devices() const;
+  /// Active circuits black-holed by a failed duct: their route crosses a
+  /// duct currently marked failed, so they carry no traffic until the next
+  /// apply reroutes them. The closed loop treats a nonzero count as an
+  /// escape-hatch replan trigger.
+  [[nodiscard]] int circuits_on_failed_ducts() const;
+
+  /// Full structured audit of every programmed cross-connect, resource
+  /// partition and DC wavelength state against the devices.
+  [[nodiscard]] AuditReport audit_report() const;
+  /// Thin wrapper: true iff audit_report() finds no divergence.
+  [[nodiscard]] bool audit_devices() const { return audit_report().clean(); }
+
+  /// Serializable full-state snapshot (the journal's checkpoint payload).
+  [[nodiscard]] ControllerCheckpoint snapshot() const;
+  /// Canonical text fingerprint of controller books + device read-back.
+  /// Two controllers with byte-equal fingerprints are indistinguishable:
+  /// crash-recovery tests compare these against a no-crash reference.
+  [[nodiscard]] std::string state_fingerprint() const;
 
   /// Operational snapshot: what an on-call engineer asks the controller.
   struct Status {
@@ -164,6 +281,7 @@ class IrisController {
     int amplifiers_in_use = 0;
     int amplifiers_total = 0;
     int failed_ducts = 0;
+    int circuits_on_failed_ducts = 0;  ///< black-holed until replanned
     bool devices_consistent = false;
 
     // Resources pulled from the free pools after repeated faults.
@@ -193,10 +311,16 @@ class IrisController {
     return trace_;
   }
 
-  /// The controller's fault source (disabled unless a FaultConfig with
-  /// non-zero rates was supplied at construction).
+  /// The device layer's fault source (disabled unless a FaultConfig with
+  /// non-zero rates or a crash schedule was supplied at construction).
   [[nodiscard]] const FaultInjector& fault_injector() const noexcept {
-    return faults_;
+    return devices_->fault_injector();
+  }
+
+  /// The hardware this controller programs.
+  [[nodiscard]] DeviceLayer& devices() noexcept { return *devices_; }
+  [[nodiscard]] const DeviceLayer& devices() const noexcept {
+    return *devices_;
   }
 
   // Device-layer introspection for tests.
@@ -213,6 +337,8 @@ class IrisController {
     graph::NodeId site;
     int in_port;
     int out_port;
+
+    friend bool operator==(const Connect&, const Connect&) = default;
   };
   /// Resources held by an active circuit.
   struct Allocation {
@@ -251,6 +377,11 @@ class IrisController {
   /// site cannot supply enough healthy units.
   std::optional<std::vector<int>> take_healthy_amp_units(
       graph::NodeId site, int count, ReconfigReport& report);
+  /// The deterministic cross-connect sequence establish() programs for a
+  /// circuit with the given resources -- also recomputed during recovery to
+  /// diff journaled intent against the OSS read-back.
+  [[nodiscard]] std::vector<Connect> planned_connects(
+      const Circuit& c, const Allocation& alloc) const;
   /// Builds and programs the allocation for a circuit. Throws
   /// DeviceCommandError on a permanently failing command and
   /// std::runtime_error on pool exhaustion; either way the caller unwinds
@@ -269,23 +400,53 @@ class IrisController {
                                            ReconfigReport& report);
   void retune_all_dcs(ReconfigReport& report);
 
+  // ---- journal plumbing ----
+  void jrec(JournalEntry entry);
+  void jrec_quarantine(int kind, int a, int b);
+  [[nodiscard]] AllocationRecord to_record(const Allocation& alloc) const;
+  [[nodiscard]] Allocation from_record(const Circuit& c,
+                                       const AllocationRecord& rec) const;
+  /// Appends a checkpoint if the interval says so.
+  void maybe_checkpoint();
+
+  // ---- recovery plumbing ----
+  /// Installs the replayed stable books (everything except free pools).
+  void install_stable(const ControllerCheckpoint& stable);
+  /// Rebuilds every free pool as the descending-sorted complement of
+  /// (allocated in books) + `pinned` + quarantined over the provisioned
+  /// inventory. The complement is byte-equal to incrementally maintained
+  /// pools because take/return keep pools canonical.
+  void derive_free_pools(
+      const std::vector<std::pair<Circuit, Allocation>>& pinned);
+  /// Programs any of the allocation's planned connects missing from the
+  /// OSS read-back, in plan order; fixes inputs patched to a wrong output.
+  /// Throws DeviceCommandError if a connect cannot be made.
+  void repair_connects(Allocation& alloc, ReconfigReport& report,
+                       RecoveryReport& rr);
+  /// Quarantines the resource owning this port if it is currently free.
+  void quarantine_port_resource(graph::NodeId site, int port);
+
   const fibermap::FiberMap& map_;
   const core::ProvisionedNetwork& network_;
   core::AmpCutPlan amp_cut_;
   DeviceLatencies latencies_;
-  FaultInjector faults_;
+
+  /// Hardware. Either owned (legacy construction) or external and
+  /// crash-surviving; all device access goes through the pointer.
+  std::unique_ptr<DeviceLayer> owned_devices_;
+  DeviceLayer* devices_ = nullptr;
+
+  IntentJournal* journal_ = nullptr;  ///< not owned; nullptr = no journaling
+  int checkpoint_every_ = 16;
+  std::uint64_t applies_completed_ = 0;
 
   std::vector<Circuit> active_;
   std::vector<Allocation> allocations_;  ///< parallel to active_
-  std::vector<SitePortMap> port_maps_;
-  std::vector<OpticalSpaceSwitch> oss_;          ///< per site
   std::vector<std::vector<int>> free_fibers_;    ///< per duct, free pair idxs
   std::vector<std::vector<int>> free_amps_;      ///< per site, free amp units
   std::map<graph::NodeId, std::vector<int>> free_add_drop_;  ///< per DC
   std::vector<int> fibers_provisioned_;
   std::vector<bool> duct_failed_;
-  std::map<graph::NodeId, ChannelEmulator> emulators_;
-  std::map<graph::NodeId, std::vector<TunableTransceiver>> transceivers_;
   std::vector<DeviceCommand> trace_;
 
   // Resources pulled from service after repeated faults. Disjoint from both

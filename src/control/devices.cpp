@@ -84,4 +84,78 @@ void ChannelEmulator::set_live_channels(std::set<int> live) {
   live_ = std::move(live);
 }
 
+DeviceLayer::DeviceLayer(const fibermap::FiberMap& map,
+                         const core::ProvisionedNetwork& network,
+                         const core::AmpCutPlan& amp_cut, FaultConfig faults)
+    : faults_(faults) {
+  const graph::Graph& g = map.graph();
+  const int lambda = network.params.channels.wavelengths_per_fiber;
+
+  port_maps_ = build_port_maps(map, network, amp_cut);
+  oss_.reserve(static_cast<std::size_t>(g.node_count()));
+  for (graph::NodeId n = 0; n < g.node_count(); ++n) {
+    oss_.emplace_back(map.site(n).name + "-oss",
+                      std::max(1, port_maps_[n].port_count()));
+  }
+  for (graph::NodeId dc : map.dcs()) {
+    emulators_.emplace(dc, ChannelEmulator(lambda));
+    auto& txs = transceivers_[dc];
+    const long long count = map.dc_capacity_wavelengths(dc, lambda);
+    txs.reserve(static_cast<std::size_t>(count));
+    for (long long t = 0; t < count; ++t) {
+      txs.emplace_back(map.site(dc).name + "-tx" + std::to_string(t), lambda);
+    }
+  }
+
+  // Wire the fault source into the emulators once every container is final
+  // (the injector pointer must not dangle on vector growth). An injector
+  // with nothing armed and zero rates short-circuits to success on every
+  // consult, so the default path stays exactly the pre-fault-injection code.
+  for (graph::NodeId n = 0; n < g.node_count(); ++n) {
+    oss_[static_cast<std::size_t>(n)].attach_fault_injector(&faults_, n);
+  }
+  for (auto& [dc, txs] : transceivers_) {
+    for (std::size_t t = 0; t < txs.size(); ++t) {
+      txs[t].attach_fault_injector(&faults_, dc, static_cast<int>(t));
+    }
+  }
+}
+
+OpticalSpaceSwitch& DeviceLayer::oss(graph::NodeId site) {
+  return oss_.at(static_cast<std::size_t>(site));
+}
+
+const OpticalSpaceSwitch& DeviceLayer::oss(graph::NodeId site) const {
+  return oss_.at(static_cast<std::size_t>(site));
+}
+
+std::vector<TunableTransceiver>& DeviceLayer::transceivers(graph::NodeId dc) {
+  return transceivers_.at(dc);
+}
+
+const std::vector<TunableTransceiver>& DeviceLayer::transceivers(
+    graph::NodeId dc) const {
+  return transceivers_.at(dc);
+}
+
+ChannelEmulator& DeviceLayer::emulator(graph::NodeId dc) {
+  return emulators_.at(dc);
+}
+
+const ChannelEmulator& DeviceLayer::emulator(graph::NodeId dc) const {
+  return emulators_.at(dc);
+}
+
+const SitePortMap& DeviceLayer::port_map(graph::NodeId site) const {
+  return port_maps_.at(static_cast<std::size_t>(site));
+}
+
+long long DeviceLayer::tuned_count(graph::NodeId dc) const {
+  long long tuned = 0;
+  for (const auto& tx : transceivers_.at(dc)) {
+    tuned += tx.wavelength().has_value();
+  }
+  return tuned;
+}
+
 }  // namespace iris::control

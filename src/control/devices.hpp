@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "control/faults.hpp"
+#include "control/port_map.hpp"
 
 namespace iris::control {
 
@@ -56,6 +57,12 @@ class OpticalSpaceSwitch {
   /// Output port the input is patched to, if any.
   [[nodiscard]] std::optional<int> output_for(int in_port) const;
   [[nodiscard]] bool output_in_use(int out_port) const;
+  /// Full cross-connect table read-back (input -> output), the state-check
+  /// API a real OSS exposes. Cold-restart reconciliation interrogates this
+  /// instead of trusting any controller's books.
+  [[nodiscard]] const std::map<int, int>& connections() const noexcept {
+    return cross_;
+  }
   [[nodiscard]] int connection_count() const {
     return static_cast<int>(cross_.size());
   }
@@ -146,6 +153,68 @@ class ChannelEmulator {
  private:
   int wavelength_count_;
   std::set<int> live_;
+};
+
+/// The region's physical hardware: one OSS per site, tunable transceivers
+/// and an ASE channel emulator per DC, the deterministic port layout, and
+/// the (optional) fault source. Owned separately from the controller so a
+/// controller crash -- the control process dying mid-apply -- leaves every
+/// device exactly as its last completed command programmed it: a successor
+/// controller attaches to the same DeviceLayer and reconciles journaled
+/// intent against hardware (IrisController::recover) instead of starting
+/// from dark fiber.
+class DeviceLayer {
+ public:
+  DeviceLayer(const fibermap::FiberMap& map,
+              const core::ProvisionedNetwork& network,
+              const core::AmpCutPlan& amp_cut, FaultConfig faults = {});
+
+  // Devices hold a pointer to the layer's fault injector; moving or copying
+  // the layer would dangle it.
+  DeviceLayer(const DeviceLayer&) = delete;
+  DeviceLayer& operator=(const DeviceLayer&) = delete;
+
+  [[nodiscard]] OpticalSpaceSwitch& oss(graph::NodeId site);
+  [[nodiscard]] const OpticalSpaceSwitch& oss(graph::NodeId site) const;
+  [[nodiscard]] std::vector<TunableTransceiver>& transceivers(graph::NodeId dc);
+  [[nodiscard]] const std::vector<TunableTransceiver>& transceivers(
+      graph::NodeId dc) const;
+  [[nodiscard]] ChannelEmulator& emulator(graph::NodeId dc);
+  [[nodiscard]] const ChannelEmulator& emulator(graph::NodeId dc) const;
+  [[nodiscard]] const SitePortMap& port_map(graph::NodeId site) const;
+  [[nodiscard]] FaultInjector& fault_injector() noexcept { return faults_; }
+  [[nodiscard]] const FaultInjector& fault_injector() const noexcept {
+    return faults_;
+  }
+
+  [[nodiscard]] int site_count() const noexcept {
+    return static_cast<int>(oss_.size());
+  }
+  [[nodiscard]] const std::map<graph::NodeId, ChannelEmulator>& emulators()
+      const noexcept {
+    return emulators_;
+  }
+  [[nodiscard]] std::map<graph::NodeId, ChannelEmulator>& emulators() noexcept {
+    return emulators_;
+  }
+  [[nodiscard]] const std::map<graph::NodeId, std::vector<TunableTransceiver>>&
+  all_transceivers() const noexcept {
+    return transceivers_;
+  }
+  [[nodiscard]] std::map<graph::NodeId, std::vector<TunableTransceiver>>&
+  all_transceivers() noexcept {
+    return transceivers_;
+  }
+
+  /// Read-back: transceivers currently tuned at `dc`.
+  [[nodiscard]] long long tuned_count(graph::NodeId dc) const;
+
+ private:
+  std::vector<SitePortMap> port_maps_;
+  std::vector<OpticalSpaceSwitch> oss_;  ///< per site
+  std::map<graph::NodeId, ChannelEmulator> emulators_;
+  std::map<graph::NodeId, std::vector<TunableTransceiver>> transceivers_;
+  FaultInjector faults_;
 };
 
 }  // namespace iris::control

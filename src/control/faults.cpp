@@ -28,7 +28,9 @@ void check_rate(double r, const char* what) {
 }  // namespace
 
 FaultInjector::FaultInjector(FaultConfig config)
-    : config_(config), enabled_(config.rates.any()) {
+    : config_(config),
+      enabled_(config.rates.any() || config.crash_after_commands > 0),
+      crash_at_(config.crash_after_commands) {
   const FaultRates& r = config.rates;
   check_rate(r.oss_connect_fail, "oss_connect_fail");
   check_rate(r.oss_disconnect_fail, "oss_disconnect_fail");
@@ -42,6 +44,25 @@ FaultInjector::FaultInjector(FaultConfig config)
       p.backoff_base_ms < 0.0 || p.backoff_factor < 1.0 ||
       p.command_timeout_ms < 0.0) {
     throw std::invalid_argument("RetryPolicy: bad parameters");
+  }
+  if (config.crash_after_commands < 0) {
+    throw std::invalid_argument(
+        "FaultConfig: crash_after_commands must be non-negative");
+  }
+}
+
+void FaultInjector::arm_crash(long long after_commands) {
+  if (after_commands < 0) {
+    throw std::invalid_argument("arm_crash: after_commands must be >= 0");
+  }
+  crash_at_ = after_commands > 0 ? commands_seen_ + after_commands : 0;
+}
+
+void FaultInjector::count_command() {
+  ++commands_seen_;
+  if (crash_at_ > 0 && commands_seen_ >= crash_at_) {
+    crash_at_ = 0;  // self-disarm: the successor must re-arm explicitly
+    throw ControllerCrash{commands_seen_ - 1};
   }
 }
 
@@ -64,6 +85,7 @@ CommandResult FaultInjector::transient(double rate, std::uint64_t stream,
 
 CommandResult FaultInjector::oss_connect(graph::NodeId site, int in_port,
                                          int out_port) {
+  count_command();
   if (!enabled_) return CommandResult::success();
   if (port_stuck(site, in_port) || port_stuck(site, out_port)) {
     return CommandResult::failed("oss connect: port stuck");
@@ -85,6 +107,7 @@ CommandResult FaultInjector::oss_connect(graph::NodeId site, int in_port,
 
 CommandResult FaultInjector::oss_disconnect(graph::NodeId site, int in_port,
                                             int out_port) {
+  count_command();
   if (!enabled_) return CommandResult::success();
   if (port_stuck(site, in_port) || port_stuck(site, out_port)) {
     return CommandResult::failed("oss disconnect: port stuck");
@@ -105,6 +128,7 @@ CommandResult FaultInjector::oss_disconnect(graph::NodeId site, int in_port,
 }
 
 CommandResult FaultInjector::tx_tune(graph::NodeId dc, int transceiver) {
+  count_command();
   if (!enabled_) return CommandResult::success();
   if (transceiver_dead(dc, transceiver)) {
     return CommandResult::failed("tx tune: transceiver dead");
@@ -121,6 +145,7 @@ CommandResult FaultInjector::tx_tune(graph::NodeId dc, int transceiver) {
 }
 
 CommandResult FaultInjector::amp_power_check(graph::NodeId site, int unit) {
+  count_command();
   if (!enabled_) return CommandResult::success();
   auto [it, inserted] = dead_amps_.try_emplace({site, unit}, false);
   if (inserted && config_.rates.amp_dead > 0.0) {

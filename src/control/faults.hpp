@@ -79,6 +79,20 @@ struct FaultConfig {
   FaultRates rates;
   RetryPolicy retry;
   std::uint64_t seed = 0;
+  /// Deterministic crash schedule: when positive, the injector throws
+  /// ControllerCrash just before the N-th device command it sees executes.
+  /// The device is left untouched, so the crash lands exactly on a command
+  /// boundary; re-arm with arm_crash() for the next one.
+  long long crash_after_commands = 0;
+};
+
+/// Thrown by the FaultInjector at a scheduled crash point. Deliberately NOT
+/// derived from std::exception: it must fly through every retry / rollback /
+/// compensation handler in the controller, exactly as a process kill would
+/// skip them, leaving devices in whatever state the last completed command
+/// produced. Only the crash-chaos harness catches it.
+struct ControllerCrash {
+  long long commands_executed = 0;  ///< commands completed before the crash
 };
 
 /// Seeded, stateful fault source shared by every emulated device of one
@@ -127,6 +141,19 @@ class FaultInjector {
     return injected_;
   }
 
+  /// Device commands that have passed through this injector (attempts, not
+  /// retries collapsed) -- the crash schedule's clock.
+  [[nodiscard]] long long commands_seen() const noexcept {
+    return commands_seen_;
+  }
+
+  /// Arms (or re-arms) the crash schedule: ControllerCrash is thrown just
+  /// before the `after_commands`-th subsequent device command executes.
+  /// 0 disarms. A firing crash disarms itself, so recovery can run commands
+  /// through the same injector without instantly dying again.
+  void arm_crash(long long after_commands);
+  [[nodiscard]] bool crash_armed() const noexcept { return crash_at_ > 0; }
+
   /// Field repair: forgets all sticky faults (tests and soak harnesses).
   void clear_sticky();
 
@@ -135,11 +162,15 @@ class FaultInjector {
   double roll(std::uint64_t stream);
   /// Rolls one transient fault; on hit, picks NACK vs timeout.
   CommandResult transient(double rate, std::uint64_t stream, const char* what);
+  /// Counts one device command and fires the crash schedule when due.
+  void count_command();
 
   FaultConfig config_;
   bool enabled_ = false;
   std::uint64_t ticks_ = 0;
   long long injected_ = 0;
+  long long commands_seen_ = 0;
+  long long crash_at_ = 0;  ///< absolute command index; 0 = disarmed
   std::set<std::pair<graph::NodeId, int>> stuck_ports_;
   std::set<std::pair<graph::NodeId, int>> dead_txs_;
   std::map<std::pair<graph::NodeId, int>, bool> dead_amps_;

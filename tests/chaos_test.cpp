@@ -141,6 +141,108 @@ SoakOutcome run_soak(int threads, std::uint64_t seed) {
   return out;
 }
 
+struct CrashSoakOutcome {
+  int crashes = 0;
+  int reconfigurations = 0;
+  int rejected = 0;
+  std::string fingerprint;  ///< counters + full controller/device state
+};
+
+/// The closed loop under BOTH fault regimes at once: the chaos fault rates
+/// AND a crash schedule that kills the controller every `crash_every`
+/// device commands. Each crash spawns a successor over the surviving
+/// DeviceLayer which recovers from the intent journal; the audit must be
+/// clean after every recovery. The fingerprint is the controller's canonical
+/// state (books + hardware read-back), so two runs compare bit-exactly
+/// across their crash-restart boundaries.
+CrashSoakOutcome run_crash_soak(std::uint64_t seed, long long crash_every) {
+  fibermap::RegionParams region;
+  region.seed = 7;
+  region.dc_count = 4;
+  region.hut_count = 8;
+  region.capacity_fibers = 8;
+  const auto map = fibermap::generate_region(region);
+  const auto net = core::provision(map, chaos_params());
+  const auto plan = core::place_amplifiers_and_cutthroughs(map, net);
+  FaultConfig cfg = chaos_faults(seed);
+  cfg.crash_after_commands = crash_every;
+  DeviceLayer devices(map, net, plan, cfg);
+  IntentJournal journal;
+  auto controller = std::make_unique<IrisController>(map, net, plan, devices);
+  controller->attach_journal(&journal);
+
+  PolicyParams pp;
+  pp.ewma_alpha = 0.5;
+  pp.hysteresis_s = 3.0;
+  pp.retry_backoff_s = 5.0;
+  ReconfigPolicy policy(pp);
+
+  CrashSoakOutcome out;
+  const double duration_s = 150.0;
+  const graph::EdgeId victim = map.graph().edge_count() / 2;
+  for (double t = 0.0; t < duration_s; t += 1.0) {
+    if (t == 50.0) controller->fail_duct(victim);
+    if (t == 100.0) controller->restore_duct(victim);
+    policy.observe(demand_at(map, t), t);
+    const auto proposal = policy.propose(t);
+    if (!proposal) continue;
+    try {
+      const auto report = controller->apply_traffic_matrix(*proposal);
+      if (report.target_reached()) {
+        policy.mark_applied(*proposal);
+        ++out.reconfigurations;
+      } else {
+        policy.defer_retry(t);
+      }
+      EXPECT_TRUE(controller->audit_devices()) << "audit failed at t=" << t;
+    } catch (const std::runtime_error&) {
+      ++out.rejected;
+    } catch (const ControllerCrash&) {
+      ++out.crashes;
+      controller.reset();
+      controller = std::make_unique<IrisController>(map, net, plan, devices);
+      const RecoveryReport rr = controller->recover(journal);
+      EXPECT_TRUE(rr.audit.clean())
+          << "post-recovery audit at t=" << t << ": " << rr.audit.summary();
+      devices.fault_injector().arm_crash(crash_every);
+      // Roll-forward completed the interrupted apply; whether the target
+      // was fully reached decides the policy bookkeeping, deterministically.
+      if (rr.resumed_outcome == ApplyOutcome::kCommitted) {
+        policy.mark_applied(*proposal);
+        ++out.reconfigurations;
+      } else {
+        policy.defer_retry(t);
+      }
+    }
+  }
+
+  std::ostringstream fp;
+  fp << out.crashes << '/' << out.reconfigurations << '/' << out.rejected
+     << '/' << controller->fault_injector().faults_injected() << '/'
+     << devices.fault_injector().commands_seen() << '\n'
+     << controller->state_fingerprint();
+  out.fingerprint = fp.str();
+  return out;
+}
+
+// S6 of the crash-tolerance PR: determinism survives the crash-restart
+// boundary. The same seed must produce bit-identical controller + device
+// state even though the run was chopped into controller lifetimes at
+// crash points, with lossy faults injected throughout.
+TEST(ChaosSoak, SameSeedIsBitIdenticalAcrossCrashRestartBoundaries) {
+  const auto a = run_crash_soak(0xBADC0DE, 149);
+  EXPECT_GT(a.crashes, 0) << "crash schedule never fired";
+  EXPECT_GT(a.reconfigurations, 0);
+
+  const auto b = run_crash_soak(0xBADC0DE, 149);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+
+  // A different seed explores a different fault+crash interleaving.
+  const auto other = run_crash_soak(0xBADC0DE + 1, 149);
+  EXPECT_NE(a.fingerprint, other.fingerprint);
+}
+
 TEST(ChaosSoak, FaultsNeverBreakDeviceInvariants) {
   const auto out = run_soak(0, 0xC0FFEE);
   EXPECT_GT(out.audits, 0);

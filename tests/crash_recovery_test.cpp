@@ -1,0 +1,456 @@
+// Crash-point chaos for the crash-tolerant control plane: a seeded crash
+// schedule kills the controller at arbitrary device-command boundaries; a
+// successor built over the same DeviceLayer recovers from the intent journal
+// and must converge to a state byte-identical to the no-crash execution of
+// the same step schedule. Also covers cold (no-in-flight) recovery being
+// zero-touch, crash-during-recovery, torn journal tails, orphaned
+// cross-connect adoption, and the structured audit report.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "control/journal.hpp"
+#include "fibermap/generator.hpp"
+
+namespace iris::control {
+namespace {
+
+using core::DcPair;
+
+core::PlannerParams recovery_params() {
+  core::PlannerParams params;
+  params.failure_tolerance = 1;
+  params.channels.wavelengths_per_fiber = 40;
+  return params;
+}
+
+struct Fixture {
+  fibermap::FiberMap map;
+  core::ProvisionedNetwork net;
+  core::AmpCutPlan plan;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    fibermap::RegionParams region;
+    region.seed = 7;
+    region.dc_count = 4;
+    region.hut_count = 8;
+    region.capacity_fibers = 8;
+    auto map = fibermap::generate_region(region);
+    auto net = core::provision(map, recovery_params());
+    auto plan = core::place_amplifiers_and_cutthroughs(map, net);
+    return Fixture{std::move(map), std::move(net), std::move(plan)};
+  }();
+  return f;
+}
+
+TrafficMatrix demand(const fibermap::FiberMap& map, int scale) {
+  TrafficMatrix tm;
+  const auto& dcs = map.dcs();
+  for (std::size_t i = 0; i + 1 < dcs.size(); ++i) {
+    tm[DcPair(dcs[i], dcs[i + 1])] =
+        40 + 20 * static_cast<long long>(i) + 40LL * scale;
+  }
+  return tm;
+}
+
+/// One step of the fixed schedule every run (reference and crashing)
+/// executes identically.
+struct Step {
+  enum class Kind { kApply, kFailDuct, kRestoreDuct };
+  Kind kind = Kind::kApply;
+  TrafficMatrix tm;
+  ReconfigStrategy strategy = ReconfigStrategy::kBreakBeforeMake;
+  graph::EdgeId duct = graph::kInvalidEdge;
+};
+
+std::vector<Step> make_schedule(const fibermap::FiberMap& map) {
+  const auto victim = static_cast<graph::EdgeId>(map.graph().edge_count() / 2);
+  std::vector<Step> steps;
+  const auto apply = [&](int scale, ReconfigStrategy s) {
+    steps.push_back({Step::Kind::kApply, demand(map, scale), s, -1});
+  };
+  apply(0, ReconfigStrategy::kBreakBeforeMake);
+  apply(1, ReconfigStrategy::kMakeBeforeBreak);
+  steps.push_back({Step::Kind::kFailDuct, {}, {}, victim});
+  apply(2, ReconfigStrategy::kBreakBeforeMake);
+  steps.push_back({Step::Kind::kRestoreDuct, {}, {}, victim});
+  apply(0, ReconfigStrategy::kMakeBeforeBreak);
+  apply(2, ReconfigStrategy::kBreakBeforeMake);
+  return steps;
+}
+
+struct RunResult {
+  std::vector<std::string> fingerprints;  ///< after every schedule step
+  int crashes = 0;
+  int recoveries_with_in_flight = 0;
+  int rejected = 0;  ///< applies the controller refused pre-device-touch
+};
+
+bool contains_circuit(const std::vector<Circuit>& circuits, const Circuit& c) {
+  return std::find(circuits.begin(), circuits.end(), c) != circuits.end();
+}
+
+/// No-crash reference: same schedule, journaled, fault-free devices.
+RunResult run_reference() {
+  const Fixture& f = fixture();
+  DeviceLayer devices(f.map, f.net, f.plan);
+  IntentJournal journal;
+  IrisController controller(f.map, f.net, f.plan, devices);
+  controller.attach_journal(&journal);
+  RunResult result;
+  for (const Step& step : make_schedule(f.map)) {
+    switch (step.kind) {
+      case Step::Kind::kApply:
+        try {
+          controller.apply_traffic_matrix(step.tm, step.strategy);
+        } catch (const std::runtime_error&) {
+          ++result.rejected;
+        }
+        break;
+      case Step::Kind::kFailDuct:
+        controller.fail_duct(step.duct);
+        break;
+      case Step::Kind::kRestoreDuct:
+        controller.restore_duct(step.duct);
+        break;
+    }
+    EXPECT_TRUE(controller.audit_devices());
+    result.fingerprints.push_back(controller.state_fingerprint());
+  }
+  return result;
+}
+
+/// Crashing run: the injector kills the controller every `k` device
+/// commands; each crash spawns a successor that recovers from the journal
+/// (round-tripped through its text form, as a reload from disk would) and
+/// the schedule continues. The crash-interrupted apply is rolled forward by
+/// recovery, so the step is complete once recover() returns.
+RunResult run_with_crashes(long long k) {
+  const Fixture& f = fixture();
+  FaultConfig cfg;
+  cfg.crash_after_commands = k;
+  DeviceLayer devices(f.map, f.net, f.plan, cfg);
+  IntentJournal journal;
+  auto controller =
+      std::make_unique<IrisController>(f.map, f.net, f.plan, devices);
+  controller->attach_journal(&journal);
+  RunResult result;
+
+  const auto recover_successor = [&]() {
+    ++result.crashes;
+    controller.reset();  // the crashed process is gone
+    // Durability round-trip: what a successor reads back from disk.
+    journal = IntentJournal::from_text(journal.to_text());
+    const auto intent = journal.replay();  // pre-recovery committed truth
+    controller =
+        std::make_unique<IrisController>(f.map, f.net, f.plan, devices);
+    const RecoveryReport rr = controller->recover(journal);
+    EXPECT_TRUE(rr.audit.clean()) << rr.audit.summary();
+    // No committed circuit may be lost. A committed roll-forward carries
+    // the whole target; a rollback restores the whole stable set; even a
+    // degraded recovery keeps every circuit that is in BOTH (those were
+    // committed before the apply and wanted after it).
+    if (intent.in_flight) {
+      if (rr.resumed_outcome == ApplyOutcome::kCommitted) {
+        for (const Circuit& c : intent.in_flight->target) {
+          EXPECT_TRUE(contains_circuit(controller->active_circuits(), c));
+        }
+      } else if (rr.resumed_outcome == ApplyOutcome::kRolledBack) {
+        EXPECT_EQ(controller->active_circuits(), intent.stable.active);
+      } else {
+        for (const Circuit& c : intent.stable.active) {
+          if (contains_circuit(intent.in_flight->target, c)) {
+            EXPECT_TRUE(contains_circuit(controller->active_circuits(), c));
+          }
+        }
+      }
+    } else {
+      EXPECT_EQ(controller->active_circuits(), intent.stable.active);
+    }
+    if (rr.had_in_flight) ++result.recoveries_with_in_flight;
+    devices.fault_injector().arm_crash(k);  // next crash, k commands out
+    return rr;
+  };
+
+  for (const Step& step : make_schedule(f.map)) {
+    bool done = false;
+    while (!done) {
+      try {
+        switch (step.kind) {
+          case Step::Kind::kApply:
+            try {
+              controller->apply_traffic_matrix(step.tm, step.strategy);
+            } catch (const std::runtime_error&) {
+              ++result.rejected;
+            }
+            break;
+          case Step::Kind::kFailDuct:
+            controller->fail_duct(step.duct);
+            break;
+          case Step::Kind::kRestoreDuct:
+            controller->restore_duct(step.duct);
+            break;
+        }
+        done = true;
+      } catch (const ControllerCrash&) {
+        const RecoveryReport rr = recover_successor();
+        // recover() resolved the interrupted apply (rolled it forward, or
+        // back when its target was infeasible): the step is complete. (A
+        // crash outside an apply cannot happen -- only applies issue
+        // device commands -- but retry defensively.)
+        done = rr.had_in_flight;
+      }
+    }
+    EXPECT_TRUE(controller->audit_devices());
+    result.fingerprints.push_back(controller->state_fingerprint());
+  }
+  return result;
+}
+
+// The tentpole acceptance: crashing at every k-th command boundary, for a
+// sweep of k, converges after every crash to a state byte-identical to the
+// no-crash execution -- same books, same hardware, zero leaked or
+// double-allocated resources (the audit inside the fingerprint's checkpoint
+// would throw on those), no committed circuit lost.
+TEST(CrashRecovery, KSweepConvergesToNoCrashExecution) {
+  const RunResult ref = run_reference();
+  ASSERT_FALSE(ref.fingerprints.empty());
+
+  int total_crashes = 0;
+  for (const long long k : {3LL, 7LL, 13LL, 29LL, 61LL}) {
+    SCOPED_TRACE("crash_after_commands=" + std::to_string(k));
+    const RunResult run = run_with_crashes(k);
+    EXPECT_GT(run.crashes, 0);
+    EXPECT_EQ(run.crashes, run.recoveries_with_in_flight);
+    EXPECT_EQ(run.rejected, ref.rejected);
+    ASSERT_EQ(run.fingerprints.size(), ref.fingerprints.size());
+    for (std::size_t i = 0; i < ref.fingerprints.size(); ++i) {
+      EXPECT_EQ(run.fingerprints[i], ref.fingerprints[i]) << "step " << i;
+    }
+    total_crashes += run.crashes;
+  }
+  EXPECT_GE(total_crashes, 5);
+}
+
+TEST(CrashRecovery, SameCrashScheduleIsDeterministic) {
+  const RunResult a = run_with_crashes(13);
+  const RunResult b = run_with_crashes(13);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.fingerprints, b.fingerprints);
+}
+
+// Recovery with no in-flight apply and matching hardware must not touch a
+// single device: adopt the books, re-derive the pools, audit, done.
+TEST(CrashRecovery, ColdRecoveryWithCleanHardwareIsZeroTouch) {
+  const Fixture& f = fixture();
+  FaultConfig cfg;
+  cfg.crash_after_commands = 1'000'000;  // enables command counting only
+  DeviceLayer devices(f.map, f.net, f.plan, cfg);
+  IntentJournal journal;
+  auto controller =
+      std::make_unique<IrisController>(f.map, f.net, f.plan, devices);
+  controller->attach_journal(&journal);
+  controller->apply_traffic_matrix(demand(f.map, 0));
+  controller->apply_traffic_matrix(demand(f.map, 1),
+                                   ReconfigStrategy::kMakeBeforeBreak);
+  const std::string fp_before = controller->state_fingerprint();
+  const auto active_before = controller->active_circuits();
+  const long long commands_before = devices.fault_injector().commands_seen();
+
+  controller.reset();
+  controller = std::make_unique<IrisController>(f.map, f.net, f.plan, devices);
+  const RecoveryReport rr = controller->recover(journal);
+
+  EXPECT_FALSE(rr.had_in_flight);
+  EXPECT_EQ(rr.adopted_circuits, static_cast<int>(active_before.size()));
+  EXPECT_EQ(rr.finished_establishes, 0);
+  EXPECT_EQ(rr.reissued_establishes, 0);
+  EXPECT_EQ(rr.connects_programmed, 0);
+  EXPECT_EQ(rr.connects_removed, 0);
+  EXPECT_EQ(rr.orphan_connects_adopted, 0);
+  EXPECT_TRUE(rr.audit.clean()) << rr.audit.summary();
+  EXPECT_EQ(devices.fault_injector().commands_seen(), commands_before);
+  EXPECT_EQ(controller->state_fingerprint(), fp_before);
+  EXPECT_EQ(controller->active_circuits(), active_before);
+  // The recovered controller keeps journaling and operating normally.
+  controller->apply_traffic_matrix(demand(f.map, 2));
+  EXPECT_TRUE(controller->audit_devices());
+}
+
+// A crash while RECOVERY itself is reprogramming devices must be just
+// another crash: the next successor picks up the journal (which now holds
+// the first recovery's partial progress) and converges.
+TEST(CrashRecovery, CrashDuringRecoveryIsRecoverable) {
+  const Fixture& f = fixture();
+  FaultConfig cfg;
+  cfg.crash_after_commands = 23;
+  DeviceLayer devices(f.map, f.net, f.plan, cfg);
+  IntentJournal journal;
+  auto controller =
+      std::make_unique<IrisController>(f.map, f.net, f.plan, devices);
+  controller->attach_journal(&journal);
+  bool crashed = false;
+  try {
+    controller->apply_traffic_matrix(demand(f.map, 0));
+  } catch (const ControllerCrash&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed) << "first apply issues well over 23 device commands";
+
+  controller.reset();
+  controller = std::make_unique<IrisController>(f.map, f.net, f.plan, devices);
+  devices.fault_injector().arm_crash(2);  // kill recovery almost immediately
+  bool recovery_crashed = false;
+  try {
+    (void)controller->recover(journal);
+  } catch (const ControllerCrash&) {
+    recovery_crashed = true;
+  }
+  ASSERT_TRUE(recovery_crashed);
+
+  controller.reset();
+  controller = std::make_unique<IrisController>(f.map, f.net, f.plan, devices);
+  const RecoveryReport rr = controller->recover(journal);
+  EXPECT_TRUE(rr.had_in_flight);
+  EXPECT_TRUE(rr.audit.clean()) << rr.audit.summary();
+  // The roll-forward reached the interrupted apply's target.
+  const auto intent_target = demand(f.map, 0);
+  EXPECT_EQ(controller->active_circuits().size(), intent_target.size());
+  controller->apply_traffic_matrix(demand(f.map, 1));
+  EXPECT_TRUE(controller->audit_devices());
+}
+
+// A torn journal tail (the crash interrupted the write of the final record)
+// loses that one intent record, never consistency: recovery still converges
+// to a clean audit and keeps operating.
+TEST(CrashRecovery, TornJournalTailStillRecoversClean) {
+  const Fixture& f = fixture();
+  FaultConfig cfg;
+  cfg.crash_after_commands = 17;
+  DeviceLayer devices(f.map, f.net, f.plan, cfg);
+  IntentJournal journal;
+  auto controller =
+      std::make_unique<IrisController>(f.map, f.net, f.plan, devices);
+  controller->attach_journal(&journal);
+  bool crashed = false;
+  try {
+    controller->apply_traffic_matrix(demand(f.map, 0));
+  } catch (const ControllerCrash&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+
+  std::string text = journal.to_text();
+  ASSERT_GT(text.size(), 60u);
+  text.resize(text.size() - 40);  // tear the tail mid-record
+  IntentJournal torn = IntentJournal::from_text(text);
+
+  controller.reset();
+  controller = std::make_unique<IrisController>(f.map, f.net, f.plan, devices);
+  const RecoveryReport rr = controller->recover(torn);
+  EXPECT_TRUE(rr.audit.clean()) << rr.audit.summary();
+  controller->apply_traffic_matrix(demand(f.map, 1));
+  EXPECT_TRUE(controller->audit_devices());
+}
+
+// A cross-connect present on an OSS that no journaled intent explains --
+// programmed by a rogue process, or intent lost to a torn tail -- is
+// reclassified as a zombie and its ports are quarantined, keeping the
+// audit's leak and partition checks clean.
+TEST(CrashRecovery, OrphanedCrossConnectIsAdoptedAsZombie) {
+  const Fixture& f = fixture();
+  DeviceLayer devices(f.map, f.net, f.plan);
+  IntentJournal journal;
+  auto controller =
+      std::make_unique<IrisController>(f.map, f.net, f.plan, devices);
+  controller->attach_journal(&journal);
+  controller->apply_traffic_matrix(demand(f.map, 0));
+
+  // Program a connect the controller never asked for, on a free add/drop
+  // pair of the first DC, directly against the hardware.
+  const graph::NodeId dc = f.map.dcs().front();
+  const auto snap = controller->snapshot();
+  const auto free_pairs = snap.free_add_drop.find(dc);
+  ASSERT_NE(free_pairs, snap.free_add_drop.end());
+  ASSERT_FALSE(free_pairs->second.empty());
+  const int pair_idx = free_pairs->second.front();
+  const SitePortMap& pm = devices.port_map(dc);
+  ASSERT_TRUE(devices.oss(dc)
+                  .connect(pm.add_port(pair_idx), pm.drop_port(pair_idx))
+                  .ok());
+  // The books now disagree with the hardware.
+  EXPECT_FALSE(controller->audit_devices());
+
+  controller.reset();
+  controller = std::make_unique<IrisController>(f.map, f.net, f.plan, devices);
+  const RecoveryReport rr = controller->recover(journal);
+  EXPECT_EQ(rr.orphan_connects_adopted, 1);
+  EXPECT_TRUE(rr.audit.clean()) << rr.audit.summary();
+  const auto status = controller->status();
+  EXPECT_EQ(status.zombie_connects, 1);
+  EXPECT_GE(status.quarantined_add_drops, 1);
+  controller->apply_traffic_matrix(demand(f.map, 1));
+  EXPECT_TRUE(controller->audit_devices());
+}
+
+// S1: the structured audit pinpoints the first divergence instead of
+// returning a bare false.
+TEST(CrashRecovery, AuditReportPinpointsDivergence) {
+  const Fixture& f = fixture();
+  DeviceLayer devices(f.map, f.net, f.plan);
+  IrisController controller(f.map, f.net, f.plan, devices);
+  controller.apply_traffic_matrix(demand(f.map, 0));
+  ASSERT_TRUE(controller.audit_report().clean());
+  EXPECT_EQ(controller.audit_report().summary(), "device audit clean");
+
+  // Rip out a programmed cross-connect behind the controller's back.
+  const graph::NodeId dc = f.map.dcs().front();
+  const auto& connections = devices.oss(dc).connections();
+  ASSERT_FALSE(connections.empty());
+  const int in_port = connections.begin()->first;
+  const int out_port = connections.begin()->second;
+  ASSERT_TRUE(devices.oss(dc).disconnect(in_port).ok());
+
+  const AuditReport report = controller.audit_report();
+  EXPECT_FALSE(report.clean());
+  ASSERT_TRUE(report.first.has_value());
+  EXPECT_EQ(report.first->kind, AuditReport::Kind::kMissingConnect);
+  EXPECT_EQ(report.first->site, dc);
+  EXPECT_EQ(report.first->port, in_port);
+  EXPECT_GE(report.missing_connects, 1);
+  EXPECT_NE(report.summary(), "device audit clean");
+  EXPECT_FALSE(controller.status().devices_consistent);
+
+  // Restore the connect: the audit is clean again (wrapper agrees).
+  ASSERT_TRUE(devices.oss(dc).connect(in_port, out_port).ok());
+  EXPECT_TRUE(controller.audit_devices());
+  EXPECT_TRUE(controller.status().devices_consistent);
+}
+
+// recover() is strictly a cold-start operation.
+TEST(CrashRecovery, RecoverRequiresVirginController) {
+  const Fixture& f = fixture();
+  DeviceLayer devices(f.map, f.net, f.plan);
+  IntentJournal journal;
+  {
+    IrisController used(f.map, f.net, f.plan, devices);
+    used.apply_traffic_matrix(demand(f.map, 0));
+    EXPECT_THROW((void)used.recover(journal), std::logic_error);
+    // Leave the device layer clean for the next sub-case.
+    used.apply_traffic_matrix(TrafficMatrix{});
+  }
+  {
+    IrisController attached(f.map, f.net, f.plan, devices);
+    attached.attach_journal(&journal);
+    EXPECT_THROW((void)attached.recover(journal), std::logic_error);
+  }
+}
+
+}  // namespace
+}  // namespace iris::control
