@@ -11,19 +11,29 @@
 // clean after every recovery -- the crash-tolerance acceptance gate.
 //
 // Usage: bench_chaos_soak [samples] [seed] [key=value...]
+//                         [--metrics[=path]] [--steady-clock]
 //   keys: oss_connect_fail oss_disconnect_fail oss_port_stuck tx_tune_fail
 //         tx_dead amp_dead timeout_fraction crash_every_cmds
-// With no arguments the soak is byte-identical to the unparameterized run.
+// Malformed or unknown arguments are rejected with exit code 2 (the atof
+// family used to turn garbage into silent zeros). With no arguments the
+// soak is byte-identical to the unparameterized run; --metrics exports the
+// obs registry (deterministic unless --steady-clock swaps in wall time).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "control/controller.hpp"
 #include "control/journal.hpp"
 #include "control/policy.hpp"
 #include "fibermap/generator.hpp"
+#include "obs/argparse.hpp"
+#include "obs/clock.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -55,14 +65,10 @@ control::FaultConfig soak_faults(std::uint64_t seed) {
   return cfg;
 }
 
-/// Applies one `key=value` fault-rate override; returns false on an
-/// unknown key or malformed argument.
-bool apply_rate_override(control::FaultRates& rates, const char* arg) {
-  const char* eq = std::strchr(arg, '=');
-  if (eq == nullptr) return false;
-  const std::string key(arg, eq - arg);
-  const double value = std::atof(eq + 1);
-  if (value < 0.0 || value > 1.0) return false;
+/// Stores one fault-rate value under its key; returns false on an
+/// unknown key (the value is validated by the caller).
+bool set_rate(control::FaultRates& rates, const std::string& key,
+              double value) {
   if (key == "oss_connect_fail") rates.oss_connect_fail = value;
   else if (key == "oss_disconnect_fail") rates.oss_disconnect_fail = value;
   else if (key == "oss_port_stuck") rates.oss_port_stuck = value;
@@ -72,6 +78,17 @@ bool apply_rate_override(control::FaultRates& rates, const char* arg) {
   else if (key == "timeout_fraction") rates.timeout_fraction = value;
   else return false;
   return true;
+}
+
+int usage_error(const char* what, const char* arg) {
+  std::fprintf(stderr, "bench_chaos_soak: %s '%s'\n", what, arg);
+  std::fprintf(stderr,
+               "usage: bench_chaos_soak [samples] [seed] [key=value...]\n"
+               "                        [--metrics[=path]] [--steady-clock]\n"
+               "  keys: oss_connect_fail oss_disconnect_fail oss_port_stuck\n"
+               "        tx_tune_fail tx_dead amp_dead timeout_fraction\n"
+               "        (rates in [0,1]) crash_every_cmds (integer >= 0)\n");
+  return 2;
 }
 
 /// Deterministic demand wobble (no RNG: the whole soak must be replayable).
@@ -96,21 +113,57 @@ control::TrafficMatrix demand_at(const fibermap::FiberMap& map, double t) {
 int main(int argc, char** argv) {
   int samples = 10000;
   std::uint64_t seed = 0x5eed;
-  if (argc > 1) samples = std::atoi(argv[1]);
-  if (argc > 2) seed = std::strtoull(argv[2], nullptr, 0);
-  auto faults = soak_faults(seed);
-  for (int i = 3; i < argc; ++i) {
-    if (std::strncmp(argv[i], "crash_every_cmds=", 17) == 0) {
-      faults.crash_after_commands = std::atoll(argv[i] + 17);
+  obs::MetricsFlag metrics;
+  bool steady_clock = false;
+  // Pass 1: flags and positionals (strictly parsed -- the old atoi/atof
+  // parsing turned garbage into silent zeros). Overrides wait until the
+  // seed is known, because soak_faults() consumes it.
+  std::vector<const char*> overrides;
+  int positionals = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (obs::parse_metrics_flag(argv[i], metrics)) continue;
+    if (std::strcmp(argv[i], "--steady-clock") == 0) {
+      steady_clock = true;
       continue;
     }
-    if (!apply_rate_override(faults.rates, argv[i])) {
-      std::fprintf(stderr,
-                   "unknown fault override '%s' (want key=value, rate in "
-                   "[0,1])\n",
-                   argv[i]);
-      return 2;
+    if (positionals == 0) {
+      const auto v = obs::parse_ll(argv[i]);
+      if (!v || *v < 0 || *v > std::numeric_limits<int>::max()) {
+        return usage_error("malformed sample count", argv[i]);
+      }
+      samples = static_cast<int>(*v);
+      ++positionals;
+    } else if (positionals == 1) {
+      const auto v = obs::parse_ull(argv[i]);
+      if (!v) return usage_error("malformed seed", argv[i]);
+      seed = *v;
+      ++positionals;
+    } else {
+      overrides.push_back(argv[i]);
     }
+  }
+  auto faults = soak_faults(seed);
+  for (const char* arg : overrides) {
+    const auto kv = obs::split_kv(arg);
+    if (!kv) return usage_error("fault override is not key=value", arg);
+    if (kv->first == "crash_every_cmds") {
+      const auto v = obs::parse_ll(kv->second);
+      if (!v || *v < 0) {
+        return usage_error("malformed crash_every_cmds value", arg);
+      }
+      faults.crash_after_commands = *v;
+      continue;
+    }
+    const auto v = obs::parse_double(kv->second);
+    if (!v || *v < 0.0 || *v > 1.0) {
+      return usage_error("fault rate not a number in [0,1]", arg);
+    }
+    if (!set_rate(faults.rates, kv->first, *v)) {
+      return usage_error("unknown fault override key", arg);
+    }
+  }
+  if (steady_clock) {
+    obs::registry().set_clock(std::make_unique<obs::SteadyClock>());
   }
 
   fibermap::RegionParams region;
@@ -246,6 +299,8 @@ int main(int argc, char** argv) {
   std::printf("%-28s %12d\n", "  transceivers", s.quarantined_transceivers);
   std::printf("%-28s %12d\n", "zombie cross-connects", s.zombie_connects);
   std::printf("%-28s %12lld\n", "device audits passed", audits - violations);
+
+  if (metrics.enabled && !obs::dump_default_registry(metrics.path)) return 2;
 
   if (violations > 0) {
     std::fprintf(stderr, "chaos soak FAILED: %d invariant violation(s)\n",

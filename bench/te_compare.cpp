@@ -13,6 +13,9 @@
 // reconfiguration -- so CI can run this as a gate.
 //
 // Usage: bench_te_compare [duration_s] [seed] [change_fraction]
+//                         [--metrics[=path]]
+// Malformed arguments exit 2 with a usage message (atof used to turn
+// garbage into a silent zero-duration run).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +23,8 @@
 
 #include "bench_util.hpp"
 #include "control/closed_loop.hpp"
+#include "obs/argparse.hpp"
+#include "obs/export.hpp"
 #include "simflow/demand_adapter.hpp"
 #include "te/engine.hpp"
 
@@ -132,13 +137,41 @@ RunStats drive(const char* name, control::IrisController& controller,
 
 }  // namespace
 
+int usage_error(const char* what, const char* arg) {
+  std::fprintf(stderr, "bench_te_compare: %s '%s'\n", what, arg);
+  std::fprintf(stderr,
+               "usage: bench_te_compare [duration_s] [seed] [change_fraction]"
+               "\n                        [--metrics[=path]]\n");
+  return 2;
+}
+
 int main(int argc, char** argv) {
   double duration_s = 600.0;
   std::uint64_t seed = 11;
   double change_fraction = 0.5;
-  if (argc > 1) duration_s = std::atof(argv[1]);
-  if (argc > 2) seed = std::strtoull(argv[2], nullptr, 0);
-  if (argc > 3) change_fraction = std::atof(argv[3]);
+  obs::MetricsFlag metrics;
+  int positionals = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (obs::parse_metrics_flag(argv[i], metrics)) continue;
+    if (positionals == 0) {
+      const auto v = obs::parse_double(argv[i]);
+      if (!v || *v <= 0.0) return usage_error("malformed duration_s", argv[i]);
+      duration_s = *v;
+    } else if (positionals == 1) {
+      const auto v = obs::parse_ull(argv[i]);
+      if (!v) return usage_error("malformed seed", argv[i]);
+      seed = *v;
+    } else if (positionals == 2) {
+      const auto v = obs::parse_double(argv[i]);
+      if (!v || *v < 0.0 || *v > 1.0) {
+        return usage_error("change_fraction not a number in [0,1]", argv[i]);
+      }
+      change_fraction = *v;
+    } else {
+      return usage_error("unexpected argument", argv[i]);
+    }
+    ++positionals;
+  }
 
   constexpr int kLambda = 40;
   const auto map = bench::make_eval_region(11, 6, 16);
@@ -236,5 +269,6 @@ int main(int argc, char** argv) {
               ok ? "PASS" : "FAIL", da_run.reconfigs, ewma.reconfigs,
               100.0 * da_run.worst_sample, 100.0 * ewma.worst_sample,
               da_run.moved_per_reconfig(), ewma.moved_per_reconfig());
+  if (metrics.enabled && !obs::dump_default_registry(metrics.path)) return 2;
   return ok ? 0 : 1;
 }

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace iris::control {
 
 ClosedLoopResult run_closed_loop(IrisController& controller, Policy& policy,
@@ -10,11 +13,68 @@ ClosedLoopResult run_closed_loop(IrisController& controller, Policy& policy,
   if (params.duration_s <= 0.0 || params.sample_interval_s <= 0.0) {
     throw std::invalid_argument("run_closed_loop: bad parameters");
   }
+  auto& reg = obs::registry();
+
+  // Registry values at loop start: the result fields are views over the
+  // registry (deltas over this run), so every increment below is mirrored
+  // into a loop.* series at the same point it lands in `result`. The local
+  // accumulation stays the source of truth for IRIS_OBS=OFF builds.
+  const bool obs_on = obs::compiled_in() && reg.enabled();
+  const long long c_samples = reg.counter("loop.samples");
+  const long long c_reconfigs = reg.counter("loop.reconfigurations");
+  const long long c_rejected = reg.counter("loop.rejected");
+  const long long c_escape = reg.counter("loop.escape_hatch_replans");
+  const long long c_oss = reg.counter("loop.oss_operations");
+  const long long c_rolled = reg.counter("loop.rolled_back");
+  const long long c_degraded = reg.counter("loop.degraded_applies");
+  const long long c_cmd_retries = reg.counter("loop.command_retries");
+  const long long c_timeouts = reg.counter("loop.commands_timed_out");
+  const long long c_circ_retries = reg.counter("loop.circuit_retries");
+  const long long c_quarantined = reg.counter("loop.resources_quarantined");
+
   ClosedLoopResult result;
   double degraded_since = -1.0;
+  const auto open_degraded = [&](double t) {
+    if (degraded_since < 0.0) degraded_since = t;
+  };
+  const auto close_degraded = [&](double t) {
+    if (degraded_since >= 0.0) {
+      result.time_degraded_s += t - degraded_since;
+      reg.add_gauge("loop.time_degraded_s", t - degraded_since);
+      degraded_since = -1.0;
+    }
+  };
+  const auto fold_report = [&](const ReconfigReport& report) {
+    result.oss_operations += report.oss_operations;
+    result.total_capacity_gap_ms += report.capacity_gap_ms();
+    result.command_retries += report.command_retries;
+    result.commands_timed_out += report.commands_timed_out;
+    result.circuit_retries += report.circuit_retries;
+    result.resources_quarantined += report.resources_quarantined;
+    reg.add("loop.oss_operations", report.oss_operations);
+    reg.add_gauge("loop.total_capacity_gap_ms", report.capacity_gap_ms());
+    reg.add("loop.command_retries", report.command_retries);
+    reg.add("loop.commands_timed_out", report.commands_timed_out);
+    reg.add("loop.circuit_retries", report.circuit_retries);
+    reg.add("loop.resources_quarantined", report.resources_quarantined);
+    if (report.outcome == ApplyOutcome::kRolledBack) {
+      ++result.rolled_back;
+      reg.add("loop.rolled_back");
+    }
+    if (report.outcome == ApplyOutcome::kDegraded) {
+      ++result.degraded_applies;
+      reg.add("loop.degraded_applies");
+    }
+  };
+
   for (double t = 0.0; t < params.duration_s; t += params.sample_interval_s) {
+    // One tick of virtual time per sample: tick spans carry the sampling
+    // interval as their (deterministic) duration.
+    const obs::Span tick("loop.tick");
+    reg.advance_virtual(params.sample_interval_s);
     policy.observe(demand(t), t);
     ++result.samples;
+    reg.add("loop.samples");
     if (params.replan_on_failed_ducts &&
         controller.circuits_on_failed_ducts() > 0) {
       // Escape hatch: active circuits are black-holed on a failed duct.
@@ -28,58 +88,89 @@ ClosedLoopResult run_closed_loop(IrisController& controller, Policy& policy,
         const auto report =
             controller.apply_traffic_matrix(reroute, params.strategy);
         ++result.escape_hatch_replans;
-        result.oss_operations += report.oss_operations;
-        result.total_capacity_gap_ms += report.capacity_gap_ms();
-        result.command_retries += report.command_retries;
-        result.commands_timed_out += report.commands_timed_out;
-        result.circuit_retries += report.circuit_retries;
-        result.resources_quarantined += report.resources_quarantined;
-        if (report.outcome == ApplyOutcome::kRolledBack) ++result.rolled_back;
-        if (report.outcome == ApplyOutcome::kDegraded) {
-          ++result.degraded_applies;
+        reg.add("loop.escape_hatch_replans");
+        fold_report(report);
+        // The forced reroute participates in degraded-time accounting like
+        // any other apply: a reroute that falls short leaves the network
+        // off-intent (the window opens if not already open, so the interval
+        // is never double-counted), and one that lands closes the window.
+        if (report.target_reached()) {
+          close_degraded(t);
+        } else {
+          open_degraded(t);
         }
       } catch (const std::runtime_error&) {
         ++result.rejected;  // e.g. no alternate route while the duct is down
+        reg.add("loop.rejected");
+        // Circuits stay black-holed: this is degraded time, not dead air.
+        open_degraded(t);
       }
       continue;  // the policy proposes again at the next sample
     }
     const auto proposal = policy.propose(t);
     if (!proposal) continue;
+    reg.add("loop.policy.proposals");
     try {
       const auto report =
           controller.apply_traffic_matrix(*proposal, params.strategy);
-      result.oss_operations += report.oss_operations;
-      result.total_capacity_gap_ms += report.capacity_gap_ms();
-      result.command_retries += report.command_retries;
-      result.commands_timed_out += report.commands_timed_out;
-      result.circuit_retries += report.circuit_retries;
-      result.resources_quarantined += report.resources_quarantined;
-      if (report.outcome == ApplyOutcome::kRolledBack) ++result.rolled_back;
-      if (report.outcome == ApplyOutcome::kDegraded) ++result.degraded_applies;
+      fold_report(report);
       if (report.target_reached()) {
         policy.mark_applied(*proposal);
         ++result.reconfigurations;
+        reg.add("loop.reconfigurations");
         result.last_apply_s = t;
-        if (degraded_since >= 0.0) {
-          result.time_degraded_s += t - degraded_since;
-          degraded_since = -1.0;
-        }
+        close_degraded(t);
       } else {
         // Rolled back (or worse): the network still carries the old circuit
         // set. Leave the proposal unmarked so the policy re-proposes once
         // its retry backoff expires.
         policy.defer_retry(t);
-        if (degraded_since < 0.0) degraded_since = t;
+        reg.add("loop.policy.deferred");
+        open_degraded(t);
       }
     } catch (const std::runtime_error&) {
       ++result.rejected;  // keep observing; the demand may become feasible
+      reg.add("loop.rejected");
     }
   }
   if (degraded_since >= 0.0) {
     result.time_degraded_s += params.duration_s - degraded_since;
+    reg.add_gauge("loop.time_degraded_s", params.duration_s - degraded_since);
   }
   result.diverging_pairs_end = policy.diverging_pairs(params.duration_s);
   result.proposals_suppressed = policy.proposals_suppressed();
+  reg.set_gauge("loop.diverging_pairs_end", result.diverging_pairs_end);
+  reg.set_gauge("loop.proposals_suppressed",
+                static_cast<double>(result.proposals_suppressed));
+  reg.set_gauge("loop.last_apply_s", result.last_apply_s);
+
+  if (obs_on) {
+    // The registry mirrored every increment above, so these deltas are the
+    // locally accumulated values by construction -- the overwrite proves the
+    // "views over the registry" contract rather than changing any number.
+    result.samples = static_cast<int>(reg.counter("loop.samples") - c_samples);
+    result.reconfigurations =
+        static_cast<int>(reg.counter("loop.reconfigurations") - c_reconfigs);
+    result.rejected = static_cast<int>(reg.counter("loop.rejected") - c_rejected);
+    result.escape_hatch_replans =
+        static_cast<int>(reg.counter("loop.escape_hatch_replans") - c_escape);
+    result.oss_operations = reg.counter("loop.oss_operations") - c_oss;
+    result.rolled_back =
+        static_cast<int>(reg.counter("loop.rolled_back") - c_rolled);
+    result.degraded_applies =
+        static_cast<int>(reg.counter("loop.degraded_applies") - c_degraded);
+    result.command_retries = reg.counter("loop.command_retries") - c_cmd_retries;
+    result.commands_timed_out =
+        reg.counter("loop.commands_timed_out") - c_timeouts;
+    result.circuit_retries =
+        reg.counter("loop.circuit_retries") - c_circ_retries;
+    result.resources_quarantined =
+        reg.counter("loop.resources_quarantined") - c_quarantined;
+    // The double-valued fields (total_capacity_gap_ms, time_degraded_s) keep
+    // their local sums: a registry delta of doubles is only bit-exact from a
+    // freshly reset registry, and the mirrored add_gauge stream already
+    // carries the identical values.
+  }
   return result;
 }
 

@@ -55,6 +55,10 @@ struct ClosedLoopResult {
   long long resources_quarantined = 0;
   /// Time during which the network carried something other than the last
   /// proposed target (from a failed apply until the next successful one).
+  /// Escape-hatch reroutes participate: a reroute that falls short (or is
+  /// rejected outright) opens the window, one that lands closes it, and an
+  /// already-open window is never re-opened -- each degraded interval is
+  /// counted exactly once. Mirrored into the `loop.time_degraded_s` gauge.
   double time_degraded_s = 0.0;
 
   // Policy observability (filled from the Policy interface at loop end).

@@ -6,6 +6,8 @@
 
 #include "core/path_physics.hpp"
 #include "graph/shortest_path.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace iris::control {
 
@@ -64,6 +66,34 @@ bool tiles_exactly(int total, const std::vector<int>& free_items,
   };
   if (!mark(free_items) || !mark(quarantined) || !mark(allocated)) return false;
   return std::all_of(seen.begin(), seen.end(), [](char c) { return c != 0; });
+}
+
+/// Folds one finished (or refused) reconfiguration's accounting into the
+/// default registry. Called at the transaction exits rather than per site so
+/// the registry and the report can never drift apart.
+void fold_apply_metrics(const ReconfigReport& r, std::string_view outcome) {
+  auto& reg = obs::registry();
+  reg.add(obs::key("controller.applies.total", {{"outcome", outcome}}));
+  reg.add("controller.oss.operations", r.oss_operations);
+  reg.add("controller.command.retries", r.command_retries);
+  reg.add("controller.commands.timed_out", r.commands_timed_out);
+  reg.add("controller.circuit.retries", r.circuit_retries);
+  reg.add("controller.quarantines.total", r.resources_quarantined);
+  reg.add("controller.transceivers.retuned", r.transceivers_retuned);
+  reg.add("controller.wavelengths.untuned", r.wavelengths_untuned);
+  reg.add_gauge("controller.fault_delay_ms.total", r.fault_delay_ms);
+}
+
+std::string_view outcome_name(ApplyOutcome o) {
+  switch (o) {
+    case ApplyOutcome::kCommitted:
+      return "committed";
+    case ApplyOutcome::kRolledBack:
+      return "rolled_back";
+    case ApplyOutcome::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -135,11 +165,15 @@ IrisController::IrisController(const fibermap::FiberMap& map,
 // ---- journal plumbing ------------------------------------------------------
 
 void IrisController::jrec(JournalEntry entry) {
-  if (journal_ != nullptr) journal_->append(std::move(entry));
+  if (journal_ == nullptr) return;
+  journal_->append(std::move(entry));
+  obs::registry().add("controller.journal.records");
 }
 
 void IrisController::jrec_quarantine(int kind, int a, int b) {
-  if (journal_ != nullptr) journal_->append(QuarantineRecord{kind, a, b});
+  if (journal_ == nullptr) return;
+  journal_->append(QuarantineRecord{kind, a, b});
+  obs::registry().add("controller.journal.records");
 }
 
 AllocationRecord IrisController::to_record(const Allocation& alloc) const {
@@ -166,13 +200,13 @@ IrisController::Allocation IrisController::from_record(
 
 void IrisController::attach_journal(IntentJournal* journal) {
   journal_ = journal;
-  if (journal_ != nullptr) journal_->append(CheckpointRecord{snapshot()});
+  if (journal_ != nullptr) jrec(CheckpointRecord{snapshot()});
 }
 
 void IrisController::maybe_checkpoint() {
   if (journal_ != nullptr && checkpoint_every_ > 0 &&
       applies_completed_ % static_cast<std::uint64_t>(checkpoint_every_) == 0) {
-    journal_->append(CheckpointRecord{snapshot()});
+    jrec(CheckpointRecord{snapshot()});
   }
 }
 
@@ -220,6 +254,9 @@ std::vector<Circuit> IrisController::circuits_for(const TrafficMatrix& tm) const
 
 CommandResult IrisController::run_with_retry(
     ReconfigReport& report, const std::function<CommandResult()>& attempt) {
+  auto& reg = obs::registry();
+  reg.add("controller.commands.total");
+  reg.add("controller.commands.attempts");
   const FaultInjector& faults = devices_->fault_injector();
   CommandResult r = attempt();
   if (r.ok() || !faults.enabled()) return r;
@@ -232,7 +269,9 @@ CommandResult IrisController::run_with_retry(
     }
     ++report.command_retries;
     report.fault_delay_ms += backoff;
+    reg.add_gauge("controller.commands.backoff_ms", backoff);
     backoff *= rp.backoff_factor;
+    reg.add("controller.commands.attempts");
     r = attempt();
     if (r.ok()) return r;
   }
@@ -351,6 +390,7 @@ std::vector<IrisController::Connect> IrisController::planned_connects(
 
 void IrisController::establish(const Circuit& c, Allocation& alloc,
                                ReconfigReport& report) {
+  const obs::Span span("establish");
   const graph::Graph& g = map_.graph();
   const auto& spec = network_.params.spec;
 
@@ -410,6 +450,7 @@ void IrisController::establish(const Circuit& c, Allocation& alloc,
 void IrisController::unwind_allocation(const Circuit& c, Allocation& alloc,
                                        ReconfigReport& report,
                                        std::set<ResKey> culprits) {
+  const obs::Span span("teardown");
   jrec(TeardownBeginRecord{c});
   // Tear down the programmed cross-connects, newest first. A disconnect a
   // stuck mirror refuses after all retries leaves a zombie cross-connect:
@@ -424,6 +465,7 @@ void IrisController::unwind_allocation(const Circuit& c, Allocation& alloc,
       ++report.oss_operations;
     } else {
       zombie_connects_.push_back(*it);
+      obs::registry().add("controller.zombies.total");
       jrec(ZombieRecord{ZombieConnect{it->site, it->in_port, it->out_port}});
       culprits.insert(res_for_port(it->site, it->in_port));
       culprits.insert(res_for_port(it->site, it->out_port));
@@ -493,6 +535,7 @@ std::optional<std::string> IrisController::try_establish(
 }
 
 void IrisController::retune_all_dcs(ReconfigReport& report) {
+  const obs::Span span("retune");
   const int lambda = network_.params.channels.wavelengths_per_fiber;
   std::map<NodeId, long long> next_tx;
   for (auto& [dc, txs] : devices_->all_transceivers()) {
@@ -549,6 +592,7 @@ void IrisController::retune_all_dcs(ReconfigReport& report) {
 
 ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
                                                    ReconfigStrategy strategy) {
+  const obs::Span apply_span("controller.apply");
   // Hose-capacity admission check (OC2) before touching any device. The
   // usable transceiver count shrinks as units are quarantined.
   std::map<NodeId, long long> per_dc;
@@ -711,6 +755,7 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
     jrec(ApplyEndRecord{seq, static_cast<int>(ApplyOutcome::kRolledBack),
                         active_, expected_tuned_});
     ++applies_completed_;
+    fold_apply_metrics(report, "refused");
     throw std::runtime_error(error);
   };
 
@@ -868,6 +913,7 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
                       expected_tuned_});
   ++applies_completed_;
   maybe_checkpoint();
+  fold_apply_metrics(report, outcome_name(report.outcome));
   return report;
 }
 
@@ -1392,6 +1438,7 @@ void IrisController::quarantine_port_resource(NodeId site, int port) {
 }
 
 RecoveryReport IrisController::recover(IntentJournal& journal) {
+  const obs::Span span("controller.recover");
   if (journal_ != nullptr || applies_completed_ != 0 || !active_.empty()) {
     throw std::logic_error(
         "recover: requires a freshly constructed controller");
@@ -1504,6 +1551,7 @@ RecoveryReport IrisController::recover(IntentJournal& journal) {
       for (const auto& [in, out] : devices_->oss(n).connections()) {
         if (expected.contains({n, in, out})) continue;
         zombie_connects_.push_back(Connect{n, in, out});
+        obs::registry().add("controller.zombies.total");
         jrec(ZombieRecord{ZombieConnect{n, in, out}});
         quarantine_port_resource(n, in);
         quarantine_port_resource(n, out);
@@ -1763,6 +1811,14 @@ RecoveryReport IrisController::recover(IntentJournal& journal) {
   rr.audit = audit_report();
   rr.adopted_circuits = static_cast<int>(active_.size()) -
                         rr.finished_establishes - rr.reissued_establishes;
+
+  auto& reg = obs::registry();
+  reg.add("controller.recoveries.total");
+  reg.add("controller.recover.orphans_adopted", rr.orphan_connects_adopted);
+  reg.add("controller.recover.finished_establishes", rr.finished_establishes);
+  reg.add("controller.recover.reissued_establishes", rr.reissued_establishes);
+  reg.add("controller.recover.completed_teardowns", rr.completed_teardowns);
+  fold_apply_metrics(report, "recovered");
   return rr;
 }
 

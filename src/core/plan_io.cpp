@@ -1,5 +1,6 @@
 #include "core/plan_io.hpp"
 
+#include <cctype>
 #include <limits>
 #include <ostream>
 #include <sstream>
@@ -25,8 +26,9 @@ EdgeId find_duct(const graph::Graph& g, NodeId u, NodeId v) {
     }
   }
   if (best == graph::kInvalidEdge) {
-    throw std::runtime_error("plan_io: no duct between sites " +
-                             std::to_string(u) + " and " + std::to_string(v));
+    // No location context here: load_plan wraps this with line:col.
+    throw std::runtime_error("no duct between sites " + std::to_string(u) +
+                             " and " + std::to_string(v));
   }
   return best;
 }
@@ -34,7 +36,7 @@ EdgeId find_duct(const graph::Graph& g, NodeId u, NodeId v) {
 graph::Path path_from_nodes(const graph::Graph& g,
                             const std::vector<NodeId>& nodes) {
   if (nodes.size() < 2) {
-    throw std::runtime_error("plan_io: path needs at least two nodes");
+    throw std::runtime_error("path needs at least two nodes");
   }
   graph::Path path;
   path.nodes = nodes;
@@ -88,13 +90,36 @@ LoadedPlan load_plan(const fibermap::FiberMap& map, std::istream& is) {
   std::string line;
   int line_no = 0;
   bool saw_params = false;
-  auto fail = [&](const std::string& why) {
-    throw std::runtime_error("plan_io: line " + std::to_string(line_no) + ": " +
-                             why);
-  };
   while (std::getline(is, line)) {
     ++line_no;
     std::istringstream ls(line);
+
+    // Every parse error carries line:col plus the token at the failure
+    // point. The column is wherever extraction stopped (1-based); a line
+    // that failed at its end reports col just past the last character.
+    const auto fail_at = [&](std::size_t col0, const std::string& why) {
+      std::size_t i = std::min(col0, line.size());
+      while (i < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+      }
+      std::size_t j = i;
+      while (j < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[j]))) {
+        ++j;
+      }
+      std::string msg = "plan_io: line " + std::to_string(line_no) + ":" +
+                        std::to_string(i + 1) + ": " + why;
+      msg += i < line.size() ? " (near '" + line.substr(i, j - i) + "')"
+                             : " (at end of line)";
+      throw std::runtime_error(msg);
+    };
+    const auto fail = [&](const std::string& why) {
+      ls.clear();
+      const auto pos = ls.tellg();
+      fail_at(pos < 0 ? line.size() : static_cast<std::size_t>(pos), why);
+    };
+
     std::string kind;
     if (!(ls >> kind) || kind[0] == '#') continue;
     if (kind == "params") {
@@ -115,12 +140,21 @@ LoadedPlan load_plan(const fibermap::FiberMap& map, std::istream& is) {
       if (!(ls >> a >> b)) fail("malformed path");
       std::vector<NodeId> nodes;
       NodeId n = 0;
+      auto before = ls.tellg();  // points at the offending token, not past it
       while (ls >> n) {
-        if (n < 0 || n >= g.node_count()) fail("path node out of range");
+        if (n < 0 || n >= g.node_count()) {
+          fail_at(before < 0 ? line.size() : static_cast<std::size_t>(before),
+                  "path node out of range");
+        }
         nodes.push_back(n);
+        before = ls.tellg();
       }
-      out.network.baseline_paths.emplace(DcPair(a, b),
-                                         path_from_nodes(g, nodes));
+      try {
+        out.network.baseline_paths.emplace(DcPair(a, b),
+                                           path_from_nodes(g, nodes));
+      } catch (const std::runtime_error& e) {
+        fail(e.what());
+      }
     } else if (kind == "amps") {
       NodeId n = 0;
       int count = 0;
@@ -133,9 +167,13 @@ LoadedPlan load_plan(const fibermap::FiberMap& map, std::istream& is) {
       std::vector<NodeId> nodes;
       NodeId n = 0;
       while (ls >> n) nodes.push_back(n);
-      const graph::Path path = path_from_nodes(g, nodes);
-      out.amp_cut.cut_throughs.push_back(
-          CutThrough{path.nodes, path.edges, fibers});
+      try {
+        const graph::Path path = path_from_nodes(g, nodes);
+        out.amp_cut.cut_throughs.push_back(
+            CutThrough{path.nodes, path.edges, fibers});
+      } catch (const std::runtime_error& e) {
+        fail(e.what());
+      }
     } else if (kind == "stats") {
       if (!(ls >> out.network.scenarios_evaluated >>
             out.network.pair_paths_skipped_unreachable >>
@@ -143,7 +181,7 @@ LoadedPlan load_plan(const fibermap::FiberMap& map, std::istream& is) {
         fail("malformed stats");
       }
     } else {
-      fail("unknown record kind '" + kind + "'");
+      fail_at(0, "unknown record kind '" + kind + "'");
     }
   }
   if (!saw_params) {

@@ -1,6 +1,8 @@
 #include "core/plan_region.hpp"
 
 #include "core/path_physics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace iris::core {
 
@@ -28,6 +30,7 @@ RegionalPlan plan_region(const fibermap::FiberMap& map,
 ValidationReport validate_plan(const fibermap::FiberMap& map,
                                const ProvisionedNetwork& net,
                                const AmpCutPlan& plan) {
+  const obs::Span span("planner.validate");
   const graph::Graph& g = map.graph();
   const optical::OpticalSpec& spec = net.params.spec;
   const auto& dcs = map.dcs();
@@ -77,6 +80,13 @@ ValidationReport validate_plan(const fibermap::FiberMap& map,
     report.pairs_disconnected += w.report.pairs_disconnected;
     report.paths_beyond_sla += w.report.paths_beyond_sla;
   }
+
+  auto& reg = obs::registry();
+  reg.add("planner.validate.calls");
+  reg.add("planner.validate.paths_checked", report.paths_checked);
+  reg.add("planner.validate.infeasible_paths", report.infeasible_paths);
+  reg.add("planner.validate.pairs_disconnected", report.pairs_disconnected);
+  reg.add("planner.validate.paths_beyond_sla", report.paths_beyond_sla);
   return report;
 }
 

@@ -5,6 +5,8 @@
 #include <functional>
 
 #include "graph/hose.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace iris::core {
 
@@ -92,6 +94,7 @@ ProvisionedNetwork provision(const fibermap::FiberMap& map,
   if (params.oversubscription < 1.0) {
     throw std::invalid_argument("provision: oversubscription must be >= 1");
   }
+  const obs::Span span("planner.provision");
   const graph::Graph& g = map.graph();
   const auto& dcs = map.dcs();
   const int lambda = params.channels.wavelengths_per_fiber;
@@ -188,6 +191,15 @@ ProvisionedNetwork provision(const fibermap::FiberMap& map,
     out.base_fibers[e] = static_cast<int>(
         (out.edge_capacity_wavelengths[e] + lambda - 1) / lambda);
   }
+
+  // Merged per-worker sums only -- never per-worker series, which would
+  // vary with thread count.
+  auto& reg = obs::registry();
+  reg.add("planner.provision.calls");
+  reg.add("planner.provision.scenarios", out.scenarios_evaluated);
+  reg.add("planner.provision.pairs_unreachable",
+          out.pair_paths_skipped_unreachable);
+  reg.add("planner.provision.pairs_beyond_sla", out.pair_paths_beyond_sla);
   return out;
 }
 

@@ -6,9 +6,31 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace iris::graph {
 
 namespace {
+
+/// Folds one finished sweep into the default registry. Scenario counts are
+/// accumulated in per-worker longs and summed in worker order before this
+/// single call, and `tasks` uses the same prefix-partition formula in the
+/// serial and parallel paths, so the exported series are byte-identical
+/// across thread counts.
+void record_sweep(long long scenarios, long long tasks) {
+  auto& reg = obs::registry();
+  reg.add("sweep.runs.total");
+  reg.add("sweep.scenarios.total", scenarios);
+  reg.add("sweep.tasks.total", tasks);
+}
+
+/// First-failed-edge prefix groups a sweep deals out: the no-failure
+/// scenario plus one subtree per eligible edge (collapsing to a single task
+/// when there is nothing to fail).
+long long sweep_task_count(std::size_t eligible, int tolerance) {
+  if (tolerance == 0 || eligible == 0) return 1;
+  return static_cast<long long>(eligible) + 1;
+}
 
 /// Emits every size-`remaining` extension of `current` drawn from
 /// eligible[first..): each subset of the requested size exactly once.
@@ -82,7 +104,13 @@ void ScenarioSet::for_each(const ScenarioVisitor& visit) const {
   EdgeMask mask = base_mask_;
   std::vector<EdgeId> current;
   current.reserve(static_cast<std::size_t>(tolerance_));
-  sweep_rec(eligible_, tolerance_, 0, mask, current, visit);
+  long long visited = 0;
+  sweep_rec(eligible_, tolerance_, 0, mask, current,
+            [&](const EdgeMask& m, std::span<const EdgeId> failed) {
+              ++visited;
+              visit(m, failed);
+            });
+  record_sweep(visited, sweep_task_count(eligible_.size(), tolerance_));
 }
 
 void ScenarioSet::for_each_parallel(
@@ -107,22 +135,33 @@ void ScenarioSet::for_each_parallel(
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
+  // Per-worker scenario tallies: plain longs touched by one thread each,
+  // summed in fixed worker order after the join so the registry sees one
+  // deterministic fold regardless of how tasks were dealt.
+  std::vector<long long> visited(static_cast<std::size_t>(n), 0);
+
   const auto worker_loop = [&](int w) {
     try {
       const ScenarioVisitor& visit = visitors[static_cast<std::size_t>(w)];
+      long long& my_visited = visited[static_cast<std::size_t>(w)];
+      const ScenarioVisitor counted =
+          [&](const EdgeMask& m, std::span<const EdgeId> failed) {
+            ++my_visited;
+            visit(m, failed);
+          };
       EdgeMask mask = base_mask_;
       std::vector<EdgeId> current;
       current.reserve(static_cast<std::size_t>(tolerance_));
       for (std::size_t task = next_task.fetch_add(1); task < task_count;
            task = next_task.fetch_add(1)) {
         if (task == 0) {
-          visit(mask, current);
+          counted(mask, current);
           continue;
         }
         const std::size_t i = task - 1;
         mask.fail(eligible_[i]);
         current.push_back(eligible_[i]);
-        sweep_rec(eligible_, tolerance_ - 1, i + 1, mask, current, visit);
+        sweep_rec(eligible_, tolerance_ - 1, i + 1, mask, current, counted);
         current.pop_back();
         mask.restore(eligible_[i]);
       }
@@ -138,6 +177,10 @@ void ScenarioSet::for_each_parallel(
   worker_loop(0);
   for (std::thread& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
+
+  long long total = 0;
+  for (long long v : visited) total += v;
+  record_sweep(total, sweep_task_count(eligible_.size(), tolerance_));
 }
 
 int resolve_thread_count(int requested) {

@@ -1,0 +1,84 @@
+#include "obs/argparse.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace iris::obs {
+
+namespace {
+
+/// strtod/strtoll want a NUL-terminated buffer; argv tokens are short, so
+/// one copy is fine.
+bool full_consume(const std::string& buf, const char* end) {
+  return end == buf.c_str() + buf.size();
+}
+
+bool has_leading_space(std::string_view s) {
+  return !s.empty() && std::isspace(static_cast<unsigned char>(s.front()));
+}
+
+}  // namespace
+
+std::optional<double> parse_double(std::string_view s) {
+  if (s.empty() || has_leading_space(s)) return std::nullopt;
+  const std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || !full_consume(buf, end) || !std::isfinite(v)) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<long long> parse_ll(std::string_view s) {
+  if (s.empty() || has_leading_space(s)) return std::nullopt;
+  const std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || !full_consume(buf, end)) return std::nullopt;
+  return v;
+}
+
+std::optional<unsigned long long> parse_ull(std::string_view s) {
+  if (s.empty() || has_leading_space(s) || s.front() == '-') {
+    return std::nullopt;
+  }
+  const std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  // Base 0: seeds are conventionally hex (0x5eed), and the benches always
+  // accepted that spelling.
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 0);
+  if (errno != 0 || !full_consume(buf, end)) return std::nullopt;
+  return v;
+}
+
+std::optional<std::pair<std::string, std::string>> split_kv(
+    std::string_view arg) {
+  const auto eq = arg.find('=');
+  if (eq == std::string_view::npos || eq == 0) return std::nullopt;
+  return std::make_pair(std::string(arg.substr(0, eq)),
+                        std::string(arg.substr(eq + 1)));
+}
+
+bool parse_metrics_flag(std::string_view arg, MetricsFlag& out) {
+  constexpr std::string_view kFlag = "--metrics";
+  if (arg == kFlag) {
+    out.enabled = true;
+    out.path.clear();
+    return true;
+  }
+  if (arg.size() > kFlag.size() && arg.substr(0, kFlag.size()) == kFlag &&
+      arg[kFlag.size()] == '=') {
+    out.enabled = true;
+    out.path = std::string(arg.substr(kFlag.size() + 1));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace iris::obs

@@ -1,0 +1,44 @@
+// Strict command-line value parsing shared by the benches (and exercised
+// directly by tests, which do not link bench translation units).
+//
+// The std::atof/atoi family silently turns garbage into 0, which let
+// `oss_connect_fail=abc` masquerade as a valid probability and
+// `crash_every_cmds=xyz` silently disable crash injection. These helpers
+// accept a value only when the whole token parses.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace iris::obs {
+
+/// Parses `s` as a double. The entire string must be consumed (leading
+/// whitespace, trailing junk, and empty input all fail); inf/nan are
+/// rejected too -- no bench flag wants them.
+[[nodiscard]] std::optional<double> parse_double(std::string_view s);
+
+/// Parses `s` as a base-10 long long; whole-string, no trailing junk.
+[[nodiscard]] std::optional<long long> parse_ll(std::string_view s);
+
+/// Parses `s` as an unsigned long long; rejects a leading '-'. Base is
+/// auto-detected (0x prefix = hex) because seeds are conventionally hex.
+[[nodiscard]] std::optional<unsigned long long> parse_ull(std::string_view s);
+
+/// Splits `key=value` at the first '='. Returns nullopt when there is no
+/// '=' or the key is empty ("=3" is not a key=value argument).
+[[nodiscard]] std::optional<std::pair<std::string, std::string>> split_kv(
+    std::string_view arg);
+
+/// Result of scanning argv for the shared `--metrics[=path]` flag.
+struct MetricsFlag {
+  bool enabled = false;
+  std::string path;  ///< empty = stdout
+};
+
+/// Recognizes `--metrics` and `--metrics=<path>` (bare flag and empty path
+/// both mean stdout). Returns true and fills `out` when `arg` is the
+/// metrics flag, false when it is some other argument.
+bool parse_metrics_flag(std::string_view arg, MetricsFlag& out);
+
+}  // namespace iris::obs

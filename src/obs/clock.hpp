@@ -1,0 +1,58 @@
+// Injectable time source for the observability layer (src/obs).
+//
+// Everything in src/obs measures durations through a Clock so the whole
+// subsystem stays deterministic by default: a MetricsRegistry is born with a
+// VirtualClock that only moves when simulation code advances it, which makes
+// span durations (and therefore every exporter byte) a pure function of the
+// workload -- bit-identity test suites keep passing with observability on.
+// Benches that want wall-clock latencies opt in to SteadyClock explicitly.
+#pragma once
+
+#include <chrono>
+
+namespace iris::obs {
+
+/// Monotonic time source, in seconds. Implementations must be monotonic
+/// (now_s() never decreases) but need not tick on their own.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual double now_s() const = 0;
+  /// True when time only moves via advance()/set() -- the deterministic
+  /// default. Registries refuse virtual-time advancement on real clocks.
+  [[nodiscard]] virtual bool is_virtual() const noexcept { return false; }
+};
+
+/// Simulated time: starts at zero, moves only when told to. The default for
+/// every registry, so span durations are deterministic (zero unless the
+/// harness advances simulated time, e.g. one tick per closed-loop sample).
+class VirtualClock final : public Clock {
+ public:
+  [[nodiscard]] double now_s() const override { return now_s_; }
+  [[nodiscard]] bool is_virtual() const noexcept override { return true; }
+  void advance(double dt_s) {
+    if (dt_s > 0.0) now_s_ += dt_s;
+  }
+  void set(double t_s) {
+    if (t_s > now_s_) now_s_ = t_s;
+  }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+/// Wall time from std::chrono::steady_clock, relative to construction.
+/// Opt-in for benches; never the default (spans would break bit-identity).
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock() : epoch_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double now_s() const override {
+    const auto dt = std::chrono::steady_clock::now() - epoch_;
+    return std::chrono::duration<double>(dt).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace iris::obs

@@ -1,0 +1,128 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+
+namespace iris::obs {
+
+namespace {
+
+/// Fixed numeric rendering: %g via snprintf is locale-independent and a
+/// pure function of the value at a fixed precision, which is all the
+/// byte-stability contract needs (exported doubles are sums of exactly
+/// representable steps, not free-form floats).
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+void text_body(const MetricsRegistry& reg, std::ostream& os) {
+  os << "# iris-obs v1\n";
+  for (const auto& [name, value] : reg.counters()) {
+    os << "counter " << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : reg.gauges()) {
+    os << "gauge " << name << ' ' << fmt_double(value) << '\n';
+  }
+  for (const auto& [name, h] : reg.histograms()) {
+    os << "hist " << name << " count " << h.count << " sum "
+       << fmt_double(h.sum);
+    for (std::size_t b = 0; b < h.edges.size(); ++b) {
+      os << " le " << fmt_double(h.edges[b]) << ' ' << h.buckets[b];
+    }
+    os << " inf " << (h.buckets.empty() ? 0 : h.buckets.back());
+    os << '\n';
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void export_text(const MetricsRegistry& reg, std::ostream& os) {
+  text_body(reg, os);
+}
+
+std::string export_text(const MetricsRegistry& reg) {
+  std::ostringstream os;
+  text_body(reg, os);
+  return os.str();
+}
+
+void export_json(const MetricsRegistry& reg, std::ostream& os) {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : reg.counters()) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : reg.gauges()) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << fmt_double(value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : reg.histograms()) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":{\"count\":" << h.count
+       << ",\"sum\":" << fmt_double(h.sum) << ",\"edges\":[";
+    for (std::size_t b = 0; b < h.edges.size(); ++b) {
+      if (b > 0) os << ',';
+      os << fmt_double(h.edges[b]);
+    }
+    os << "],\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) os << ',';
+      os << h.buckets[b];
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+std::string export_json(const MetricsRegistry& reg) {
+  std::ostringstream os;
+  export_json(reg, os);
+  return os.str();
+}
+
+bool dump_default_registry(const std::string& path) {
+  if (path.empty() || path == "-") {
+    export_text(registry(), std::cout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "obs: cannot open metrics path '" << path << "'\n";
+    return false;
+  }
+  export_text(registry(), out);
+  return true;
+}
+
+}  // namespace iris::obs

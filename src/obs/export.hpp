@@ -1,0 +1,33 @@
+// Metrics exporters: stable-ordered text and JSON renderings of a
+// MetricsRegistry snapshot.
+//
+// Both formats iterate sorted maps and format numbers with fixed rules, so
+// the same registry contents always produce the same bytes -- the property
+// the determinism suites (and the `--metrics` bench flag) rely on.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace iris::obs {
+
+/// Line-oriented text format, sorted by kind then key:
+///   # iris-obs v1
+///   counter <key> <value>
+///   gauge <key> <value>
+///   hist <key> count <n> sum <s> le <edge> <n> ... inf <n>
+void export_text(const MetricsRegistry& reg, std::ostream& os);
+[[nodiscard]] std::string export_text(const MetricsRegistry& reg);
+
+/// JSON object {"counters":{...},"gauges":{...},"histograms":{...}} with
+/// keys in sorted order.
+void export_json(const MetricsRegistry& reg, std::ostream& os);
+[[nodiscard]] std::string export_json(const MetricsRegistry& reg);
+
+/// Writes export_text(registry()) to `path` ("-" or empty = stdout).
+/// Returns false (with a message on stderr) when the file cannot be opened.
+bool dump_default_registry(const std::string& path);
+
+}  // namespace iris::obs

@@ -1,0 +1,218 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+namespace iris::obs {
+
+std::string key(
+    std::string_view name,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(name);
+  if (labels.size() == 0) return out;
+  std::vector<std::pair<std::string_view, std::string_view>> sorted(labels);
+  std::sort(sorted.begin(), sorted.end());
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : sorted) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += '=';
+    out += v;
+  }
+  out += '}';
+  return out;
+}
+
+#ifndef IRIS_OBS_OFF
+
+namespace {
+
+/// Transparent less so string_view lookups never allocate.
+using MapLess = std::less<>;
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, long long, MapLess> counters;
+  std::map<std::string, double, MapLess> gauges;
+  std::map<std::string, HistogramData, MapLess> histograms;
+  std::vector<std::string> span_stack;
+};
+
+MetricsRegistry::MetricsRegistry()
+    : clock_(std::make_unique<VirtualClock>()), impl_(std::make_unique<Impl>()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+void MetricsRegistry::add(std::string_view name, long long delta) {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->counters.find(name);
+  if (it != impl_->counters.end()) {
+    it->second += delta;
+  } else {
+    impl_->counters.emplace(std::string(name), delta);
+  }
+}
+
+long long MetricsRegistry::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->counters.find(name);
+  return it == impl_->counters.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->gauges.find(name);
+  if (it != impl_->gauges.end()) {
+    it->second = value;
+  } else {
+    impl_->gauges.emplace(std::string(name), value);
+  }
+}
+
+void MetricsRegistry::add_gauge(std::string_view name, double delta) {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->gauges.find(name);
+  if (it != impl_->gauges.end()) {
+    it->second += delta;
+  } else {
+    impl_->gauges.emplace(std::string(name), delta);
+  }
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->gauges.find(name);
+  return it == impl_->gauges.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::declare_histogram(std::string_view name,
+                                        std::vector<double> edges) {
+  if (edges.empty() || !std::is_sorted(edges.begin(), edges.end()) ||
+      std::adjacent_find(edges.begin(), edges.end()) != edges.end()) {
+    throw std::invalid_argument(
+        "declare_histogram: edges must be non-empty, ascending, distinct");
+  }
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->histograms.find(name);
+  if (it != impl_->histograms.end()) {
+    if (it->second.edges != edges) {
+      throw std::invalid_argument(
+          "declare_histogram: '" + std::string(name) +
+          "' already declared with different bucket edges");
+    }
+    return;
+  }
+  HistogramData h;
+  h.buckets.assign(edges.size() + 1, 0);
+  h.edges = std::move(edges);
+  impl_->histograms.emplace(std::string(name), std::move(h));
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end()) {
+    HistogramData h;
+    h.edges = default_duration_edges();
+    h.buckets.assign(h.edges.size() + 1, 0);
+    it = impl_->histograms.emplace(std::string(name), std::move(h)).first;
+  }
+  HistogramData& h = it->second;
+  // First bucket whose upper bound holds the value; the overflow bucket
+  // (index edges.size()) catches everything beyond the last edge.
+  const auto b = std::lower_bound(h.edges.begin(), h.edges.end(), value);
+  ++h.buckets[static_cast<std::size_t>(b - h.edges.begin())];
+  ++h.count;
+  h.sum += value;
+}
+
+HistogramData MetricsRegistry::histogram(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->histograms.find(name);
+  return it == impl_->histograms.end() ? HistogramData{} : it->second;
+}
+
+void MetricsRegistry::set_clock(std::unique_ptr<Clock> clock) {
+  if (!clock) throw std::invalid_argument("set_clock: null clock");
+  clock_ = std::move(clock);
+}
+
+void MetricsRegistry::advance_virtual(double dt_s) {
+  if (auto* vc = dynamic_cast<VirtualClock*>(clock_.get())) vc->advance(dt_s);
+}
+
+std::string MetricsRegistry::push_span(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::string path = impl_->span_stack.empty()
+                         ? std::string(name)
+                         : impl_->span_stack.back() + "/" + std::string(name);
+  impl_->span_stack.push_back(path);
+  return path;
+}
+
+void MetricsRegistry::pop_span() {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!impl_->span_stack.empty()) impl_->span_stack.pop_back();
+}
+
+int MetricsRegistry::open_spans() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return static_cast<int>(impl_->span_stack.size());
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->counters.clear();
+  impl_->gauges.clear();
+  impl_->histograms.clear();
+  impl_->span_stack.clear();
+}
+
+std::map<std::string, long long> MetricsRegistry::counters() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return {impl_->counters.begin(), impl_->counters.end()};
+}
+
+std::map<std::string, double> MetricsRegistry::gauges() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return {impl_->gauges.begin(), impl_->gauges.end()};
+}
+
+std::map<std::string, HistogramData> MetricsRegistry::histograms() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return {impl_->histograms.begin(), impl_->histograms.end()};
+}
+
+const std::vector<double>& MetricsRegistry::default_duration_edges() {
+  // Log-spaced from 100 us to 100 s: covers a span of anything from one
+  // device command to a full planner sweep.
+  static const std::vector<double> kEdges{1e-4, 1e-3, 1e-2, 0.1,
+                                          1.0,  10.0, 100.0};
+  return kEdges;
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+#else  // IRIS_OBS_OFF
+
+MetricsRegistry& registry() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+#endif  // IRIS_OBS_OFF
+
+}  // namespace iris::obs

@@ -1,0 +1,184 @@
+// Deterministic metrics substrate: counters, gauges and fixed-bucket
+// histograms behind hierarchical `module.name{label=value}` string keys.
+//
+// Design constraints (the determinism contract, see DESIGN.md):
+//  * Integer counters only ever merge by addition, which is associative and
+//    commutative exactly -- parallel code accumulates into thread-local
+//    longs and folds them into the registry from ONE thread, in a fixed
+//    order, so the exported bytes are independent of thread count.
+//  * Floating-point accumulation (gauge adds, histogram sums) must happen in
+//    deterministic order: only call those from single-threaded sections.
+//  * Time enters only through the registry's injectable Clock (virtual by
+//    default), so span durations are simulation-determined, not wall-clock.
+//  * Exporters iterate std::map, so key order -- and the exported byte
+//    stream -- is stable across runs, platforms and thread counts.
+//
+// Disabled paths: set_enabled(false) freezes every series at runtime (one
+// relaxed bool load per call site); building with -DIRIS_OBS=OFF compiles
+// the whole subsystem -- registry, spans, exporters -- down to no-op inline
+// stubs with identical signatures, so instrumented code needs no #ifdefs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace iris::obs {
+
+/// True when the library was built with observability compiled in
+/// (IRIS_OBS=ON, the default); false for the no-op stub build.
+[[nodiscard]] constexpr bool compiled_in() noexcept {
+#ifdef IRIS_OBS_OFF
+  return false;
+#else
+  return true;
+#endif
+}
+
+/// Renders `name{k1=v1,k2=v2}` with labels sorted by key, so the same
+/// logical series always maps to the same registry key.
+[[nodiscard]] std::string key(
+    std::string_view name,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+
+/// Snapshot of one histogram series.
+struct HistogramData {
+  std::vector<double> edges;        ///< ascending upper bounds; final bucket
+                                    ///< is (edges.back(), +inf)
+  std::vector<long long> buckets;   ///< size edges.size() + 1
+  long long count = 0;
+  double sum = 0.0;
+};
+
+#ifndef IRIS_OBS_OFF
+
+class MetricsRegistry {
+ public:
+  /// Born enabled, with a VirtualClock at t=0.
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // ---- runtime switch ----
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  // ---- counters (monotonic integers) ----
+  void add(std::string_view name, long long delta = 1);
+  [[nodiscard]] long long counter(std::string_view name) const;
+
+  // ---- gauges (last-write-wins doubles, plus accumulate) ----
+  void set_gauge(std::string_view name, double value);
+  void add_gauge(std::string_view name, double delta);
+  [[nodiscard]] double gauge(std::string_view name) const;
+
+  // ---- histograms (fixed bucket edges, declared up front) ----
+  /// Declares (or re-declares, if the edges match) a histogram. Throws
+  /// std::invalid_argument on unsorted/empty edges or a redeclaration with
+  /// different edges.
+  void declare_histogram(std::string_view name, std::vector<double> edges);
+  /// Records one observation; auto-declares with `kDefaultDurationEdges`
+  /// when the series does not exist yet.
+  void observe(std::string_view name, double value);
+  [[nodiscard]] HistogramData histogram(std::string_view name) const;
+
+  // ---- clock ----
+  /// Replaces the time source (e.g. with SteadyClock for a bench). The
+  /// registry owns it.
+  void set_clock(std::unique_ptr<Clock> clock);
+  [[nodiscard]] Clock& clock() const noexcept { return *clock_; }
+  [[nodiscard]] double now_s() const { return clock_->now_s(); }
+  /// Advances simulated time; no-op when the installed clock is real.
+  void advance_virtual(double dt_s);
+
+  // ---- span bookkeeping (used by obs::Span; see span.hpp) ----
+  /// Pushes a span name, returning the full nested path
+  /// ("outer/inner" when a span is already open).
+  std::string push_span(std::string_view name);
+  void pop_span();
+  [[nodiscard]] int open_spans() const;
+
+  // ---- bulk access ----
+  /// Drops every series (counters, gauges, histograms, open-span stack);
+  /// keeps the enabled flag and the clock.
+  void reset();
+  [[nodiscard]] std::map<std::string, long long> counters() const;
+  [[nodiscard]] std::map<std::string, double> gauges() const;
+  [[nodiscard]] std::map<std::string, HistogramData> histograms() const;
+
+  /// Bucket edges used when observe() auto-declares a duration histogram,
+  /// in seconds.
+  static const std::vector<double>& default_duration_edges();
+
+ private:
+  struct Impl;
+  bool enabled_ = true;
+  std::unique_ptr<Clock> clock_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The process-wide default registry every instrumented subsystem records
+/// into. Tests that need isolation call registry().reset().
+MetricsRegistry& registry();
+
+#else  // IRIS_OBS_OFF: every operation is an inline no-op.
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() : clock_(std::make_unique<VirtualClock>()) {}
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void set_enabled(bool) noexcept {}
+  [[nodiscard]] bool enabled() const noexcept { return false; }
+
+  void add(std::string_view, long long = 1) {}
+  [[nodiscard]] long long counter(std::string_view) const { return 0; }
+
+  void set_gauge(std::string_view, double) {}
+  void add_gauge(std::string_view, double) {}
+  [[nodiscard]] double gauge(std::string_view) const { return 0.0; }
+
+  void declare_histogram(std::string_view, std::vector<double>) {}
+  void observe(std::string_view, double) {}
+  [[nodiscard]] HistogramData histogram(std::string_view) const { return {}; }
+
+  void set_clock(std::unique_ptr<Clock> clock) { clock_ = std::move(clock); }
+  [[nodiscard]] Clock& clock() const noexcept { return *clock_; }
+  [[nodiscard]] double now_s() const { return 0.0; }
+  void advance_virtual(double) {}
+
+  std::string push_span(std::string_view) { return {}; }
+  void pop_span() {}
+  [[nodiscard]] int open_spans() const { return 0; }
+
+  void reset() {}
+  [[nodiscard]] std::map<std::string, long long> counters() const {
+    return {};
+  }
+  [[nodiscard]] std::map<std::string, double> gauges() const { return {}; }
+  [[nodiscard]] std::map<std::string, HistogramData> histograms() const {
+    return {};
+  }
+
+  static const std::vector<double>& default_duration_edges() {
+    static const std::vector<double> kNone;
+    return kNone;
+  }
+
+ private:
+  std::unique_ptr<Clock> clock_;
+};
+
+MetricsRegistry& registry();
+
+#endif  // IRIS_OBS_OFF
+
+}  // namespace iris::obs

@@ -1,0 +1,86 @@
+// Lightweight span tracing over the MetricsRegistry.
+//
+// A Span is an RAII scope timer: construction reads the registry clock and
+// pushes the span name onto the registry's open-span stack (so nested spans
+// record hierarchical paths like "controller.apply/establish"); destruction
+// pops the stack and folds the span into three series:
+//
+//   span.<path>.count        counter   completed spans
+//   span.<path>.seconds      gauge     accumulated duration (sum)
+//   span.<path>.duration_s   histogram fixed log-spaced duration buckets
+//
+// With the default VirtualClock, durations are simulation time: zero unless
+// the harness advances the clock, which keeps every exporter byte
+// deterministic. Spans must not be open concurrently from multiple threads
+// on the same registry (the stack is shared); parallel code accumulates
+// plain counters locally and merges instead -- see graph::ScenarioSet.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace iris::obs {
+
+#ifndef IRIS_OBS_OFF
+
+class Span {
+ public:
+  /// Opens a span on the process default registry.
+  explicit Span(std::string_view name) : Span(registry(), name) {}
+  Span(MetricsRegistry& reg, std::string_view name) : reg_(&reg) {
+    if (!reg_->enabled()) {
+      reg_ = nullptr;
+      return;
+    }
+    path_ = reg_->push_span(name);
+    start_s_ = reg_->now_s();
+  }
+  ~Span() { close(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Seconds since the span opened, per the registry clock.
+  [[nodiscard]] double elapsed_s() const {
+    return reg_ == nullptr ? 0.0 : reg_->now_s() - start_s_;
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Records and closes the span early (idempotent; the destructor becomes
+  /// a no-op afterwards).
+  void close() {
+    if (reg_ == nullptr) return;
+    const double dt = reg_->now_s() - start_s_;
+    reg_->pop_span();
+    reg_->add("span." + path_ + ".count");
+    reg_->add_gauge("span." + path_ + ".seconds", dt);
+    reg_->observe("span." + path_ + ".duration_s", dt);
+    reg_ = nullptr;
+  }
+
+ private:
+  MetricsRegistry* reg_ = nullptr;
+  std::string path_;
+  double start_s_ = 0.0;
+};
+
+#else  // IRIS_OBS_OFF
+
+class Span {
+ public:
+  explicit Span(std::string_view) {}
+  Span(MetricsRegistry&, std::string_view) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  [[nodiscard]] double elapsed_s() const { return 0.0; }
+  [[nodiscard]] const std::string& path() const noexcept {
+    static const std::string kEmpty;
+    return kEmpty;
+  }
+  void close() {}
+};
+
+#endif  // IRIS_OBS_OFF
+
+}  // namespace iris::obs

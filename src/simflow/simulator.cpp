@@ -6,6 +6,9 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace iris::simflow {
 
 namespace {
@@ -123,6 +126,7 @@ SimResult simulate(const FlowSizeDistribution& workload,
       params.utilization >= 1.0 || params.change_interval_s <= 0.0) {
     throw std::invalid_argument("simulate: bad parameters");
   }
+  const obs::Span span("simflow.simulate");
   SimResult result;
 
   // Pre-compute the demand trajectory: one row per change interval.
@@ -210,6 +214,13 @@ SimResult simulate(const FlowSizeDistribution& workload,
     simulate_pair(workload, capacity, demands, params.change_interval_s,
                   params.duration_s, pair_rng, result.flows);
   }
+
+  auto& reg = obs::registry();
+  reg.add("simflow.runs.total");
+  reg.add("simflow.pairs.simulated", params.traffic.pair_count);
+  reg.add("simflow.flows.completed",
+          static_cast<long long>(result.flows.size()));
+  reg.add("simflow.reconfigurations", result.reconfigurations);
   return result;
 }
 

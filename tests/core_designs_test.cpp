@@ -357,6 +357,18 @@ TEST(PlanIo, SaveLoadSaveIsIdempotentAndValidatesIdentically) {
   EXPECT_TRUE(reloaded_report.ok());
 }
 
+/// Loads a malformed plan and returns the parse error message (fails the
+/// test if the load unexpectedly succeeds).
+std::string load_error(const fibermap::FiberMap& map, const std::string& text) {
+  try {
+    (void)plan_from_string(map, text);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a parse error for: " << text;
+  return {};
+}
+
 TEST(PlanIo, RejectsMalformedPlans) {
   const auto map = fibermap::toy_example_fig10();
   EXPECT_THROW((void)plan_from_string(map, "edge 0 400 10\n"),
@@ -367,6 +379,46 @@ TEST(PlanIo, RejectsMalformedPlans) {
                std::runtime_error);  // no duct between dc1 and dc3
   EXPECT_THROW((void)plan_from_string(map, "params 1 40\nbogus\n"),
                std::runtime_error);
+}
+
+TEST(PlanIo, ParseErrorsCarryLineColAndToken) {
+  const auto map = fibermap::toy_example_fig10();
+  const auto expect_contains = [](const std::string& msg,
+                                  const std::string& want) {
+    EXPECT_NE(msg.find(want), std::string::npos)
+        << "message: " << msg << "\nexpected substring: " << want;
+  };
+
+  // An unknown record kind points at column 1 of the offending line.
+  expect_contains(load_error(map, "params 1 40\nbogus\n"),
+                  "line 2:1: unknown record kind 'bogus' (near 'bogus')");
+
+  // Non-numeric fields name the line and quote the offending token.
+  const auto bad_edge = load_error(map, "params 1 40\nedge zero 1 1\n");
+  expect_contains(bad_edge, "line 2");
+  expect_contains(bad_edge, "malformed edge");
+  expect_contains(bad_edge, "near 'zero'");
+  const auto bad_params = load_error(map, "params x 40\n");
+  expect_contains(bad_params, "line 1");
+  expect_contains(bad_params, "malformed params");
+
+  // A path node out of range points AT the offending node, not past it.
+  const auto bad_node = load_error(map, "params 1 40\npath 2 4 2 99\n");
+  expect_contains(bad_node, "line 2");
+  expect_contains(bad_node, "path node out of range (near '99')");
+
+  // Wrapped path construction errors (no duct between adjacent nodes)
+  // carry the same line context as direct parse failures.
+  const auto no_duct = load_error(map, "params 1 40\npath 2 4 2 4\n");
+  expect_contains(no_duct, "line 2");
+  expect_contains(no_duct, "no duct between sites");
+  const auto short_cut = load_error(map, "params 1 40\ncutthrough 2 0\n");
+  expect_contains(short_cut, "line 2");
+  expect_contains(short_cut, "at least two nodes");
+
+  // Errors on a later line report that line, not line 1.
+  expect_contains(load_error(map, "params 1 40\nedge 0 400 10\namps 0 oops\n"),
+                  "line 3");
 }
 
 TEST(Report, RendersAllSectionsForToyRegion) {
