@@ -1,0 +1,107 @@
+#include "core/plan_diff.hpp"
+
+#include <stdexcept>
+
+namespace iris::core {
+
+std::vector<DcPair> PlanDiff::touched_pairs() const {
+  std::vector<DcPair> pairs;
+  pairs.reserve(path_changes.size());
+  for (const PathDelta& pd : path_changes) pairs.push_back(pd.pair);
+  return pairs;
+}
+
+PlanDiff diff_plans(const ProvisionedNetwork& before,
+                    const ProvisionedNetwork& after) {
+  if (before.edge_capacity_wavelengths.size() !=
+      after.edge_capacity_wavelengths.size()) {
+    throw std::invalid_argument("diff_plans: plans cover different maps");
+  }
+  PlanDiff diff;
+  for (graph::EdgeId e = 0;
+       e < static_cast<graph::EdgeId>(before.edge_capacity_wavelengths.size());
+       ++e) {
+    const long long ow = before.edge_capacity_wavelengths[e];
+    const long long nw = after.edge_capacity_wavelengths[e];
+    const int of = before.base_fibers[e];
+    const int nf = after.base_fibers[e];
+    if (ow != nw || of != nf) {
+      diff.capacity_changes.push_back({e, ow, nw, of, nf});
+    }
+  }
+
+  // Both maps are ordered by DcPair, so one linear merge finds every
+  // added, removed or rerouted pair.
+  auto ob = before.baseline_paths.begin();
+  auto nb = after.baseline_paths.begin();
+  while (ob != before.baseline_paths.end() ||
+         nb != after.baseline_paths.end()) {
+    if (nb == after.baseline_paths.end() ||
+        (ob != before.baseline_paths.end() && ob->first < nb->first)) {
+      diff.path_changes.push_back({ob->first, ob->second, std::nullopt});
+      ++ob;
+    } else if (ob == before.baseline_paths.end() || nb->first < ob->first) {
+      diff.path_changes.push_back({nb->first, std::nullopt, nb->second});
+      ++nb;
+    } else {
+      if (!(ob->second == nb->second)) {
+        diff.path_changes.push_back({ob->first, ob->second, nb->second});
+      }
+      ++ob;
+      ++nb;
+    }
+  }
+
+  diff.new_params = after.params;
+  diff.new_scenarios_evaluated = after.scenarios_evaluated;
+  diff.new_scenarios_pruned = after.scenarios_pruned;
+  diff.new_pairs_unreachable = after.pair_paths_skipped_unreachable;
+  diff.new_pairs_beyond_sla = after.pair_paths_beyond_sla;
+  return diff;
+}
+
+ProvisionedNetwork apply_diff(const ProvisionedNetwork& before,
+                              const PlanDiff& diff) {
+  ProvisionedNetwork out = before;
+  out.params = diff.new_params;
+  out.scenarios_evaluated = diff.new_scenarios_evaluated;
+  out.scenarios_pruned = diff.new_scenarios_pruned;
+  out.pair_paths_skipped_unreachable = diff.new_pairs_unreachable;
+  out.pair_paths_beyond_sla = diff.new_pairs_beyond_sla;
+
+  for (const CapacityDelta& cd : diff.capacity_changes) {
+    if (cd.edge < 0 ||
+        static_cast<std::size_t>(cd.edge) >= out.base_fibers.size()) {
+      throw std::invalid_argument("apply_diff: capacity delta out of range");
+    }
+    if (out.edge_capacity_wavelengths[cd.edge] != cd.old_wavelengths ||
+        out.base_fibers[cd.edge] != cd.old_fibers) {
+      throw std::invalid_argument(
+          "apply_diff: capacity delta disagrees with the base plan");
+    }
+    out.edge_capacity_wavelengths[cd.edge] = cd.new_wavelengths;
+    out.base_fibers[cd.edge] = cd.new_fibers;
+  }
+
+  for (const PathDelta& pd : diff.path_changes) {
+    const auto it = out.baseline_paths.find(pd.pair);
+    const bool have_old = it != out.baseline_paths.end();
+    if (have_old != pd.old_path.has_value() ||
+        (have_old && !(it->second == *pd.old_path))) {
+      throw std::invalid_argument(
+          "apply_diff: path delta disagrees with the base plan");
+    }
+    if (pd.new_path.has_value()) {
+      if (have_old) {
+        it->second = *pd.new_path;
+      } else {
+        out.baseline_paths.emplace(pd.pair, *pd.new_path);
+      }
+    } else if (have_old) {
+      out.baseline_paths.erase(it);
+    }
+  }
+  return out;
+}
+
+}  // namespace iris::core

@@ -1,0 +1,76 @@
+// Plan deltas for incremental replanning (controller-facing).
+//
+// A replan after one duct cut or repair leaves most of the plan untouched:
+// only ducts whose worst-case hose load changed and DC pairs whose baseline
+// path moved need reconfiguration. PlanDiff captures exactly that delta so
+// the control plane can apply a replan without diffing whole plans itself,
+// plus the handful of whole-plan scalars (params, diagnostics) needed to
+// reconstruct the new plan losslessly: apply_diff(before, diff) reproduces
+// the fresh plan bit-for-bit, which the tests assert.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/provision.hpp"
+
+namespace iris::core {
+
+/// One duct whose provisioned capacity changed.
+struct CapacityDelta {
+  graph::EdgeId edge = graph::kInvalidEdge;
+  long long old_wavelengths = 0;
+  long long new_wavelengths = 0;
+  int old_fibers = 0;
+  int new_fibers = 0;
+
+  friend bool operator==(const CapacityDelta&, const CapacityDelta&) = default;
+};
+
+/// One DC pair whose baseline path changed. A disengaged optional means the
+/// pair had no baseline path on that side (e.g. disconnected by the cut).
+struct PathDelta {
+  DcPair pair;
+  std::optional<graph::Path> old_path;
+  std::optional<graph::Path> new_path;
+
+  friend bool operator==(const PathDelta&, const PathDelta&) = default;
+};
+
+/// The exact difference between two plans over the same fiber map.
+struct PlanDiff {
+  /// Ducts with changed capacity, ascending by edge id.
+  std::vector<CapacityDelta> capacity_changes;
+  /// Pairs with changed baseline paths, ascending by pair.
+  std::vector<PathDelta> path_changes;
+
+  /// Whole-plan fields carried over verbatim so apply_diff is lossless.
+  PlannerParams new_params;
+  long long new_scenarios_evaluated = 0;
+  long long new_scenarios_pruned = 0;
+  long long new_pairs_unreachable = 0;
+  long long new_pairs_beyond_sla = 0;
+
+  /// True when no duct capacity and no baseline path changed (the scalar
+  /// diagnostics may still differ; they don't touch hardware).
+  [[nodiscard]] bool empty() const {
+    return capacity_changes.empty() && path_changes.empty();
+  }
+
+  /// The DC pairs a controller must touch to apply this diff.
+  [[nodiscard]] std::vector<DcPair> touched_pairs() const;
+};
+
+/// Computes the delta taking `before` to `after`. Both plans must cover the
+/// same fiber map (same duct count); throws std::invalid_argument otherwise.
+PlanDiff diff_plans(const ProvisionedNetwork& before,
+                    const ProvisionedNetwork& after);
+
+/// Applies `diff` to `before`, returning the plan `diff` was computed
+/// against -- bit-for-bit. Throws std::invalid_argument if any old-side
+/// value in the diff disagrees with `before` (the diff belongs to a
+/// different plan).
+ProvisionedNetwork apply_diff(const ProvisionedNetwork& before,
+                              const PlanDiff& diff);
+
+}  // namespace iris::core

@@ -1,6 +1,7 @@
 #include "core/plan_region.hpp"
 
 #include "core/path_physics.hpp"
+#include "graph/incremental.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -35,27 +36,48 @@ ValidationReport validate_plan(const fibermap::FiberMap& map,
   const optical::OpticalSpec& spec = net.params.spec;
   const auto& dcs = map.dcs();
 
-  // Per-worker report + Dijkstra scratch; the counters are plain sums, so
+  // Per-worker report + routing state; the counters are plain sums, so
   // merging in worker order is bit-identical to the serial sweep.
   struct Worker {
     ValidationReport report;
     std::vector<graph::DijkstraWorkspace> dijkstra;
+    graph::PrefixRouter router;
   };
   const int workers = graph::resolve_thread_count(net.params.threads);
   std::vector<Worker> acc(static_cast<std::size_t>(workers));
-  for (auto& w : acc) w.dijkstra.resize(dcs.size());
 
-  planner_scenarios(map, net.params)
-      .for_each_parallel(workers, [&](int worker) -> graph::ScenarioVisitor {
+  // Warm-started routing under params.incremental: the canonical trees are
+  // identical to from-scratch Dijkstra (graph/incremental.hpp), so every
+  // counter matches the cold sweep exactly.
+  const graph::ScenarioSet scenarios = planner_scenarios(map, net.params);
+  const bool warm = net.params.incremental;
+  for (auto& w : acc) {
+    if (warm) {
+      w.router = graph::PrefixRouter(g, dcs, scenarios.base_mask());
+    } else {
+      w.dijkstra.resize(dcs.size());
+    }
+  }
+
+  scenarios.for_each_parallel(
+      workers, [&](int worker) -> graph::ScenarioVisitor {
         return [&, worker](const graph::EdgeMask& mask,
-                           std::span<const graph::EdgeId>) {
+                           std::span<const graph::EdgeId> failed) {
           Worker& w = acc[static_cast<std::size_t>(worker)];
-          for (std::size_t i = 0; i < dcs.size(); ++i) {
-            graph::dijkstra(g, dcs[i], mask, w.dijkstra[i]);
+          if (warm) {
+            w.router.sync(failed);
+          } else {
+            for (std::size_t i = 0; i < dcs.size(); ++i) {
+              graph::dijkstra(g, dcs[i], mask, w.dijkstra[i]);
+            }
           }
+          const auto tree_of =
+              [&](std::size_t i) -> const graph::ShortestPathTree& {
+            return warm ? w.router.tree(i) : w.dijkstra[i].tree;
+          };
           for (std::size_t i = 0; i < dcs.size(); ++i) {
             for (std::size_t j = i + 1; j < dcs.size(); ++j) {
-              const auto path = graph::extract_path(w.dijkstra[i].tree, dcs[j]);
+              const auto path = graph::extract_path(tree_of(i), dcs[j]);
               if (!path) {
                 ++w.report.pairs_disconnected;
                 continue;

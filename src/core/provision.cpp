@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <string_view>
 
 #include "graph/hose.hpp"
+#include "graph/incremental.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -47,11 +52,22 @@ ProvisionedNetwork scale_uniform_provision(const ProvisionedNetwork& unit,
 graph::ScenarioSet planner_scenarios(const fibermap::FiberMap& map,
                                      const PlannerParams& params) {
   const graph::Graph& g = map.graph();
+  std::vector<char> cut(static_cast<std::size_t>(g.edge_count()), 0);
+  for (EdgeId e : params.cut_ducts) {
+    if (e < 0 || e >= g.edge_count()) {
+      throw std::out_of_range("planner_scenarios: cut duct out of range");
+    }
+    if (cut[static_cast<std::size_t>(e)]) {
+      throw std::invalid_argument("planner_scenarios: duplicate cut duct");
+    }
+    cut[static_cast<std::size_t>(e)] = 1;
+  }
   graph::EdgeMask base(g.edge_count());
   std::vector<EdgeId> eligible;
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
-    if (g.edge(e).length_km > params.spec.max_span_km) {
-      base.fail(e);  // TC1: permanently excluded
+    if (g.edge(e).length_km > params.spec.max_span_km ||
+        cut[static_cast<std::size_t>(e)]) {
+      base.fail(e);  // TC1 exclusion, or a duct already physically lost
     } else {
       eligible.push_back(e);
     }
@@ -85,12 +101,67 @@ struct ProvisionAccumulator {
   // Scratch, reused across this worker's scenarios.
   std::vector<graph::DijkstraWorkspace> dijkstra;           // one per DC
   std::vector<std::vector<graph::OrientedPair>> pairs_on_edge;
+
+  // Incremental-sweep state: warm-started per-DC routing, the demand bitmap
+  // returned to the pruned sweep, and a per-depth stack of each ancestor
+  // scenario's (unreachable, beyond_sla) tallies so dominated scenarios can
+  // re-fold their parent's counts without routing.
+  graph::PrefixRouter router;
+  std::vector<char> used;
+  std::vector<std::pair<long long, long long>> tally_stack;
 };
 
-}  // namespace
+/// Routes every DC pair of one scenario through `tree_of(i)` (the shortest
+/// path tree rooted at dcs[i]), folds per-duct hose loads into the worker's
+/// maxima, and returns this scenario's (unreachable, beyond_sla) tallies.
+/// When `used` is non-null it is sized to the edge count and marks ducts
+/// some pair path crosses.
+template <typename TreeOf, typename CapacityOf>
+std::pair<long long, long long> route_scenario(
+    ProvisionAccumulator& a, const graph::Graph& g,
+    std::span<const NodeId> dcs, const PlannerParams& params,
+    bool is_baseline, std::vector<char>* used, const TreeOf& tree_of,
+    const CapacityOf& capacity_of) {
+  for (auto& bucket : a.pairs_on_edge) bucket.clear();
+  if (used != nullptr) {
+    used->assign(static_cast<std::size_t>(g.edge_count()), 0);
+  }
+  long long unreachable = 0;
+  long long beyond_sla = 0;
+  for (std::size_t i = 0; i < dcs.size(); ++i) {
+    for (std::size_t j = i + 1; j < dcs.size(); ++j) {
+      const auto path = graph::extract_path(tree_of(i), dcs[j]);
+      if (!path) {
+        ++unreachable;
+        continue;
+      }
+      if (path->length_km > params.spec.max_path_km) {
+        ++beyond_sla;
+      }
+      for (EdgeId e : path->edges) {
+        a.pairs_on_edge[e].push_back(
+            graph::orient_pair(g, e, dcs[i], dcs[j], *path));
+        if (used != nullptr) (*used)[static_cast<std::size_t>(e)] = 1;
+      }
+      if (is_baseline) {
+        a.baseline_paths.emplace(DcPair(dcs[i], dcs[j]), *path);
+      }
+    }
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (a.pairs_on_edge[e].empty()) continue;
+    const graph::Capacity load =
+        graph::hose_edge_load(a.pairs_on_edge[e], capacity_of);
+    a.edge_max_wavelengths[e] =
+        std::max(a.edge_max_wavelengths[e], static_cast<long long>(load));
+  }
+  return {unreachable, beyond_sla};
+}
 
-ProvisionedNetwork provision(const fibermap::FiberMap& map,
-                             const PlannerParams& params) {
+/// One full planning sweep, honoring params.incremental; the oracle
+/// cross-check in provision() calls this twice.
+ProvisionedNetwork run_provision(const fibermap::FiberMap& map,
+                                 const PlannerParams& params) {
   if (params.oversubscription < 1.0) {
     throw std::invalid_argument("provision: oversubscription must be >= 1");
   }
@@ -107,58 +178,83 @@ ProvisionedNetwork provision(const fibermap::FiberMap& map,
     return map.dc_capacity_wavelengths(dc, lambda);
   };
 
+  const graph::ScenarioSet scenarios = planner_scenarios(map, params);
   const int workers = graph::resolve_thread_count(params.threads);
   std::vector<ProvisionAccumulator> acc(static_cast<std::size_t>(workers));
   for (auto& a : acc) {
     a.edge_max_wavelengths.assign(g.edge_count(), 0);
-    a.dijkstra.resize(dcs.size());
     a.pairs_on_edge.resize(g.edge_count());
   }
 
-  planner_scenarios(map, params)
-      .for_each_parallel(workers, [&](int worker) -> graph::ScenarioVisitor {
-        return [&, worker](const graph::EdgeMask& mask,
-                           std::span<const EdgeId> failed) {
-          ProvisionAccumulator& a = acc[static_cast<std::size_t>(worker)];
-          ++a.scenarios;
-          for (auto& bucket : a.pairs_on_edge) bucket.clear();
-          const bool is_baseline = failed.empty();
-
-          // One Dijkstra per DC covers all pairs.
-          for (std::size_t i = 0; i < dcs.size(); ++i) {
-            graph::dijkstra(g, dcs[i], mask, a.dijkstra[i]);
-          }
-
-          for (std::size_t i = 0; i < dcs.size(); ++i) {
-            for (std::size_t j = i + 1; j < dcs.size(); ++j) {
-              const auto path =
-                  graph::extract_path(a.dijkstra[i].tree, dcs[j]);
-              if (!path) {
-                ++a.unreachable;
-                continue;
-              }
-              if (path->length_km > params.spec.max_path_km) {
-                ++a.beyond_sla;
-              }
-              for (EdgeId e : path->edges) {
-                a.pairs_on_edge[e].push_back(
-                    graph::orient_pair(g, e, dcs[i], dcs[j], *path));
-              }
-              if (is_baseline) {
-                a.baseline_paths.emplace(DcPair(dcs[i], dcs[j]), *path);
-              }
+  if (params.incremental) {
+    // The no-failure tallies seed every worker's stack: a depth-1 pruned
+    // scenario's parent is the baseline, which only worker 0 routed.
+    // Written once on the calling thread before the pool spawns.
+    std::pair<long long, long long> baseline_tally{0, 0};
+    for (auto& a : acc) {
+      a.router = graph::PrefixRouter(g, dcs, scenarios.base_mask());
+      a.tally_stack.assign(
+          static_cast<std::size_t>(params.failure_tolerance) + 1, {0, 0});
+    }
+    const graph::SweepStats stats = scenarios.for_each_pruned_parallel(
+        workers, [&](int worker) -> graph::PrunedScenarioVisitor {
+          graph::PrunedScenarioVisitor v;
+          v.evaluate = [&, worker](const graph::EdgeMask&,
+                                   std::span<const EdgeId> failed)
+              -> const std::vector<char>& {
+            ProvisionAccumulator& a = acc[static_cast<std::size_t>(worker)];
+            ++a.scenarios;
+            a.router.sync(failed);
+            const auto tally = route_scenario(
+                a, g, dcs, params, failed.empty(), &a.used,
+                [&](std::size_t i) -> const graph::ShortestPathTree& {
+                  return a.router.tree(i);
+                },
+                capacity_of);
+            a.unreachable += tally.first;
+            a.beyond_sla += tally.second;
+            if (failed.empty()) baseline_tally = tally;
+            a.tally_stack[failed.size()] = tally;
+            return a.used;
+          };
+          v.pruned = [&, worker](std::span<const EdgeId> failed) {
+            // Identical routing to the parent: fold its tallies again so
+            // diagnostics match the full sweep exactly.
+            ProvisionAccumulator& a = acc[static_cast<std::size_t>(worker)];
+            ++a.scenarios;
+            const auto tally = failed.size() >= 2
+                                   ? a.tally_stack[failed.size() - 1]
+                                   : baseline_tally;
+            a.unreachable += tally.first;
+            a.beyond_sla += tally.second;
+            a.tally_stack[failed.size()] = tally;
+          };
+          return v;
+        });
+    out.scenarios_pruned = stats.pruned;
+  } else {
+    for (auto& a : acc) a.dijkstra.resize(dcs.size());
+    scenarios.for_each_parallel(
+        workers, [&](int worker) -> graph::ScenarioVisitor {
+          return [&, worker](const graph::EdgeMask& mask,
+                             std::span<const EdgeId> failed) {
+            ProvisionAccumulator& a = acc[static_cast<std::size_t>(worker)];
+            ++a.scenarios;
+            // One Dijkstra per DC covers all pairs.
+            for (std::size_t i = 0; i < dcs.size(); ++i) {
+              graph::dijkstra(g, dcs[i], mask, a.dijkstra[i]);
             }
-          }
-
-          for (EdgeId e = 0; e < g.edge_count(); ++e) {
-            if (a.pairs_on_edge[e].empty()) continue;
-            const graph::Capacity load =
-                graph::hose_edge_load(a.pairs_on_edge[e], capacity_of);
-            a.edge_max_wavelengths[e] = std::max(
-                a.edge_max_wavelengths[e], static_cast<long long>(load));
-          }
-        };
-      });
+            const auto tally = route_scenario(
+                a, g, dcs, params, failed.empty(), nullptr,
+                [&](std::size_t i) -> const graph::ShortestPathTree& {
+                  return a.dijkstra[i].tree;
+                },
+                capacity_of);
+            a.unreachable += tally.first;
+            a.beyond_sla += tally.second;
+          };
+        });
+  }
 
   // Deterministic merge: max/sum over integers is independent of which
   // worker evaluated which scenario.
@@ -176,20 +272,35 @@ ProvisionedNetwork provision(const fibermap::FiberMap& map,
   }
 
   // OC2 relaxation: an oversubscribed fabric provisions a fraction of the
-  // worst-case hose load (ceil so a used duct never rounds to zero).
+  // worst-case hose load (ceil so a used duct never rounds to zero -- an
+  // invariant, not an assumption: verify it).
   if (params.oversubscription > 1.0) {
     for (auto& waves : out.edge_capacity_wavelengths) {
       if (waves > 0) {
         waves = static_cast<long long>(
             std::ceil(static_cast<double>(waves) / params.oversubscription));
+        if (waves <= 0) {
+          throw std::logic_error(
+              "provision: oversubscription rounded a used duct to zero");
+        }
       }
     }
   }
 
   out.base_fibers.assign(g.edge_count(), 0);
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
-    out.base_fibers[e] = static_cast<int>(
-        (out.edge_capacity_wavelengths[e] + lambda - 1) / lambda);
+    const long long waves = out.edge_capacity_wavelengths[e];
+    const long long fibers = (waves + lambda - 1) / lambda;
+    if (fibers > std::numeric_limits<int>::max()) {
+      throw std::overflow_error(
+          "provision: base fiber count exceeds INT_MAX for a duct; demand "
+          "too large for the fiber-count representation");
+    }
+    if (waves > 0 && fibers <= 0) {
+      throw std::logic_error(
+          "provision: a used duct rounded to zero base fibers");
+    }
+    out.base_fibers[e] = static_cast<int>(fibers);
   }
 
   // Merged per-worker sums only -- never per-worker series, which would
@@ -200,6 +311,44 @@ ProvisionedNetwork provision(const fibermap::FiberMap& map,
   reg.add("planner.provision.pairs_unreachable",
           out.pair_paths_skipped_unreachable);
   reg.add("planner.provision.pairs_beyond_sla", out.pair_paths_beyond_sla);
+  reg.add("planner.scenarios.visited",
+          out.scenarios_evaluated - out.scenarios_pruned);
+  reg.add("planner.scenarios.pruned", out.scenarios_pruned);
+  return out;
+}
+
+}  // namespace
+
+bool planner_oracle_enabled() {
+  const char* v = std::getenv("IRIS_PLANNER_ORACLE");
+  return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+}
+
+bool same_plan(const ProvisionedNetwork& a, const ProvisionedNetwork& b) {
+  return a.edge_capacity_wavelengths == b.edge_capacity_wavelengths &&
+         a.base_fibers == b.base_fibers &&
+         a.baseline_paths == b.baseline_paths &&
+         a.scenarios_evaluated == b.scenarios_evaluated &&
+         a.pair_paths_skipped_unreachable == b.pair_paths_skipped_unreachable &&
+         a.pair_paths_beyond_sla == b.pair_paths_beyond_sla;
+}
+
+void require_same_plan(const ProvisionedNetwork& a,
+                       const ProvisionedNetwork& b, const char* what) {
+  if (!same_plan(a, b)) {
+    throw std::logic_error(std::string("planner oracle divergence: ") + what);
+  }
+}
+
+ProvisionedNetwork provision(const fibermap::FiberMap& map,
+                             const PlannerParams& params) {
+  ProvisionedNetwork out = run_provision(map, params);
+  if (params.incremental && planner_oracle_enabled()) {
+    PlannerParams oracle = params;
+    oracle.incremental = false;
+    require_same_plan(out, run_provision(map, oracle),
+                      "provision() incremental vs full-sweep oracle");
+  }
   return out;
 }
 

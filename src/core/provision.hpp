@@ -33,6 +33,18 @@ struct PlannerParams {
   /// validate_plan(); 0 = hardware_concurrency. Results are bit-identical
   /// for every thread count.
   int threads = 0;
+
+  /// Incremental sweep: warm-started per-DC routing (prefix-keyed Dijkstra
+  /// caches) plus dominance pruning of scenarios that only fail demand-free
+  /// ducts. Exact — the plan, including diagnostics, is bit-identical to
+  /// the full from-scratch sweep (`incremental = false`), which stays
+  /// available as an oracle; see planner_oracle_enabled().
+  bool incremental = true;
+
+  /// Ducts already lost (for replans after real cuts): permanently failed in
+  /// every scenario and excluded from the failure-eligible set. Must not
+  /// contain duplicates.
+  std::vector<graph::EdgeId> cut_ducts;
 };
 
 /// Unordered DC pair, normalized so a < b.
@@ -59,8 +71,12 @@ struct ProvisionedNetwork {
   /// switching-layer designs, control plane and simulator.
   std::map<DcPair, graph::Path> baseline_paths;
 
-  // Diagnostics.
+  // Diagnostics. The incremental sweep folds a dominated scenario's tallies
+  // from its parent instead of routing it, so every field below matches the
+  // full sweep exactly; `scenarios_pruned` reports how many of the evaluated
+  // scenarios were folded that way (always 0 for `incremental = false`).
   long long scenarios_evaluated = 0;
+  long long scenarios_pruned = 0;
   long long pair_paths_skipped_unreachable = 0;  ///< pair cut off in a scenario
   long long pair_paths_beyond_sla = 0;  ///< surviving path exceeded OC1 bound
 
@@ -73,9 +89,26 @@ struct ProvisionedNetwork {
   [[nodiscard]] int total_base_fibers() const;
 };
 
-/// Runs Algorithm 1 on the region.
+/// Runs Algorithm 1 on the region. With `params.incremental` (the default)
+/// the sweep warm-starts routing and prunes dominated scenarios; when the
+/// IRIS_PLANNER_ORACLE environment variable is set (non-empty, not "0") the
+/// full from-scratch sweep also runs and a std::logic_error is thrown if the
+/// plans diverge in any way.
 ProvisionedNetwork provision(const fibermap::FiberMap& map,
                              const PlannerParams& params);
+
+/// True when IRIS_PLANNER_ORACLE requests incremental results be
+/// cross-checked against the full from-scratch sweep (tests, CI, bench).
+bool planner_oracle_enabled();
+
+/// True if the two plans agree on every capacity, fiber count, baseline
+/// path and diagnostic (params and scenarios_pruned — which legitimately
+/// differ between sweep modes — are not compared).
+bool same_plan(const ProvisionedNetwork& a, const ProvisionedNetwork& b);
+
+/// Throws std::logic_error naming `what` if !same_plan(a, b).
+void require_same_plan(const ProvisionedNetwork& a,
+                       const ProvisionedNetwork& b, const char* what);
 
 /// Fast path for uniform-capacity regions (the SS6.1 evaluation grid): when
 /// every DC has the same capacity, hose-model max flows scale linearly with

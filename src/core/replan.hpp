@@ -1,0 +1,83 @@
+// Incremental replanning around live duct cuts and repairs.
+//
+// IncrementalPlanner owns the current plan for a region and replans after
+// each physical duct cut or repair, emitting the PlanDiff a controller
+// applies. Replans reuse a persistent scenario cache instead of re-routing
+// the whole failure sweep: every routed scenario is remembered keyed by its
+// effective failed-duct set (enumerated failures plus live cuts), so a
+// repair -- whose scenarios were all planned before the cut -- folds cached
+// per-duct loads without touching the router, and a fresh cut only routes
+// the scenarios the new duct actually appears in. Those are patched from
+// their parent scenario: only DC pairs whose cached path crossed the duct
+// are re-routed (the canonical-tree invalidation lemma; see
+// graph/incremental.hpp), and hose max-flows are memoized per duct on the
+// oriented pair list, which the sweep re-derives almost verbatim across
+// scenarios. The result is bit-identical to provision() on the same cut
+// set; when IRIS_PLANNER_ORACLE is set every replan is cross-checked
+// against provision() (which in turn cross-checks the full from-scratch
+// sweep) and divergence throws.
+//
+// The cache grows with the set of distinct scenarios ever planned -- about
+// 1.5 KB per scenario on a 20-DC region. A long-lived planner cycling
+// through many distinct cut ducts accumulates one scenario family per duct;
+// destroy and rebuild the planner to shed the cache.
+#pragma once
+
+#include <memory>
+
+#include "core/plan_diff.hpp"
+#include "core/provision.hpp"
+#include "fibermap/fibermap.hpp"
+
+namespace iris::core {
+
+/// Work tallies for the most recent replan.
+struct ReplanStats {
+  long long scenarios = 0;  ///< scenarios in the replan's sweep
+  long long pruned = 0;     ///< scenarios served from cache or parent-folded
+  double replan_ms = 0.0;   ///< wall time of the replan sweep + diff
+};
+
+class IncrementalPlanner {
+ public:
+  /// Plans the region immediately; `params.cut_ducts` seeds the live cut
+  /// set. The map is referenced, not copied, and must outlive the planner.
+  IncrementalPlanner(const fibermap::FiberMap& map,
+                     const PlannerParams& params);
+  IncrementalPlanner(IncrementalPlanner&&) noexcept;
+  ~IncrementalPlanner();
+
+  [[nodiscard]] const ProvisionedNetwork& current() const noexcept {
+    return current_;
+  }
+  [[nodiscard]] const std::vector<graph::EdgeId>& cut_ducts() const noexcept {
+    return cuts_;
+  }
+  [[nodiscard]] const ReplanStats& last_stats() const noexcept {
+    return stats_;
+  }
+
+  /// Records duct `e` as physically lost and replans. Throws
+  /// std::invalid_argument if `e` is out of range or already cut.
+  PlanDiff cut_duct(graph::EdgeId e);
+
+  /// Records duct `e` as repaired and replans. Throws std::invalid_argument
+  /// if `e` is not currently cut.
+  PlanDiff repair_duct(graph::EdgeId e);
+
+ private:
+  struct Cache;  // scenario records, interned paths, hose-load memo
+
+  ProvisionedNetwork sweep_plan();
+  PlanDiff replan();
+  void maybe_check_oracle(const char* what);
+
+  const fibermap::FiberMap& map_;
+  PlannerParams params_;  // cut_ducts stripped; cuts_ is authoritative
+  std::vector<graph::EdgeId> cuts_;
+  ProvisionedNetwork current_;
+  ReplanStats stats_;
+  std::unique_ptr<Cache> cache_;
+};
+
+}  // namespace iris::core

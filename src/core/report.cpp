@@ -22,8 +22,15 @@ std::string region_report(const fibermap::FiberMap& map,
   // Resilience.
   const auto audit = graph::audit_resilience(map.graph(), map.dcs());
   const int max_tol = graph::max_supported_tolerance(audit);
-  os << "resilience: the fiber map supports up to " << max_tol
-     << " simultaneous duct cuts for every DC pair\n";
+  if (audit.empty()) {
+    os << "resilience: no DC pairs to audit\n";
+  } else if (max_tol < 0) {
+    os << "resilience: some DC pair is disconnected; no cut tolerance can be "
+          "honored\n";
+  } else {
+    os << "resilience: the fiber map supports up to " << max_tol
+       << " simultaneous duct cuts for every DC pair\n";
+  }
   for (const auto& pr : audit) {
     if (pr.edge_disjoint_paths <= plan.network.params.failure_tolerance) {
       os << "  WARNING: " << map.site(pr.a).name << "-" << map.site(pr.b).name

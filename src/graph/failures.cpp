@@ -1,5 +1,6 @@
 #include "graph/failures.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
@@ -63,6 +64,38 @@ void sweep_rec(std::span<const EdgeId> eligible, int remaining,
     sweep_rec(eligible, remaining - 1, i + 1, mask, current, visit);
     current.pop_back();
     mask.restore(eligible[i]);
+  }
+}
+
+/// Depth-first pruned enumeration below an already-handled scenario.
+/// `used[depth]` is the demand bitmap of the current scenario; a child
+/// failing an edge that bitmap marks unused is dominated (identical routing
+/// to its parent) and is reported via `visit.pruned` instead of evaluated.
+/// The child's bitmap — parent's copy when pruned, `visit.evaluate`'s result
+/// otherwise — lands in used[depth + 1] before recursing.
+void pruned_rec(std::span<const EdgeId> eligible, int remaining,
+                std::size_t first, EdgeMask& mask, std::vector<EdgeId>& current,
+                const PrunedScenarioVisitor& visit,
+                std::vector<std::vector<char>>& used, std::size_t depth,
+                SweepStats& stats) {
+  if (remaining == 0) return;
+  for (std::size_t i = first; i < eligible.size(); ++i) {
+    const EdgeId f = eligible[i];
+    mask.fail(f);
+    current.push_back(f);
+    const std::vector<char>& parent_used = used[depth];
+    if (!parent_used.empty() && !parent_used[static_cast<std::size_t>(f)]) {
+      ++stats.pruned;
+      visit.pruned(current);
+      used[depth + 1] = parent_used;
+    } else {
+      ++stats.visited;
+      used[depth + 1] = visit.evaluate(mask, current);
+    }
+    pruned_rec(eligible, remaining - 1, i + 1, mask, current, visit, used,
+               depth + 1, stats);
+    current.pop_back();
+    mask.restore(f);
   }
 }
 
@@ -181,6 +214,105 @@ void ScenarioSet::for_each_parallel(
   long long total = 0;
   for (long long v : visited) total += v;
   record_sweep(total, sweep_task_count(eligible_.size(), tolerance_));
+}
+
+SweepStats ScenarioSet::for_each_pruned(const PrunedScenarioVisitor& visit) const {
+  EdgeMask mask = base_mask_;
+  std::vector<EdgeId> current;
+  current.reserve(static_cast<std::size_t>(tolerance_));
+  std::vector<std::vector<char>> used(
+      static_cast<std::size_t>(std::max(tolerance_, 0)) + 1);
+  SweepStats stats;
+  ++stats.visited;
+  used[0] = visit.evaluate(mask, current);
+  pruned_rec(eligible_, tolerance_, 0, mask, current, visit, used, 0, stats);
+  record_sweep(stats.visited, sweep_task_count(eligible_.size(), tolerance_));
+  obs::registry().add("sweep.scenarios.pruned", stats.pruned);
+  return stats;
+}
+
+SweepStats ScenarioSet::for_each_pruned_parallel(
+    int threads,
+    const std::function<PrunedScenarioVisitor(int worker)>& make_visitor)
+    const {
+  const int n = resolve_thread_count(threads);
+  if (n <= 1 || tolerance_ == 0 || eligible_.empty()) {
+    return for_each_pruned(make_visitor(0));
+  }
+
+  std::vector<PrunedScenarioVisitor> visitors;
+  visitors.reserve(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w) visitors.push_back(make_visitor(w));
+
+  // The no-failure scenario runs on the calling thread first: its demand
+  // bitmap is the pruning root every subtree needs, and evaluating it before
+  // the pool spawns publishes it to every worker without synchronization.
+  EdgeMask baseline_mask = base_mask_;
+  std::vector<EdgeId> no_failures;
+  const std::vector<char> baseline_used =
+      visitors[0].evaluate(baseline_mask, no_failures);
+
+  // Task i >= 0 is the subtree of scenarios whose smallest failed edge is
+  // eligible[i]; same dealing as for_each_parallel minus the no-failure
+  // scenario handled above.
+  std::atomic<std::size_t> next_task{0};
+  const std::size_t task_count = eligible_.size();
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<SweepStats> worker_stats(static_cast<std::size_t>(n));
+
+  const auto worker_loop = [&](int w) {
+    try {
+      const PrunedScenarioVisitor& visit =
+          visitors[static_cast<std::size_t>(w)];
+      SweepStats& my = worker_stats[static_cast<std::size_t>(w)];
+      EdgeMask mask = base_mask_;
+      std::vector<EdgeId> current;
+      current.reserve(static_cast<std::size_t>(tolerance_));
+      std::vector<std::vector<char>> used(
+          static_cast<std::size_t>(tolerance_) + 1);
+      used[0] = baseline_used;
+      for (std::size_t task = next_task.fetch_add(1); task < task_count;
+           task = next_task.fetch_add(1)) {
+        const EdgeId f = eligible_[task];
+        mask.fail(f);
+        current.push_back(f);
+        if (!baseline_used.empty() &&
+            !baseline_used[static_cast<std::size_t>(f)]) {
+          ++my.pruned;
+          visit.pruned(current);
+          used[1] = baseline_used;
+        } else {
+          ++my.visited;
+          used[1] = visit.evaluate(mask, current);
+        }
+        pruned_rec(eligible_, tolerance_ - 1, task + 1, mask, current, visit,
+                   used, 1, my);
+        current.pop_back();
+        mask.restore(f);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(n - 1));
+  for (int w = 1; w < n; ++w) pool.emplace_back(worker_loop, w);
+  worker_loop(0);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  SweepStats stats;
+  stats.visited = 1;  // the no-failure scenario evaluated up front
+  for (const SweepStats& s : worker_stats) {
+    stats.visited += s.visited;
+    stats.pruned += s.pruned;
+  }
+  record_sweep(stats.visited, sweep_task_count(eligible_.size(), tolerance_));
+  obs::registry().add("sweep.scenarios.pruned", stats.pruned);
+  return stats;
 }
 
 int resolve_thread_count(int requested) {

@@ -27,6 +27,37 @@ namespace iris::graph {
 using ScenarioVisitor =
     std::function<void(const EdgeMask&, std::span<const EdgeId>)>;
 
+/// Tallies from a dominance-pruned sweep: scenarios routed by the visitor
+/// and scenarios skipped because their parent dominates them.
+struct SweepStats {
+  long long visited = 0;
+  long long pruned = 0;
+};
+
+/// Visitor pair for a dominance-pruned sweep (for_each_pruned).
+///
+/// `evaluate` routes one scenario (same arguments as ScenarioVisitor) and
+/// returns a per-edge bitmap, indexed by EdgeId and sized to edge_count,
+/// marking ducts that carry demand under that scenario. The reference only
+/// needs to stay valid until the sweep copies it, i.e. until the next call
+/// on the same worker; an empty bitmap disables pruning below that scenario.
+///
+/// `pruned` announces a skipped scenario: its last failed edge carried no
+/// demand in its parent (the scenario minus that edge), so its routing,
+/// loads and per-pair outcomes are exactly the parent's — removing a duct no
+/// demand path crosses leaves every demand path both available and still
+/// canonically optimal (distances only grow when edges fail, and the
+/// canonical (dist, hops, parent-id) choice among surviving candidates is
+/// unchanged when only non-chosen candidates disappear). Implementations
+/// re-fold the parent's per-scenario tallies so pruned sweeps stay
+/// bit-identical to full sweeps in every aggregate.
+struct PrunedScenarioVisitor {
+  std::function<const std::vector<char>&(const EdgeMask&,
+                                         std::span<const EdgeId>)>
+      evaluate;
+  std::function<void(std::span<const EdgeId>)> pruned;
+};
+
 /// The set of failure scenarios over a chosen subset of ducts: every subset
 /// of `eligible_edges` with size <= tolerance, on top of a base mask of
 /// permanently excluded ducts (e.g. over-long spans, TC1).
@@ -66,6 +97,30 @@ class ScenarioSet {
   void for_each_parallel(
       int threads,
       const std::function<ScenarioVisitor(int worker)>& make_visitor) const;
+
+  /// Dominance-pruned serial sweep, same depth-first prefix order as
+  /// for_each. A child scenario whose newly failed edge carries no demand in
+  /// its parent is dominated: the sweep skips `evaluate`, calls `pruned`,
+  /// and reuses the parent's demand bitmap for the skipped subtree root.
+  /// Exact by construction — every pruned scenario's loads equal its
+  /// parent's, which the sweep already folded — so results are bit-identical
+  /// to for_each with the same per-scenario work.
+  SweepStats for_each_pruned(const PrunedScenarioVisitor& visit) const;
+
+  /// Parallel for_each_pruned with the same worker/task contract as
+  /// for_each_parallel, except the no-failure scenario is evaluated by
+  /// worker 0's visitor on the calling thread before the pool starts (its
+  /// demand bitmap seeds every worker's pruning stack). Per-worker tallies
+  /// are folded in worker order.
+  SweepStats for_each_pruned_parallel(
+      int threads,
+      const std::function<PrunedScenarioVisitor(int worker)>& make_visitor)
+      const;
+
+  /// The permanently excluded ducts every scenario starts from.
+  [[nodiscard]] const EdgeMask& base_mask() const noexcept {
+    return base_mask_;
+  }
 
  private:
   EdgeId edge_count_ = 0;

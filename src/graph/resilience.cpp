@@ -108,9 +108,13 @@ std::vector<Path> k_shortest_paths(const Graph& g, NodeId from, NodeId to,
   if (!first) return result;
   result.push_back(std::move(*first));
 
-  // Candidate paths ordered by length; identity by node sequence.
+  // Candidate paths ordered by length, ties broken by lexicographic node
+  // sequence so the returned order is a pure function of the graph (equal
+  // length routes otherwise surface in insertion order, which depends on
+  // spur enumeration details).
   auto by_length = [](const Path& a, const Path& b) {
-    return a.length_km < b.length_km;
+    if (a.length_km != b.length_km) return a.length_km < b.length_km;
+    return a.nodes < b.nodes;
   };
   std::vector<Path> candidates;
   std::set<std::vector<NodeId>> seen{result[0].nodes};
@@ -176,11 +180,14 @@ std::vector<PairResilience> audit_resilience(const Graph& g,
 }
 
 int max_supported_tolerance(std::span<const PairResilience> audit) {
+  if (audit.empty()) return -1;  // nothing audited: no tolerance is supported
   int best = std::numeric_limits<int>::max();
   for (const PairResilience& pr : audit) {
+    // A disconnected pair (0 disjoint paths) yields -1: even the no-failure
+    // scenario cannot connect it, which the old 0-clamp hid.
     best = std::min(best, pr.edge_disjoint_paths - 1);
   }
-  return audit.empty() ? 0 : std::max(0, best);
+  return best;
 }
 
 }  // namespace iris::graph

@@ -33,7 +33,9 @@ std::vector<EdgeId> critical_ducts(const Graph& g, NodeId a, NodeId b,
                                    const EdgeMask& mask = {});
 
 /// Yen's algorithm: up to k shortest loopless paths from `from` to `to`, in
-/// nondecreasing length order. Fewer are returned if the graph has fewer.
+/// nondecreasing length order; equal-length paths are ordered by
+/// lexicographic node sequence, so the result is deterministic even with
+/// parallel same-length routes. Fewer are returned if the graph has fewer.
 std::vector<Path> k_shortest_paths(const Graph& g, NodeId from, NodeId to,
                                    int k);
 
@@ -53,7 +55,10 @@ struct PairResilience {
 std::vector<PairResilience> audit_resilience(const Graph& g,
                                              std::span<const NodeId> terminals);
 
-/// The largest k such that every audited pair survives k cuts.
+/// The largest k such that every audited pair survives k cuts. Returns -1
+/// when the audit is empty (nothing to support) or when some pair is
+/// disconnected outright (edge_disjoint_paths == 0) -- both previously
+/// clamped to 0, indistinguishable from "survives no cuts but connected".
 int max_supported_tolerance(std::span<const PairResilience> audit);
 
 }  // namespace iris::graph

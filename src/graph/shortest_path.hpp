@@ -63,6 +63,10 @@ struct Path {
   [[nodiscard]] bool uses_edge(EdgeId e) const noexcept;
   /// True if this path visits the given node (including endpoints).
   [[nodiscard]] bool visits(NodeId n) const noexcept;
+
+  /// Exact comparison (node/edge sequences and length); used by the
+  /// incremental-vs-oracle plan identity checks and PlanDiff.
+  friend bool operator==(const Path&, const Path&) = default;
 };
 
 /// Extracts the path from the tree's source to `target`.

@@ -1,3 +1,6 @@
+#include <limits>
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "core/path_physics.hpp"
@@ -102,6 +105,67 @@ TEST(Provision, FailureToleranceRaisesBackupCapacity) {
   EXPECT_EQ(tolerant.edge_capacity_wavelengths[top_b], 160);
   EXPECT_EQ(tolerant.edge_capacity_wavelengths[bot_b], 160);
   EXPECT_TRUE(tolerant.hut_used(map, bottom));
+}
+
+TEST(Provision, ExtremeDemandOverflowingFiberCountThrows) {
+  // Two DC pairs of INT_MAX-fiber DCs share one middle duct: its worst-case
+  // hose load rounds to 2 * INT_MAX base fibers, which no int can hold. The
+  // old code narrowed silently; now the planner refuses the plan.
+  fibermap::FiberMap map;
+  const int huge = std::numeric_limits<int>::max();
+  const auto a = map.add_dc("a", {0, 1}, huge);
+  const auto b = map.add_dc("b", {0, -1}, huge);
+  const auto c = map.add_dc("c", {10, 1}, huge);
+  const auto d = map.add_dc("d", {10, -1}, huge);
+  const auto h1 = map.add_hut("h1", {1, 0});
+  const auto h2 = map.add_hut("h2", {9, 0});
+  map.add_duct_with_length(a, h1, 2.0);
+  map.add_duct_with_length(b, h1, 2.0);
+  map.add_duct_with_length(c, h2, 2.0);
+  map.add_duct_with_length(d, h2, 2.0);
+  map.add_duct_with_length(h1, h2, 8.0);
+  EXPECT_THROW((void)provision(map, toy_params()), std::overflow_error);
+}
+
+TEST(Provision, OversubscriptionKeepsUsedDuctsProvisioned) {
+  // OC2 relaxation: even an absurd oversubscription factor must leave every
+  // duct the plan routes over with at least one wavelength (ceil rounding).
+  const auto map = fibermap::toy_example_fig10();
+  const auto exact = provision(map, toy_params());
+  auto params = toy_params();
+  params.oversubscription = 1e9;
+  const auto relaxed = provision(map, params);
+  for (std::size_t e = 0; e < exact.edge_capacity_wavelengths.size(); ++e) {
+    if (exact.edge_capacity_wavelengths[e] > 0) {
+      EXPECT_GE(relaxed.edge_capacity_wavelengths[e], 1);
+      EXPECT_GE(relaxed.base_fibers[e], 1);
+    }
+  }
+}
+
+TEST(Provision, DominancePruningSkipsDemandFreeDucts) {
+  // The square region: the backup route carries no demand until the primary
+  // fails, so the scenarios failing only backup ducts are dominated by the
+  // baseline and folded from it instead of routed.
+  fibermap::FiberMap map;
+  const auto a = map.add_dc("a", {0, 0}, 4);
+  const auto b = map.add_dc("b", {10, 0}, 4);
+  const auto top = map.add_hut("top", {5, 5});
+  const auto bottom = map.add_hut("bottom", {5, -5});
+  map.add_duct_with_length(a, top, 7.0);
+  map.add_duct_with_length(top, b, 7.0);
+  map.add_duct_with_length(a, bottom, 8.0);
+  map.add_duct_with_length(bottom, b, 8.0);
+
+  const auto net = provision(map, toy_params(1));
+  EXPECT_EQ(net.scenarios_evaluated, 5);  // {} + 4 single cuts
+  EXPECT_EQ(net.scenarios_pruned, 2);     // the two idle bottom ducts
+
+  auto full = toy_params(1);
+  full.incremental = false;
+  const auto oracle = provision(map, full);
+  EXPECT_EQ(oracle.scenarios_pruned, 0);
+  EXPECT_TRUE(same_plan(net, oracle));
 }
 
 TEST(Provision, ScenarioCountsAndDiagnostics) {

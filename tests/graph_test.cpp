@@ -390,6 +390,23 @@ TEST(Resilience, AuditAndTolerance) {
   EXPECT_EQ(max_supported_tolerance(audit), 1);
 }
 
+TEST(Resilience, EmptyAuditHasNoSupportedTolerance) {
+  // No DC pairs audited: no tolerance is meaningful, not even 0. The old
+  // behavior returned 0 ("survives zero cuts"), which read as a guarantee.
+  EXPECT_EQ(max_supported_tolerance({}), -1);
+}
+
+TEST(Resilience, DisconnectedPairHasNoSupportedTolerance) {
+  // 0-1 connected, 2 isolated: the 0-2 and 1-2 pairs have zero disjoint
+  // paths, so even the no-failure scenario cannot be honored.
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const std::vector<NodeId> terminals{0, 1, 2};
+  const auto audit = audit_resilience(g, terminals);
+  ASSERT_EQ(audit.size(), 3u);
+  EXPECT_EQ(max_supported_tolerance(audit), -1);
+}
+
 TEST(Resilience, CriticalDuctsMatchConnectivityAndDisconnect) {
   Graph ring(4);
   std::vector<EdgeId> edges;
@@ -452,6 +469,23 @@ TEST(KShortestPaths, HandlesFewerPathsThanRequested) {
   ASSERT_EQ(paths.size(), 1u);
   EXPECT_EQ(paths[0].hop_count(), 2);
   EXPECT_TRUE(k_shortest_paths(line, 0, 2, 0).empty());
+}
+
+TEST(KShortestPaths, EqualLengthRoutesOrderedByNodeSequence) {
+  // Two disjoint 0->3 routes of identical length: via node 1 and via node 2.
+  // Length ties must break on the lexicographic node sequence so enumeration
+  // order is deterministic regardless of edge insertion order.
+  Graph g(4);
+  g.add_edge(0, 2, 1.0);  // the via-2 route is inserted first...
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  const auto paths = k_shortest_paths(g, 0, 3, 4);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(paths[0].length_km, paths[1].length_km);
+  // ...but the via-1 route sorts first: {0,1,3} < {0,2,3}.
+  EXPECT_EQ(paths[0].nodes, (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(paths[1].nodes, (std::vector<NodeId>{0, 2, 3}));
 }
 
 TEST(KShortestPaths, DisconnectedReturnsEmpty) {
