@@ -10,10 +10,19 @@
 // a successor controller recovers from the journal, and the audit must be
 // clean after every recovery -- the crash-tolerance acceptance gate.
 //
+// With `srlg_chaos=1` the single-victim duct chaos is replaced by a
+// correlated failure timeline: SRLGs are inferred on the region (shared
+// trenches, shared huts), the planner provisions against their group events,
+// and a seeded reliability::EventStream drives duct cuts, trench hits, hut
+// outages and a deterministic hut maintenance window -- each group failing
+// all member ducts atomically. Black-holed circuits must trigger the TE
+// escape hatch (immediate reroute of the active intent); the run fails
+// unless at least one hut-level event and one escape-hatch replan occurred.
+//
 // Usage: bench_chaos_soak [samples] [seed] [key=value...]
 //                         [--metrics[=path]] [--steady-clock]
 //   keys: oss_connect_fail oss_disconnect_fail oss_port_stuck tx_tune_fail
-//         tx_dead amp_dead timeout_fraction crash_every_cmds
+//         tx_dead amp_dead timeout_fraction crash_every_cmds srlg_chaos
 // Malformed or unknown arguments are rejected with exit code 2 (the atof
 // family used to turn garbage into silent zeros). With no arguments the
 // soak is byte-identical to the unparameterized run; --metrics exports the
@@ -30,10 +39,12 @@
 #include "control/journal.hpp"
 #include "control/policy.hpp"
 #include "fibermap/generator.hpp"
+#include "fibermap/srlg.hpp"
 #include "obs/argparse.hpp"
 #include "obs/clock.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "reliability/events.hpp"
 
 namespace {
 
@@ -87,8 +98,29 @@ int usage_error(const char* what, const char* arg) {
                "                        [--metrics[=path]] [--steady-clock]\n"
                "  keys: oss_connect_fail oss_disconnect_fail oss_port_stuck\n"
                "        tx_tune_fail tx_dead amp_dead timeout_fraction\n"
-               "        (rates in [0,1]) crash_every_cmds (integer >= 0)\n");
+               "        (rates in [0,1]) crash_every_cmds (integer >= 0)\n"
+               "        srlg_chaos (0 or 1)\n");
   return 2;
+}
+
+/// One edge of the pre-drained correlated failure timeline, in soak ticks
+/// (1 tick = 1 simulated hour).
+struct SrlgChaosEvent {
+  long long tick = 0;
+  reliability::EventKind kind = reliability::EventKind::kDuctCut;
+  std::vector<graph::EdgeId> ducts;
+};
+
+const char* event_kind_label(reliability::EventKind k) {
+  using reliability::EventKind;
+  switch (k) {
+    case EventKind::kDuctCut: return "cut";
+    case EventKind::kTrenchHit: return "trench";
+    case EventKind::kHutOutage: return "hut";
+    case EventKind::kMaintenanceStart: return "maintenance";
+    case EventKind::kDisaster: return "disaster";
+    default: return nullptr;  // repair/end kinds carry no counter
+  }
 }
 
 /// Deterministic demand wobble (no RNG: the whole soak must be replayable).
@@ -126,6 +158,12 @@ int main(int argc, char** argv) {
       steady_clock = true;
       continue;
     }
+    if (std::strchr(argv[i], '=') != nullptr) {
+      // key=value overrides may appear anywhere: neither positional can
+      // contain '=', so there is no ambiguity.
+      overrides.push_back(argv[i]);
+      continue;
+    }
     if (positionals == 0) {
       const auto v = obs::parse_ll(argv[i]);
       if (!v || *v < 0 || *v > std::numeric_limits<int>::max()) {
@@ -143,9 +181,18 @@ int main(int argc, char** argv) {
     }
   }
   auto faults = soak_faults(seed);
+  bool srlg_chaos = false;
   for (const char* arg : overrides) {
     const auto kv = obs::split_kv(arg);
     if (!kv) return usage_error("fault override is not key=value", arg);
+    if (kv->first == "srlg_chaos") {
+      const auto v = obs::parse_ll(kv->second);
+      if (!v || (*v != 0 && *v != 1)) {
+        return usage_error("malformed srlg_chaos value", arg);
+      }
+      srlg_chaos = *v == 1;
+      continue;
+    }
     if (kv->first == "crash_every_cmds") {
       const auto v = obs::parse_ll(kv->second);
       if (!v || *v < 0) {
@@ -171,7 +218,14 @@ int main(int argc, char** argv) {
   region.dc_count = 5;
   region.hut_count = 10;
   region.capacity_fibers = 8;
-  const auto map = fibermap::generate_region(region);
+  auto map = fibermap::generate_region(region);
+  int inferred_srlgs = 0;
+  if (srlg_chaos) {
+    // SRLGs enter the planner's scenario space: provision() below must
+    // survive every group event (trench, hut) up to the tolerance, not just
+    // independent single-duct cuts.
+    inferred_srlgs = fibermap::infer_and_add_srlgs(map);
+  }
   core::PlannerParams params;
   params.failure_tolerance = 1;
   params.channels.wavelengths_per_fiber = 40;
@@ -200,16 +254,87 @@ int main(int argc, char** argv) {
                 crash_every);
   }
 
+  // Correlated chaos timeline, pre-drained from the shared EventStream so
+  // the soak stays replayable: same map, model and seed give the same
+  // schedule. 1 soak tick = 1 simulated hour.
+  std::vector<SrlgChaosEvent> schedule;
+  if (srlg_chaos && samples > 0) {
+    reliability::CorrelatedFailureModel cm;
+    cm.base.cuts_per_km_year = 0.05;
+    cm.base.mean_repair_hours = 12.0;
+    cm.base.disasters_per_year = 0.0;  // site-down semantics stay out of scope
+    cm.base.horizon_years = static_cast<double>(samples) / (365.25 * 24.0);
+    cm.base.seed = seed;
+    cm.trench_hits_per_km_year = 2.0;
+    cm.trench_repair_hours = 24.0;
+    cm.hut_outages_per_year = 5.0;
+    cm.hut_repair_hours = 6.0;
+    // A deterministic maintenance window on the first hut SRLG guarantees
+    // at least one hut-level group event regardless of the random draws.
+    for (std::size_t s = 0; s < map.srlgs().size(); ++s) {
+      if (map.srlgs()[s].kind != fibermap::SrlgKind::kHut) continue;
+      reliability::MaintenanceWindow w;
+      w.srlg = static_cast<fibermap::SrlgId>(s);
+      w.start_h = 137.0;
+      w.period_h = 1733.0;
+      w.duration_h = 8.0;
+      cm.maintenance.push_back(w);
+      break;
+    }
+    reliability::EventStream stream(map, cm);
+    while (auto ev = stream.next()) {
+      if (ev->ducts.empty()) continue;
+      schedule.push_back(SrlgChaosEvent{static_cast<long long>(ev->at_h),
+                                        ev->kind, std::move(ev->ducts)});
+    }
+    std::printf("# srlg chaos: %d inferred SRLGs, %zu timeline events\n",
+                inferred_srlgs, schedule.size());
+  }
+
   long long applies = 0, committed = 0, rolled_back = 0, degraded = 0,
             rejected = 0, command_retries = 0, timeouts = 0, circuit_retries = 0,
             oss_ops = 0, audits = 0, crashes = 0, recovered_finished = 0,
             recovered_reissued = 0, orphans_adopted = 0;
   const graph::EdgeId victim = map.graph().edge_count() / 2;
   bool victim_down = false;
+  long long escape_hatch_replans = 0, hut_level_events = 0;
+  std::vector<int> duct_down(static_cast<std::size_t>(map.graph().edge_count()),
+                             0);
+  std::size_t next_event = 0;
   for (int i = 0; i < samples; ++i) {
     const double t = static_cast<double>(i);
-    // Periodic maintenance chaos: fail a duct, repair it later.
-    if (i % 997 == 500 && !victim_down) {
+    if (srlg_chaos) {
+      // Correlated chaos: apply every timeline event due by this tick. A
+      // group event fails all member ducts atomically; overlapping groups
+      // are refcounted so a duct recovers only when its last cause clears.
+      while (next_event < schedule.size() && schedule[next_event].tick <= i) {
+        const SrlgChaosEvent& ev = schedule[next_event];
+        const int delta = reliability::event_is_failure(ev.kind) ? 1 : -1;
+        if (delta > 0) {
+          if (const char* label = event_kind_label(ev.kind)) {
+            obs::registry().add(
+                obs::key("reliability.events", {{"kind", label}}));
+          }
+          // Maintenance windows are scheduled on hut SRLGs above, so both
+          // kinds count as hut-level for the escape-hatch acceptance gate.
+          if (ev.kind == reliability::EventKind::kHutOutage ||
+              ev.kind == reliability::EventKind::kMaintenanceStart) {
+            ++hut_level_events;
+          }
+        }
+        for (graph::EdgeId e : ev.ducts) {
+          duct_down[static_cast<std::size_t>(e)] += delta;
+          if (delta > 0 && duct_down[static_cast<std::size_t>(e)] == 1) {
+            controller->fail_duct(e);
+          } else if (delta < 0 &&
+                     duct_down[static_cast<std::size_t>(e)] == 0) {
+            controller->restore_duct(e);
+          }
+        }
+        ++next_event;
+      }
+    } else if (i % 997 == 500 && !victim_down) {
+      // Periodic maintenance chaos: fail a duct, repair it later.
       controller->fail_duct(victim);
       victim_down = true;
     } else if (i % 997 == 650 && victim_down) {
@@ -217,6 +342,50 @@ int main(int argc, char** argv) {
       victim_down = false;
     }
     policy.observe(demand_at(map, t), t);
+    if (srlg_chaos && controller->circuits_on_failed_ducts() > 0) {
+      // TE escape hatch (mirrors control/closed_loop): circuits are
+      // black-holed on failed ducts, so re-apply the active intent now --
+      // circuit routing avoids failed ducts -- instead of waiting out the
+      // policy's hysteresis.
+      control::TrafficMatrix reroute;
+      for (const control::Circuit& c : controller->active_circuits()) {
+        reroute[c.pair] += c.wavelengths;
+      }
+      try {
+        const auto report = controller->apply_traffic_matrix(reroute);
+        ++applies;
+        ++escape_hatch_replans;
+        oss_ops += report.oss_operations;
+        command_retries += report.command_retries;
+        timeouts += report.commands_timed_out;
+        circuit_retries += report.circuit_retries;
+        switch (report.outcome) {
+          case ApplyOutcome::kCommitted: ++committed; break;
+          case ApplyOutcome::kRolledBack: ++rolled_back; break;
+          case ApplyOutcome::kDegraded: ++degraded; break;
+        }
+        check(report.verified, "escape hatch report.verified", t);
+        check(controller->audit_devices(), "audit_devices() after escape", t);
+        ++audits;
+      } catch (const std::runtime_error&) {
+        ++rejected;  // e.g. no alternate route while a group is down
+        check(controller->audit_devices(), "audit_devices() after refusal", t);
+      } catch (const control::ControllerCrash&) {
+        ++crashes;
+        controller.reset();
+        controller = std::make_unique<control::IrisController>(map, net, plan,
+                                                               devices);
+        const control::RecoveryReport rr = controller->recover(journal);
+        recovered_finished += rr.finished_establishes;
+        recovered_reissued += rr.reissued_establishes;
+        orphans_adopted += rr.orphan_connects_adopted;
+        check(rr.audit.clean(), "post-recovery audit", t);
+        ++audits;
+        devices.fault_injector().arm_crash(crash_every);
+        policy.defer_retry(t);
+      }
+      continue;  // the policy proposes again at the next sample
+    }
     const auto proposal = policy.propose(t);
     if (!proposal) continue;
     try {
@@ -299,6 +468,19 @@ int main(int argc, char** argv) {
   std::printf("%-28s %12d\n", "  transceivers", s.quarantined_transceivers);
   std::printf("%-28s %12d\n", "zombie cross-connects", s.zombie_connects);
   std::printf("%-28s %12lld\n", "device audits passed", audits - violations);
+  if (srlg_chaos) {
+    std::printf("%-28s %12lld\n", "srlg timeline events",
+                static_cast<long long>(schedule.size()));
+    std::printf("%-28s %12lld\n", "  hut-level events", hut_level_events);
+    std::printf("%-28s %12lld\n", "escape hatch replans", escape_hatch_replans);
+    // Acceptance gates: the correlated timeline must actually have taken a
+    // hut group down, and the black-holed circuits must have forced at
+    // least one TE escape-hatch reroute.
+    check(hut_level_events >= 1, "srlg chaos produced a hut-level event",
+          samples);
+    check(escape_hatch_replans >= 1, "hut chaos exercised the TE escape hatch",
+          samples);
+  }
 
   if (metrics.enabled && !obs::dump_default_registry(metrics.path)) return 2;
 

@@ -6,11 +6,22 @@
 // their failure domains. This bench quantifies that with the Monte-Carlo
 // failure model: per-pair availability under the distributed (any surviving
 // path) criterion versus the centralized (must transit a hub) criterion.
+//
+// Usage: bench_reliability_availability [key=value...] [--metrics[=path]]
+//                                       [--benchmark_* flags]
+//   keys: cut_rate disasters_per_year disaster_radius_km disaster_repair_days
+//         mean_repair_hours horizon_years
+// Malformed or unknown arguments exit with code 2; with no arguments the
+// table is byte-identical to the unparameterized run.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstring>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "obs/argparse.hpp"
+#include "obs/export.hpp"
 #include "reliability/availability.hpp"
 
 namespace {
@@ -40,15 +51,45 @@ std::vector<graph::NodeId> hub_pair(const fibermap::FiberMap& map, bool close) {
   return {huts[0], huts.back()};
 }
 
-void print_table() {
+/// The stressed default model the table has always used: duct-cut rate well
+/// above folklore, a regional catastrophe every ~5 years.
+reliability::FailureModel table_model() {
   reliability::FailureModel model;
-  model.cuts_per_km_year = 0.02;       // stressed duct-cut rate
-  model.disasters_per_year = 0.2;      // a regional catastrophe every ~5 yrs
+  model.cuts_per_km_year = 0.02;
+  model.disasters_per_year = 0.2;
   model.disaster_radius_km = 10.0;
   model.disaster_repair_days = 30.0;
   model.mean_repair_hours = 12.0;
   model.horizon_years = 400.0;
+  return model;
+}
 
+/// Stores one model value under its key; returns false on an unknown key
+/// (range validation is the caller's).
+bool set_model_value(reliability::FailureModel& model, const std::string& key,
+                     double value) {
+  if (key == "cut_rate") model.cuts_per_km_year = value;
+  else if (key == "disasters_per_year") model.disasters_per_year = value;
+  else if (key == "disaster_radius_km") model.disaster_radius_km = value;
+  else if (key == "disaster_repair_days") model.disaster_repair_days = value;
+  else if (key == "mean_repair_hours") model.mean_repair_hours = value;
+  else if (key == "horizon_years") model.horizon_years = value;
+  else return false;
+  return true;
+}
+
+int usage_error(const char* what, const char* arg) {
+  std::fprintf(stderr, "bench_reliability_availability: %s '%s'\n", what, arg);
+  std::fprintf(stderr,
+               "usage: bench_reliability_availability [key=value...]\n"
+               "         [--metrics[=path]] [--benchmark_* flags]\n"
+               "  keys: cut_rate disasters_per_year disaster_radius_km\n"
+               "        disaster_repair_days mean_repair_hours horizon_years\n"
+               "        (rates and radii >= 0; repair/horizon > 0)\n");
+  return 2;
+}
+
+void print_table(reliability::FailureModel model) {
   std::printf("# Worst-pair downtime (min/yr): distributed vs centralized,"
               " hubs close vs far apart\n");
   std::printf("%6s %4s | %12s %14s %14s\n", "seed", "DCs", "distributed",
@@ -116,8 +157,37 @@ BENCHMARK(BM_AvailabilitySimulation)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
+  reliability::FailureModel model = table_model();
+  obs::MetricsFlag metrics;
+  // Strict parsing: --benchmark_* flags pass through to the benchmark
+  // library; everything else must be a known key=value (the atof family
+  // used to turn garbage into silent zeros).
+  std::vector<char*> bench_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (obs::parse_metrics_flag(argv[i], metrics)) continue;
+    if (std::strncmp(argv[i], "--benchmark_", 12) == 0) {
+      bench_args.push_back(argv[i]);
+      continue;
+    }
+    const auto kv = obs::split_kv(argv[i]);
+    if (!kv) return usage_error("argument is not key=value", argv[i]);
+    const auto v = obs::parse_double(kv->second);
+    if (!v || *v < 0.0) {
+      return usage_error("value not a number >= 0", argv[i]);
+    }
+    if (!set_model_value(model, kv->first, *v)) {
+      return usage_error("unknown model key", argv[i]);
+    }
+  }
+  if (model.mean_repair_hours <= 0.0 || model.horizon_years <= 0.0) {
+    return usage_error("repair/horizon must be > 0",
+                       model.mean_repair_hours <= 0.0 ? "mean_repair_hours"
+                                                      : "horizon_years");
+  }
+  print_table(model);
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
   benchmark::RunSpecifiedBenchmarks();
+  if (metrics.enabled && !obs::dump_default_registry(metrics.path)) return 2;
   return 0;
 }

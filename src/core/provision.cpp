@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -64,15 +65,49 @@ graph::ScenarioSet planner_scenarios(const fibermap::FiberMap& map,
   }
   graph::EdgeMask base(g.edge_count());
   std::vector<EdgeId> eligible;
+  std::vector<char> is_eligible(static_cast<std::size_t>(g.edge_count()), 0);
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     if (g.edge(e).length_km > params.spec.max_span_km ||
         cut[static_cast<std::size_t>(e)]) {
       base.fail(e);  // TC1 exclusion, or a duct already physically lost
     } else {
       eligible.push_back(e);
+      is_eligible[static_cast<std::size_t>(e)] = 1;
     }
   }
-  return graph::ScenarioSet(g.edge_count(), std::move(eligible),
+
+  // SRLG events: each declared group fails its member ducts atomically, on
+  // top of the per-duct singleton events. Members that are TC1-excluded or
+  // already cut are dropped (they are failed in every scenario anyway); a
+  // group left with fewer than two members duplicates a singleton event and
+  // is dropped, as are exact duplicate member sets — so a map declaring
+  // every duct its own singleton SRLG enumerates exactly the independent
+  // per-duct domain.
+  std::vector<graph::FailureEvent> group_events;
+  std::set<std::vector<EdgeId>> group_sets;
+  for (const fibermap::Srlg& s : map.srlgs()) {
+    std::vector<EdgeId> members;
+    for (EdgeId e : s.ducts) {
+      if (e >= 0 && e < g.edge_count() && is_eligible[static_cast<std::size_t>(e)]) {
+        members.push_back(e);
+      }
+    }
+    std::sort(members.begin(), members.end());
+    if (members.size() < 2) continue;
+    if (!group_sets.insert(members).second) continue;
+    group_events.push_back(graph::FailureEvent{std::move(members)});
+  }
+  if (group_events.empty()) {
+    return graph::ScenarioSet(g.edge_count(), std::move(eligible),
+                              params.failure_tolerance, std::move(base));
+  }
+  obs::registry().add("planner.srlg.events",
+                      static_cast<long long>(group_events.size()));
+  std::vector<graph::FailureEvent> events;
+  events.reserve(eligible.size() + group_events.size());
+  for (EdgeId e : eligible) events.push_back(graph::FailureEvent{{e}});
+  for (auto& ev : group_events) events.push_back(std::move(ev));
+  return graph::ScenarioSet(g.edge_count(), std::move(events),
                             params.failure_tolerance, std::move(base));
 }
 
@@ -200,34 +235,36 @@ ProvisionedNetwork run_provision(const fibermap::FiberMap& map,
         workers, [&](int worker) -> graph::PrunedScenarioVisitor {
           graph::PrunedScenarioVisitor v;
           v.evaluate = [&, worker](const graph::EdgeMask&,
-                                   std::span<const EdgeId> failed)
+                                   std::span<const EdgeId> failed, int depth)
               -> const std::vector<char>& {
             ProvisionAccumulator& a = acc[static_cast<std::size_t>(worker)];
             ++a.scenarios;
             a.router.sync(failed);
             const auto tally = route_scenario(
-                a, g, dcs, params, failed.empty(), &a.used,
+                a, g, dcs, params, depth == 0, &a.used,
                 [&](std::size_t i) -> const graph::ShortestPathTree& {
                   return a.router.tree(i);
                 },
                 capacity_of);
             a.unreachable += tally.first;
             a.beyond_sla += tally.second;
-            if (failed.empty()) baseline_tally = tally;
-            a.tally_stack[failed.size()] = tally;
+            if (depth == 0) baseline_tally = tally;
+            a.tally_stack[static_cast<std::size_t>(depth)] = tally;
             return a.used;
           };
-          v.pruned = [&, worker](std::span<const EdgeId> failed) {
+          v.pruned = [&, worker](std::span<const EdgeId>, int depth) {
             // Identical routing to the parent: fold its tallies again so
-            // diagnostics match the full sweep exactly.
+            // diagnostics match the full sweep exactly. The stack is keyed
+            // on failed-event depth, not duct count — an SRLG event fails
+            // several ducts but is one step down the subset tree.
             ProvisionAccumulator& a = acc[static_cast<std::size_t>(worker)];
             ++a.scenarios;
-            const auto tally = failed.size() >= 2
-                                   ? a.tally_stack[failed.size() - 1]
-                                   : baseline_tally;
+            const auto tally =
+                depth >= 2 ? a.tally_stack[static_cast<std::size_t>(depth) - 1]
+                           : baseline_tally;
             a.unreachable += tally.first;
             a.beyond_sla += tally.second;
-            a.tally_stack[failed.size()] = tally;
+            a.tally_stack[static_cast<std::size_t>(depth)] = tally;
           };
           return v;
         });

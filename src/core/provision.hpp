@@ -45,6 +45,13 @@ struct PlannerParams {
   /// every scenario and excluded from the failure-eligible set. Must not
   /// contain duplicates.
   std::vector<graph::EdgeId> cut_ducts;
+
+  /// Availability target for provision_to_availability_slo (core/slo): the
+  /// search raises failure_tolerance until every DC pair's simulated
+  /// availability meets this. 0 disables SLO-driven provisioning; provision()
+  /// itself never reads these two fields.
+  double availability_slo = 0.0;
+  int slo_max_tolerance = 4;  ///< search ceiling on failure_tolerance
 };
 
 /// Unordered DC pair, normalized so a < b.

@@ -243,7 +243,16 @@ ProvisionedNetwork IncrementalPlanner::sweep_plan() {
     return std::shared_ptr<const ScenarioRecord>(std::move(rec));
   };
 
-  const auto patched_record = [&](const ScenarioRecord& parent, EdgeId cut,
+  const auto uses_any = [](const graph::Path& path,
+                           std::span<const EdgeId> cuts) {
+    for (EdgeId cut : cuts) {
+      if (path.uses_edge(cut)) return true;
+    }
+    return false;
+  };
+
+  const auto patched_record = [&](const ScenarioRecord& parent,
+                                  std::span<const EdgeId> cuts,
                                   std::span<const EdgeId> failed) {
     auto rec = std::make_shared<ScenarioRecord>(parent);
     std::vector<std::uint64_t> affected(words, 0);
@@ -251,11 +260,11 @@ ProvisionedNetwork IncrementalPlanner::sweep_plan() {
     for (std::size_t pidx = 0; pidx < c.pairs.size(); ++pidx) {
       const std::int32_t id = rec->path_id[pidx];
       if (id < 0) continue;  // fewer ducts never revive a pair
-      // Invalidation lemma: a pair whose canonical path avoids the new cut
-      // keeps that exact path; only pairs routed over the cut change.
+      // Invalidation lemma: a pair whose canonical path avoids every newly
+      // cut duct keeps that exact path; only pairs routed over a cut change.
       // (Mind the interning pool: intern() may reallocate c.paths, so the
       // old path must not be referenced after the new one is interned.)
-      if (!c.paths[static_cast<std::size_t>(id)].uses_edge(cut)) continue;
+      if (!uses_any(c.paths[static_cast<std::size_t>(id)], cuts)) continue;
       const graph::Path& old_path = c.paths[static_cast<std::size_t>(id)];
       if (old_path.length_km > max_path_km) --rec->beyond_sla;
       for (EdgeId e : old_path.edges) set_bit(affected, e);
@@ -283,34 +292,54 @@ ProvisionedNetwork IncrementalPlanner::sweep_plan() {
   long long copies = 0;
   long long computed = 0;
   std::vector<std::shared_ptr<const ScenarioRecord>> stack(tol + 1);
+  // Flattened failed-duct count at each event depth: the tail of `failed`
+  // past the parent's count is exactly what the newest event added (members
+  // an ancestor event already failed are flattened away by the sweep).
+  std::vector<std::size_t> flat_size(tol + 1, 0);
   std::vector<EdgeId> key;
-  scenarios.for_each([&](const graph::EdgeMask&,
-                         std::span<const EdgeId> failed) {
+  std::vector<EdgeId> sorted_failed;
+  scenarios.for_each_events([&](const graph::EdgeMask&,
+                                std::span<const EdgeId> failed, int depth) {
+    const auto d = static_cast<std::size_t>(depth);
+    flat_size[d] = failed.size();
+    // Records are keyed by the effective failed-duct *set*: SRLG events
+    // flatten in event order, so sort before merging with the live cuts.
+    // Two event subsets destroying the same ducts share one record — their
+    // masks, and therefore their routing, are identical.
+    sorted_failed.assign(failed.begin(), failed.end());
+    std::sort(sorted_failed.begin(), sorted_failed.end());
     key.clear();
-    std::merge(failed.begin(), failed.end(), key_cuts.begin(), key_cuts.end(),
-               std::back_inserter(key));
+    std::merge(sorted_failed.begin(), sorted_failed.end(), key_cuts.begin(),
+               key_cuts.end(), std::back_inserter(key));
     std::shared_ptr<const ScenarioRecord> rec;
     if (const auto it = c.records.find(key); it != c.records.end()) {
       rec = it->second;
       ++cache_hits;
     } else {
-      if (failed.empty()) {
+      if (depth == 0) {
         rec = full_record(failed);
         ++computed;
       } else {
-        const auto& parent = stack[failed.size() - 1];
-        const EdgeId cut = failed.back();
-        if (!bit(parent->used, cut)) {
-          rec = parent;  // demand-free duct: routing identical to the parent
+        const auto& parent = stack[d - 1];
+        const auto cuts = failed.subspan(flat_size[d - 1]);
+        bool demand_free = true;
+        for (EdgeId cut : cuts) {
+          if (bit(parent->used, cut)) {
+            demand_free = false;
+            break;
+          }
+        }
+        if (demand_free) {
+          rec = parent;  // demand-free ducts: routing identical to the parent
           ++copies;
         } else {
-          rec = patched_record(*parent, cut, failed);
+          rec = patched_record(*parent, cuts, failed);
           ++computed;
         }
       }
       c.records.emplace(key, rec);
     }
-    stack[failed.size()] = rec;
+    stack[d] = rec;
     unreachable += rec->unreachable;
     beyond_sla += rec->beyond_sla;
     for (const auto& [e, load] : rec->loads) {

@@ -1,0 +1,45 @@
+// Availability-SLO-driven provisioning (paper SS2.2 meets SS4.1).
+//
+// "Tolerate k cuts" is the planner's knob, but the contract an operator
+// signs is an availability target per DC pair (e.g. 99.99%). This module
+// closes the loop: provision at increasing failure tolerance and simulate
+// each candidate plan under the correlated failure model (trench SRLGs, hut
+// outages, maintenance calendars — reliability/events) until every pair
+// meets the SLO or the search ceiling is hit. Pairs are judged on *planned*
+// ducts only: capacity the plan did not buy cannot carry the recovery path.
+#pragma once
+
+#include "core/provision.hpp"
+#include "reliability/events.hpp"
+
+namespace iris::core {
+
+/// Outcome of the SLO search. `network` and `availability` describe the last
+/// candidate evaluated — the accepted plan when `met`, the slo_max_tolerance
+/// plan otherwise (callers can inspect how far short it fell).
+struct SloProvisionReport {
+  ProvisionedNetwork network;
+  reliability::CorrelatedAvailabilityReport availability;
+  int tolerance = 0;     ///< failure_tolerance of `network`
+  int search_steps = 0;  ///< candidate plans provisioned and simulated
+  bool met = false;      ///< every pair's availability >= the SLO
+};
+
+/// Connectivity criterion restricted to ducts the plan actually provisioned:
+/// a pair is up while some surviving path exists using used ducts only.
+/// This is the honest criterion for judging a plan's SLO — raw reachability
+/// over unbuilt fiber would flatter every design equally.
+reliability::PairUpFn planned_path_criterion(const fibermap::FiberMap& map,
+                                            const ProvisionedNetwork& net);
+
+/// Searches failure_tolerance in [params.failure_tolerance,
+/// params.slo_max_tolerance] for the cheapest plan whose worst simulated
+/// pair availability meets params.availability_slo under `model`.
+/// Deterministic: same map, params and model give the same report.
+/// Throws std::invalid_argument if params.availability_slo is not in (0, 1]
+/// or the tolerance range is empty.
+SloProvisionReport provision_to_availability_slo(
+    const fibermap::FiberMap& map, const PlannerParams& params,
+    const reliability::CorrelatedFailureModel& model);
+
+}  // namespace iris::core

@@ -1,5 +1,7 @@
 #include "fibermap/fibermap.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <stdexcept>
 
 namespace iris::fibermap {
@@ -42,6 +44,34 @@ graph::EdgeId FiberMap::add_duct_with_length(graph::NodeId u, graph::NodeId v,
                                              double length_km) {
   const graph::EdgeId id = graph_.add_edge(u, v, length_km);
   routes_.push_back(geo::straight_duct(site(u).position, site(v).position));
+  return id;
+}
+
+SrlgId FiberMap::add_srlg(Srlg srlg) {
+  if (srlg.name.empty() ||
+      std::any_of(srlg.name.begin(), srlg.name.end(), [](unsigned char c) {
+        return std::isspace(c) != 0;
+      })) {
+    throw std::invalid_argument(
+        "FiberMap::add_srlg: name must be a non-empty single token");
+  }
+  if (srlg.ducts.empty()) {
+    throw std::invalid_argument("FiberMap::add_srlg: empty group");
+  }
+  std::sort(srlg.ducts.begin(), srlg.ducts.end());
+  srlg.ducts.erase(std::unique(srlg.ducts.begin(), srlg.ducts.end()),
+                   srlg.ducts.end());
+  for (graph::EdgeId e : srlg.ducts) {
+    if (e < 0 || e >= graph_.edge_count()) {
+      throw std::invalid_argument("FiberMap::add_srlg: duct out of range");
+    }
+  }
+  if (srlg.kind == SrlgKind::kHut &&
+      (srlg.hut < 0 || srlg.hut >= graph_.node_count())) {
+    throw std::invalid_argument("FiberMap::add_srlg: hut site out of range");
+  }
+  const auto id = static_cast<SrlgId>(srlgs_.size());
+  srlgs_.push_back(std::move(srlg));
   return id;
 }
 

@@ -6,6 +6,7 @@
 // lease per duct. Each DC carries a hose capacity expressed in fibers.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,26 @@
 namespace iris::fibermap {
 
 enum class SiteKind { kDc, kHut };
+
+/// Provenance of a shared-risk link group.
+enum class SrlgKind {
+  kManual,  ///< declared by the operator (power domain, lease, ...)
+  kTrench,  ///< inferred: duct routes share a physical trench corridor
+  kHut,     ///< inferred: ducts terminate at the same fiber hut
+};
+
+using SrlgId = std::int32_t;
+
+/// A shared-risk link group: ducts that fail together when their common
+/// physical resource (trench, hut, power feed) is hit. Groups may overlap —
+/// a duct can sit in a trench group and a hut group at once.
+struct Srlg {
+  std::string name;  ///< unique-ish label, single token (no whitespace)
+  SrlgKind kind = SrlgKind::kManual;
+  std::vector<graph::EdgeId> ducts;  ///< ascending, unique, non-empty
+  double shared_km = 0.0;  ///< trench groups: length of the shared corridor
+  graph::NodeId hut = graph::kInvalidNode;  ///< hut groups: the shared site
+};
 
 /// One site in the region. Huts have no capacity of their own; they house
 /// switching and amplification equipment when the planner decides to use them.
@@ -53,6 +74,24 @@ class FiberMap {
   [[nodiscard]] double duct_length_km(graph::EdgeId e) const {
     return graph_.edge(e).length_km;
   }
+  /// The physical route a duct follows (straight for explicit-length ducts).
+  [[nodiscard]] const geo::Polyline& duct_route(graph::EdgeId e) const {
+    return routes_.at(static_cast<std::size_t>(e));
+  }
+
+  /// Registers a shared-risk link group. Member ducts are sorted and
+  /// deduplicated; throws std::invalid_argument on an empty group, an
+  /// out-of-range duct, a whitespace-bearing or empty name, or a hut-kind
+  /// group naming an invalid site. Returns the group's id.
+  SrlgId add_srlg(Srlg srlg);
+
+  /// All declared groups, in registration order (SrlgId order).
+  [[nodiscard]] const std::vector<Srlg>& srlgs() const noexcept {
+    return srlgs_;
+  }
+  [[nodiscard]] const Srlg& srlg(SrlgId id) const {
+    return srlgs_.at(static_cast<std::size_t>(id));
+  }
 
   [[nodiscard]] bool is_dc(graph::NodeId n) const {
     return site(n).kind == SiteKind::kDc;
@@ -83,6 +122,7 @@ class FiberMap {
   std::vector<geo::Polyline> routes_;  // parallel to graph edges
   std::vector<graph::NodeId> dc_ids_;
   std::vector<graph::NodeId> hut_ids_;
+  std::vector<Srlg> srlgs_;
 };
 
 }  // namespace iris::fibermap

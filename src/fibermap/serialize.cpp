@@ -25,6 +25,22 @@ void save(const FiberMap& map, std::ostream& os) {
     os << "duct " << map.site(edge.u).name << ' ' << map.site(edge.v).name
        << ' ' << edge.length_km << '\n';
   }
+  for (const Srlg& s : map.srlgs()) {
+    os << "srlg " << s.name << ' ';
+    switch (s.kind) {
+      case SrlgKind::kManual:
+        os << "manual";
+        break;
+      case SrlgKind::kTrench:
+        os << "trench " << s.shared_km;
+        break;
+      case SrlgKind::kHut:
+        os << "hut " << map.site(s.hut).name;
+        break;
+    }
+    for (graph::EdgeId d : s.ducts) os << ' ' << d;
+    os << '\n';
+  }
 }
 
 FiberMap load(std::istream& is) {
@@ -62,6 +78,37 @@ FiberMap load(std::istream& is) {
       if (ia == by_name.end()) fail("unknown site " + a);
       if (ib == by_name.end()) fail("unknown site " + b);
       map.add_duct_with_length(ia->second, ib->second, km);
+    } else if (kind == "srlg") {
+      std::string name, srlg_kind;
+      if (!(ls >> name >> srlg_kind)) fail("malformed srlg record");
+      Srlg s;
+      s.name = name;
+      if (srlg_kind == "manual") {
+        s.kind = SrlgKind::kManual;
+      } else if (srlg_kind == "trench") {
+        s.kind = SrlgKind::kTrench;
+        if (!(ls >> s.shared_km)) fail("malformed trench srlg record");
+      } else if (srlg_kind == "hut") {
+        s.kind = SrlgKind::kHut;
+        std::string hut_name;
+        if (!(ls >> hut_name)) fail("malformed hut srlg record");
+        const auto ih = by_name.find(hut_name);
+        if (ih == by_name.end()) fail("unknown site " + hut_name);
+        s.hut = ih->second;
+      } else {
+        fail("unknown srlg kind '" + srlg_kind + "'");
+      }
+      graph::EdgeId duct = 0;
+      while (ls >> duct) {
+        if (duct < 0 ||
+            duct >= static_cast<graph::EdgeId>(map.duct_count())) {
+          fail("srlg duct index out of range");
+        }
+        s.ducts.push_back(duct);
+      }
+      if (!ls.eof()) fail("malformed srlg duct list");
+      if (s.ducts.empty()) fail("srlg record with no ducts");
+      map.add_srlg(std::move(s));
     } else {
       fail("unknown record kind '" + kind + "'");
     }

@@ -5,7 +5,12 @@
 //   dc   <name> <x_km> <y_km> <capacity_fibers>
 //   hut  <name> <x_km> <y_km>
 //   duct <site_name_a> <site_name_b> <length_km>
-// Sites must be declared before ducts referencing them.
+//   srlg <name> manual <duct_index...>
+//   srlg <name> trench <shared_km> <duct_index...>
+//   srlg <name> hut <hut_site_name> <duct_index...>
+// Sites must be declared before ducts referencing them; srlg records refer
+// to ducts by their declaration index (the duct's EdgeId) and must come
+// after every duct they reference.
 #pragma once
 
 #include <iosfwd>

@@ -1,0 +1,161 @@
+#include "fibermap/srlg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace iris::fibermap {
+
+namespace {
+
+using geo::Point;
+using geo::Polyline;
+using graph::EdgeId;
+using graph::NodeId;
+
+double point_segment_distance_sq(Point p, Point a, Point b) {
+  const Point ab = b - a;
+  const double len_sq = geo::dot(ab, ab);
+  if (len_sq <= 0.0) return geo::distance_sq(p, a);
+  const double t =
+      std::clamp(geo::dot(p - a, ab) / len_sq, 0.0, 1.0);
+  return geo::distance_sq(p, geo::lerp(a, b, t));
+}
+
+double distance_to_polyline_sq(Point p, const Polyline& line) {
+  const auto pts = line.points();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    best = std::min(best, point_segment_distance_sq(p, pts[i], pts[i + 1]));
+  }
+  return best;
+}
+
+/// Union-find over duct indices, with the largest pairwise shared run kept
+/// per component so trench groups can report their corridor length.
+struct TrenchForest {
+  std::vector<std::size_t> parent;
+  std::vector<double> shared_km;
+
+  explicit TrenchForest(std::size_t n) : parent(n), shared_km(n, 0.0) {
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+
+  void join(std::size_t a, std::size_t b, double km) {
+    const std::size_t ra = find(a);
+    const std::size_t rb = find(b);
+    // Rooting at the smaller index keeps component identity canonical.
+    const std::size_t root = std::min(ra, rb);
+    const std::size_t child = std::max(ra, rb);
+    const double best = std::max({shared_km[ra], shared_km[rb], km});
+    parent[child] = root;
+    shared_km[root] = best;
+  }
+};
+
+}  // namespace
+
+double shared_run_km(const Polyline& a, const Polyline& b,
+                     double proximity_km, double sample_step_km) {
+  if (proximity_km <= 0.0 || sample_step_km <= 0.0) {
+    throw std::invalid_argument(
+        "shared_run_km: proximity and sample step must be positive");
+  }
+  const double len = a.length();
+  if (len <= 0.0 || a.size() < 2 || b.size() < 2) return 0.0;
+  const auto samples = static_cast<long long>(
+      std::max(1.0, std::ceil(len / sample_step_km)));
+  const double ds = len / static_cast<double>(samples);
+  const double prox_sq = proximity_km * proximity_km;
+  double shared = 0.0;
+  // Midpoint sampling: each sample stands for one ds-long slice of `a`, so
+  // endpoints touching `b` at an intersection contribute at most one slice.
+  for (long long i = 0; i < samples; ++i) {
+    const Point p = a.at_arc_length((static_cast<double>(i) + 0.5) * ds);
+    if (distance_to_polyline_sq(p, b) <= prox_sq) shared += ds;
+  }
+  return shared;
+}
+
+std::vector<Srlg> infer_srlgs(const FiberMap& map,
+                              const SrlgInferenceParams& params) {
+  const auto ducts = static_cast<std::size_t>(map.graph().edge_count());
+  std::vector<Srlg> out;
+
+  // Sets already spoken for: declared groups plus everything inferred below.
+  std::set<std::vector<EdgeId>> seen;
+  for (const Srlg& s : map.srlgs()) seen.insert(s.ducts);
+  const auto emit = [&](Srlg s) {
+    if (seen.insert(s.ducts).second) out.push_back(std::move(s));
+  };
+
+  // Trench groups: connected components of the pairwise sharing relation.
+  TrenchForest forest(ducts);
+  for (std::size_t i = 0; i < ducts; ++i) {
+    const Polyline& ri = map.duct_route(static_cast<EdgeId>(i));
+    for (std::size_t j = i + 1; j < ducts; ++j) {
+      const Polyline& rj = map.duct_route(static_cast<EdgeId>(j));
+      const double run = std::max(
+          shared_run_km(ri, rj, params.trench_proximity_km,
+                        params.sample_step_km),
+          shared_run_km(rj, ri, params.trench_proximity_km,
+                        params.sample_step_km));
+      if (run >= params.trench_min_shared_km) {
+        forest.join(i, j, run);
+      }
+    }
+  }
+  std::vector<std::vector<EdgeId>> members(ducts);
+  for (std::size_t i = 0; i < ducts; ++i) {
+    members[forest.find(i)].push_back(static_cast<EdgeId>(i));
+  }
+  int trench_index = 0;
+  for (std::size_t root = 0; root < ducts; ++root) {
+    if (members[root].size() < 2) continue;
+    Srlg s;
+    s.name = "trench" + std::to_string(trench_index++);
+    s.kind = SrlgKind::kTrench;
+    s.ducts = std::move(members[root]);
+    s.shared_km = forest.shared_km[root];
+    emit(std::move(s));
+  }
+
+  // Hut groups: everything terminating at one hut fails with the hut.
+  for (NodeId hut : map.huts()) {
+    const auto incident = map.graph().incident(hut);
+    std::vector<EdgeId> group(incident.begin(), incident.end());
+    std::sort(group.begin(), group.end());
+    group.erase(std::unique(group.begin(), group.end()), group.end());
+    if (group.size() < static_cast<std::size_t>(
+                           std::max(params.hut_min_ducts, 1))) {
+      continue;
+    }
+    Srlg s;
+    s.name = "hut-" + map.site(hut).name;
+    s.kind = SrlgKind::kHut;
+    s.ducts = std::move(group);
+    s.hut = hut;
+    emit(std::move(s));
+  }
+  return out;
+}
+
+int infer_and_add_srlgs(FiberMap& map, const SrlgInferenceParams& params) {
+  const std::vector<Srlg> inferred = infer_srlgs(map, params);
+  for (const Srlg& s : inferred) map.add_srlg(s);
+  return static_cast<int>(inferred.size());
+}
+
+}  // namespace iris::fibermap

@@ -1,0 +1,59 @@
+// Geometric inference of shared-risk link groups (SRLGs).
+//
+// Metro fiber fails in correlated groups: ducts laid in one trench are cut
+// together by one backhoe, and ducts fanning into one hut go dark together
+// when the hut loses power. The planner's "tolerate k cuts" guarantee (OC4)
+// is only as good as the event model, so the fiber map can infer SRLGs from
+// its own geometry:
+//
+//  - *Trench groups*: two duct routes share a trench when their polylines
+//    run within `trench_proximity_km` of each other for at least
+//    `trench_min_shared_km` of arc length. Sharing is transitive (a corridor
+//    of three parallel ducts is one group), so groups are the connected
+//    components of the pairwise sharing relation.
+//  - *Hut groups*: every hut with at least `hut_min_ducts` incident ducts
+//    groups them (a hut outage severs everything terminating there).
+//
+// Inference is deterministic: groups come out in a canonical order (trench
+// components by smallest member duct, then huts in site order) regardless of
+// how the map was assembled.
+#pragma once
+
+#include <vector>
+
+#include "fibermap/fibermap.hpp"
+
+namespace iris::fibermap {
+
+struct SrlgInferenceParams {
+  /// Two routes closer than this share a trench (50 m default: one street).
+  double trench_proximity_km = 0.05;
+  /// Minimum shared arc length for a trench group; brief crossings at an
+  /// intersection must not fuse two independent ducts.
+  double trench_min_shared_km = 1.0;
+  /// Arc-length sampling step when measuring shared runs. Smaller is more
+  /// precise and slower; the default resolves 100 m wiggles.
+  double sample_step_km = 0.1;
+  /// Minimum incident ducts for a hut to form a group.
+  int hut_min_ducts = 2;
+};
+
+/// Arc length of `a` that runs within `proximity_km` of `b`, measured by
+/// sampling `a` at `sample_step_km` midpoints and testing the distance to
+/// the nearest point of `b`. Returns km of `a`'s arc length; callers wanting
+/// a symmetric measure take the max of both directions (shared_run_km does
+/// not do that itself).
+double shared_run_km(const geo::Polyline& a, const geo::Polyline& b,
+                     double proximity_km, double sample_step_km);
+
+/// Infers trench and hut groups for `map` per the rules above. Groups whose
+/// duct set duplicates an already-declared SRLG (or an earlier inferred one)
+/// are dropped; single-duct trench components never form and single-duct
+/// huts are skipped by `hut_min_ducts`. The map is not modified.
+std::vector<Srlg> infer_srlgs(const FiberMap& map,
+                              const SrlgInferenceParams& params = {});
+
+/// infer_srlgs + add_srlg for each result; returns how many were added.
+int infer_and_add_srlgs(FiberMap& map, const SrlgInferenceParams& params = {});
+
+}  // namespace iris::fibermap

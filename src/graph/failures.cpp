@@ -25,12 +25,12 @@ void record_sweep(long long scenarios, long long tasks) {
   reg.add("sweep.tasks.total", tasks);
 }
 
-/// First-failed-edge prefix groups a sweep deals out: the no-failure
-/// scenario plus one subtree per eligible edge (collapsing to a single task
-/// when there is nothing to fail).
-long long sweep_task_count(std::size_t eligible, int tolerance) {
-  if (tolerance == 0 || eligible == 0) return 1;
-  return static_cast<long long>(eligible) + 1;
+/// First-failed-event prefix groups a sweep deals out: the no-failure
+/// scenario plus one subtree per event (collapsing to a single task when
+/// there is nothing to fail).
+long long sweep_task_count(std::size_t events, int tolerance) {
+  if (tolerance == 0 || events == 0) return 1;
+  return static_cast<long long>(events) + 1;
 }
 
 /// Emits every size-`remaining` extension of `current` drawn from
@@ -51,51 +51,101 @@ void enumerate_exact_rec(std::span<const EdgeId> eligible, int remaining,
   }
 }
 
-/// Depth-first prefix enumeration over eligible[first..): visits the current
-/// scenario, then every extension with up to `remaining` more failed edges.
-void sweep_rec(std::span<const EdgeId> eligible, int remaining,
-               std::size_t first, EdgeMask& mask, std::vector<EdgeId>& current,
-               const ScenarioVisitor& visit) {
-  visit(mask, current);
-  if (remaining == 0) return;
-  for (std::size_t i = first; i < eligible.size(); ++i) {
-    mask.fail(eligible[i]);
-    current.push_back(eligible[i]);
-    sweep_rec(eligible, remaining - 1, i + 1, mask, current, visit);
-    current.pop_back();
-    mask.restore(eligible[i]);
+/// Per-worker sweep state: the live mask, a per-duct count of active events
+/// covering it (events may overlap), and the flattened failed-duct list in
+/// fail order, each duct appended exactly once (when its count goes 0 -> 1).
+struct SweepState {
+  EdgeMask mask;
+  std::vector<int> cover;
+  std::vector<EdgeId> failed;
+};
+
+SweepState make_state(const EdgeMask& base, EdgeId edge_count, int tolerance,
+                      std::size_t max_event_edges) {
+  SweepState s;
+  s.mask = base;
+  s.cover.assign(static_cast<std::size_t>(edge_count), 0);
+  s.failed.reserve(std::min(static_cast<std::size_t>(edge_count),
+                            static_cast<std::size_t>(std::max(tolerance, 0)) *
+                                max_event_edges));
+  return s;
+}
+
+/// Activates one event; returns how many ducts it newly failed (appended to
+/// `s.failed`, which unwind pops from the tail).
+std::size_t fail_event(const FailureEvent& ev, SweepState& s) {
+  std::size_t appended = 0;
+  for (EdgeId e : ev.edges) {
+    if (s.cover[static_cast<std::size_t>(e)]++ == 0) {
+      s.mask.fail(e);
+      s.failed.push_back(e);
+      ++appended;
+    }
   }
+  return appended;
+}
+
+/// Deactivates one event, restoring ducts no remaining event covers.
+void unfail_event(const FailureEvent& ev, std::size_t appended,
+                  SweepState& s) {
+  for (auto it = ev.edges.rbegin(); it != ev.edges.rend(); ++it) {
+    if (--s.cover[static_cast<std::size_t>(*it)] == 0) s.mask.restore(*it);
+  }
+  s.failed.resize(s.failed.size() - appended);
+}
+
+/// Depth-first prefix enumeration over events[first..): visits the current
+/// scenario, then every extension with up to `remaining` more failed events.
+void sweep_rec(std::span<const FailureEvent> events, int remaining,
+               std::size_t first, SweepState& s, int depth,
+               const EventScenarioVisitor& visit) {
+  visit(s.mask, s.failed, depth);
+  if (remaining == 0) return;
+  for (std::size_t i = first; i < events.size(); ++i) {
+    const std::size_t appended = fail_event(events[i], s);
+    sweep_rec(events, remaining - 1, i + 1, s, depth + 1, visit);
+    unfail_event(events[i], appended, s);
+  }
+}
+
+/// True when no duct of `ev` carries demand in `used` — ducts an ancestor
+/// event already failed are unreachable in the parent's routing and thus
+/// always demand-free, so checking every member is exact.
+bool event_demand_free(const FailureEvent& ev, const std::vector<char>& used) {
+  for (EdgeId e : ev.edges) {
+    if (used[static_cast<std::size_t>(e)]) return false;
+  }
+  return true;
 }
 
 /// Depth-first pruned enumeration below an already-handled scenario.
 /// `used[depth]` is the demand bitmap of the current scenario; a child
-/// failing an edge that bitmap marks unused is dominated (identical routing
-/// to its parent) and is reported via `visit.pruned` instead of evaluated.
-/// The child's bitmap — parent's copy when pruned, `visit.evaluate`'s result
-/// otherwise — lands in used[depth + 1] before recursing.
-void pruned_rec(std::span<const EdgeId> eligible, int remaining,
-                std::size_t first, EdgeMask& mask, std::vector<EdgeId>& current,
+/// failing an event whose ducts that bitmap marks unused is dominated
+/// (identical routing to its parent) and is reported via `visit.pruned`
+/// instead of evaluated. The child's bitmap — parent's copy when pruned,
+/// `visit.evaluate`'s result otherwise — lands in used[depth + 1] before
+/// recursing.
+void pruned_rec(std::span<const FailureEvent> events, int remaining,
+                std::size_t first, SweepState& s,
                 const PrunedScenarioVisitor& visit,
                 std::vector<std::vector<char>>& used, std::size_t depth,
                 SweepStats& stats) {
   if (remaining == 0) return;
-  for (std::size_t i = first; i < eligible.size(); ++i) {
-    const EdgeId f = eligible[i];
-    mask.fail(f);
-    current.push_back(f);
+  for (std::size_t i = first; i < events.size(); ++i) {
+    const FailureEvent& ev = events[i];
+    const std::size_t appended = fail_event(ev, s);
     const std::vector<char>& parent_used = used[depth];
-    if (!parent_used.empty() && !parent_used[static_cast<std::size_t>(f)]) {
+    const int child_depth = static_cast<int>(depth) + 1;
+    if (!parent_used.empty() && event_demand_free(ev, parent_used)) {
       ++stats.pruned;
-      visit.pruned(current);
+      visit.pruned(s.failed, child_depth);
       used[depth + 1] = parent_used;
     } else {
       ++stats.visited;
-      used[depth + 1] = visit.evaluate(mask, current);
+      used[depth + 1] = visit.evaluate(s.mask, s.failed, child_depth);
     }
-    pruned_rec(eligible, remaining - 1, i + 1, mask, current, visit, used,
-               depth + 1, stats);
-    current.pop_back();
-    mask.restore(f);
+    pruned_rec(events, remaining - 1, i + 1, s, visit, used, depth + 1, stats);
+    unfail_event(ev, appended, s);
   }
 }
 
@@ -104,22 +154,52 @@ void pruned_rec(std::span<const EdgeId> eligible, int remaining,
 ScenarioSet::ScenarioSet(EdgeId edge_count, std::vector<EdgeId> eligible_edges,
                          int tolerance, EdgeMask base_mask)
     : edge_count_(edge_count),
-      eligible_(std::move(eligible_edges)),
       tolerance_(tolerance),
       base_mask_(base_mask.empty() ? EdgeMask(edge_count)
                                    : std::move(base_mask)) {
+  events_.reserve(eligible_edges.size());
+  for (EdgeId e : eligible_edges) events_.push_back(FailureEvent{{e}});
+  validate_events();
+}
+
+ScenarioSet::ScenarioSet(EdgeId edge_count, std::vector<FailureEvent> events,
+                         int tolerance, EdgeMask base_mask)
+    : edge_count_(edge_count),
+      events_(std::move(events)),
+      tolerance_(tolerance),
+      base_mask_(base_mask.empty() ? EdgeMask(edge_count)
+                                   : std::move(base_mask)) {
+  validate_events();
+}
+
+void ScenarioSet::validate_events() {
   if (tolerance_ < 0) {
     throw std::invalid_argument("ScenarioSet: negative tolerance");
   }
-  for (EdgeId e : eligible_) {
-    if (e < 0 || e >= edge_count_) {
-      throw std::out_of_range("ScenarioSet: eligible edge out of range");
+  for (FailureEvent& ev : events_) {
+    if (ev.edges.empty()) {
+      throw std::invalid_argument("ScenarioSet: empty failure event");
     }
-    if (base_mask_.failed(e)) {
-      throw std::invalid_argument(
-          "ScenarioSet: eligible edge pre-failed in base mask");
+    std::sort(ev.edges.begin(), ev.edges.end());
+    ev.edges.erase(std::unique(ev.edges.begin(), ev.edges.end()),
+                   ev.edges.end());
+    for (EdgeId e : ev.edges) {
+      if (e < 0 || e >= edge_count_) {
+        throw std::out_of_range("ScenarioSet: event edge out of range");
+      }
+      if (base_mask_.failed(e)) {
+        throw std::invalid_argument(
+            "ScenarioSet: event edge pre-failed in base mask");
+      }
     }
   }
+  eligible_.clear();
+  for (const FailureEvent& ev : events_) {
+    eligible_.insert(eligible_.end(), ev.edges.begin(), ev.edges.end());
+  }
+  std::sort(eligible_.begin(), eligible_.end());
+  eligible_.erase(std::unique(eligible_.begin(), eligible_.end()),
+                  eligible_.end());
 }
 
 ScenarioSet ScenarioSet::all_edges(const Graph& g, int tolerance) {
@@ -129,34 +209,51 @@ ScenarioSet ScenarioSet::all_edges(const Graph& g, int tolerance) {
 }
 
 long long ScenarioSet::scenario_count() const {
-  return failure_scenario_count(static_cast<EdgeId>(eligible_.size()),
+  return failure_scenario_count(static_cast<EdgeId>(events_.size()),
                                 tolerance_);
 }
 
+namespace {
+
+std::size_t max_event_edges_of(const std::vector<FailureEvent>& events) {
+  std::size_t m = 1;
+  for (const FailureEvent& ev : events) m = std::max(m, ev.edges.size());
+  return m;
+}
+
+}  // namespace
+
 void ScenarioSet::for_each(const ScenarioVisitor& visit) const {
-  EdgeMask mask = base_mask_;
-  std::vector<EdgeId> current;
-  current.reserve(static_cast<std::size_t>(tolerance_));
+  for_each_events(
+      [&](const EdgeMask& m, std::span<const EdgeId> failed, int) {
+        visit(m, failed);
+      });
+}
+
+void ScenarioSet::for_each_events(const EventScenarioVisitor& visit) const {
+  SweepState s = make_state(base_mask_, edge_count_, tolerance_,
+                            max_event_edges_of(events_));
   long long visited = 0;
-  sweep_rec(eligible_, tolerance_, 0, mask, current,
-            [&](const EdgeMask& m, std::span<const EdgeId> failed) {
+  sweep_rec(events_, tolerance_, 0, s, 0,
+            [&](const EdgeMask& m, std::span<const EdgeId> failed,
+                int events_failed) {
               ++visited;
-              visit(m, failed);
+              visit(m, failed, events_failed);
             });
-  record_sweep(visited, sweep_task_count(eligible_.size(), tolerance_));
+  record_sweep(visited, sweep_task_count(events_.size(), tolerance_));
 }
 
 void ScenarioSet::for_each_parallel(
     int threads,
     const std::function<ScenarioVisitor(int worker)>& make_visitor) const {
   const int n = resolve_thread_count(threads);
-  if (n <= 1 || tolerance_ == 0 || eligible_.empty()) {
+  if (n <= 1 || tolerance_ == 0 || events_.empty()) {
     for_each(make_visitor(0));
     return;
   }
 
   // Task 0 is the no-failure scenario; task i >= 1 is the subtree of
-  // scenarios whose smallest failed edge is eligible[i-1]. Subtree sizes
+  // scenarios whose first failed event is events_[i-1]. Subtree sizes
   // shrink geometrically with i, so dealing tasks in order off a shared
   // counter keeps the big prefixes spread across workers.
   std::vector<ScenarioVisitor> visitors;
@@ -164,7 +261,7 @@ void ScenarioSet::for_each_parallel(
   for (int w = 0; w < n; ++w) visitors.push_back(make_visitor(w));
 
   std::atomic<std::size_t> next_task{0};
-  const std::size_t task_count = eligible_.size() + 1;
+  const std::size_t task_count = events_.size() + 1;
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
@@ -172,31 +269,28 @@ void ScenarioSet::for_each_parallel(
   // summed in fixed worker order after the join so the registry sees one
   // deterministic fold regardless of how tasks were dealt.
   std::vector<long long> visited(static_cast<std::size_t>(n), 0);
+  const std::size_t max_ev = max_event_edges_of(events_);
 
   const auto worker_loop = [&](int w) {
     try {
       const ScenarioVisitor& visit = visitors[static_cast<std::size_t>(w)];
       long long& my_visited = visited[static_cast<std::size_t>(w)];
-      const ScenarioVisitor counted =
-          [&](const EdgeMask& m, std::span<const EdgeId> failed) {
+      const EventScenarioVisitor counted =
+          [&](const EdgeMask& m, std::span<const EdgeId> failed, int) {
             ++my_visited;
             visit(m, failed);
           };
-      EdgeMask mask = base_mask_;
-      std::vector<EdgeId> current;
-      current.reserve(static_cast<std::size_t>(tolerance_));
+      SweepState s = make_state(base_mask_, edge_count_, tolerance_, max_ev);
       for (std::size_t task = next_task.fetch_add(1); task < task_count;
            task = next_task.fetch_add(1)) {
         if (task == 0) {
-          counted(mask, current);
+          counted(s.mask, s.failed, 0);
           continue;
         }
         const std::size_t i = task - 1;
-        mask.fail(eligible_[i]);
-        current.push_back(eligible_[i]);
-        sweep_rec(eligible_, tolerance_ - 1, i + 1, mask, current, counted);
-        current.pop_back();
-        mask.restore(eligible_[i]);
+        const std::size_t appended = fail_event(events_[i], s);
+        sweep_rec(events_, tolerance_ - 1, i + 1, s, 1, counted);
+        unfail_event(events_[i], appended, s);
       }
     } catch (...) {
       const std::lock_guard<std::mutex> lock(error_mutex);
@@ -213,20 +307,19 @@ void ScenarioSet::for_each_parallel(
 
   long long total = 0;
   for (long long v : visited) total += v;
-  record_sweep(total, sweep_task_count(eligible_.size(), tolerance_));
+  record_sweep(total, sweep_task_count(events_.size(), tolerance_));
 }
 
 SweepStats ScenarioSet::for_each_pruned(const PrunedScenarioVisitor& visit) const {
-  EdgeMask mask = base_mask_;
-  std::vector<EdgeId> current;
-  current.reserve(static_cast<std::size_t>(tolerance_));
+  SweepState s = make_state(base_mask_, edge_count_, tolerance_,
+                            max_event_edges_of(events_));
   std::vector<std::vector<char>> used(
       static_cast<std::size_t>(std::max(tolerance_, 0)) + 1);
   SweepStats stats;
   ++stats.visited;
-  used[0] = visit.evaluate(mask, current);
-  pruned_rec(eligible_, tolerance_, 0, mask, current, visit, used, 0, stats);
-  record_sweep(stats.visited, sweep_task_count(eligible_.size(), tolerance_));
+  used[0] = visit.evaluate(s.mask, s.failed, 0);
+  pruned_rec(events_, tolerance_, 0, s, visit, used, 0, stats);
+  record_sweep(stats.visited, sweep_task_count(events_.size(), tolerance_));
   obs::registry().add("sweep.scenarios.pruned", stats.pruned);
   return stats;
 }
@@ -236,7 +329,7 @@ SweepStats ScenarioSet::for_each_pruned_parallel(
     const std::function<PrunedScenarioVisitor(int worker)>& make_visitor)
     const {
   const int n = resolve_thread_count(threads);
-  if (n <= 1 || tolerance_ == 0 || eligible_.empty()) {
+  if (n <= 1 || tolerance_ == 0 || events_.empty()) {
     return for_each_pruned(make_visitor(0));
   }
 
@@ -250,46 +343,41 @@ SweepStats ScenarioSet::for_each_pruned_parallel(
   EdgeMask baseline_mask = base_mask_;
   std::vector<EdgeId> no_failures;
   const std::vector<char> baseline_used =
-      visitors[0].evaluate(baseline_mask, no_failures);
+      visitors[0].evaluate(baseline_mask, no_failures, 0);
 
-  // Task i >= 0 is the subtree of scenarios whose smallest failed edge is
-  // eligible[i]; same dealing as for_each_parallel minus the no-failure
+  // Task i >= 0 is the subtree of scenarios whose first failed event is
+  // events_[i]; same dealing as for_each_parallel minus the no-failure
   // scenario handled above.
   std::atomic<std::size_t> next_task{0};
-  const std::size_t task_count = eligible_.size();
+  const std::size_t task_count = events_.size();
   std::exception_ptr first_error;
   std::mutex error_mutex;
   std::vector<SweepStats> worker_stats(static_cast<std::size_t>(n));
+  const std::size_t max_ev = max_event_edges_of(events_);
 
   const auto worker_loop = [&](int w) {
     try {
       const PrunedScenarioVisitor& visit =
           visitors[static_cast<std::size_t>(w)];
       SweepStats& my = worker_stats[static_cast<std::size_t>(w)];
-      EdgeMask mask = base_mask_;
-      std::vector<EdgeId> current;
-      current.reserve(static_cast<std::size_t>(tolerance_));
+      SweepState s = make_state(base_mask_, edge_count_, tolerance_, max_ev);
       std::vector<std::vector<char>> used(
           static_cast<std::size_t>(tolerance_) + 1);
       used[0] = baseline_used;
       for (std::size_t task = next_task.fetch_add(1); task < task_count;
            task = next_task.fetch_add(1)) {
-        const EdgeId f = eligible_[task];
-        mask.fail(f);
-        current.push_back(f);
-        if (!baseline_used.empty() &&
-            !baseline_used[static_cast<std::size_t>(f)]) {
+        const FailureEvent& ev = events_[task];
+        const std::size_t appended = fail_event(ev, s);
+        if (!baseline_used.empty() && event_demand_free(ev, baseline_used)) {
           ++my.pruned;
-          visit.pruned(current);
+          visit.pruned(s.failed, 1);
           used[1] = baseline_used;
         } else {
           ++my.visited;
-          used[1] = visit.evaluate(mask, current);
+          used[1] = visit.evaluate(s.mask, s.failed, 1);
         }
-        pruned_rec(eligible_, tolerance_ - 1, task + 1, mask, current, visit,
-                   used, 1, my);
-        current.pop_back();
-        mask.restore(f);
+        pruned_rec(events_, tolerance_ - 1, task + 1, s, visit, used, 1, my);
+        unfail_event(ev, appended, s);
       }
     } catch (...) {
       const std::lock_guard<std::mutex> lock(error_mutex);
@@ -310,7 +398,7 @@ SweepStats ScenarioSet::for_each_pruned_parallel(
     stats.visited += s.visited;
     stats.pruned += s.pruned;
   }
-  record_sweep(stats.visited, sweep_task_count(eligible_.size(), tolerance_));
+  record_sweep(stats.visited, sweep_task_count(events_.size(), tolerance_));
   obs::registry().add("sweep.scenarios.pruned", stats.pruned);
   return stats;
 }

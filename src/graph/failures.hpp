@@ -1,13 +1,17 @@
-// Exhaustive fiber-cut scenario enumeration (paper OC4 / SS4.1).
+// Exhaustive failure-scenario enumeration (paper OC4 / SS4.1), generalized
+// to shared-risk link groups.
 //
-// A failure scenario is a set of destroyed fiber ducts; all fibers in a
-// destroyed duct are lost. Algorithm 1 enumerates every scenario with at most
-// `tolerance` simultaneous cuts, including the no-failure scenario.
+// A failure *event* destroys a set of fiber ducts atomically: a lone duct
+// cut is a singleton event, and an SRLG (shared trench, shared hut) is a
+// multi-duct event. A failure scenario is a set of at most `tolerance`
+// simultaneous events; all fibers in every destroyed duct are lost.
+// Algorithm 1 enumerates every scenario, including the no-failure scenario.
+// With only singleton events this is exactly the classic per-duct sweep.
 //
 // ScenarioSet is the one enumeration engine shared by the planner, the
-// validators and amplifier placement: it owns the eligible-duct list, a base
-// mask of permanently excluded ducts, and both a serial and a parallel sweep.
-// The parallel sweep partitions the subset tree by first-failed-edge prefix
+// validators and amplifier placement: it owns the event list, a base mask of
+// permanently excluded ducts, and both a serial and a parallel sweep. The
+// parallel sweep partitions the subset tree by first-failed-event prefix
 // and hands each worker its own mask + visitor, so per-thread scratch
 // (Dijkstra trees, accumulators) never crosses threads; callers merge the
 // per-worker results deterministically at the end.
@@ -21,11 +25,28 @@
 
 namespace iris::graph {
 
+/// One atomic failure event: the ducts it destroys, ascending and unique.
+/// Singleton events model independent duct cuts; larger events model SRLGs.
+/// Events may overlap (a duct can sit in a trench group and a hut group);
+/// the sweep fails each duct once no matter how many active events cover it.
+struct FailureEvent {
+  std::vector<EdgeId> edges;
+
+  friend bool operator==(const FailureEvent&, const FailureEvent&) = default;
+};
+
 /// Visitor for one failure scenario: the full edge mask (base exclusions plus
-/// the failed subset) and the failed subset itself, smallest edge first. The
-/// subset is empty exactly for the no-failure scenario.
+/// the failed ducts) and the failed ducts themselves in the order the sweep
+/// failed them, each duct exactly once even when covered by several events.
+/// The list is empty exactly for the no-failure scenario.
 using ScenarioVisitor =
     std::function<void(const EdgeMask&, std::span<const EdgeId>)>;
+
+/// ScenarioVisitor plus the number of failed events (the scenario's depth in
+/// the subset tree). With singleton events `events_failed == failed.size()`;
+/// with SRLGs the flattened duct list is longer than the event count.
+using EventScenarioVisitor = std::function<void(
+    const EdgeMask&, std::span<const EdgeId> failed, int events_failed)>;
 
 /// Tallies from a dominance-pruned sweep: scenarios routed by the visitor
 /// and scenarios skipped because their parent dominates them.
@@ -36,58 +57,82 @@ struct SweepStats {
 
 /// Visitor pair for a dominance-pruned sweep (for_each_pruned).
 ///
-/// `evaluate` routes one scenario (same arguments as ScenarioVisitor) and
-/// returns a per-edge bitmap, indexed by EdgeId and sized to edge_count,
-/// marking ducts that carry demand under that scenario. The reference only
-/// needs to stay valid until the sweep copies it, i.e. until the next call
-/// on the same worker; an empty bitmap disables pruning below that scenario.
+/// `evaluate` routes one scenario (same mask/failed arguments as
+/// EventScenarioVisitor) and returns a per-edge bitmap, indexed by EdgeId and
+/// sized to edge_count, marking ducts that carry demand under that scenario.
+/// The reference only needs to stay valid until the sweep copies it, i.e.
+/// until the next call on the same worker; an empty bitmap disables pruning
+/// below that scenario.
 ///
-/// `pruned` announces a skipped scenario: its last failed edge carried no
-/// demand in its parent (the scenario minus that edge), so its routing,
-/// loads and per-pair outcomes are exactly the parent's — removing a duct no
-/// demand path crosses leaves every demand path both available and still
-/// canonically optimal (distances only grow when edges fail, and the
+/// `pruned` announces a skipped scenario: no duct of its newly failed event
+/// carried demand in its parent (the scenario minus that event), so its
+/// routing, loads and per-pair outcomes are exactly the parent's — removing
+/// ducts no demand path crosses leaves every demand path both available and
+/// still canonically optimal (distances only grow when edges fail, and the
 /// canonical (dist, hops, parent-id) choice among surviving candidates is
-/// unchanged when only non-chosen candidates disappear). Implementations
-/// re-fold the parent's per-scenario tallies so pruned sweeps stay
-/// bit-identical to full sweeps in every aggregate.
+/// unchanged when only non-chosen candidates disappear). Event members that
+/// were already failed by an ancestor event are unreachable in the parent's
+/// routing and therefore automatically demand-free, so the sweep soundly
+/// checks every member. Implementations re-fold the parent's per-scenario
+/// tallies so pruned sweeps stay bit-identical to full sweeps in every
+/// aggregate; `events_failed` gives the depth to re-fold from.
 struct PrunedScenarioVisitor {
-  std::function<const std::vector<char>&(const EdgeMask&,
-                                         std::span<const EdgeId>)>
+  std::function<const std::vector<char>&(
+      const EdgeMask&, std::span<const EdgeId>, int events_failed)>
       evaluate;
-  std::function<void(std::span<const EdgeId>)> pruned;
+  std::function<void(std::span<const EdgeId>, int events_failed)> pruned;
 };
 
-/// The set of failure scenarios over a chosen subset of ducts: every subset
-/// of `eligible_edges` with size <= tolerance, on top of a base mask of
-/// permanently excluded ducts (e.g. over-long spans, TC1).
+/// The set of failure scenarios over a chosen event list: every subset of
+/// `events` with size <= tolerance, on top of a base mask of permanently
+/// excluded ducts (e.g. over-long spans, TC1).
 class ScenarioSet {
  public:
+  /// Independent-cut domain: each eligible edge is its own singleton event.
   /// `base_mask` must either be empty (nothing pre-failed) or sized to
   /// `edge_count`; eligible edges must not be failed in it.
   ScenarioSet(EdgeId edge_count, std::vector<EdgeId> eligible_edges,
               int tolerance, EdgeMask base_mask = {});
 
-  /// Every duct of `g` eligible, nothing pre-failed.
+  /// Event domain: scenarios are subsets of `events` (singletons, SRLGs, or
+  /// a mix). Event member lists are sorted and deduplicated; every member
+  /// must be in range and not pre-failed in `base_mask`. Events must be
+  /// non-empty.
+  ScenarioSet(EdgeId edge_count, std::vector<FailureEvent> events,
+              int tolerance, EdgeMask base_mask = {});
+
+  /// Every duct of `g` its own singleton event, nothing pre-failed.
   static ScenarioSet all_edges(const Graph& g, int tolerance);
 
   [[nodiscard]] int tolerance() const noexcept { return tolerance_; }
+
+  /// The failure events scenarios are drawn from, in enumeration order.
+  [[nodiscard]] const std::vector<FailureEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Union of all event members, ascending and unique.
   [[nodiscard]] const std::vector<EdgeId>& eligible_edges() const noexcept {
     return eligible_;
   }
 
-  /// Number of scenarios a sweep visits: sum_k C(|eligible|, k), k=0..tol.
+  /// Number of scenarios a sweep visits: sum_k C(|events|, k), k=0..tol.
   [[nodiscard]] long long scenario_count() const;
 
   /// Serial sweep in deterministic depth-first prefix order: the no-failure
-  /// scenario first, then {e0}, {e0,e1}, ... One mask allocation is reused.
+  /// scenario first, then {ev0}, {ev0,ev1}, ... One mask allocation is
+  /// reused.
   void for_each(const ScenarioVisitor& visit) const;
+
+  /// for_each with the failed-event count passed alongside each scenario
+  /// (the incremental replanner keys its per-depth stacks on it).
+  void for_each_events(const EventScenarioVisitor& visit) const;
 
   /// Parallel sweep over `threads` workers (<= 1 degrades to serial).
   /// `make_visitor(w)` is called once per worker w in [0, threads) from the
   /// main thread before the sweep starts; the returned visitor then runs on
-  /// that worker's thread only. Work is dealt by first-failed-edge prefix:
-  /// the subtree of scenarios whose smallest failed edge is eligible[i] is
+  /// that worker's thread only. Work is dealt by first-failed-event prefix:
+  /// the subtree of scenarios whose first failed event is events()[i] is
   /// one task, claimed dynamically. Every scenario is visited exactly once;
   /// which worker sees which scenario is nondeterministic, so visitors must
   /// accumulate into per-worker state that merges order-independently
@@ -99,10 +144,10 @@ class ScenarioSet {
       const std::function<ScenarioVisitor(int worker)>& make_visitor) const;
 
   /// Dominance-pruned serial sweep, same depth-first prefix order as
-  /// for_each. A child scenario whose newly failed edge carries no demand in
-  /// its parent is dominated: the sweep skips `evaluate`, calls `pruned`,
-  /// and reuses the parent's demand bitmap for the skipped subtree root.
-  /// Exact by construction — every pruned scenario's loads equal its
+  /// for_each. A child scenario whose newly failed event only destroys
+  /// demand-free ducts is dominated: the sweep skips `evaluate`, calls
+  /// `pruned`, and reuses the parent's demand bitmap for the skipped subtree
+  /// root. Exact by construction — every pruned scenario's loads equal its
   /// parent's, which the sweep already folded — so results are bit-identical
   /// to for_each with the same per-scenario work.
   SweepStats for_each_pruned(const PrunedScenarioVisitor& visit) const;
@@ -123,7 +168,10 @@ class ScenarioSet {
   }
 
  private:
+  void validate_events();
+
   EdgeId edge_count_ = 0;
+  std::vector<FailureEvent> events_;
   std::vector<EdgeId> eligible_;
   int tolerance_ = 0;
   EdgeMask base_mask_;

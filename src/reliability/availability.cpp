@@ -1,12 +1,12 @@
 #include "reliability/availability.hpp"
 
 #include <algorithm>
-#include <queue>
-#include <random>
+#include <cmath>
 #include <stdexcept>
 
-#include "geo/service_area.hpp"
 #include "graph/shortest_path.hpp"
+#include "obs/metrics.hpp"
+#include "reliability/events.hpp"
 
 namespace iris::reliability {
 
@@ -35,69 +35,70 @@ PairUpFn via_hub_criterion(const fibermap::FiberMap& map,
   };
 }
 
-AvailabilityReport simulate_availability(const fibermap::FiberMap& map,
-                                         const FailureModel& model,
-                                         const PairUpFn& pair_up) {
-  if (model.horizon_years <= 0.0 || model.cuts_per_km_year < 0.0 ||
-      model.mean_repair_hours <= 0.0) {
-    throw std::invalid_argument("simulate_availability: bad failure model");
-  }
+namespace {
+
+/// The one event-driven simulation loop: pulls the failure timeline from
+/// EventStream (the shared sampling engine) and integrates per-pair
+/// downtime. simulate_availability and simulate_availability_correlated are
+/// both thin wrappers, so the legacy and correlated models can never drift
+/// in how failures are drawn or downtime is accounted.
+CorrelatedAvailabilityReport run_event_sim(const fibermap::FiberMap& map,
+                                           const CorrelatedFailureModel& model,
+                                           const PairUpFn& pair_up) {
   const graph::Graph& g = map.graph();
-  const double hours_per_year = 365.25 * 24.0;
-  const double horizon_h = model.horizon_years * hours_per_year;
-  std::mt19937_64 rng(model.seed);
-
-  // Event queue of cuts, disasters and their repairs, in hours.
-  enum class Kind { kCut, kCutRepair, kDisaster, kDisasterRepair };
-  struct Event {
-    double at_h;
-    Kind kind;
-    EdgeId duct = graph::kInvalidEdge;          // cut events
-    std::vector<NodeId> sites;                  // disaster repair events
-    bool operator>(const Event& o) const { return at_h > o.at_h; }
-  };
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
-
-  // Per-duct failure rate in cuts/hour; pre-draw the first failure of each.
-  std::vector<double> rate_per_hour(g.edge_count(), 0.0);
-  for (EdgeId e = 0; e < g.edge_count(); ++e) {
-    rate_per_hour[e] =
-        model.cuts_per_km_year * g.edge(e).length_km / hours_per_year;
-    if (rate_per_hour[e] <= 0.0) continue;
-    std::exponential_distribution<double> next_failure(rate_per_hour[e]);
-    events.push(Event{next_failure(rng), Kind::kCut, e, {}});
-  }
-  std::exponential_distribution<double> repair(1.0 / model.mean_repair_hours);
-
-  // Regional disasters.
-  std::vector<geo::Point> site_pos;
-  for (NodeId n = 0; n < g.node_count(); ++n) {
-    site_pos.push_back(map.site(n).position);
-  }
-  const geo::Box region = geo::bounding_box(site_pos);
-  if (model.disasters_per_year > 0.0) {
-    std::exponential_distribution<double> next_disaster(
-        model.disasters_per_year / hours_per_year);
-    events.push(Event{next_disaster(rng), Kind::kDisaster, graph::kInvalidEdge, {}});
-  }
-
+  EventStream stream(map, model);
+  const double horizon_h = stream.horizon_hours();
   const auto& dcs = map.dcs();
-  AvailabilityReport report;
+
+  CorrelatedAvailabilityReport out;
+  AvailabilityReport& report = out.summary;
   std::vector<double> down_hours(dcs.size() * dcs.size(), 0.0);
   const auto pair_index = [&](std::size_t i, std::size_t j) {
     return i * dcs.size() + j;
   };
 
-  // Duct state: physically cut, or implicitly dead because an endpoint site
-  // is down. The mask handed to the criterion reflects both.
-  std::vector<bool> duct_cut(g.edge_count(), false);
+  // Batch-means scaffolding for the confidence intervals: the horizon is
+  // split into `ci_batches` equal windows and every downtime interval is
+  // apportioned to the windows it overlaps. The point estimate keeps the
+  // exact single-accumulator arithmetic (down_hours above) so availability
+  // values are byte-identical whether or not CIs are requested.
+  const int batches = model.ci_batches >= 2 ? model.ci_batches : 0;
+  const double batch_h =
+      batches > 0 ? horizon_h / static_cast<double>(batches) : 0.0;
+  std::vector<double> batch_down;
+  if (batches > 0) {
+    batch_down.assign(static_cast<std::size_t>(batches) * dcs.size() *
+                          dcs.size(),
+                      0.0);
+  }
+  const auto close_interval = [&](std::size_t idx, double from_h, double to_h) {
+    down_hours[idx] += to_h - from_h;
+    if (batches == 0) return;
+    const auto first = static_cast<int>(from_h / batch_h);
+    for (int b = first; b < batches; ++b) {
+      const double lo = std::max(from_h, static_cast<double>(b) * batch_h);
+      const double hi =
+          std::min(to_h, static_cast<double>(b + 1) * batch_h);
+      if (hi <= lo) {
+        if (static_cast<double>(b) * batch_h >= to_h) break;
+        continue;
+      }
+      batch_down[static_cast<std::size_t>(b) * dcs.size() * dcs.size() + idx] +=
+          hi - lo;
+    }
+  };
+
+  // Duct state: down while any active event (cut, trench hit, hut outage,
+  // maintenance) covers it, or implicitly dead because an endpoint site is
+  // down. The mask handed to the criterion reflects both.
+  std::vector<int> duct_down_count(g.edge_count(), 0);
   std::vector<int> site_down_count(g.node_count(), 0);
   graph::EdgeMask mask(g.edge_count());
   const auto rebuild_mask = [&] {
     mask = graph::EdgeMask(g.edge_count());
     for (EdgeId e = 0; e < g.edge_count(); ++e) {
       const graph::Edge& edge = g.edge(e);
-      if (duct_cut[e] || site_down_count[edge.u] > 0 ||
+      if (duct_down_count[e] > 0 || site_down_count[edge.u] > 0 ||
           site_down_count[edge.v] > 0) {
         mask.fail(e);
       }
@@ -121,73 +122,87 @@ AvailabilityReport simulate_availability(const fibermap::FiberMap& map,
           down_since[idx] = now_h;
         } else if (up && pair_down[idx]) {
           pair_down[idx] = false;
-          down_hours[idx] += now_h - down_since[idx];
+          close_interval(idx, down_since[idx], now_h);
         }
       }
     }
   };
 
-  while (!events.empty() && events.top().at_h < horizon_h) {
-    const Event ev = events.top();
-    events.pop();
-    switch (ev.kind) {
-      case Kind::kCut:
-        duct_cut[ev.duct] = true;
+  while (const auto ev = stream.next()) {
+    const int delta = event_is_failure(ev->kind) ? 1 : -1;
+    for (EdgeId e : ev->ducts) duct_down_count[e] += delta;
+    for (NodeId n : ev->sites) site_down_count[n] += delta;
+    switch (ev->kind) {
+      case EventKind::kDuctCut:
         ++report.cut_events;
-        events.push(Event{ev.at_h + repair(rng), Kind::kCutRepair, ev.duct, {}});
+        ++out.duct_cut_events;
         break;
-      case Kind::kCutRepair: {
-        duct_cut[ev.duct] = false;
-        std::exponential_distribution<double> next_failure(
-            rate_per_hour[ev.duct]);
-        events.push(
-            Event{ev.at_h + next_failure(rng), Kind::kCut, ev.duct, {}});
-        break;
-      }
-      case Kind::kDisaster: {
-        // Epicenter uniform over the region; every site in range goes down.
-        std::uniform_real_distribution<double> ux(region.lo.x, region.hi.x);
-        std::uniform_real_distribution<double> uy(region.lo.y, region.hi.y);
-        const geo::Point epicenter{ux(rng), uy(rng)};
-        Event repair_ev{ev.at_h + model.disaster_repair_days * 24.0,
-                        Kind::kDisasterRepair, graph::kInvalidEdge, {}};
-        for (NodeId n = 0; n < g.node_count(); ++n) {
-          if (geo::distance(site_pos[n], epicenter) <=
-              model.disaster_radius_km) {
-            ++site_down_count[n];
-            repair_ev.sites.push_back(n);
-          }
-        }
+      case EventKind::kTrenchHit:
         ++report.cut_events;
-        events.push(std::move(repair_ev));
-        std::exponential_distribution<double> next_disaster(
-            model.disasters_per_year / hours_per_year);
-        events.push(Event{ev.at_h + next_disaster(rng), Kind::kDisaster,
-                          graph::kInvalidEdge, {}});
+        ++out.trench_events;
         break;
-      }
-      case Kind::kDisasterRepair:
-        for (NodeId n : ev.sites) --site_down_count[n];
+      case EventKind::kHutOutage:
+        ++report.cut_events;
+        ++out.hut_events;
+        break;
+      case EventKind::kMaintenanceStart:
+        ++report.cut_events;
+        ++out.maintenance_events;
+        break;
+      case EventKind::kDisaster:
+        ++report.cut_events;
+        ++out.disaster_events;
+        break;
+      default:
         break;
     }
     rebuild_mask();
-    refresh_pairs(ev.at_h);
+    refresh_pairs(ev->at_h);
   }
   // Close any open downtime intervals at the horizon.
   for (std::size_t i = 0; i < dcs.size(); ++i) {
     for (std::size_t j = i + 1; j < dcs.size(); ++j) {
       const auto idx = pair_index(i, j);
-      if (pair_down[idx]) down_hours[idx] += horizon_h - down_since[idx];
+      if (pair_down[idx]) close_interval(idx, down_since[idx], horizon_h);
     }
   }
 
   double sum = 0.0;
   for (std::size_t i = 0; i < dcs.size(); ++i) {
     for (std::size_t j = i + 1; j < dcs.size(); ++j) {
+      const auto idx = pair_index(i, j);
       PairAvailability pa;
       pa.a = dcs[i];
       pa.b = dcs[j];
-      pa.availability = 1.0 - down_hours[pair_index(i, j)] / horizon_h;
+      pa.availability = 1.0 - down_hours[idx] / horizon_h;
+      if (batches > 0) {
+        // 95% batch-means CI, centered on the exact point estimate.
+        double mean = 0.0;
+        for (int b = 0; b < batches; ++b) {
+          mean += 1.0 - batch_down[static_cast<std::size_t>(b) * dcs.size() *
+                                       dcs.size() +
+                                   idx] /
+                            batch_h;
+        }
+        mean /= static_cast<double>(batches);
+        double var = 0.0;
+        for (int b = 0; b < batches; ++b) {
+          const double a_b =
+              1.0 - batch_down[static_cast<std::size_t>(b) * dcs.size() *
+                                   dcs.size() +
+                               idx] /
+                        batch_h;
+          var += (a_b - mean) * (a_b - mean);
+        }
+        var /= static_cast<double>(batches - 1);
+        const double half =
+            1.96 * std::sqrt(var / static_cast<double>(batches));
+        pa.ci_low = std::max(0.0, pa.availability - half);
+        pa.ci_high = std::min(1.0, pa.availability + half);
+      } else {
+        pa.ci_low = pa.availability;
+        pa.ci_high = pa.availability;
+      }
       report.worst_availability =
           std::min(report.worst_availability, pa.availability);
       sum += pa.availability;
@@ -196,7 +211,39 @@ AvailabilityReport simulate_availability(const fibermap::FiberMap& map,
   }
   report.mean_availability =
       report.pairs.empty() ? 1.0 : sum / static_cast<double>(report.pairs.size());
-  return report;
+  return out;
+}
+
+}  // namespace
+
+AvailabilityReport simulate_availability(const fibermap::FiberMap& map,
+                                         const FailureModel& model,
+                                         const PairUpFn& pair_up) {
+  if (model.horizon_years <= 0.0 || model.cuts_per_km_year < 0.0 ||
+      model.mean_repair_hours <= 0.0) {
+    throw std::invalid_argument("simulate_availability: bad failure model");
+  }
+  CorrelatedFailureModel cm;
+  cm.base = model;
+  cm.ci_batches = 0;  // the legacy entry point reports point estimates only
+  return run_event_sim(map, cm, pair_up).summary;
+}
+
+CorrelatedAvailabilityReport simulate_availability_correlated(
+    const fibermap::FiberMap& map, const CorrelatedFailureModel& model,
+    const PairUpFn& pair_up) {
+  CorrelatedAvailabilityReport out = run_event_sim(map, model, pair_up);
+  auto& reg = obs::registry();
+  reg.add("reliability.correlated.runs");
+  const auto record = [&](const char* kind, long long n) {
+    if (n > 0) reg.add(obs::key("reliability.events", {{"kind", kind}}), n);
+  };
+  record("cut", out.duct_cut_events);
+  record("trench", out.trench_events);
+  record("hut", out.hut_events);
+  record("maintenance", out.maintenance_events);
+  record("disaster", out.disaster_events);
+  return out;
 }
 
 double series_chain_availability(const std::vector<double>& duct_lengths_km,

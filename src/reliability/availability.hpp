@@ -41,6 +41,12 @@ struct PairAvailability {
   graph::NodeId b = graph::kInvalidNode;
   double availability = 1.0;
 
+  /// 95% batch-means confidence interval around `availability`, clamped to
+  /// [0, 1]. Filled by simulate_availability_correlated (reliability/events)
+  /// when the model asks for batches; otherwise both equal `availability`.
+  double ci_low = 1.0;
+  double ci_high = 1.0;
+
   [[nodiscard]] double downtime_minutes_per_year() const {
     return (1.0 - availability) * 365.25 * 24.0 * 60.0;
   }

@@ -1,0 +1,244 @@
+#include "reliability/events.hpp"
+
+#include <queue>
+#include <random>
+#include <stdexcept>
+
+#include "geo/service_area.hpp"
+
+namespace iris::reliability {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+namespace {
+
+constexpr double kHoursPerYear = 365.25 * 24.0;
+
+}  // namespace
+
+struct EventStream::Impl {
+  /// Queue element: comparator looks at time only, exactly like the legacy
+  /// loop, so the pop order (and therefore the draw order) is identical for
+  /// the degenerate no-group configuration.
+  struct Event {
+    double at_h;
+    EventKind kind;
+    int subject;
+    std::vector<NodeId> sites;  // disaster repairs
+    bool operator>(const Event& o) const { return at_h > o.at_h; }
+  };
+
+  const fibermap::FiberMap& map;
+  CorrelatedFailureModel model;
+  double horizon_h;
+  std::mt19937_64 rng;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+
+  std::vector<double> duct_rate_per_hour;
+  /// Stochastic group processes: trench groups then hut groups, each in
+  /// SrlgId order. Rates in events/hour; repairs in mean hours.
+  struct GroupProcess {
+    fibermap::SrlgId srlg;
+    EventKind hit_kind;
+    double rate_per_hour;
+    double mean_repair_hours;
+  };
+  std::vector<GroupProcess> groups;
+
+  std::vector<geo::Point> site_pos;
+  geo::Box region{};
+
+  Impl(const fibermap::FiberMap& m, const CorrelatedFailureModel& cm)
+      : map(m), model(cm), rng(cm.base.seed) {
+    const FailureModel& base = model.base;
+    if (base.horizon_years <= 0.0 || base.cuts_per_km_year < 0.0 ||
+        base.mean_repair_hours <= 0.0 || base.disasters_per_year < 0.0) {
+      throw std::invalid_argument("EventStream: bad base failure model");
+    }
+    if (model.trench_hits_per_km_year < 0.0 ||
+        model.trench_repair_hours <= 0.0 || model.hut_outages_per_year < 0.0 ||
+        model.hut_repair_hours <= 0.0) {
+      throw std::invalid_argument("EventStream: bad group failure model");
+    }
+    horizon_h = base.horizon_years * kHoursPerYear;
+    const graph::Graph& g = map.graph();
+
+    // Per-duct cut processes, pre-drawn in EdgeId order (legacy discipline).
+    duct_rate_per_hour.assign(static_cast<std::size_t>(g.edge_count()), 0.0);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      duct_rate_per_hour[static_cast<std::size_t>(e)] =
+          base.cuts_per_km_year * g.edge(e).length_km / kHoursPerYear;
+      if (duct_rate_per_hour[static_cast<std::size_t>(e)] <= 0.0) continue;
+      std::exponential_distribution<double> next_failure(
+          duct_rate_per_hour[static_cast<std::size_t>(e)]);
+      queue.push(Event{next_failure(rng), EventKind::kDuctCut, e, {}});
+    }
+
+    // Regional disasters (legacy position in the draw order: right after
+    // the per-duct pre-draws).
+    for (NodeId n = 0; n < g.node_count(); ++n) {
+      site_pos.push_back(map.site(n).position);
+    }
+    region = geo::bounding_box(site_pos);
+    if (base.disasters_per_year > 0.0) {
+      std::exponential_distribution<double> next_disaster(
+          base.disasters_per_year / kHoursPerYear);
+      queue.push(Event{next_disaster(rng), EventKind::kDisaster, -1, {}});
+    }
+
+    // Group processes: every trench group, then every hut group. New draw
+    // kinds only ever extend the legacy sequence — they come after it.
+    const auto& srlgs = map.srlgs();
+    for (std::size_t i = 0; i < srlgs.size(); ++i) {
+      if (srlgs[i].kind != fibermap::SrlgKind::kTrench) continue;
+      const double rate =
+          model.trench_hits_per_km_year * srlgs[i].shared_km / kHoursPerYear;
+      if (rate <= 0.0) continue;
+      groups.push_back(GroupProcess{static_cast<fibermap::SrlgId>(i),
+                                    EventKind::kTrenchHit, rate,
+                                    model.trench_repair_hours});
+    }
+    for (std::size_t i = 0; i < srlgs.size(); ++i) {
+      if (srlgs[i].kind != fibermap::SrlgKind::kHut) continue;
+      const double rate = model.hut_outages_per_year / kHoursPerYear;
+      if (rate <= 0.0) continue;
+      groups.push_back(GroupProcess{static_cast<fibermap::SrlgId>(i),
+                                    EventKind::kHutOutage, rate,
+                                    model.hut_repair_hours});
+    }
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      std::exponential_distribution<double> next_hit(groups[gi].rate_per_hour);
+      queue.push(Event{next_hit(rng), groups[gi].hit_kind,
+                       static_cast<int>(gi), {}});
+    }
+
+    // Maintenance calendar: deterministic, no draws.
+    for (std::size_t w = 0; w < model.maintenance.size(); ++w) {
+      const MaintenanceWindow& win = model.maintenance[w];
+      if (win.srlg < 0 ||
+          static_cast<std::size_t>(win.srlg) >= srlgs.size()) {
+        throw std::invalid_argument("EventStream: maintenance on unknown SRLG");
+      }
+      if (win.duration_h <= 0.0 || win.start_h < 0.0 || win.period_h < 0.0) {
+        throw std::invalid_argument("EventStream: bad maintenance window");
+      }
+      if (win.start_h < horizon_h) {
+        queue.push(Event{win.start_h, EventKind::kMaintenanceStart,
+                         static_cast<int>(w), {}});
+      }
+    }
+  }
+
+  std::vector<EdgeId> srlg_ducts(fibermap::SrlgId id) const {
+    return map.srlg(id).ducts;
+  }
+
+  std::optional<TimelineEvent> next() {
+    if (queue.empty() || queue.top().at_h >= horizon_h) return std::nullopt;
+    Event ev = queue.top();
+    queue.pop();
+    TimelineEvent out;
+    out.at_h = ev.at_h;
+    out.kind = ev.kind;
+    out.subject = ev.subject;
+    switch (ev.kind) {
+      case EventKind::kDuctCut: {
+        out.ducts = {static_cast<EdgeId>(ev.subject)};
+        std::exponential_distribution<double> repair(
+            1.0 / model.base.mean_repair_hours);
+        queue.push(Event{ev.at_h + repair(rng), EventKind::kDuctRepair,
+                         ev.subject, {}});
+        break;
+      }
+      case EventKind::kDuctRepair: {
+        out.ducts = {static_cast<EdgeId>(ev.subject)};
+        std::exponential_distribution<double> next_failure(
+            duct_rate_per_hour[static_cast<std::size_t>(ev.subject)]);
+        queue.push(Event{ev.at_h + next_failure(rng), EventKind::kDuctCut,
+                         ev.subject, {}});
+        break;
+      }
+      case EventKind::kTrenchHit:
+      case EventKind::kHutOutage: {
+        const GroupProcess& gp = groups[static_cast<std::size_t>(ev.subject)];
+        out.subject = gp.srlg;
+        out.ducts = srlg_ducts(gp.srlg);
+        std::exponential_distribution<double> repair(1.0 /
+                                                     gp.mean_repair_hours);
+        queue.push(Event{ev.at_h + repair(rng),
+                         ev.kind == EventKind::kTrenchHit
+                             ? EventKind::kTrenchRepair
+                             : EventKind::kHutRepair,
+                         ev.subject, {}});
+        break;
+      }
+      case EventKind::kTrenchRepair:
+      case EventKind::kHutRepair: {
+        const GroupProcess& gp = groups[static_cast<std::size_t>(ev.subject)];
+        out.subject = gp.srlg;
+        out.ducts = srlg_ducts(gp.srlg);
+        std::exponential_distribution<double> next_hit(gp.rate_per_hour);
+        queue.push(Event{ev.at_h + next_hit(rng), gp.hit_kind, ev.subject, {}});
+        break;
+      }
+      case EventKind::kMaintenanceStart: {
+        const MaintenanceWindow& win =
+            model.maintenance[static_cast<std::size_t>(ev.subject)];
+        out.ducts = srlg_ducts(win.srlg);
+        queue.push(Event{ev.at_h + win.duration_h, EventKind::kMaintenanceEnd,
+                         ev.subject, {}});
+        if (win.period_h > 0.0 && ev.at_h + win.period_h < horizon_h) {
+          queue.push(Event{ev.at_h + win.period_h, EventKind::kMaintenanceStart,
+                           ev.subject, {}});
+        }
+        break;
+      }
+      case EventKind::kMaintenanceEnd: {
+        const MaintenanceWindow& win =
+            model.maintenance[static_cast<std::size_t>(ev.subject)];
+        out.ducts = srlg_ducts(win.srlg);
+        break;
+      }
+      case EventKind::kDisaster: {
+        // Epicenter uniform over the region; every site in range goes down.
+        std::uniform_real_distribution<double> ux(region.lo.x, region.hi.x);
+        std::uniform_real_distribution<double> uy(region.lo.y, region.hi.y);
+        const geo::Point epicenter{ux(rng), uy(rng)};
+        Event repair_ev{ev.at_h + model.base.disaster_repair_days * 24.0,
+                        EventKind::kDisasterRepair, -1, {}};
+        const graph::Graph& g = map.graph();
+        for (NodeId n = 0; n < g.node_count(); ++n) {
+          if (geo::distance(site_pos[static_cast<std::size_t>(n)], epicenter) <=
+              model.base.disaster_radius_km) {
+            repair_ev.sites.push_back(n);
+          }
+        }
+        out.sites = repair_ev.sites;
+        queue.push(std::move(repair_ev));
+        std::exponential_distribution<double> next_disaster(
+            model.base.disasters_per_year / kHoursPerYear);
+        queue.push(Event{ev.at_h + next_disaster(rng), EventKind::kDisaster,
+                         -1, {}});
+        break;
+      }
+      case EventKind::kDisasterRepair:
+        out.sites = std::move(ev.sites);
+        break;
+    }
+    return out;
+  }
+};
+
+EventStream::EventStream(const fibermap::FiberMap& map,
+                         const CorrelatedFailureModel& model)
+    : impl_(std::make_unique<Impl>(map, model)) {}
+
+EventStream::EventStream(EventStream&&) noexcept = default;
+EventStream::~EventStream() = default;
+
+std::optional<TimelineEvent> EventStream::next() { return impl_->next(); }
+
+double EventStream::horizon_hours() const noexcept { return impl_->horizon_h; }
+
+}  // namespace iris::reliability

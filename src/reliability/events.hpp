@@ -1,0 +1,143 @@
+// Correlated failure-event processes over a fiber map.
+//
+// The independent per-duct Poisson model underestimates real outage risk:
+// ducts sharing a trench are cut by the same backhoe, ducts fanning into one
+// hut die with the hut's power, and maintenance takes whole groups down on a
+// calendar. EventStream is the one seeded sampling engine for all of it —
+// the Monte-Carlo availability runs and the chaos generator both pull from
+// it, so the two can never drift apart in how failures are drawn.
+//
+// Processes (all exponential inter-arrival except maintenance):
+//  - per-duct cuts: rate = cuts_per_km_year x duct length (the classic
+//    model; a duct under repair draws its next cut at repair time),
+//  - trench hits: one process per trench-kind SRLG, rate proportional to
+//    the shared corridor length; a hit cuts every member duct atomically,
+//  - hut outages: one process per hut-kind SRLG; an outage severs every
+//    duct terminating at the hut,
+//  - regional disasters: the legacy site-level model (uniform epicenter,
+//    every site in radius down),
+//  - maintenance windows: deterministic scheduled events that take an
+//    SRLG's ducts down start + k*period for `duration` hours.
+//
+// Determinism: the stream is a pure function of (map, model). With every
+// group rate zero and no maintenance, the draw sequence is exactly the
+// legacy simulate_availability() sequence — ducts pre-drawn in EdgeId
+// order, repairs drawn at failure pop, next arrivals at repair pop — which
+// is what keeps the no-SRLG availability output byte-identical.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fibermap/fibermap.hpp"
+#include "reliability/availability.hpp"
+
+namespace iris::reliability {
+
+/// A scheduled maintenance window on one SRLG's ducts.
+struct MaintenanceWindow {
+  fibermap::SrlgId srlg = -1;
+  double start_h = 0.0;     ///< first window start, hours from t=0
+  double period_h = 0.0;    ///< repeat interval; 0 = one-shot
+  double duration_h = 4.0;  ///< ducts down for this long per window
+};
+
+/// The correlated failure model: the legacy per-duct/disaster model plus
+/// group processes over the map's declared SRLGs.
+struct CorrelatedFailureModel {
+  FailureModel base;  ///< per-duct cuts, disasters, horizon, seed
+
+  /// Trench-hit rate per km of shared corridor per year, applied to every
+  /// trench-kind SRLG (rate = this x srlg.shared_km). 0 disables.
+  double trench_hits_per_km_year = 0.0;
+  double trench_repair_hours = 24.0;
+
+  /// Outage rate per hut-kind SRLG per year. 0 disables.
+  double hut_outages_per_year = 0.0;
+  double hut_repair_hours = 6.0;
+
+  std::vector<MaintenanceWindow> maintenance;
+
+  /// Batch count for the batch-means confidence intervals reported by
+  /// simulate_availability_correlated; < 2 disables CIs.
+  int ci_batches = 10;
+};
+
+enum class EventKind {
+  kDuctCut,
+  kDuctRepair,
+  kTrenchHit,
+  kTrenchRepair,
+  kHutOutage,
+  kHutRepair,
+  kMaintenanceStart,
+  kMaintenanceEnd,
+  kDisaster,
+  kDisasterRepair,
+};
+
+/// True for kinds that take ducts/sites down (their matching repair/end
+/// kinds bring the same ones back).
+[[nodiscard]] constexpr bool event_is_failure(EventKind k) {
+  return k == EventKind::kDuctCut || k == EventKind::kTrenchHit ||
+         k == EventKind::kHutOutage || k == EventKind::kMaintenanceStart ||
+         k == EventKind::kDisaster;
+}
+
+/// One event on the failure timeline. `ducts` lists the ducts failing (or
+/// recovering) atomically; disasters list affected `sites` instead (a down
+/// site implicitly kills its incident ducts — consumers track site state).
+struct TimelineEvent {
+  double at_h = 0.0;
+  EventKind kind = EventKind::kDuctCut;
+  /// Duct id, SRLG id, maintenance-window index, or -1 (disasters).
+  int subject = -1;
+  std::vector<graph::EdgeId> ducts;
+  std::vector<graph::NodeId> sites;
+};
+
+/// Seeded pull-based generator of the failure timeline, in time order and
+/// strictly before the model's horizon. The map must outlive the stream.
+class EventStream {
+ public:
+  /// Throws std::invalid_argument on a malformed model (non-positive
+  /// horizon or repair means, negative rates, maintenance on an unknown
+  /// SRLG or with non-positive duration).
+  EventStream(const fibermap::FiberMap& map,
+              const CorrelatedFailureModel& model);
+  EventStream(EventStream&&) noexcept;
+  ~EventStream();
+
+  /// The next event, or std::nullopt once the horizon is reached.
+  std::optional<TimelineEvent> next();
+
+  [[nodiscard]] double horizon_hours() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// simulate_availability over the correlated model, with per-kind event
+/// tallies alongside the classic summary. Pair entries carry batch-means
+/// confidence intervals when `model.ci_batches >= 2`.
+struct CorrelatedAvailabilityReport {
+  AvailabilityReport summary;
+  long long duct_cut_events = 0;
+  long long trench_events = 0;
+  long long hut_events = 0;
+  long long maintenance_events = 0;
+  long long disaster_events = 0;
+};
+
+/// Event-driven Monte Carlo over the correlated failure model. With every
+/// group rate zero and no maintenance this produces byte-identical
+/// availabilities to simulate_availability(map, model.base, pair_up) — both
+/// consume the same EventStream. Records `reliability.events{kind=...}`
+/// counters for every nonzero event kind.
+CorrelatedAvailabilityReport simulate_availability_correlated(
+    const fibermap::FiberMap& map, const CorrelatedFailureModel& model,
+    const PairUpFn& pair_up);
+
+}  // namespace iris::reliability

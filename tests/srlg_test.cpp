@@ -1,0 +1,481 @@
+// Shared-risk link groups: storage, serialization, geometric inference,
+// SRLG-event enumeration, correlated availability, and SLO provisioning.
+//
+// The load-bearing properties are the degeneracies: a map with no SRLGs (or
+// only singleton groups) must plan and simulate bit-for-bit like the
+// pre-SRLG planner, and the same seed must give the same correlated
+// timeline at every thread count.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "core/provision.hpp"
+#include "core/slo.hpp"
+#include "fibermap/generator.hpp"
+#include "fibermap/serialize.hpp"
+#include "fibermap/srlg.hpp"
+#include "graph/failures.hpp"
+#include "graph/shortest_path.hpp"
+#include "reliability/events.hpp"
+
+namespace iris {
+namespace {
+
+using fibermap::FiberMap;
+using fibermap::Srlg;
+using fibermap::SrlgKind;
+using graph::EdgeId;
+using graph::NodeId;
+
+/// Two DCs joined by a northern two-duct corridor (parallel routes through
+/// one trench) and an independent southern duct.
+FiberMap corridor_map() {
+  FiberMap map;
+  const auto a = map.add_dc("a", {0.0, 0.0}, 8);
+  const auto b = map.add_dc("b", {10.0, 0.0}, 8);
+  map.add_duct(a, b,
+               geo::Polyline({{0.0, 0.0}, {0.0, 1.0}, {10.0, 1.0}, {10.0, 0.0}}));
+  map.add_duct(a, b,
+               geo::Polyline(
+                   {{0.0, 0.0}, {0.0, 1.02}, {10.0, 1.02}, {10.0, 0.0}}));
+  map.add_duct(a, b,
+               geo::Polyline({{0.0, 0.0}, {0.0, -3.0}, {10.0, -3.0}, {10.0, 0.0}}));
+  return map;
+}
+
+TEST(SrlgStorage, ValidatesGroups) {
+  auto map = corridor_map();
+  EXPECT_THROW(map.add_srlg({"empty", SrlgKind::kManual, {}, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(map.add_srlg({"oob", SrlgKind::kManual, {99}, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(map.add_srlg({"two words", SrlgKind::kManual, {0}, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(map.add_srlg({"", SrlgKind::kManual, {0}, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      map.add_srlg({"nohut", SrlgKind::kHut, {0, 1}, 0.0, graph::kInvalidNode}),
+      std::invalid_argument);
+
+  // Members are sorted and deduplicated.
+  const auto id = map.add_srlg({"power-a", SrlgKind::kManual, {1, 0, 1}, 0.0});
+  EXPECT_EQ(map.srlg(id).ducts, (std::vector<EdgeId>{0, 1}));
+  EXPECT_EQ(map.srlgs().size(), 1u);
+}
+
+TEST(SrlgStorage, SerializeRoundTrip) {
+  auto map = corridor_map();
+  map.add_srlg({"power-a", SrlgKind::kManual, {0, 2}, 0.0});
+  map.add_srlg({"trench1", SrlgKind::kTrench, {0, 1}, 9.5});
+  const auto hut = map.add_hut("h1", {5.0, 5.0});
+  map.add_duct_with_length(map.dcs()[0], hut, 9.0);
+  map.add_duct_with_length(hut, map.dcs()[1], 9.0);
+  map.add_srlg({"hut-h1", SrlgKind::kHut, {3, 4}, 0.0, hut});
+
+  const auto restored = fibermap::from_string(fibermap::to_string(map));
+  ASSERT_EQ(restored.srlgs().size(), 3u);
+  EXPECT_EQ(restored.srlg(0).name, "power-a");
+  EXPECT_EQ(restored.srlg(0).kind, SrlgKind::kManual);
+  EXPECT_EQ(restored.srlg(0).ducts, (std::vector<EdgeId>{0, 2}));
+  EXPECT_EQ(restored.srlg(1).kind, SrlgKind::kTrench);
+  EXPECT_DOUBLE_EQ(restored.srlg(1).shared_km, 9.5);
+  EXPECT_EQ(restored.srlg(2).kind, SrlgKind::kHut);
+  EXPECT_EQ(restored.srlg(2).hut, hut);
+  EXPECT_EQ(restored.srlg(2).ducts, (std::vector<EdgeId>{3, 4}));
+
+  // Round-tripping twice is a fixed point (canonical form).
+  EXPECT_EQ(fibermap::to_string(restored), fibermap::to_string(map));
+}
+
+TEST(SrlgSerialize, RejectsMalformedRecords) {
+  auto map = corridor_map();
+  map.add_srlg({"g", SrlgKind::kManual, {0, 1}, 0.0});
+  auto text = fibermap::to_string(map);
+  const auto pos = text.find("srlg g manual 0 1");
+  ASSERT_NE(pos, std::string::npos);
+  auto bad = text;
+  bad.replace(pos, std::string("srlg g manual 0 1").size(),
+              "srlg g manual 0 99");
+  EXPECT_THROW((void)fibermap::from_string(bad), std::runtime_error);
+  bad = text;
+  bad.replace(pos, std::string("srlg g manual 0 1").size(), "srlg g manual");
+  EXPECT_THROW((void)fibermap::from_string(bad), std::runtime_error);
+}
+
+TEST(SrlgInference, SharedRunGoldenGeometry) {
+  // Two 10 km horizontal lines 20 m apart: the whole run is shared.
+  const geo::Polyline a({{0.0, 0.0}, {10.0, 0.0}});
+  const geo::Polyline b({{0.0, 0.02}, {10.0, 0.02}});
+  EXPECT_NEAR(fibermap::shared_run_km(a, b, 0.05, 0.1), 10.0, 0.2);
+  // 100 m apart: nothing shared at a 50 m threshold.
+  const geo::Polyline far({{0.0, 0.1}, {10.0, 0.1}});
+  EXPECT_DOUBLE_EQ(fibermap::shared_run_km(a, far, 0.05, 0.1), 0.0);
+  // A perpendicular crossing shares only the intersection neighbourhood.
+  const geo::Polyline cross({{5.0, -5.0}, {5.0, 5.0}});
+  EXPECT_LT(fibermap::shared_run_km(a, cross, 0.05, 0.01), 0.5);
+}
+
+TEST(SrlgInference, ParallelTrenchesFuseNearMissesDoNot) {
+  const auto map = corridor_map();
+  const auto groups = fibermap::infer_srlgs(map);
+  // Ducts 0 and 1 share the northern corridor; duct 2 runs 3 km south.
+  // DC-to-DC ducts never form hut groups, so the trench group is alone.
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].kind, SrlgKind::kTrench);
+  EXPECT_EQ(groups[0].ducts, (std::vector<EdgeId>{0, 1}));
+  EXPECT_GT(groups[0].shared_km, 9.0);
+
+  // Raising the minimum shared length above the corridor dissolves it.
+  fibermap::SrlgInferenceParams strict;
+  strict.trench_min_shared_km = 50.0;
+  EXPECT_TRUE(fibermap::infer_srlgs(map, strict).empty());
+}
+
+TEST(SrlgInference, TrenchSharingIsTransitive) {
+  FiberMap map;
+  const auto a = map.add_dc("a", {0.0, 0.0}, 8);
+  const auto b = map.add_dc("b", {10.0, 0.0}, 8);
+  // Three parallel routes, neighbours 30 m apart: ducts 0-1 and 1-2 share,
+  // 0-2 are 60 m apart (beyond the 50 m threshold) -- one component of 3.
+  for (int i = 0; i < 3; ++i) {
+    const double y = 1.0 + 0.03 * i;
+    map.add_duct(a, b,
+                 geo::Polyline({{0.0, 0.0}, {0.0, y}, {10.0, y}, {10.0, 0.0}}));
+  }
+  const auto groups = fibermap::infer_srlgs(map);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].ducts, (std::vector<EdgeId>{0, 1, 2}));
+}
+
+TEST(SrlgInference, SharedHutFanIn) {
+  FiberMap map;
+  const auto a = map.add_dc("a", {0.0, 0.0}, 8);
+  const auto b = map.add_dc("b", {20.0, 0.0}, 8);
+  const auto hub = map.add_hut("hub", {10.0, 10.0});
+  const auto spur = map.add_hut("spur", {10.0, -10.0});
+  map.add_duct_with_length(a, hub, 15.0);
+  map.add_duct_with_length(hub, b, 15.0);
+  map.add_duct_with_length(a, spur, 15.0);  // spur has one duct: no group
+
+  const auto groups = fibermap::infer_srlgs(map);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].kind, SrlgKind::kHut);
+  EXPECT_EQ(groups[0].hut, hub);
+  EXPECT_EQ(groups[0].ducts, (std::vector<EdgeId>{0, 1}));
+  EXPECT_EQ(groups[0].name, "hut-hub");
+  (void)spur;
+}
+
+TEST(SrlgInference, InferredGroupsAreDeduplicatedAgainstDeclared) {
+  auto map = corridor_map();
+  map.add_srlg({"already", SrlgKind::kManual, {0, 1}, 0.0});
+  EXPECT_EQ(fibermap::infer_and_add_srlgs(map), 0);
+  ASSERT_EQ(map.srlgs().size(), 1u);
+
+  auto fresh = corridor_map();
+  EXPECT_EQ(fibermap::infer_and_add_srlgs(fresh), 1);
+  EXPECT_EQ(fresh.srlgs()[0].ducts, (std::vector<EdgeId>{0, 1}));
+}
+
+TEST(ScenarioSetEvents, GroupEventsFailMembersAtomically) {
+  // Events A={0,1}, B={1,2} overlap on duct 1; the sweep must fail each
+  // duct once and restore it only when its last covering event unwinds.
+  std::vector<graph::FailureEvent> events{{{0, 1}}, {{1, 2}}};
+  const graph::ScenarioSet set(3, events, 2);
+  EXPECT_EQ(set.scenario_count(), 1 + 2 + 1);
+  EXPECT_EQ(set.eligible_edges(), (std::vector<EdgeId>{0, 1, 2}));
+
+  std::vector<std::pair<std::vector<EdgeId>, int>> seen;
+  set.for_each_events([&](const graph::EdgeMask& mask,
+                          std::span<const EdgeId> failed, int depth) {
+    for (EdgeId e : failed) EXPECT_TRUE(mask.failed(e));
+    seen.emplace_back(std::vector<EdgeId>(failed.begin(), failed.end()), depth);
+  });
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], (std::pair<std::vector<EdgeId>, int>{{}, 0}));
+  EXPECT_EQ(seen[1], (std::pair<std::vector<EdgeId>, int>{{0, 1}, 1}));
+  // A then B: duct 1 already failed, so only duct 2 is appended.
+  EXPECT_EQ(seen[2], (std::pair<std::vector<EdgeId>, int>{{0, 1, 2}, 2}));
+  EXPECT_EQ(seen[3], (std::pair<std::vector<EdgeId>, int>{{1, 2}, 1}));
+}
+
+TEST(ScenarioSetEvents, SingletonEventsMatchClassicSweep) {
+  const graph::ScenarioSet classic(4, std::vector<EdgeId>{0, 1, 2, 3}, 2);
+  std::vector<graph::FailureEvent> singleton_events;
+  for (EdgeId e = 0; e < 4; ++e) singleton_events.push_back({{e}});
+  const graph::ScenarioSet events(4, singleton_events, 2);
+
+  std::vector<std::vector<EdgeId>> a, b;
+  classic.for_each([&](const graph::EdgeMask&, std::span<const EdgeId> f) {
+    a.emplace_back(f.begin(), f.end());
+  });
+  events.for_each([&](const graph::EdgeMask&, std::span<const EdgeId> f) {
+    b.emplace_back(f.begin(), f.end());
+  });
+  EXPECT_EQ(a, b);
+}
+
+/// Small planning region with enough route diversity for k=1 SRLG events.
+FiberMap planning_map() {
+  fibermap::RegionParams region;
+  region.seed = 7;
+  region.dc_count = 5;
+  region.hut_count = 10;
+  region.capacity_fibers = 8;
+  return fibermap::generate_region(region);
+}
+
+TEST(SrlgPlanning, SingletonSrlgsReproducePlanBitForBit) {
+  auto plain = planning_map();
+  auto tagged = planning_map();
+  // One singleton group per duct: declares no *correlation*, so the planner
+  // must produce the byte-identical plan (singletons add no new events).
+  for (EdgeId e = 0; e < tagged.graph().edge_count(); ++e) {
+    tagged.add_srlg({"solo" + std::to_string(e), SrlgKind::kManual, {e}, 0.0});
+  }
+  core::PlannerParams params;
+  params.failure_tolerance = 2;
+  params.channels.wavelengths_per_fiber = 40;
+  const auto base = core::provision(plain, params);
+  const auto with = core::provision(tagged, params);
+  EXPECT_TRUE(core::same_plan(base, with));
+  EXPECT_EQ(base.scenarios_evaluated, with.scenarios_evaluated);
+}
+
+TEST(SrlgPlanning, PlanSurvivesEveryEnumeratedGroupEvent) {
+  auto map = planning_map();
+  ASSERT_GT(fibermap::infer_and_add_srlgs(map), 0);
+  core::PlannerParams params;
+  params.failure_tolerance = 1;
+  params.channels.wavelengths_per_fiber = 40;
+  const auto net = core::provision(map, params);
+
+  // Every scenario -- including whole-group events -- must leave every DC
+  // pair connected over provisioned ducts (or the planner consciously gave
+  // up on it: generated regions keep diversity, so none here).
+  const auto scenarios = core::planner_scenarios(map, params);
+  bool saw_group_event = false;
+  scenarios.for_each([&](const graph::EdgeMask& mask,
+                         std::span<const EdgeId> failed) {
+    if (failed.size() > 1) saw_group_event = true;
+    graph::EdgeMask m = mask;
+    for (EdgeId e = 0; e < map.graph().edge_count(); ++e) {
+      if (!net.edge_used(e)) m.fail(e);
+    }
+    const auto& dcs = map.dcs();
+    for (std::size_t i = 0; i < dcs.size(); ++i) {
+      const auto tree = graph::dijkstra(map.graph(), dcs[i], m);
+      for (std::size_t j = i + 1; j < dcs.size(); ++j) {
+        EXPECT_TRUE(tree.reachable(dcs[j]))
+            << "pair " << dcs[i] << "-" << dcs[j] << " cut off";
+      }
+    }
+  });
+  EXPECT_TRUE(saw_group_event);
+  EXPECT_EQ(net.pair_paths_skipped_unreachable, 0);
+}
+
+TEST(SrlgPlanning, BitIdenticalAcrossThreadCountsAndSweepModes) {
+  auto map = planning_map();
+  ASSERT_GT(fibermap::infer_and_add_srlgs(map), 0);
+  core::PlannerParams params;
+  params.failure_tolerance = 2;
+  params.channels.wavelengths_per_fiber = 40;
+
+  params.threads = 1;
+  const auto t1 = core::provision(map, params);
+  params.threads = 2;
+  const auto t2 = core::provision(map, params);
+  params.threads = 8;
+  const auto t8 = core::provision(map, params);
+  EXPECT_TRUE(core::same_plan(t1, t2));
+  EXPECT_TRUE(core::same_plan(t1, t8));
+
+  // Incremental (warm starts + dominance pruning) vs the full sweep.
+  params.threads = 1;
+  params.incremental = false;
+  const auto full = core::provision(map, params);
+  EXPECT_TRUE(core::same_plan(t1, full));
+}
+
+reliability::FailureModel stressed_model(std::uint64_t seed) {
+  reliability::FailureModel m;
+  m.cuts_per_km_year = 0.5;
+  m.mean_repair_hours = 24.0;
+  m.horizon_years = 120.0;
+  m.seed = seed;
+  return m;
+}
+
+TEST(CorrelatedAvailability, DegenerateModelMatchesLegacyBitForBit) {
+  const auto map = planning_map();
+  const auto model = stressed_model(21);
+  const auto legacy = reliability::simulate_availability(
+      map, model, reliability::any_path_criterion(map));
+
+  reliability::CorrelatedFailureModel cm;
+  cm.base = model;  // group rates default to 0, no maintenance
+  const auto corr = reliability::simulate_availability_correlated(
+      map, cm, reliability::any_path_criterion(map));
+
+  EXPECT_EQ(corr.summary.cut_events, legacy.cut_events);
+  EXPECT_EQ(corr.duct_cut_events, legacy.cut_events);
+  EXPECT_EQ(corr.trench_events + corr.hut_events + corr.maintenance_events, 0);
+  ASSERT_EQ(corr.summary.pairs.size(), legacy.pairs.size());
+  for (std::size_t i = 0; i < legacy.pairs.size(); ++i) {
+    // Bit-for-bit: exact double equality, not EXPECT_NEAR.
+    EXPECT_EQ(corr.summary.pairs[i].availability,
+              legacy.pairs[i].availability);
+    EXPECT_LE(corr.summary.pairs[i].ci_low,
+              corr.summary.pairs[i].availability);
+    EXPECT_GE(corr.summary.pairs[i].ci_high,
+              corr.summary.pairs[i].availability);
+  }
+  EXPECT_EQ(corr.summary.worst_availability, legacy.worst_availability);
+  EXPECT_EQ(corr.summary.mean_availability, legacy.mean_availability);
+}
+
+TEST(CorrelatedAvailability, SingletonTrenchGroupsReproduceDuctCuts) {
+  // Turn every per-duct cut process into a singleton trench group with the
+  // same rate and repair: the draw sequence -- ducts in EdgeId order, repair
+  // at failure, next arrival at repair -- must replay bit-for-bit.
+  const auto plain = planning_map();
+  auto grouped = planning_map();
+  const auto model = stressed_model(33);
+  for (EdgeId e = 0; e < grouped.graph().edge_count(); ++e) {
+    Srlg s;
+    s.name = "duct" + std::to_string(e);
+    s.kind = SrlgKind::kTrench;
+    s.ducts = {e};
+    s.shared_km = grouped.duct_length_km(e);
+    grouped.add_srlg(s);
+  }
+  const auto legacy = reliability::simulate_availability(
+      plain, model, reliability::any_path_criterion(plain));
+
+  reliability::CorrelatedFailureModel cm;
+  cm.base = model;
+  cm.base.cuts_per_km_year = 0.0;  // cuts come from the groups instead
+  cm.trench_hits_per_km_year = model.cuts_per_km_year;
+  cm.trench_repair_hours = model.mean_repair_hours;
+  cm.ci_batches = 0;
+  const auto corr = reliability::simulate_availability_correlated(
+      grouped, cm, reliability::any_path_criterion(grouped));
+
+  EXPECT_EQ(corr.trench_events, legacy.cut_events);
+  ASSERT_EQ(corr.summary.pairs.size(), legacy.pairs.size());
+  for (std::size_t i = 0; i < legacy.pairs.size(); ++i) {
+    EXPECT_EQ(corr.summary.pairs[i].availability,
+              legacy.pairs[i].availability);
+  }
+  EXPECT_EQ(corr.summary.worst_availability, legacy.worst_availability);
+}
+
+TEST(CorrelatedAvailability, SameSeedIsByteIdentical) {
+  auto map = planning_map();
+  ASSERT_GT(fibermap::infer_and_add_srlgs(map), 0);
+  reliability::CorrelatedFailureModel cm;
+  cm.base = stressed_model(5);
+  cm.trench_hits_per_km_year = 1.0;
+  cm.hut_outages_per_year = 2.0;
+  cm.maintenance.push_back({0, 100.0, 5000.0, 8.0});
+
+  const auto run = [&] {
+    return reliability::simulate_availability_correlated(
+        map, cm, reliability::any_path_criterion(map));
+  };
+  const auto r1 = run();
+  const auto r2 = run();
+  EXPECT_EQ(r1.summary.cut_events, r2.summary.cut_events);
+  EXPECT_EQ(r1.trench_events, r2.trench_events);
+  EXPECT_EQ(r1.hut_events, r2.hut_events);
+  EXPECT_EQ(r1.maintenance_events, r2.maintenance_events);
+  EXPECT_GT(r1.trench_events + r1.hut_events, 0);
+  EXPECT_GT(r1.maintenance_events, 0);
+  ASSERT_EQ(r1.summary.pairs.size(), r2.summary.pairs.size());
+  for (std::size_t i = 0; i < r1.summary.pairs.size(); ++i) {
+    EXPECT_EQ(r1.summary.pairs[i].availability,
+              r2.summary.pairs[i].availability);
+    EXPECT_EQ(r1.summary.pairs[i].ci_low, r2.summary.pairs[i].ci_low);
+    EXPECT_EQ(r1.summary.pairs[i].ci_high, r2.summary.pairs[i].ci_high);
+  }
+}
+
+TEST(EventStream, MaintenanceCalendarIsDeterministic) {
+  auto map = corridor_map();
+  const auto id = map.add_srlg({"trench1", SrlgKind::kTrench, {0, 1}, 9.5});
+  reliability::CorrelatedFailureModel cm;
+  cm.base.cuts_per_km_year = 0.0;
+  cm.base.horizon_years = 300.0 / (365.25 * 24.0);  // 300 hours
+  cm.maintenance.push_back({id, 10.0, 100.0, 4.0});
+
+  reliability::EventStream stream(map, cm);
+  std::vector<std::pair<double, reliability::EventKind>> timeline;
+  while (auto ev = stream.next()) {
+    timeline.emplace_back(ev->at_h, ev->kind);
+    EXPECT_EQ(ev->ducts, (std::vector<EdgeId>{0, 1}));
+  }
+  using reliability::EventKind;
+  const std::vector<std::pair<double, EventKind>> expected{
+      {10.0, EventKind::kMaintenanceStart}, {14.0, EventKind::kMaintenanceEnd},
+      {110.0, EventKind::kMaintenanceStart}, {114.0, EventKind::kMaintenanceEnd},
+      {210.0, EventKind::kMaintenanceStart}, {214.0, EventKind::kMaintenanceEnd},
+  };
+  EXPECT_EQ(timeline, expected);
+}
+
+TEST(EventStream, RejectsBadModels) {
+  const auto map = corridor_map();
+  reliability::CorrelatedFailureModel cm;
+  cm.trench_hits_per_km_year = -1.0;
+  EXPECT_THROW(reliability::EventStream(map, cm), std::invalid_argument);
+  cm = {};
+  cm.maintenance.push_back({7, 0.0, 0.0, 4.0});  // unknown SRLG
+  EXPECT_THROW(reliability::EventStream(map, cm), std::invalid_argument);
+}
+
+TEST(SloProvisioning, RaisesToleranceUntilTargetMet) {
+  auto map = planning_map();
+  fibermap::infer_and_add_srlgs(map);
+  core::PlannerParams params;
+  params.failure_tolerance = 0;
+  params.slo_max_tolerance = 2;
+  params.availability_slo = 0.9999;
+  params.channels.wavelengths_per_fiber = 40;
+
+  reliability::CorrelatedFailureModel cm;
+  cm.base = stressed_model(13);
+  cm.trench_hits_per_km_year = 0.5;
+  cm.hut_outages_per_year = 1.0;
+
+  const auto report = core::provision_to_availability_slo(map, params, cm);
+  EXPECT_GE(report.search_steps, 1);
+  EXPECT_EQ(report.tolerance,
+            params.failure_tolerance + report.search_steps - 1);
+  if (report.met) {
+    EXPECT_GE(report.availability.summary.worst_availability, 0.9999);
+  } else {
+    EXPECT_EQ(report.tolerance, params.slo_max_tolerance);
+  }
+  // A tolerance-0 plan provisions only baseline paths; meeting four nines
+  // under this stressed model requires at least one step of hardening.
+  EXPECT_GT(report.search_steps, 1);
+}
+
+TEST(SloProvisioning, RejectsBadArguments) {
+  const auto map = planning_map();
+  core::PlannerParams params;
+  reliability::CorrelatedFailureModel cm;
+  params.availability_slo = 0.0;
+  EXPECT_THROW((void)core::provision_to_availability_slo(map, params, cm),
+               std::invalid_argument);
+  params.availability_slo = 0.999;
+  params.slo_max_tolerance = params.failure_tolerance - 1;
+  EXPECT_THROW((void)core::provision_to_availability_slo(map, params, cm),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iris
