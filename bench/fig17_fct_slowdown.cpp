@@ -5,35 +5,57 @@
 // Paper claims: with bounded (<= 50%) changes the slowdown is under ~2%
 // even at 70% utilization; only unbounded changes at second-scale intervals
 // hurt, and the effect vanishes for intervals >= 10 s.
+//
+// Usage: bench_fig17_fct_slowdown [seed=N] [duration=S] [--metrics[=path]]
+//                                 [--benchmark_...]
+// Overrides parse strictly (whole-token, exit 2 on garbage -- the atof
+// family used to turn `seed=abc` into silent zeros); with no arguments the
+// table is byte-identical to the historical unparameterized run.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string_view>
 
+#include "obs/argparse.hpp"
+#include "obs/export.hpp"
 #include "simflow/simulator.hpp"
 
 namespace {
 
+using namespace iris;
 using namespace iris::simflow;
+
+long long g_seed = 99;
+double g_duration_s = 12.0;
+
+int usage_error(const char* what, const char* arg) {
+  std::fprintf(stderr, "bench_fig17_fct_slowdown: %s '%s'\n", what, arg);
+  std::fprintf(stderr,
+               "usage: bench_fig17_fct_slowdown [seed=N] [duration=S]\n"
+               "                                [--metrics[=path]] "
+               "[--benchmark_...]\n");
+  return 2;
+}
 
 double slowdown(double util, double change_fraction, double interval_s,
                 double p, double max_bytes = -1.0) {
   SimParams params;
-  params.duration_s = 12.0;
+  params.duration_s = g_duration_s;
   params.utilization = util;
   params.change_interval_s = interval_s;
   params.traffic.pair_count = 45;  // a 10-DC region
   params.traffic.total_gbps = 9.0;
   params.traffic.change_fraction = change_fraction;
-  params.traffic.seed = 99;
-  params.seed = 99;
+  params.traffic.seed = static_cast<std::uint64_t>(g_seed);
+  params.seed = static_cast<std::uint64_t>(g_seed);
 
   const auto workload = FlowSizeDistribution::facebook_web();
   params.fabric = Fabric::kIris;
-  const auto iris = simulate(workload, params);
+  const auto iris_run = simulate(workload, params);
   params.fabric = Fabric::kEps;
   const auto eps = simulate(workload, params);
   const double denom = fct_percentile(eps, p, max_bytes);
-  return denom > 0.0 ? fct_percentile(iris, p, max_bytes) / denom : 1.0;
+  return denom > 0.0 ? fct_percentile(iris_run, p, max_bytes) / denom : 1.0;
 }
 
 void print_series(double util, double change_fraction, const char* label) {
@@ -75,8 +97,34 @@ BENCHMARK(BM_SimulateOneConfig)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::MetricsFlag metrics;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (obs::parse_metrics_flag(arg, metrics)) continue;
+    if (arg.rfind("--benchmark_", 0) == 0) {
+      argv[kept++] = argv[i];
+      continue;
+    }
+    const auto kv = obs::split_kv(arg);
+    if (kv && kv->first == "seed") {
+      const auto v = obs::parse_ll(kv->second);
+      if (!v || *v < 0) return usage_error("malformed seed", argv[i]);
+      g_seed = *v;
+    } else if (kv && kv->first == "duration") {
+      const auto v = obs::parse_double(kv->second);
+      if (!v || *v <= 0.0) return usage_error("malformed duration", argv[i]);
+      g_duration_s = *v;
+    } else {
+      return usage_error("unknown argument", argv[i]);
+    }
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  if (metrics.enabled && !obs::dump_default_registry(metrics.path)) return 1;
   return 0;
 }

@@ -1,0 +1,271 @@
+// Fleet soak: the region-fleet subsystem's acceptance gate.
+//
+// Phase 1 runs M independently seeded regions' closed loops concurrently
+// with no query load and times the loops. Phase 2 runs a fresh fleet from
+// the same parameters while a WhatIfEngine hammers the published snapshots
+// with failure drills, growth studies and SLO probes, and times both the
+// loops and the queries. The gates:
+//
+//  * bit-identity: every region's canonical trace fingerprint must be
+//    identical across phase 1, phase 2 and a solo single-region run of the
+//    same seed -- queries never perturb the hot loops;
+//  * isolation: mean loop tick latency under full query load must stay
+//    within `latency_gate` (default 2x) of the query-free run;
+//  * service: what-if QPS and fleet tick throughput are reported (the
+//    ROADMAP's "planner/controller as a service" number).
+//
+// Usage: bench_fleet_soak [regions] [seed] [key=value...] [--metrics[=path]]
+//   keys: samples (>= 1)        closed-loop samples per region
+//         queries (>= 1)        what-if queries per batch
+//         query_threads (>= 1)  engine pool size
+//         chaos (>= 0)          scripted duct-chaos period, 0 = off
+//         latency_gate (> 0)    allowed tick-latency ratio under load
+// Malformed or unknown arguments exit 2. --metrics exports the merged
+// fleet registry (all regions folded in region order, plus fleet.queries.*).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/engine.hpp"
+#include "obs/argparse.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace iris;
+
+int usage_error(const char* what, const char* arg) {
+  std::fprintf(stderr, "bench_fleet_soak: %s '%s'\n", what, arg);
+  std::fprintf(
+      stderr,
+      "usage: bench_fleet_soak [regions] [seed] [key=value...]\n"
+      "                        [--metrics[=path]]\n"
+      "  keys: samples queries query_threads chaos (integers)\n"
+      "        latency_gate (ratio > 0)\n");
+  return 2;
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A deterministic mixed batch of queries against the fleet's current
+/// snapshots: mostly drills, some growth studies, a few SLO probes.
+std::vector<fleet::WhatIfEngine::Job> make_batch(const fleet::Fleet& fleet,
+                                                 int queries, long long round) {
+  std::vector<fleet::WhatIfEngine::Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(queries));
+  for (int q = 0; q < queries; ++q) {
+    fleet::WhatIfEngine::Job job;
+    job.snapshot = fleet.snapshot(q % fleet.regions());
+    if (job.snapshot == nullptr) continue;  // region has not published yet
+    const long long salt = round * queries + q;
+    if (q % 10 == 9) {
+      job.query.kind = fleet::QueryKind::kSloProbe;
+      job.query.availability_slo = 0.995;
+      job.query.slo_max_tolerance = 1;
+      job.query.demand_waves = 2;
+      job.query.max_oversubscription = 2.0;
+    } else if (q % 10 >= 7) {
+      job.query.kind = fleet::QueryKind::kGrowth;
+      job.query.growth.position = {12.0 + static_cast<double>(salt % 5) * 4.0,
+                                   18.0 + static_cast<double>(salt % 3) * 6.0};
+      job.query.growth.capacity_fibers = 8;
+      job.query.growth.name = "dc-whatif";
+    } else {
+      job.query.kind = fleet::QueryKind::kFailureDrill;
+      const auto ducts = static_cast<long long>(
+          job.snapshot->map->graph().edge_count());
+      job.query.duct = static_cast<graph::EdgeId>(salt % ducts);
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int regions = 2;
+  std::uint64_t seed = 7;
+  int samples = 4000;
+  int queries = 16;
+  int query_threads = 4;
+  long long chaos = 40;
+  double latency_gate = 2.0;
+  obs::MetricsFlag metrics;
+
+  int positionals = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (obs::parse_metrics_flag(argv[i], metrics)) continue;
+    if (std::strchr(argv[i], '=') != nullptr) {
+      const auto kv = obs::split_kv(argv[i]);
+      if (!kv) return usage_error("override is not key=value", argv[i]);
+      if (kv->first == "latency_gate") {
+        const auto v = obs::parse_double(kv->second);
+        if (!v || *v <= 0.0) {
+          return usage_error("malformed latency_gate value", argv[i]);
+        }
+        latency_gate = *v;
+        continue;
+      }
+      const auto v = obs::parse_ll(kv->second);
+      if (!v) return usage_error("malformed integer value", argv[i]);
+      if (kv->first == "samples" && *v >= 1 &&
+          *v <= std::numeric_limits<int>::max()) {
+        samples = static_cast<int>(*v);
+      } else if (kv->first == "queries" && *v >= 1 &&
+                 *v <= std::numeric_limits<int>::max()) {
+        queries = static_cast<int>(*v);
+      } else if (kv->first == "query_threads" && *v >= 1 && *v <= 256) {
+        query_threads = static_cast<int>(*v);
+      } else if (kv->first == "chaos" && *v >= 0) {
+        chaos = *v;
+      } else {
+        return usage_error("unknown or out-of-range override", argv[i]);
+      }
+      continue;
+    }
+    if (positionals == 0) {
+      const auto v = obs::parse_ll(argv[i]);
+      if (!v || *v < 1 || *v > 64) {
+        return usage_error("malformed region count", argv[i]);
+      }
+      regions = static_cast<int>(*v);
+      ++positionals;
+    } else if (positionals == 1) {
+      const auto v = obs::parse_ull(argv[i]);
+      if (!v) return usage_error("malformed seed", argv[i]);
+      seed = *v;
+      ++positionals;
+    } else {
+      return usage_error("unexpected argument", argv[i]);
+    }
+  }
+
+  fleet::FleetParams params;
+  params.regions = regions;
+  params.base_seed = seed;
+  params.base.loop.duration_s = static_cast<double>(samples);
+  params.base.loop.sample_interval_s = 1.0;
+  params.base.chaos_duct_period = chaos;
+
+  std::printf("# fleet soak: %d regions x %d samples, seed %llu, chaos %lld\n",
+              regions, samples, static_cast<unsigned long long>(seed), chaos);
+
+  // ---- phase 1: query-free fleet ----
+  fleet::Fleet quiet(params);
+  const double t0 = now_s();
+  quiet.start();
+  quiet.join();
+  const double quiet_s = now_s() - t0;
+  const long long total_ticks =
+      static_cast<long long>(regions) * static_cast<long long>(samples);
+  const double quiet_tick_us = quiet_s * 1e6 / static_cast<double>(total_ticks);
+
+  // ---- phase 2: fresh fleet under sustained query load ----
+  fleet::Fleet loaded(params);
+  fleet::WhatIfEngine engine(query_threads);
+  const double t1 = now_s();
+  loaded.start();
+  loaded.wait_ready();
+  // The query driver runs beside the loops on its own thread so the loaded
+  // wall time below measures the loops alone; at least one round always
+  // runs even when the loops outrun the first batch.
+  const long long want = samples;  // published snapshots per finished region
+  long long rounds = 0;
+  double query_busy_s = 0.0;
+  bool bad_drill = false;
+  std::thread driver([&] {
+    const auto loops_done = [&] {
+      for (int r = 0; r < loaded.regions(); ++r) {
+        if (loaded.shard(r).store().published() < want) return false;
+      }
+      return true;
+    };
+    do {
+      const auto batch = make_batch(loaded, queries, rounds);
+      const double q0 = now_s();
+      const auto results = engine.run_batch(batch);
+      query_busy_s += now_s() - q0;
+      ++rounds;
+      for (const auto& res : results) {
+        if (res.region >= 0 && !res.feasible &&
+            res.kind == fleet::QueryKind::kFailureDrill) {
+          bad_drill = true;
+        }
+      }
+    } while (!loops_done());
+  });
+  loaded.join();
+  const double loaded_s = now_s() - t1;
+  driver.join();
+  if (bad_drill) {
+    std::fprintf(stderr, "fleet soak: infeasible drill result\n");
+    return 1;
+  }
+  const double loaded_tick_us =
+      loaded_s * 1e6 / static_cast<double>(total_ticks);
+
+  // ---- bit-identity: phase 1 == phase 2 == solo, per region ----
+  bool identical = true;
+  for (int r = 0; r < regions; ++r) {
+    const auto solo = fleet::run_region_solo(params, r);
+    const auto& f1 = quiet.shard(r).result();
+    const auto& f2 = loaded.shard(r).result();
+    const bool ok = f1.fingerprint == solo.fingerprint &&
+                    f2.fingerprint == solo.fingerprint &&
+                    f1.trace == solo.trace && f2.trace == solo.trace;
+    identical = identical && ok;
+    std::printf("region %d fingerprint 0x%016llx identical %s\n", r,
+                static_cast<unsigned long long>(solo.fingerprint),
+                ok ? "yes" : "NO");
+  }
+
+  const double qps = query_busy_s > 0.0
+                         ? static_cast<double>(engine.total()) / query_busy_s
+                         : 0.0;
+  const double ratio = quiet_tick_us > 0.0 ? loaded_tick_us / quiet_tick_us
+                                           : 0.0;
+  std::printf("fleet throughput %.0f ticks/s quiet, %.0f ticks/s loaded\n",
+              static_cast<double>(total_ticks) / quiet_s,
+              static_cast<double>(total_ticks) / loaded_s);
+  std::printf("loop tick latency %.1f us -> %.1f us under load (x%.2f, gate x%.2f)\n",
+              quiet_tick_us, loaded_tick_us, ratio, latency_gate);
+  std::printf("what-if QPS %.1f (%lld queries, %lld rounds, %d threads)\n",
+              qps, engine.total(), rounds, query_threads);
+
+  if (metrics.enabled) {
+    obs::MetricsRegistry merged;
+    loaded.merge_metrics(merged);
+    engine.fold_into(merged);
+    const obs::ScopedRegistry bind(merged);
+    if (!obs::dump_default_registry(metrics.path)) return 2;
+  }
+
+  int failures = 0;
+  if (!identical) {
+    std::fprintf(stderr, "fleet soak FAILED: traces diverged from solo runs\n");
+    ++failures;
+  }
+  if (engine.total() == 0) {
+    std::fprintf(stderr, "fleet soak FAILED: no queries executed\n");
+    ++failures;
+  }
+  if (ratio > latency_gate) {
+    std::fprintf(stderr,
+                 "fleet soak FAILED: tick latency x%.2f exceeds gate x%.2f\n",
+                 ratio, latency_gate);
+    ++failures;
+  }
+  if (failures > 0) return 1;
+  std::printf("fleet soak OK\n");
+  return 0;
+}

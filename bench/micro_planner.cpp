@@ -281,8 +281,19 @@ int main(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg == "--replan") {
       replan_mode = true;
-    } else if (!obs::parse_metrics_flag(arg, metrics)) {
+    } else if (obs::parse_metrics_flag(arg, metrics)) {
+      // consumed
+    } else if (arg.rfind("--benchmark_", 0) == 0) {
       argv[kept++] = argv[i];
+    } else {
+      // Strict surface: anything that is not ours or google-benchmark's is
+      // a typo, not something to silently forward.
+      std::fprintf(stderr, "bench_micro_planner: unknown argument '%s'\n",
+                   argv[i]);
+      std::fprintf(stderr,
+                   "usage: bench_micro_planner [--replan] [--metrics[=path]] "
+                   "[--benchmark_...]\n");
+      return 2;
     }
   }
   argc = kept;

@@ -67,6 +67,13 @@ ClosedLoopResult run_closed_loop(IrisController& controller, Policy& policy,
     }
   };
 
+  // Every iteration exit path (both continues and the natural body end)
+  // funnels through this before yielding the tick, so on_tick always sees
+  // the controller with this sample's mutations fully committed.
+  const auto end_tick = [&](double t) {
+    if (params.on_tick) params.on_tick(result.samples - 1, t);
+  };
+
   for (double t = 0.0; t < params.duration_s; t += params.sample_interval_s) {
     // One tick of virtual time per sample: tick spans carry the sampling
     // interval as their (deterministic) duration.
@@ -105,10 +112,14 @@ ClosedLoopResult run_closed_loop(IrisController& controller, Policy& policy,
         // Circuits stay black-holed: this is degraded time, not dead air.
         open_degraded(t);
       }
+      end_tick(t);
       continue;  // the policy proposes again at the next sample
     }
     const auto proposal = policy.propose(t);
-    if (!proposal) continue;
+    if (!proposal) {
+      end_tick(t);
+      continue;
+    }
     reg.add("loop.policy.proposals");
     try {
       const auto report =
@@ -132,6 +143,7 @@ ClosedLoopResult run_closed_loop(IrisController& controller, Policy& policy,
       ++result.rejected;  // keep observing; the demand may become feasible
       reg.add("loop.rejected");
     }
+    end_tick(t);
   }
   if (degraded_since >= 0.0) {
     result.time_degraded_s += params.duration_s - degraded_since;

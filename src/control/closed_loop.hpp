@@ -33,6 +33,12 @@ struct ClosedLoopParams {
   /// (fail_duct mid-loop), replan immediately around the failure instead of
   /// waiting for the policy's divergence hysteresis to notice.
   bool replan_on_failed_ducts = true;
+  /// Invoked once per sample, after every controller mutation for that tick
+  /// has committed (including escape-hatch reroutes and rejected proposals).
+  /// The loop is single-threaded, so the callback observes only committed
+  /// state -- the fleet snapshots each region here. `tick` counts from 0;
+  /// `t_s` is the sample's loop time. Unset = no overhead.
+  std::function<void(long long tick, double t_s)> on_tick;
 };
 
 struct ClosedLoopResult {

@@ -593,6 +593,7 @@ void IrisController::retune_all_dcs(ReconfigReport& report) {
 ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
                                                    ReconfigStrategy strategy) {
   const obs::Span apply_span("controller.apply");
+  ++state_version_;  // pessimistic: even a rejected apply invalidates caches
   // Hose-capacity admission check (OC2) before touching any device. The
   // usable transceiver count shrinks as units are quarantined.
   std::map<NodeId, long long> per_dc;
@@ -1158,11 +1159,13 @@ IrisController::Status IrisController::status() const {
 
 void IrisController::fail_duct(EdgeId duct) {
   duct_failed_.at(duct) = true;
+  ++state_version_;
   jrec(DuctEventRecord{duct, true});
 }
 
 ReconfigReport IrisController::drain_duct_for_maintenance(
     EdgeId duct, ReconfigStrategy strategy) {
+  ++state_version_;
   // Current intent: the active circuits' pair demands.
   TrafficMatrix tm;
   for (const Circuit& c : active_) tm[c.pair] += c.wavelengths;
@@ -1190,6 +1193,7 @@ ReconfigReport IrisController::drain_duct_for_maintenance(
 
 void IrisController::restore_duct(EdgeId duct) {
   duct_failed_.at(duct) = false;
+  ++state_version_;
   jrec(DuctEventRecord{duct, false});
 }
 
@@ -1439,6 +1443,7 @@ void IrisController::quarantine_port_resource(NodeId site, int port) {
 
 RecoveryReport IrisController::recover(IntentJournal& journal) {
   const obs::Span span("controller.recover");
+  ++state_version_;
   if (journal_ != nullptr || applies_completed_ != 0 || !active_.empty()) {
     throw std::logic_error(
         "recover: requires a freshly constructed controller");

@@ -265,6 +265,15 @@ class IrisController {
   /// Thin wrapper: true iff audit_report() finds no divergence.
   [[nodiscard]] bool audit_devices() const { return audit_report().clean(); }
 
+  /// Monotonic counter bumped by every state-mutating entry point
+  /// (apply_traffic_matrix, fail/restore_duct, drain_duct_for_maintenance,
+  /// recover). Readers that cache a snapshot() can compare versions to skip
+  /// rebuilding when nothing changed -- the fleet's copy-on-write publisher
+  /// does exactly that.
+  [[nodiscard]] std::uint64_t state_version() const noexcept {
+    return state_version_;
+  }
+
   /// Serializable full-state snapshot (the journal's checkpoint payload).
   [[nodiscard]] ControllerCheckpoint snapshot() const;
   /// Canonical text fingerprint of controller books + device read-back.
@@ -439,6 +448,7 @@ class IrisController {
   IntentJournal* journal_ = nullptr;  ///< not owned; nullptr = no journaling
   int checkpoint_every_ = 16;
   std::uint64_t applies_completed_ = 0;
+  std::uint64_t state_version_ = 0;
 
   std::vector<Circuit> active_;
   std::vector<Allocation> allocations_;  ///< parallel to active_

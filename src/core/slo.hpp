@@ -23,6 +23,28 @@ struct SloProvisionReport {
   int tolerance = 0;     ///< failure_tolerance of `network`
   int search_steps = 0;  ///< candidate plans provisioned and simulated
   bool met = false;      ///< every pair's availability >= the SLO
+
+  // Cost co-optimization outcome (defaults when it was disabled).
+  double oversubscription = 1.0;  ///< the accepted plan's oversubscription
+  long long cost_fibers = 0;      ///< network.total_base_fibers()
+  int bisect_steps = 0;           ///< extra plans evaluated by the bisection
+};
+
+/// Knobs for the cost co-optimization pass of the 4-argument
+/// provision_to_availability_slo overload.
+struct SloCostOptions {
+  /// Upper end of the oversubscription bisection. Values <=
+  /// params.oversubscription disable cost co-optimization entirely.
+  double max_oversubscription = 1.0;
+  /// Wavelengths a DC pair must be able to push through surviving *planned*
+  /// capacity to count as up (max-flow criterion). 1 degenerates to plain
+  /// connectivity over used ducts — oversubscription shrinks capacities but
+  /// never zeroes a used duct, so a capacity-aware criterion is what makes
+  /// the bisection non-vacuous. Must be >= 1.
+  long long demand_waves = 1;
+  /// Fixed bisection depth, so the search cost is deterministic. Must be
+  /// >= 0 (0 = only probe max_oversubscription itself).
+  int bisect_iters = 10;
 };
 
 /// Connectivity criterion restricted to ducts the plan actually provisioned:
@@ -31,6 +53,17 @@ struct SloProvisionReport {
 /// over unbuilt fiber would flatter every design equally.
 reliability::PairUpFn planned_path_criterion(const fibermap::FiberMap& map,
                                             const ProvisionedNetwork& net);
+
+/// Capacity-aware criterion: a pair is up while `demand_waves` wavelengths
+/// fit through the surviving planned capacity (integer max-flow over used
+/// ducts, capacities = edge_capacity_wavelengths). demand_waves == 1 is
+/// exactly planned_path_criterion; larger demands make availability
+/// sensitive to how much capacity the plan bought, which is what lets the
+/// SLO search trade oversubscription against availability. Throws
+/// std::invalid_argument when demand_waves < 1.
+reliability::PairUpFn planned_capacity_criterion(const fibermap::FiberMap& map,
+                                                const ProvisionedNetwork& net,
+                                                long long demand_waves);
 
 /// Searches failure_tolerance in [params.failure_tolerance,
 /// params.slo_max_tolerance] for the cheapest plan whose worst simulated
@@ -41,5 +74,19 @@ reliability::PairUpFn planned_path_criterion(const fibermap::FiberMap& map,
 SloProvisionReport provision_to_availability_slo(
     const fibermap::FiberMap& map, const PlannerParams& params,
     const reliability::CorrelatedFailureModel& model);
+
+/// Cost co-optimizing overload. The tolerance search runs as above but
+/// judges pairs with planned_capacity_criterion(·, cost.demand_waves); then,
+/// when the SLO was met and cost.max_oversubscription >
+/// params.oversubscription, bisects on oversubscription inside the accepted
+/// tolerance for the cheapest (fewest base fibers) plan still meeting the
+/// SLO. Availability is monotone non-increasing in oversubscription (it only
+/// shrinks capacities), so the fixed-depth bisection is exact up to its
+/// resolution. With default SloCostOptions this reduces to the 3-argument
+/// overload (demand_waves = 1 is plain connectivity; bisection disabled).
+SloProvisionReport provision_to_availability_slo(
+    const fibermap::FiberMap& map, const PlannerParams& params,
+    const reliability::CorrelatedFailureModel& model,
+    const SloCostOptions& cost);
 
 }  // namespace iris::core

@@ -1,0 +1,111 @@
+#include "fleet/engine.hpp"
+
+#include <stdexcept>
+
+namespace iris::fleet {
+
+Fleet::Fleet(FleetParams params) : params_(std::move(params)) {
+  if (params_.regions < 1) {
+    throw std::invalid_argument("Fleet: regions must be >= 1");
+  }
+  shards_.reserve(static_cast<std::size_t>(params_.regions));
+  for (int i = 0; i < params_.regions; ++i) {
+    shards_.push_back(
+        std::make_unique<RegionShard>(i, derive_region_config(params_, i)));
+  }
+}
+
+Fleet::~Fleet() { join(); }
+
+void Fleet::start() {
+  if (started_) throw std::logic_error("Fleet::start: already started");
+  started_ = true;
+  threads_.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    threads_.emplace_back([s = shard.get()] { s->run(); });
+  }
+}
+
+void Fleet::wait_ready() const {
+  for (const auto& shard : shards_) {
+    while (shard->store().published() == 0) std::this_thread::yield();
+  }
+}
+
+void Fleet::join() {
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void Fleet::merge_metrics(obs::MetricsRegistry& dst) const {
+  for (const auto& shard : shards_) {
+    obs::merge_registry(dst, shard->metrics());
+  }
+  dst.set_gauge("fleet.regions", static_cast<double>(regions()));
+}
+
+WhatIfEngine::WhatIfEngine(int threads) : threads_(threads) {
+  if (threads_ <= 0) {
+    threads_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads_ <= 0) threads_ = 1;
+  }
+}
+
+std::vector<WhatIfResult> WhatIfEngine::run_batch(
+    const std::vector<Job>& jobs) {
+  std::vector<WhatIfResult> results(jobs.size());
+  if (jobs.empty()) return results;
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    // Private scratch registry: planner/reliability counters recorded
+    // inside a query must never bleed into a region's deterministic series
+    // or another worker's.
+    obs::MetricsRegistry scratch;
+    const obs::ScopedRegistry bind(scratch);
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) break;
+      scratch.reset();
+      const Job& job = jobs[i];
+      if (job.snapshot == nullptr) {
+        results[i].kind = job.query.kind;
+        results[i].region = -1;
+        continue;
+      }
+      results[i] = run_query(*job.snapshot, job.query);
+      total_.fetch_add(1, std::memory_order_relaxed);
+      switch (job.query.kind) {
+        case QueryKind::kFailureDrill:
+          drills_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case QueryKind::kGrowth:
+          growth_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case QueryKind::kSloProbe:
+          slo_probes_.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+    }
+  };
+  const int n = threads_ < static_cast<int>(jobs.size())
+                    ? threads_
+                    : static_cast<int>(jobs.size());
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(n > 1 ? n - 1 : 0));
+  for (int i = 1; i < n; ++i) pool.emplace_back(worker);
+  worker();  // the calling thread is worker 0
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+void WhatIfEngine::fold_into(obs::MetricsRegistry& dst) const {
+  dst.add("fleet.queries.total", total_.load(std::memory_order_relaxed));
+  dst.add("fleet.queries.drill", drills_.load(std::memory_order_relaxed));
+  dst.add("fleet.queries.growth", growth_.load(std::memory_order_relaxed));
+  dst.add("fleet.queries.slo_probe",
+          slo_probes_.load(std::memory_order_relaxed));
+}
+
+}  // namespace iris::fleet

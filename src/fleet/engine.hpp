@@ -1,0 +1,111 @@
+// The fleet runtime: M region shards on their own threads, plus the
+// what-if query engine's thread pool over pinned snapshots.
+//
+// Threading discipline (the zero-locking-on-the-hot-loop property):
+//  * each region's closed loop runs on one dedicated thread, bound to that
+//    region's private MetricsRegistry -- shards share NOTHING mutable;
+//  * the only writer/reader edge between a loop and the queries is the
+//    SnapshotStore's atomic snapshot pointer: publish is one store, pin is
+//    one load, and everything behind the pointer is immutable;
+//  * query workers bind private scratch registries, so their obs traffic
+//    never lands in a region's deterministic series;
+//  * merges (metrics, results) happen on the calling thread after join(),
+//    in fixed region order -- the deterministic-merge idiom from PR 1.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fleet/query.hpp"
+#include "fleet/shard.hpp"
+
+namespace iris::fleet {
+
+class Fleet {
+ public:
+  /// Builds the shard set (worlds are constructed lazily, on the shard
+  /// threads). Throws std::invalid_argument for regions < 1.
+  explicit Fleet(FleetParams params);
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+  ~Fleet();  ///< joins any still-running shard threads
+
+  /// Spawns one worker per region; each builds its world and runs its
+  /// closed loop to completion. Call once.
+  void start();
+
+  /// Blocks until every region has published at least one snapshot -- the
+  /// point after which snapshot() is never null.
+  void wait_ready() const;
+
+  /// Joins all shard threads. Idempotent.
+  void join();
+
+  [[nodiscard]] int regions() const noexcept {
+    return static_cast<int>(shards_.size());
+  }
+  [[nodiscard]] RegionShard& shard(int region) { return *shards_.at(region); }
+  [[nodiscard]] const RegionShard& shard(int region) const {
+    return *shards_.at(region);
+  }
+
+  /// Pins region's latest snapshot (null before its first tick). Valid for
+  /// the Fleet's lifetime -- see SnapshotStore's lifetime contract.
+  [[nodiscard]] const RegionSnapshot* snapshot(int region) const {
+    return shards_.at(region)->store().current();
+  }
+
+  /// Folds every region's registry into `dst` in region order (counters and
+  /// gauges add, histograms merge bucket-wise) and sets fleet-level gauges.
+  /// Deterministic; call after join().
+  void merge_metrics(obs::MetricsRegistry& dst) const;
+
+ private:
+  FleetParams params_;
+  std::vector<std::unique_ptr<RegionShard>> shards_;
+  std::vector<std::thread> threads_;
+  bool started_ = false;
+};
+
+/// Fixed-size thread pool executing what-if query batches against pinned
+/// snapshots. Results come back in input order regardless of which worker
+/// ran what, so batch output is deterministic by construction.
+class WhatIfEngine {
+ public:
+  /// One (snapshot, query) unit of work. The snapshot pointer is pinned by
+  /// its publishing SnapshotStore (alive until that store is destroyed), so
+  /// the batch must not outlive the Fleet it queries.
+  struct Job {
+    const RegionSnapshot* snapshot = nullptr;
+    WhatIfQuery query;
+  };
+
+  /// threads = 0 picks hardware_concurrency (min 1).
+  explicit WhatIfEngine(int threads = 0);
+
+  /// Runs the batch to completion and returns results in input order.
+  /// Workers bind private scratch registries (reset between queries), so
+  /// region registries stay untouched. Jobs with a null snapshot yield an
+  /// infeasible result tagged region -1.
+  std::vector<WhatIfResult> run_batch(const std::vector<Job>& jobs);
+
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+  [[nodiscard]] long long total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  /// Adds the engine's lifetime tallies to `dst` as fleet.queries.* series.
+  void fold_into(obs::MetricsRegistry& dst) const;
+
+ private:
+  int threads_;
+  std::atomic<long long> total_{0};
+  std::atomic<long long> drills_{0};
+  std::atomic<long long> growth_{0};
+  std::atomic<long long> slo_probes_{0};
+};
+
+}  // namespace iris::fleet

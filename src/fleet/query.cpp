@@ -1,0 +1,131 @@
+#include "fleet/query.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/replan.hpp"
+#include "core/slo.hpp"
+#include "fleet/shard.hpp"
+#include "obs/metrics.hpp"
+#include "reliability/events.hpp"
+
+namespace iris::fleet {
+
+const char* query_kind_name(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kFailureDrill: return "drill";
+    case QueryKind::kGrowth: return "growth";
+    case QueryKind::kSloProbe: return "slo_probe";
+  }
+  return "unknown";
+}
+
+std::string WhatIfResult::canonical() const {
+  char buf[352];
+  std::snprintf(
+      buf, sizeof buf,
+      "whatif kind=%s region=%d tick=%lld version=%llu feasible=%d "
+      "capacity_changes=%d path_changes=%d pairs_disconnected=%d "
+      "fibers_delta=%lld reach_km=%.6f fibers_added=%lld slo_met=%d "
+      "tolerance=%d worst_availability=%.9f cost_fibers=%lld "
+      "oversubscription=%.6f",
+      query_kind_name(kind), region, tick,
+      static_cast<unsigned long long>(version), feasible ? 1 : 0,
+      capacity_changes, path_changes, pairs_disconnected, fibers_delta,
+      reach_km, fibers_added, slo_met ? 1 : 0, tolerance, worst_availability,
+      cost_fibers, oversubscription);
+  return buf;
+}
+
+std::uint64_t WhatIfResult::fingerprint() const { return fnv1a64(canonical()); }
+
+namespace {
+
+/// Planner knobs for scratch work inside a query: the snapshot's own
+/// parameters, serialized onto the query thread.
+core::PlannerParams scratch_params(const RegionSnapshot& snap) {
+  core::PlannerParams p = snap.network->params;
+  p.threads = 1;
+  return p;
+}
+
+void run_failure_drill(const RegionSnapshot& snap, const WhatIfQuery& q,
+                       WhatIfResult& r) {
+  core::IncrementalPlanner planner(*snap.map, scratch_params(snap));
+  const core::PlanDiff diff = planner.cut_duct(q.duct);
+  r.feasible = true;
+  r.capacity_changes = static_cast<int>(diff.capacity_changes.size());
+  r.path_changes = static_cast<int>(diff.path_changes.size());
+  for (const core::PathDelta& d : diff.path_changes) {
+    if (d.old_path.has_value() && !d.new_path.has_value()) {
+      ++r.pairs_disconnected;
+    }
+  }
+  r.fibers_delta = planner.current().total_base_fibers() -
+                   snap.network->total_base_fibers();
+  r.replan_ms = planner.last_stats().replan_ms;
+}
+
+void run_growth(const RegionSnapshot& snap, const WhatIfQuery& q,
+                WhatIfResult& r) {
+  const core::PlannerParams p = scratch_params(snap);
+  const auto reach = core::expansion_fiber_reach_km(*snap.map, p, q.growth);
+  if (!reach.has_value()) return;  // some DC unreachable: siting infeasible
+  r.reach_km = *reach;
+  try {
+    const core::ExpansionReport rep =
+        core::plan_expansion(*snap.map, p, q.growth);
+    r.feasible = true;
+    r.fibers_added = rep.plan.network.total_base_fibers() -
+                     snap.network->total_base_fibers();
+  } catch (const std::invalid_argument&) {
+    // Siting SLA violated: a legitimate "no" answer, not an error.
+  }
+}
+
+void run_slo_probe(const RegionSnapshot& snap, const WhatIfQuery& q,
+                   WhatIfResult& r) {
+  core::PlannerParams p = scratch_params(snap);
+  p.availability_slo = q.availability_slo;
+  p.slo_max_tolerance = q.slo_max_tolerance;
+  // Deterministic probe model: fixed rates and a fixed seed salted by the
+  // region, so the same (snapshot, query) always simulates the same events.
+  reliability::CorrelatedFailureModel model;
+  model.base.cuts_per_km_year = 0.25;
+  model.base.mean_repair_hours = 24.0;
+  model.base.horizon_years = 40.0;
+  model.base.seed = 0x510bULL + static_cast<std::uint64_t>(snap.region);
+  model.ci_batches = 0;  // point estimates only; probes want speed
+  core::SloCostOptions cost;
+  cost.max_oversubscription = q.max_oversubscription;
+  cost.demand_waves = q.demand_waves;
+  cost.bisect_iters = 4;
+  const core::SloProvisionReport rep =
+      core::provision_to_availability_slo(*snap.map, p, model, cost);
+  r.feasible = true;
+  r.slo_met = rep.met;
+  r.tolerance = rep.tolerance;
+  r.worst_availability = rep.availability.summary.worst_availability;
+  r.cost_fibers = rep.cost_fibers;
+  r.oversubscription = rep.oversubscription;
+}
+
+}  // namespace
+
+WhatIfResult run_query(const RegionSnapshot& snap, const WhatIfQuery& query) {
+  WhatIfResult r;
+  r.kind = query.kind;
+  r.region = snap.region;
+  r.tick = snap.tick;
+  r.version = snap.version;
+  switch (query.kind) {
+    case QueryKind::kFailureDrill: run_failure_drill(snap, query, r); break;
+    case QueryKind::kGrowth: run_growth(snap, query, r); break;
+    case QueryKind::kSloProbe: run_slo_probe(snap, query, r); break;
+  }
+  obs::registry().add(
+      obs::key("fleet.query.executed", {{"kind", query_kind_name(query.kind)}}));
+  return r;
+}
+
+}  // namespace iris::fleet

@@ -1,0 +1,88 @@
+// What-if queries over pinned region snapshots.
+//
+// A query is a pure function of (snapshot, query): it reads only the
+// immutable state reachable from the RegionSnapshot and scratch state it
+// builds itself, so any number of queries run concurrently against the same
+// snapshot -- or different snapshots -- with zero synchronization and
+// deterministic results. Planner work inside a query always runs with
+// threads = 1: the thread pool above (WhatIfEngine) is the parallelism.
+//
+// Taxonomy (the fleet's service surface, ROADMAP "what-if query engine"):
+//  * kFailureDrill -- cut a duct on a scratch IncrementalPlanner seeded from
+//    the snapshot's plan; report the reroute diff, disconnected pairs and
+//    fiber-cost delta.
+//  * kGrowth -- site a new DC (core/expansion): siting-SLA reach check plus
+//    the full expansion replan and its fiber delta.
+//  * kSloProbe -- availability-SLO provisioning (core/slo) with cost
+//    co-optimization against a deterministic correlated failure model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/expansion.hpp"
+#include "fleet/snapshot.hpp"
+
+namespace iris::fleet {
+
+enum class QueryKind {
+  kFailureDrill,
+  kGrowth,
+  kSloProbe,
+};
+
+[[nodiscard]] const char* query_kind_name(QueryKind kind);
+
+struct WhatIfQuery {
+  QueryKind kind = QueryKind::kFailureDrill;
+
+  // kFailureDrill: the duct to cut (must be a valid edge of the region).
+  graph::EdgeId duct = 0;
+
+  // kGrowth: the candidate DC.
+  core::ExpansionRequest growth;
+
+  // kSloProbe.
+  double availability_slo = 0.999;
+  int slo_max_tolerance = 2;
+  long long demand_waves = 1;
+  double max_oversubscription = 1.0;
+};
+
+struct WhatIfResult {
+  QueryKind kind = QueryKind::kFailureDrill;
+  int region = 0;
+  long long tick = -1;
+  std::uint64_t version = 0;
+  bool feasible = false;
+
+  // kFailureDrill.
+  int capacity_changes = 0;
+  int path_changes = 0;
+  int pairs_disconnected = 0;   ///< pairs the cut severed on planned ducts
+  long long fibers_delta = 0;   ///< replanned - snapshot base fibers
+  double replan_ms = 0.0;       ///< wall time; NOT part of the fingerprint
+
+  // kGrowth.
+  double reach_km = 0.0;        ///< worst fiber distance to an existing DC
+  long long fibers_added = 0;
+
+  // kSloProbe.
+  bool slo_met = false;
+  int tolerance = 0;
+  double worst_availability = 0.0;
+  long long cost_fibers = 0;
+  double oversubscription = 1.0;
+
+  /// Canonical one-line rendering of every deterministic field (wall-time
+  /// fields excluded), identical across runs and thread counts.
+  [[nodiscard]] std::string canonical() const;
+  /// fnv1a64(canonical()) -- the bit-identity handle for query results.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+/// Executes one query against a pinned snapshot. Read-only on the snapshot;
+/// obs series land in whatever registry is bound on the calling thread.
+WhatIfResult run_query(const RegionSnapshot& snap, const WhatIfQuery& query);
+
+}  // namespace iris::fleet

@@ -1,0 +1,200 @@
+#include "fleet/shard.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "core/amp_cut.hpp"
+#include "core/provision.hpp"
+#include "fibermap/generator.hpp"
+#include "obs/export.hpp"
+
+namespace iris::fleet {
+
+using control::TrafficMatrix;
+using core::DcPair;
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+RegionConfig derive_region_config(const FleetParams& params, int region) {
+  if (region < 0 || region >= params.regions) {
+    throw std::invalid_argument("derive_region_config: region out of range");
+  }
+  RegionConfig cfg = params.base;
+  // Decorrelate the worlds: distinct map seeds, demand salts and fault
+  // streams per region, all pure functions of (base_seed, region).
+  const auto r = static_cast<std::uint64_t>(region);
+  cfg.region_seed = params.base_seed + 7919ULL * r;
+  cfg.faults.seed = params.base.faults.seed ^ (0x9e3779b97f4a7c15ULL * (r + 1));
+  return cfg;
+}
+
+TrafficMatrix fleet_demand(const fibermap::FiberMap& map, std::uint64_t seed,
+                           double t) {
+  TrafficMatrix tm;
+  const auto& dcs = map.dcs();
+  const auto tick = static_cast<long long>(t);
+  const auto salt = static_cast<long long>(seed % 7);
+  // Ring demand with a slow three-phase wobble (same family as the chaos
+  // soak's): sized so the policy's headroom usually fits the hose, while
+  // the shifts still force periodic reconfigurations.
+  for (std::size_t i = 0; i + 1 < dcs.size(); ++i) {
+    const auto li = static_cast<long long>(i);
+    const long long base = 30 + 10 * ((li + salt) % 3);
+    const long long wobble = 40 * ((tick / 30 + li + salt) % 3);
+    tm[DcPair(dcs[i], dcs[i + 1])] = base + wobble;
+  }
+  return tm;
+}
+
+RegionShard::RegionShard(int region, RegionConfig cfg)
+    : region_(region), cfg_(std::move(cfg)) {}
+
+RegionShard::~RegionShard() = default;
+
+void RegionShard::build() {
+  fibermap::RegionParams rp;
+  rp.seed = cfg_.region_seed;
+  rp.dc_count = cfg_.dc_count;
+  rp.hut_count = cfg_.hut_count;
+  rp.capacity_fibers = cfg_.capacity_fibers;
+  map_ = std::make_shared<const fibermap::FiberMap>(
+      fibermap::generate_region(rp));
+  network_ = std::make_shared<const core::ProvisionedNetwork>(
+      core::provision(*map_, cfg_.planner));
+  amp_cut_ = std::make_shared<const core::AmpCutPlan>(
+      core::place_amplifiers_and_cutthroughs(*map_, *network_));
+  devices_ = std::make_unique<control::DeviceLayer>(*map_, *network_,
+                                                    *amp_cut_, cfg_.faults);
+  controller_ = std::make_unique<control::IrisController>(
+      *map_, *network_, *amp_cut_, *devices_);
+  policy_ = std::make_unique<control::ReconfigPolicy>(cfg_.policy);
+  if (cfg_.chaos_duct_period > 0) {
+    chaos_victim_ = static_cast<graph::EdgeId>(
+        cfg_.region_seed %
+        static_cast<std::uint64_t>(map_->graph().edge_count()));
+  }
+}
+
+void RegionShard::scripted_chaos() {
+  if (cfg_.chaos_duct_period <= 0) return;
+  const long long phase = chaos_calls_++ % cfg_.chaos_duct_period;
+  if (phase == cfg_.chaos_duct_period / 3 && !chaos_down_) {
+    controller_->fail_duct(chaos_victim_);
+    chaos_down_ = true;
+  } else if (phase == (2 * cfg_.chaos_duct_period) / 3 && chaos_down_) {
+    controller_->restore_duct(chaos_victim_);
+    chaos_down_ = false;
+  }
+}
+
+void RegionShard::publish(long long tick, double t_s) {
+  auto& reg = obs::registry();  // the shard registry while run() is bound
+  const std::uint64_t v = controller_->state_version();
+  std::shared_ptr<const control::ControllerCheckpoint> books;
+  if (last_books_ != nullptr && v == last_version_) {
+    // Quiet tick: nothing moved since the last publish, so the previous
+    // books are still the truth -- share them instead of re-copying.
+    books = last_books_;
+    reg.add("fleet.snapshots.books_reused");
+  } else {
+    books = std::make_shared<const control::ControllerCheckpoint>(
+        controller_->snapshot());
+    last_books_ = books;
+    last_version_ = v;
+    reg.add("fleet.snapshots.books_rebuilt");
+  }
+  auto snap = std::make_unique<RegionSnapshot>();
+  snap->region = region_;
+  snap->tick = tick;
+  snap->t_s = t_s;
+  snap->version = v;
+  snap->map = map_;
+  snap->network = network_;
+  snap->amp_cut = amp_cut_;
+  snap->books = std::move(books);
+  store_.publish(std::move(snap));
+  reg.add("fleet.snapshots.published");
+}
+
+const RegionRunResult& RegionShard::run() {
+  if (ran_) throw std::logic_error("RegionShard::run: already ran");
+  // The whole build + run records into the shard's private registry: every
+  // series below is a pure function of the config, whatever other shards
+  // (or query workers) are doing on their own threads.
+  const obs::ScopedRegistry bind(registry_);
+  build();
+  control::ClosedLoopParams loop = cfg_.loop;
+  loop.on_tick = [this](long long tick, double t_s) { publish(tick, t_s); };
+  const auto demand = [this](double t) {
+    // The demand callback runs at the top of every sample: the one place a
+    // shard may mutate its own controller outside an apply, so the scripted
+    // chaos rides it (deterministically -- one call per sample).
+    scripted_chaos();
+    return fleet_demand(*map_, cfg_.region_seed, t);
+  };
+  result_.loop = control::run_closed_loop(*controller_, *policy_, demand, loop);
+  make_trace();
+  ran_ = true;
+  return result_;
+}
+
+void RegionShard::make_trace() {
+  std::string out;
+  char buf[192];
+  const auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    out += buf;
+  };
+  const control::ClosedLoopResult& r = result_.loop;
+  line("# iris-fleet region trace v1\n");
+  line("region %d seed %llu\n", region_,
+       static_cast<unsigned long long>(cfg_.region_seed));
+  line("samples %d\n", r.samples);
+  line("reconfigurations %d\n", r.reconfigurations);
+  line("rejected %d\n", r.rejected);
+  line("escape_hatch_replans %d\n", r.escape_hatch_replans);
+  line("oss_operations %lld\n", r.oss_operations);
+  line("rolled_back %d\n", r.rolled_back);
+  line("degraded_applies %d\n", r.degraded_applies);
+  line("command_retries %lld\n", r.command_retries);
+  line("commands_timed_out %lld\n", r.commands_timed_out);
+  line("circuit_retries %lld\n", r.circuit_retries);
+  line("resources_quarantined %lld\n", r.resources_quarantined);
+  line("total_capacity_gap_ms %.6f\n", r.total_capacity_gap_ms);
+  line("time_degraded_s %.6f\n", r.time_degraded_s);
+  line("last_apply_s %.6f\n", r.last_apply_s);
+  line("diverging_pairs_end %d\n", r.diverging_pairs_end);
+  line("proposals_suppressed %lld\n", r.proposals_suppressed);
+  line("snapshots_published %lld\n",
+       registry_.counter("fleet.snapshots.published"));
+  line("books_rebuilt %lld\n",
+       registry_.counter("fleet.snapshots.books_rebuilt"));
+  line("books_reused %lld\n",
+       registry_.counter("fleet.snapshots.books_reused"));
+  line("controller_version %llu\n",
+       static_cast<unsigned long long>(controller_->state_version()));
+  // The controller's canonical state fingerprint covers books + device
+  // read-back; hashing it pins the final hardware state, not just tallies.
+  line("state_fingerprint 0x%016llx\n",
+       static_cast<unsigned long long>(
+           fnv1a64(controller_->state_fingerprint())));
+  out += "-- metrics --\n";
+  out += obs::export_text(registry_);
+  result_.trace = std::move(out);
+  result_.fingerprint = fnv1a64(result_.trace);
+}
+
+RegionRunResult run_region_solo(const FleetParams& params, int region) {
+  RegionShard shard(region, derive_region_config(params, region));
+  return shard.run();
+}
+
+}  // namespace iris::fleet

@@ -1,0 +1,88 @@
+// Copy-on-write region snapshots (ROADMAP: region-fleet scale-out).
+//
+// Every closed-loop tick publishes an immutable picture of one region's
+// world -- fiber map, provisioned plan, amplifier/cut-through placement and
+// the controller's full books. Readers pin the latest snapshot with one
+// atomic pointer load and then work lock-free for as long as the store is
+// alive; the hot loop never waits on them. The map/plan/placement layers
+// are immutable for a region's whole lifetime, so consecutive snapshots
+// share them, and the controller books are re-copied only when
+// IrisController::state_version() moved since the last publish -- a quiet
+// tick costs one small allocation, not a checkpoint rebuild.
+//
+// Lifetime contract: the store retains every snapshot it ever published
+// (the arena below), so a pinned `const RegionSnapshot*` stays valid until
+// the SnapshotStore is destroyed -- not merely until the next publish.
+// That is what lets the publish path be a plain atomic pointer store with
+// no reference counting handshake against concurrent readers (the
+// std::atomic<shared_ptr> alternative serializes readers and writers on an
+// internal lock). Snapshots are small -- a handful of shared_ptrs -- and
+// the heavy payloads behind them are shared, so retention is cheap.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "control/journal.hpp"
+#include "core/amp_cut.hpp"
+#include "core/provision.hpp"
+#include "fibermap/fibermap.hpp"
+
+namespace iris::fleet {
+
+/// One immutable picture of a region at a loop tick. Everything reachable
+/// from here is const: what-if queries share snapshots freely across
+/// threads with no synchronization beyond the publishing store's lifetime.
+struct RegionSnapshot {
+  int region = 0;
+  long long tick = -1;   ///< closed-loop sample index (0-based)
+  double t_s = 0.0;      ///< loop time of the sample
+  std::uint64_t version = 0;  ///< controller state_version at publish
+
+  std::shared_ptr<const fibermap::FiberMap> map;
+  std::shared_ptr<const core::ProvisionedNetwork> network;
+  std::shared_ptr<const core::AmpCutPlan> amp_cut;
+  /// Full controller books (journal-checkpoint shape) as of this tick. The
+  /// loop publishes only after every mutation of the tick has committed, so
+  /// this never exposes a half-applied transaction.
+  std::shared_ptr<const control::ControllerCheckpoint> books;
+};
+
+/// Single-writer/many-reader publication point for one region's snapshots.
+/// The shard's loop thread is the only writer; readers pin the latest
+/// snapshot with one lock-free atomic load.
+class SnapshotStore {
+ public:
+  SnapshotStore() = default;
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// Writer-thread only. The snapshot joins the arena (pinning it for the
+  /// store's lifetime) and becomes the published current().
+  void publish(std::unique_ptr<const RegionSnapshot> snap) {
+    arena_.push_back(std::move(snap));
+    current_.store(arena_.back().get(), std::memory_order_release);
+    published_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Pins the latest snapshot; null until the first publish. Valid until
+  /// the store is destroyed. Safe from any thread.
+  [[nodiscard]] const RegionSnapshot* current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] long long published() const {
+    return published_.load(std::memory_order_acquire);
+  }
+
+ private:
+  // Only the writer touches the deque (readers go through current_), and
+  // deque growth never moves existing elements.
+  std::deque<std::unique_ptr<const RegionSnapshot>> arena_;
+  std::atomic<const RegionSnapshot*> current_{nullptr};
+  std::atomic<long long> published_{0};
+};
+
+}  // namespace iris::fleet

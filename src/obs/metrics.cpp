@@ -136,6 +136,19 @@ void MetricsRegistry::observe(std::string_view name, double value) {
   h.sum += value;
 }
 
+void MetricsRegistry::merge_histogram(std::string_view name,
+                                      const HistogramData& src) {
+  if (src.edges.empty()) return;
+  declare_histogram(name, src.edges);
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  HistogramData& h = impl_->histograms.find(name)->second;
+  for (std::size_t i = 0; i < h.buckets.size() && i < src.buckets.size(); ++i) {
+    h.buckets[i] += src.buckets[i];
+  }
+  h.count += src.count;
+  h.sum += src.sum;
+}
+
 HistogramData MetricsRegistry::histogram(std::string_view name) const {
   const std::lock_guard<std::mutex> lock(impl_->mutex);
   const auto it = impl_->histograms.find(name);
@@ -201,14 +214,40 @@ const std::vector<double>& MetricsRegistry::default_duration_edges() {
   return kEdges;
 }
 
-MetricsRegistry& registry() {
+namespace {
+
+/// The innermost ScopedRegistry binding on this thread; null = process
+/// default. Plain thread_local pointer: bindings never cross threads.
+thread_local MetricsRegistry* tls_registry = nullptr;
+
+}  // namespace
+
+MetricsRegistry& global_registry() {
   static MetricsRegistry instance;
   return instance;
 }
 
+MetricsRegistry& registry() {
+  return tls_registry != nullptr ? *tls_registry : global_registry();
+}
+
+ScopedRegistry::ScopedRegistry(MetricsRegistry& reg) : prev_(tls_registry) {
+  tls_registry = &reg;
+}
+
+ScopedRegistry::~ScopedRegistry() { tls_registry = prev_; }
+
+void merge_registry(MetricsRegistry& dst, const MetricsRegistry& src) {
+  for (const auto& [name, value] : src.counters()) dst.add(name, value);
+  for (const auto& [name, value] : src.gauges()) dst.add_gauge(name, value);
+  for (const auto& [name, h] : src.histograms()) dst.merge_histogram(name, h);
+}
+
 #else  // IRIS_OBS_OFF
 
-MetricsRegistry& registry() {
+MetricsRegistry& registry() { return global_registry(); }
+
+MetricsRegistry& global_registry() {
   static MetricsRegistry instance;
   return instance;
 }

@@ -87,6 +87,10 @@ class MetricsRegistry {
   /// Records one observation; auto-declares with `kDefaultDurationEdges`
   /// when the series does not exist yet.
   void observe(std::string_view name, double value);
+  /// Folds another registry's series into this one: buckets, count and sum
+  /// add elementwise. Declares the series if absent; throws
+  /// std::invalid_argument when it exists with different bucket edges.
+  void merge_histogram(std::string_view name, const HistogramData& src);
   [[nodiscard]] HistogramData histogram(std::string_view name) const;
 
   // ---- clock ----
@@ -124,9 +128,41 @@ class MetricsRegistry {
   std::unique_ptr<Impl> impl_;
 };
 
-/// The process-wide default registry every instrumented subsystem records
-/// into. Tests that need isolation call registry().reset().
+/// The calling thread's current registry: the innermost ScopedRegistry
+/// binding if one is active, else the process-wide default. Every
+/// instrumented subsystem records through this call, so a worker thread
+/// bound to its own registry (a fleet region shard, a what-if query) keeps
+/// its series fully isolated from every other thread's -- the property the
+/// fleet's bit-identical per-region traces rest on. Tests that need
+/// isolation call registry().reset().
 MetricsRegistry& registry();
+
+/// The process-wide default registry, ignoring any thread binding.
+MetricsRegistry& global_registry();
+
+/// RAII thread binding: while alive, obs::registry() on THIS thread resolves
+/// to the bound registry instead of the process default. Bindings nest
+/// (restores the previous binding on destruction) and are strictly
+/// per-thread -- child threads spawned inside the scope see the process
+/// default, which is why parallel sweep workers (which never touch the
+/// registry; they fold from the calling thread) stay deterministic.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(MetricsRegistry& reg);
+  ~ScopedRegistry();
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  MetricsRegistry* prev_;
+};
+
+/// Folds `src` into `dst`: counters and gauges add; histograms merge
+/// bucket-wise (declaring the series in `dst` if absent) and throw
+/// std::invalid_argument on mismatched bucket edges. Deterministic when
+/// called from one thread in a fixed source order -- the fleet merges its
+/// per-region registries this way. Open-span stacks are not merged.
+void merge_registry(MetricsRegistry& dst, const MetricsRegistry& src);
 
 #else  // IRIS_OBS_OFF: every operation is an inline no-op.
 
@@ -148,6 +184,7 @@ class MetricsRegistry {
 
   void declare_histogram(std::string_view, std::vector<double>) {}
   void observe(std::string_view, double) {}
+  void merge_histogram(std::string_view, const HistogramData&) {}
   [[nodiscard]] HistogramData histogram(std::string_view) const { return {}; }
 
   void set_clock(std::unique_ptr<Clock> clock) { clock_ = std::move(clock); }
@@ -178,6 +215,17 @@ class MetricsRegistry {
 };
 
 MetricsRegistry& registry();
+MetricsRegistry& global_registry();
+
+/// No-op in the stub build: every registry is indistinguishable.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(MetricsRegistry&) {}
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+};
+
+inline void merge_registry(MetricsRegistry&, const MetricsRegistry&) {}
 
 #endif  // IRIS_OBS_OFF
 

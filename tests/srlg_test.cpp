@@ -477,5 +477,112 @@ TEST(SloProvisioning, RejectsBadArguments) {
                std::invalid_argument);
 }
 
+// The capacity-aware criterion degenerates to plain planned-path
+// connectivity at demand_waves = 1 and binds on planned capacity as the
+// demand grows: with nothing failed, a modest demand fits but an absurd one
+// does not -- that sensitivity is what the cost bisection needs.
+TEST(SloProvisioning, CapacityCriterionBindsOnDemand) {
+  const auto map = planning_map();
+  core::PlannerParams params;
+  params.failure_tolerance = 1;
+  params.channels.wavelengths_per_fiber = 40;
+  const auto net = core::provision(map, params);
+
+  const auto path = core::planned_path_criterion(map, net);
+  const auto cap1 = core::planned_capacity_criterion(map, net, 1);
+  const auto greedy = core::planned_capacity_criterion(map, net, 1'000'000);
+  const graph::EdgeMask nothing_failed(map.graph().edge_count());
+  bool any_pair_starved = false;
+  const auto& dcs = map.dcs();
+  for (std::size_t i = 0; i < dcs.size(); ++i) {
+    for (std::size_t j = i + 1; j < dcs.size(); ++j) {
+      EXPECT_EQ(cap1(nothing_failed, dcs[i], dcs[j]),
+                path(nothing_failed, dcs[i], dcs[j]));
+      if (!greedy(nothing_failed, dcs[i], dcs[j])) any_pair_starved = true;
+    }
+  }
+  EXPECT_TRUE(any_pair_starved);
+  EXPECT_THROW((void)core::planned_capacity_criterion(map, net, 0),
+               std::invalid_argument);
+}
+
+// Default SloCostOptions reduce the 4-argument overload to the 3-argument
+// search: same plan, same verdict, no bisection.
+TEST(SloProvisioning, DefaultCostOptionsMatchPlainSearch) {
+  auto map = planning_map();
+  fibermap::infer_and_add_srlgs(map);
+  core::PlannerParams params;
+  params.failure_tolerance = 0;
+  params.slo_max_tolerance = 2;
+  params.availability_slo = 0.999;
+  params.channels.wavelengths_per_fiber = 40;
+  reliability::CorrelatedFailureModel cm;
+  cm.base = stressed_model(13);
+  cm.trench_hits_per_km_year = 0.5;
+
+  const auto plain = core::provision_to_availability_slo(map, params, cm);
+  const auto cost =
+      core::provision_to_availability_slo(map, params, cm, {});
+  EXPECT_TRUE(core::same_plan(plain.network, cost.network));
+  EXPECT_EQ(plain.met, cost.met);
+  EXPECT_EQ(plain.tolerance, cost.tolerance);
+  EXPECT_EQ(plain.search_steps, cost.search_steps);
+  EXPECT_EQ(plain.availability.summary.worst_availability,
+            cost.availability.summary.worst_availability);
+  EXPECT_EQ(cost.bisect_steps, 0);
+  EXPECT_EQ(cost.oversubscription, params.oversubscription);
+  EXPECT_EQ(cost.cost_fibers, cost.network.total_base_fibers());
+}
+
+// With headroom to trade, the bisection finds a cheaper plan at the accepted
+// tolerance: oversubscription rises above the baseline, fiber cost drops,
+// and the surviving plan still meets the SLO under the capacity criterion.
+TEST(SloProvisioning, CostPassTradesOversubscriptionForFibers) {
+  auto map = planning_map();
+  fibermap::infer_and_add_srlgs(map);
+  core::PlannerParams params;
+  params.failure_tolerance = 1;
+  params.slo_max_tolerance = 2;
+  params.availability_slo = 0.9;
+  params.channels.wavelengths_per_fiber = 40;
+  reliability::CorrelatedFailureModel cm;
+  cm.base = stressed_model(13);
+
+  core::SloCostOptions cost;
+  cost.max_oversubscription = 3.0;
+  cost.demand_waves = 2;
+  cost.bisect_iters = 6;
+  const auto baseline = core::provision_to_availability_slo(map, params, cm);
+  const auto opt = core::provision_to_availability_slo(map, params, cm, cost);
+  ASSERT_TRUE(opt.met);
+  EXPECT_GE(opt.bisect_steps, 1);
+  EXPECT_GT(opt.oversubscription, params.oversubscription);
+  EXPECT_LE(opt.cost_fibers, baseline.cost_fibers);
+  EXPECT_GE(opt.availability.summary.worst_availability,
+            params.availability_slo);
+  // Determinism: the whole search replays bit-for-bit.
+  const auto again = core::provision_to_availability_slo(map, params, cm, cost);
+  EXPECT_TRUE(core::same_plan(opt.network, again.network));
+  EXPECT_EQ(opt.bisect_steps, again.bisect_steps);
+  EXPECT_EQ(opt.oversubscription, again.oversubscription);
+}
+
+TEST(SloProvisioning, CostRejectsBadOptions) {
+  const auto map = planning_map();
+  core::PlannerParams params;
+  params.availability_slo = 0.999;
+  reliability::CorrelatedFailureModel cm;
+  core::SloCostOptions cost;
+  cost.demand_waves = 0;
+  EXPECT_THROW(
+      (void)core::provision_to_availability_slo(map, params, cm, cost),
+      std::invalid_argument);
+  cost.demand_waves = 1;
+  cost.bisect_iters = -1;
+  EXPECT_THROW(
+      (void)core::provision_to_availability_slo(map, params, cm, cost),
+      std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace iris
