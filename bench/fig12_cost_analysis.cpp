@@ -15,13 +15,35 @@
 // capacity and scaled to every (f, lambda) exactly (see
 // scale_uniform_provision); the planning itself still enumerates every
 // <=2-cut failure scenario.
+//
+// Usage: bench_fig12_cost_analysis [max_dcs=N] [--metrics[=path]]
+//                                  [--benchmark_...]
+// max_dcs trims the DC-count axis of the grid (keeps n <= N; default 20,
+// the full paper grid). Overrides parse strictly (whole-token, exit 2 on
+// garbage); with no arguments the table is byte-identical to the
+// historical run.
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+
 #include "bench_util.hpp"
+#include "obs/argparse.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
 using namespace iris;
+
+int g_max_dcs = 20;
+
+int usage_error(const char* what, const char* arg) {
+  std::fprintf(stderr, "bench_fig12_cost_analysis: %s '%s'\n", what, arg);
+  std::fprintf(stderr,
+               "usage: bench_fig12_cost_analysis [max_dcs=N]\n"
+               "                                 [--metrics[=path]] "
+               "[--benchmark_...]\n");
+  return 2;
+}
 
 struct Scenario {
   double eps_over_iris;
@@ -84,7 +106,11 @@ std::vector<Scenario> run_grid(const std::vector<int>& dc_counts) {
 }
 
 void print_table() {
-  const auto grid = run_grid({5, 10, 15, 20});
+  std::vector<int> dc_counts;
+  for (int n : {5, 10, 15, 20}) {
+    if (n <= g_max_dcs) dc_counts.push_back(n);
+  }
+  const auto grid = run_grid(dc_counts);
   std::printf("# Fig. 12 cost analysis: %zu scenarios\n\n", grid.size());
 
   auto extract = [&](auto member) {
@@ -142,8 +168,30 @@ BENCHMARK(BM_PlanOneRegionTol2)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::MetricsFlag metrics;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (obs::parse_metrics_flag(arg, metrics)) continue;
+    if (arg.rfind("--benchmark_", 0) == 0) {
+      argv[kept++] = argv[i];
+      continue;
+    }
+    const auto kv = obs::split_kv(arg);
+    if (kv && kv->first == "max_dcs") {
+      const auto v = obs::parse_ll(kv->second);
+      if (!v || *v < 5) return usage_error("malformed max_dcs", argv[i]);
+      g_max_dcs = static_cast<int>(std::min<long long>(*v, 20));
+    } else {
+      return usage_error("unknown argument", argv[i]);
+    }
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  if (metrics.enabled && !obs::dump_default_registry(metrics.path)) return 1;
   return 0;
 }

@@ -14,14 +14,23 @@
 //  * service: what-if QPS and fleet tick throughput are reported (the
 //    ROADMAP's "planner/controller as a service" number).
 //
+// With crash_every_cmds > 0 the soak doubles as the crash-containment gate
+// (ISSUE 9): every region runs supervised, its controller dying on a fixed
+// command schedule and recovering from its journal mid-trace. The identity
+// gate then proves recovered traces are bit-identical across fleet sizes
+// and query load, and two more gates demand a clean post-run device audit
+// in every region and at least one recovery fleet-wide.
+//
 // Usage: bench_fleet_soak [regions] [seed] [key=value...] [--metrics[=path]]
 //   keys: samples (>= 1)        closed-loop samples per region
 //         queries (>= 1)        what-if queries per batch
 //         query_threads (>= 1)  engine pool size
 //         chaos (>= 0)          scripted duct-chaos period, 0 = off
+//         crash_every_cmds (>= 0)  supervised crash schedule, 0 = off
 //         latency_gate (> 0)    allowed tick-latency ratio under load
 // Malformed or unknown arguments exit 2. --metrics exports the merged
 // fleet registry (all regions folded in region order, plus fleet.queries.*).
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -45,8 +54,8 @@ int usage_error(const char* what, const char* arg) {
       stderr,
       "usage: bench_fleet_soak [regions] [seed] [key=value...]\n"
       "                        [--metrics[=path]]\n"
-      "  keys: samples queries query_threads chaos (integers)\n"
-      "        latency_gate (ratio > 0)\n");
+      "  keys: samples queries query_threads chaos crash_every_cmds\n"
+      "        (integers); latency_gate (ratio > 0)\n");
   return 2;
 }
 
@@ -64,7 +73,9 @@ std::vector<fleet::WhatIfEngine::Job> make_batch(const fleet::Fleet& fleet,
   jobs.reserve(static_cast<std::size_t>(queries));
   for (int q = 0; q < queries; ++q) {
     fleet::WhatIfEngine::Job job;
-    job.snapshot = fleet.snapshot(q % fleet.regions());
+    const int region = q % fleet.regions();
+    job.snapshot = fleet.snapshot(region);
+    job.shard = &fleet.shard(region);  // health-aware routing + staleness
     if (job.snapshot == nullptr) continue;  // region has not published yet
     const long long salt = round * queries + q;
     if (q % 10 == 9) {
@@ -99,6 +110,7 @@ int main(int argc, char** argv) {
   int queries = 16;
   int query_threads = 4;
   long long chaos = 40;
+  long long crash_every_cmds = 0;
   double latency_gate = 2.0;
   obs::MetricsFlag metrics;
 
@@ -128,6 +140,8 @@ int main(int argc, char** argv) {
         query_threads = static_cast<int>(*v);
       } else if (kv->first == "chaos" && *v >= 0) {
         chaos = *v;
+      } else if (kv->first == "crash_every_cmds" && *v >= 0) {
+        crash_every_cmds = *v;
       } else {
         return usage_error("unknown or out-of-range override", argv[i]);
       }
@@ -156,9 +170,23 @@ int main(int argc, char** argv) {
   params.base.loop.duration_s = static_cast<double>(samples);
   params.base.loop.sample_interval_s = 1.0;
   params.base.chaos_duct_period = chaos;
+  params.base.supervisor.crash_every_cmds = crash_every_cmds;
 
-  std::printf("# fleet soak: %d regions x %d samples, seed %llu, chaos %lld\n",
-              regions, samples, static_cast<unsigned long long>(seed), chaos);
+  std::printf(
+      "# fleet soak: %d regions x %d samples, seed %llu, chaos %lld, "
+      "crash_every_cmds %lld\n",
+      regions, samples, static_cast<unsigned long long>(seed), chaos,
+      crash_every_cmds);
+
+  const auto report_shard_errors = [](const fleet::Fleet& fleet,
+                                      const char* phase) {
+    if (fleet.ok()) return false;
+    for (const auto& err : fleet.shard_errors()) {
+      std::fprintf(stderr, "fleet soak: %s shard %d died: %s\n", phase,
+                   err.region, err.message.c_str());
+    }
+    return true;
+  };
 
   // ---- phase 1: query-free fleet ----
   fleet::Fleet quiet(params);
@@ -166,6 +194,7 @@ int main(int argc, char** argv) {
   quiet.start();
   quiet.join();
   const double quiet_s = now_s() - t0;
+  if (report_shard_errors(quiet, "quiet")) return 1;
   const long long total_ticks =
       static_cast<long long>(regions) * static_cast<long long>(samples);
   const double quiet_tick_us = quiet_s * 1e6 / static_cast<double>(total_ticks);
@@ -178,18 +207,14 @@ int main(int argc, char** argv) {
   loaded.wait_ready();
   // The query driver runs beside the loops on its own thread so the loaded
   // wall time below measures the loops alone; at least one round always
-  // runs even when the loops outrun the first batch.
-  const long long want = samples;  // published snapshots per finished region
+  // runs even when the loops outrun the first batch. Termination rides a
+  // done flag set after join() rather than published-snapshot counts, which
+  // undercount when a supervised region holds publishes after a recovery.
+  std::atomic<bool> loops_done{false};
   long long rounds = 0;
   double query_busy_s = 0.0;
   bool bad_drill = false;
   std::thread driver([&] {
-    const auto loops_done = [&] {
-      for (int r = 0; r < loaded.regions(); ++r) {
-        if (loaded.shard(r).store().published() < want) return false;
-      }
-      return true;
-    };
     do {
       const auto batch = make_batch(loaded, queries, rounds);
       const double q0 = now_s();
@@ -197,16 +222,23 @@ int main(int argc, char** argv) {
       query_busy_s += now_s() - q0;
       ++rounds;
       for (const auto& res : results) {
+        // Only answers that actually ran can be judged: structured
+        // rejections (quarantine, deadline, no snapshot) are not drills
+        // gone wrong.
         if (res.region >= 0 && !res.feasible &&
-            res.kind == fleet::QueryKind::kFailureDrill) {
+            res.kind == fleet::QueryKind::kFailureDrill &&
+            (res.status == fleet::QueryStatus::kOk ||
+             res.status == fleet::QueryStatus::kStale)) {
           bad_drill = true;
         }
       }
-    } while (!loops_done());
+    } while (!loops_done.load(std::memory_order_acquire));
   });
   loaded.join();
   const double loaded_s = now_s() - t1;
+  loops_done.store(true, std::memory_order_release);
   driver.join();
+  if (report_shard_errors(loaded, "loaded")) return 1;
   if (bad_drill) {
     std::fprintf(stderr, "fleet soak: infeasible drill result\n");
     return 1;
@@ -251,6 +283,38 @@ int main(int argc, char** argv) {
   }
 
   int failures = 0;
+  if (crash_every_cmds > 0) {
+    // Crash-containment gates: every region must end with a clean device
+    // audit (recovery converged journaled intent with live hardware), no
+    // region may be quarantined, and the schedule must have actually
+    // exercised recovery somewhere in the fleet.
+    std::fputs(loaded.supervisor().trace().c_str(), stdout);
+    bool audits_clean = true;
+    for (int r = 0; r < regions; ++r) {
+      const bool clean =
+          quiet.shard(r).result().audit_clean &&
+          loaded.shard(r).result().audit_clean;
+      std::printf("region %d audit %s\n", r, clean ? "clean" : "DIRTY");
+      audits_clean = audits_clean && clean;
+    }
+    if (!audits_clean) {
+      std::fprintf(stderr, "fleet soak FAILED: dirty post-recovery audit\n");
+      ++failures;
+    }
+    if (loaded.supervisor().quarantined_regions() > 0) {
+      std::fprintf(stderr, "fleet soak FAILED: region quarantined\n");
+      ++failures;
+    }
+    if (loaded.supervisor().total_recoveries() == 0) {
+      std::fprintf(stderr,
+                   "fleet soak FAILED: crash schedule armed but no "
+                   "recoveries happened\n");
+      ++failures;
+    }
+    std::printf("supervisor crashes %lld recoveries %lld (fleet-wide)\n",
+                loaded.supervisor().total_crashes(),
+                loaded.supervisor().total_recoveries());
+  }
   if (!identical) {
     std::fprintf(stderr, "fleet soak FAILED: traces diverged from solo runs\n");
     ++failures;
@@ -259,7 +323,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fleet soak FAILED: no queries executed\n");
     ++failures;
   }
-  if (ratio > latency_gate) {
+  if (crash_every_cmds == 0 && ratio > latency_gate) {
+    // The isolation gate measures snapshot-publishing contention; under
+    // crash injection the ratio is dominated by recovery churn, so the
+    // crash soak relies on the audit/recovery/identity gates instead.
     std::fprintf(stderr,
                  "fleet soak FAILED: tick latency x%.2f exceeds gate x%.2f\n",
                  ratio, latency_gate);

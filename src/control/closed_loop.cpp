@@ -10,38 +10,53 @@ namespace iris::control {
 ClosedLoopResult run_closed_loop(IrisController& controller, Policy& policy,
                                  const DemandAt& demand,
                                  const ClosedLoopParams& params) {
+  LoopCursor cursor;
+  run_closed_loop(controller, policy, demand, params, cursor);
+  return std::move(cursor.result);
+}
+
+void run_closed_loop(IrisController& controller, Policy& policy,
+                     const DemandAt& demand, const ClosedLoopParams& params,
+                     LoopCursor& cursor) {
   if (params.duration_s <= 0.0 || params.sample_interval_s <= 0.0) {
     throw std::invalid_argument("run_closed_loop: bad parameters");
+  }
+  if (cursor.finished) {
+    throw std::logic_error("run_closed_loop: cursor already finished");
   }
   auto& reg = obs::registry();
 
   // Registry values at loop start: the result fields are views over the
   // registry (deltas over this run), so every increment below is mirrored
   // into a loop.* series at the same point it lands in `result`. The local
-  // accumulation stays the source of truth for IRIS_OBS=OFF builds.
+  // accumulation stays the source of truth for IRIS_OBS=OFF builds. On a
+  // resumed cursor the baselines were captured at the first entry -- the
+  // deltas must span the whole run, crashes included.
   const bool obs_on = obs::compiled_in() && reg.enabled();
-  const long long c_samples = reg.counter("loop.samples");
-  const long long c_reconfigs = reg.counter("loop.reconfigurations");
-  const long long c_rejected = reg.counter("loop.rejected");
-  const long long c_escape = reg.counter("loop.escape_hatch_replans");
-  const long long c_oss = reg.counter("loop.oss_operations");
-  const long long c_rolled = reg.counter("loop.rolled_back");
-  const long long c_degraded = reg.counter("loop.degraded_applies");
-  const long long c_cmd_retries = reg.counter("loop.command_retries");
-  const long long c_timeouts = reg.counter("loop.commands_timed_out");
-  const long long c_circ_retries = reg.counter("loop.circuit_retries");
-  const long long c_quarantined = reg.counter("loop.resources_quarantined");
+  if (!cursor.started) {
+    cursor.base.samples = reg.counter("loop.samples");
+    cursor.base.reconfigs = reg.counter("loop.reconfigurations");
+    cursor.base.rejected = reg.counter("loop.rejected");
+    cursor.base.escape = reg.counter("loop.escape_hatch_replans");
+    cursor.base.oss = reg.counter("loop.oss_operations");
+    cursor.base.rolled = reg.counter("loop.rolled_back");
+    cursor.base.degraded = reg.counter("loop.degraded_applies");
+    cursor.base.cmd_retries = reg.counter("loop.command_retries");
+    cursor.base.timeouts = reg.counter("loop.commands_timed_out");
+    cursor.base.circ_retries = reg.counter("loop.circuit_retries");
+    cursor.base.quarantined = reg.counter("loop.resources_quarantined");
+    cursor.started = true;
+  }
 
-  ClosedLoopResult result;
-  double degraded_since = -1.0;
+  ClosedLoopResult& result = cursor.result;
   const auto open_degraded = [&](double t) {
-    if (degraded_since < 0.0) degraded_since = t;
+    if (cursor.degraded_since < 0.0) cursor.degraded_since = t;
   };
   const auto close_degraded = [&](double t) {
-    if (degraded_since >= 0.0) {
-      result.time_degraded_s += t - degraded_since;
-      reg.add_gauge("loop.time_degraded_s", t - degraded_since);
-      degraded_since = -1.0;
+    if (cursor.degraded_since >= 0.0) {
+      result.time_degraded_s += t - cursor.degraded_since;
+      reg.add_gauge("loop.time_degraded_s", t - cursor.degraded_since);
+      cursor.degraded_since = -1.0;
     }
   };
   const auto fold_report = [&](const ReconfigReport& report) {
@@ -74,7 +89,9 @@ ClosedLoopResult run_closed_loop(IrisController& controller, Policy& policy,
     if (params.on_tick) params.on_tick(result.samples - 1, t);
   };
 
-  for (double t = 0.0; t < params.duration_s; t += params.sample_interval_s) {
+  for (double t = cursor.next_t; t < params.duration_s;
+       t += params.sample_interval_s) {
+    cursor.next_t = t;  // a crash below resumes by re-running this sample
     // One tick of virtual time per sample: tick spans carry the sampling
     // interval as their (deterministic) duration.
     const obs::Span tick("loop.tick");
@@ -145,9 +162,11 @@ ClosedLoopResult run_closed_loop(IrisController& controller, Policy& policy,
     }
     end_tick(t);
   }
-  if (degraded_since >= 0.0) {
-    result.time_degraded_s += params.duration_s - degraded_since;
-    reg.add_gauge("loop.time_degraded_s", params.duration_s - degraded_since);
+  if (cursor.degraded_since >= 0.0) {
+    result.time_degraded_s += params.duration_s - cursor.degraded_since;
+    reg.add_gauge("loop.time_degraded_s",
+                  params.duration_s - cursor.degraded_since);
+    cursor.degraded_since = -1.0;
   }
   result.diverging_pairs_end = policy.diverging_pairs(params.duration_s);
   result.proposals_suppressed = policy.proposals_suppressed();
@@ -160,30 +179,33 @@ ClosedLoopResult run_closed_loop(IrisController& controller, Policy& policy,
     // The registry mirrored every increment above, so these deltas are the
     // locally accumulated values by construction -- the overwrite proves the
     // "views over the registry" contract rather than changing any number.
-    result.samples = static_cast<int>(reg.counter("loop.samples") - c_samples);
-    result.reconfigurations =
-        static_cast<int>(reg.counter("loop.reconfigurations") - c_reconfigs);
-    result.rejected = static_cast<int>(reg.counter("loop.rejected") - c_rejected);
-    result.escape_hatch_replans =
-        static_cast<int>(reg.counter("loop.escape_hatch_replans") - c_escape);
-    result.oss_operations = reg.counter("loop.oss_operations") - c_oss;
+    result.samples =
+        static_cast<int>(reg.counter("loop.samples") - cursor.base.samples);
+    result.reconfigurations = static_cast<int>(
+        reg.counter("loop.reconfigurations") - cursor.base.reconfigs);
+    result.rejected =
+        static_cast<int>(reg.counter("loop.rejected") - cursor.base.rejected);
+    result.escape_hatch_replans = static_cast<int>(
+        reg.counter("loop.escape_hatch_replans") - cursor.base.escape);
+    result.oss_operations = reg.counter("loop.oss_operations") - cursor.base.oss;
     result.rolled_back =
-        static_cast<int>(reg.counter("loop.rolled_back") - c_rolled);
-    result.degraded_applies =
-        static_cast<int>(reg.counter("loop.degraded_applies") - c_degraded);
-    result.command_retries = reg.counter("loop.command_retries") - c_cmd_retries;
+        static_cast<int>(reg.counter("loop.rolled_back") - cursor.base.rolled);
+    result.degraded_applies = static_cast<int>(
+        reg.counter("loop.degraded_applies") - cursor.base.degraded);
+    result.command_retries =
+        reg.counter("loop.command_retries") - cursor.base.cmd_retries;
     result.commands_timed_out =
-        reg.counter("loop.commands_timed_out") - c_timeouts;
+        reg.counter("loop.commands_timed_out") - cursor.base.timeouts;
     result.circuit_retries =
-        reg.counter("loop.circuit_retries") - c_circ_retries;
+        reg.counter("loop.circuit_retries") - cursor.base.circ_retries;
     result.resources_quarantined =
-        reg.counter("loop.resources_quarantined") - c_quarantined;
+        reg.counter("loop.resources_quarantined") - cursor.base.quarantined;
     // The double-valued fields (total_capacity_gap_ms, time_degraded_s) keep
     // their local sums: a registry delta of doubles is only bit-exact from a
     // freshly reset registry, and the mirrored add_gauge stream already
     // carries the identical values.
   }
-  return result;
+  cursor.finished = true;
 }
 
 }  // namespace iris::control

@@ -83,6 +83,33 @@ struct ClosedLoopResult {
 /// Demand at time t, in wavelengths per pair.
 using DemandAt = std::function<TrafficMatrix(double t_s)>;
 
+/// Resumable loop position. A supervisor that catches a crash mid-loop
+/// (ControllerCrash escaping an apply) recovers the controller and calls
+/// the cursor overload again with the SAME cursor. The resume point is the
+/// supervisor's call: when recovery resolved the crashed sample's in-flight
+/// apply (RecoveryReport::had_in_flight -- the step is complete, per the
+/// crash-recovery protocol), it bumps `next_t` by one sample interval so the
+/// loop re-enters at the NEXT tick; only a crash outside any apply re-runs
+/// its sample. Either way the resume point is a pure function of the crash
+/// schedule, so recovered runs are bit-identical across repetitions.
+/// `result.samples` counts tick ATTEMPTS, which keeps the obs mirror exact.
+struct LoopCursor {
+  ClosedLoopResult result;
+  double next_t = 0.0;          ///< the sample to (re-)run on next entry
+  double degraded_since = -1.0; ///< open degraded window start, -1 = closed
+  bool started = false;
+  bool finished = false;        ///< tail accounting ran; cursor is spent
+
+  /// Registry values captured at FIRST entry. The obs "views over the
+  /// registry" overwrite at loop end must delta against the whole run, not
+  /// the last resume segment, so the baselines live here.
+  struct Baselines {
+    long long samples = 0, reconfigs = 0, rejected = 0, escape = 0, oss = 0;
+    long long rolled = 0, degraded = 0, cmd_retries = 0, timeouts = 0;
+    long long circ_retries = 0, quarantined = 0;
+  } base;
+};
+
 /// Runs the loop. Proposals that the controller rejects (hose violation,
 /// pool exhaustion) are counted and skipped; the loop keeps running. With
 /// fault injection on, applies that roll back or lose circuits leave the
@@ -91,5 +118,14 @@ using DemandAt = std::function<TrafficMatrix(double t_s)>;
 ClosedLoopResult run_closed_loop(IrisController& controller, Policy& policy,
                                  const DemandAt& demand,
                                  const ClosedLoopParams& params);
+
+/// Resumable form: all loop state lives in `cursor`. On a clean return the
+/// cursor is finished and `cursor.result` is complete (identical to what the
+/// four-argument form returns). If an exception escapes (ControllerCrash or
+/// otherwise), the cursor holds the position of the offending sample; after
+/// external recovery the caller re-invokes with the same cursor to resume.
+void run_closed_loop(IrisController& controller, Policy& policy,
+                     const DemandAt& demand, const ClosedLoopParams& params,
+                     LoopCursor& cursor);
 
 }  // namespace iris::control

@@ -62,6 +62,7 @@ void FaultInjector::count_command() {
   ++commands_seen_;
   if (crash_at_ > 0 && commands_seen_ >= crash_at_) {
     crash_at_ = 0;  // self-disarm: the successor must re-arm explicitly
+    ++crashes_fired_;
     throw ControllerCrash{commands_seen_ - 1};
   }
 }

@@ -153,6 +153,11 @@ class FaultInjector {
   /// through the same injector without instantly dying again.
   void arm_crash(long long after_commands);
   [[nodiscard]] bool crash_armed() const noexcept { return crash_at_ > 0; }
+  /// Scheduled crashes that actually fired over this injector's lifetime
+  /// (each firing self-disarms, so this also counts re-arm cycles consumed).
+  [[nodiscard]] long long crashes_fired() const noexcept {
+    return crashes_fired_;
+  }
 
   /// Field repair: forgets all sticky faults (tests and soak harnesses).
   void clear_sticky();
@@ -171,6 +176,7 @@ class FaultInjector {
   long long injected_ = 0;
   long long commands_seen_ = 0;
   long long crash_at_ = 0;  ///< absolute command index; 0 = disarmed
+  long long crashes_fired_ = 0;
   std::set<std::pair<graph::NodeId, int>> stuck_ports_;
   std::set<std::pair<graph::NodeId, int>> dead_txs_;
   std::map<std::pair<graph::NodeId, int>, bool> dead_amps_;

@@ -482,14 +482,15 @@ bool blank(const std::string& line) {
 
 }  // namespace
 
-void IntentJournal::compact() {
+std::size_t IntentJournal::compact() {
   for (std::size_t i = entries_.size(); i-- > 0;) {
     if (std::holds_alternative<CheckpointRecord>(entries_[i])) {
       entries_.erase(entries_.begin(),
                      entries_.begin() + static_cast<std::ptrdiff_t>(i));
-      return;
+      return i;
     }
   }
+  return 0;
 }
 
 void IntentJournal::save(std::ostream& os) const {

@@ -151,8 +151,9 @@ class IntentJournal {
   void clear() { entries_.clear(); }
 
   /// Drops every record before the last checkpoint: replay is unaffected
-  /// because a checkpoint resets the fold. Bounds journal growth.
-  void compact();
+  /// because a checkpoint resets the fold. Bounds journal growth. Returns
+  /// the number of records dropped (0 when there is no checkpoint yet).
+  std::size_t compact();
 
   // ---- text serialization --------------------------------------------------
   void save(std::ostream& os) const;

@@ -1,5 +1,7 @@
 #include "fleet/engine.hpp"
 
+#include <chrono>
+#include <cstdio>
 #include <stdexcept>
 
 namespace iris::fleet {
@@ -13,6 +15,9 @@ Fleet::Fleet(FleetParams params) : params_(std::move(params)) {
     shards_.push_back(
         std::make_unique<RegionShard>(i, derive_region_config(params_, i)));
   }
+  errors_.resize(shards_.size());
+  done_ = std::make_unique<std::atomic<bool>[]>(shards_.size());
+  supervisor_ = std::make_unique<FleetSupervisor>(*this);
 }
 
 Fleet::~Fleet() { join(); }
@@ -21,14 +26,26 @@ void Fleet::start() {
   if (started_) throw std::logic_error("Fleet::start: already started");
   started_ = true;
   threads_.reserve(shards_.size());
-  for (auto& shard : shards_) {
-    threads_.emplace_back([s = shard.get()] { s->run(); });
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    threads_.emplace_back([this, i] {
+      // Nothing escapes a shard thread: an uncontained exception becomes a
+      // structured per-shard error (shard_errors()), never std::terminate.
+      try {
+        shards_[i]->run();
+      } catch (...) {
+        errors_[i] = std::current_exception();
+      }
+      done_[i].store(true, std::memory_order_release);
+    });
   }
 }
 
 void Fleet::wait_ready() const {
-  for (const auto& shard : shards_) {
-    while (shard->store().published() == 0) std::this_thread::yield();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    while (shards_[i]->store().published() == 0 &&
+           !done_[i].load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
   }
 }
 
@@ -39,11 +56,106 @@ void Fleet::join() {
   threads_.clear();
 }
 
+bool Fleet::ok() const {
+  for (const auto& e : errors_) {
+    if (e) return false;
+  }
+  return true;
+}
+
+std::vector<Fleet::ShardError> Fleet::shard_errors() const {
+  std::vector<ShardError> out;
+  for (std::size_t i = 0; i < errors_.size(); ++i) {
+    if (!errors_[i]) continue;
+    ShardError err;
+    err.region = static_cast<int>(i);
+    try {
+      std::rethrow_exception(errors_[i]);
+    } catch (const control::ControllerCrash& c) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    "controller crash after %lld commands (unsupervised)",
+                    c.commands_executed);
+      err.message = buf;
+    } catch (const std::exception& e) {
+      err.message = e.what();
+    } catch (...) {
+      err.message = "unknown exception";
+    }
+    out.push_back(std::move(err));
+  }
+  return out;
+}
+
 void Fleet::merge_metrics(obs::MetricsRegistry& dst) const {
   for (const auto& shard : shards_) {
     obs::merge_registry(dst, shard->metrics());
   }
   dst.set_gauge("fleet.regions", static_cast<double>(regions()));
+  supervisor_->fold_into(dst);
+}
+
+bool FleetSupervisor::any_supervised() const {
+  for (int r = 0; r < fleet_->regions(); ++r) {
+    if (fleet_->shard(r).supervised()) return true;
+  }
+  return false;
+}
+
+RegionHealth FleetSupervisor::health(int region) const {
+  return fleet_->shard(region).health();
+}
+
+int FleetSupervisor::quarantined_regions() const {
+  int n = 0;
+  for (int r = 0; r < fleet_->regions(); ++r) {
+    if (health(r) == RegionHealth::kQuarantined) ++n;
+  }
+  return n;
+}
+
+long long FleetSupervisor::total_crashes() const {
+  long long n = 0;
+  for (int r = 0; r < fleet_->regions(); ++r) {
+    n += fleet_->shard(r).slot().crashes();
+  }
+  return n;
+}
+
+long long FleetSupervisor::total_recoveries() const {
+  long long n = 0;
+  for (int r = 0; r < fleet_->regions(); ++r) {
+    n += fleet_->shard(r).slot().recoveries();
+  }
+  return n;
+}
+
+std::string FleetSupervisor::trace() const {
+  if (!any_supervised()) return {};
+  std::string out = "# iris-fleet supervisor v1\n";
+  char buf[192];
+  for (int r = 0; r < fleet_->regions(); ++r) {
+    const HealthSlot& s = fleet_->shard(r).slot();
+    std::snprintf(buf, sizeof buf,
+                  "region %d health %s crashes %lld recoveries %lld "
+                  "retries %lld suppressed %lld backoff_s %.6f\n",
+                  r, region_health_name(s.health()), s.crashes(),
+                  s.recoveries(), s.recovery_retries(),
+                  s.publishes_suppressed(), s.backoff_total_s());
+    out += buf;
+  }
+  return out;
+}
+
+void FleetSupervisor::fold_into(obs::MetricsRegistry& dst) const {
+  if (!any_supervised()) return;
+  for (int r = 0; r < fleet_->regions(); ++r) {
+    dst.set_gauge(
+        obs::key("fleet.supervisor.health", {{"region", std::to_string(r)}}),
+        static_cast<double>(static_cast<int>(health(r))));
+  }
+  dst.set_gauge("fleet.supervisor.quarantined_regions",
+                static_cast<double>(quarantined_regions()));
 }
 
 WhatIfEngine::WhatIfEngine(int threads) : threads_(threads) {
@@ -53,10 +165,23 @@ WhatIfEngine::WhatIfEngine(int threads) : threads_(threads) {
   }
 }
 
+namespace {
+
+/// Ticks the pinned snapshot lags the shard's declared head (0 on the
+/// healthy cadence, where tick i runs with snapshot i-1 published).
+long long snapshot_staleness(const RegionShard& shard,
+                             const RegionSnapshot& snap) {
+  const long long lag = shard.store().head() - 1 - snap.tick;
+  return lag > 0 ? lag : 0;
+}
+
+}  // namespace
+
 std::vector<WhatIfResult> WhatIfEngine::run_batch(
     const std::vector<Job>& jobs) {
   std::vector<WhatIfResult> results(jobs.size());
   if (jobs.empty()) return results;
+  const auto batch_start = std::chrono::steady_clock::now();
   std::atomic<std::size_t> next{0};
   const auto worker = [&] {
     // Private scratch registry: planner/reliability counters recorded
@@ -69,12 +194,59 @@ std::vector<WhatIfResult> WhatIfEngine::run_batch(
       if (i >= jobs.size()) break;
       scratch.reset();
       const Job& job = jobs[i];
-      if (job.snapshot == nullptr) {
-        results[i].kind = job.query.kind;
-        results[i].region = -1;
+      WhatIfResult& out = results[i];
+      const RegionShard* shard = job.shard;
+      const RegionSnapshot* snap = job.snapshot;
+      if (snap == nullptr && shard != nullptr) {
+        snap = shard->store().current();  // last-good pin, possibly stale
+      }
+      out.kind = job.query.kind;
+      out.region = shard != nullptr ? shard->region()
+                                    : (snap != nullptr ? snap->region : -1);
+      if (snap != nullptr) {
+        out.tick = snap->tick;
+        out.version = snap->version;
+        if (shard != nullptr) {
+          out.staleness_ticks = snapshot_staleness(*shard, *snap);
+        }
+      }
+      // Deadline budget against the batch's start: enforced before the
+      // query runs, so a wedged replan consumes its own slot but cannot
+      // push later queries past their budgets unanswered.
+      if (job.query.deadline_ms > 0.0) {
+        const double waited_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - batch_start)
+                .count();
+        if (waited_ms >= job.query.deadline_ms) {
+          out.status = QueryStatus::kDeadlineExpired;
+          deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+      }
+      if (shard != nullptr &&
+          shard->health() == RegionHealth::kQuarantined) {
+        // Structured rejection: the region's crash budget is exhausted and
+        // its books are not trustworthy -- say so instead of serving them.
+        out.status = QueryStatus::kRegionQuarantined;
+        rejected_quarantined_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
-      results[i] = run_query(*job.snapshot, job.query);
+      if (snap == nullptr) {
+        out.status = QueryStatus::kNoSnapshot;
+        continue;
+      }
+      const long long staleness = out.staleness_ticks;
+      out = run_query(*snap, job.query);
+      out.staleness_ticks = staleness;
+      if (shard != nullptr &&
+          (staleness > 0 || shard->health() != RegionHealth::kHealthy)) {
+        // Crashed/recovering region (or a head the publishes haven't caught
+        // up with): the answer is real but computed on the last-good
+        // snapshot -- tag it so callers can weigh it.
+        out.status = QueryStatus::kStale;
+        stale_served_.fetch_add(1, std::memory_order_relaxed);
+      }
       total_.fetch_add(1, std::memory_order_relaxed);
       switch (job.query.kind) {
         case QueryKind::kFailureDrill:
@@ -106,6 +278,12 @@ void WhatIfEngine::fold_into(obs::MetricsRegistry& dst) const {
   dst.add("fleet.queries.growth", growth_.load(std::memory_order_relaxed));
   dst.add("fleet.queries.slo_probe",
           slo_probes_.load(std::memory_order_relaxed));
+  dst.add("fleet.queries.stale_served",
+          stale_served_.load(std::memory_order_relaxed));
+  dst.add("fleet.queries.rejected_quarantined",
+          rejected_quarantined_.load(std::memory_order_relaxed));
+  dst.add("fleet.queries.deadline_expired",
+          deadline_expired_.load(std::memory_order_relaxed));
 }
 
 }  // namespace iris::fleet

@@ -20,20 +20,32 @@ const char* query_kind_name(QueryKind kind) {
   return "unknown";
 }
 
+const char* query_status_name(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kStale: return "stale";
+    case QueryStatus::kRegionQuarantined: return "quarantined";
+    case QueryStatus::kDeadlineExpired: return "deadline_expired";
+    case QueryStatus::kNoSnapshot: return "no_snapshot";
+  }
+  return "unknown";
+}
+
 std::string WhatIfResult::canonical() const {
-  char buf[352];
+  char buf[416];
   std::snprintf(
       buf, sizeof buf,
       "whatif kind=%s region=%d tick=%lld version=%llu feasible=%d "
       "capacity_changes=%d path_changes=%d pairs_disconnected=%d "
       "fibers_delta=%lld reach_km=%.6f fibers_added=%lld slo_met=%d "
       "tolerance=%d worst_availability=%.9f cost_fibers=%lld "
-      "oversubscription=%.6f",
+      "oversubscription=%.6f status=%s staleness_ticks=%lld",
       query_kind_name(kind), region, tick,
       static_cast<unsigned long long>(version), feasible ? 1 : 0,
       capacity_changes, path_changes, pairs_disconnected, fibers_delta,
       reach_km, fibers_added, slo_met ? 1 : 0, tolerance, worst_availability,
-      cost_fibers, oversubscription);
+      cost_fibers, oversubscription, query_status_name(status),
+      staleness_ticks);
   return buf;
 }
 

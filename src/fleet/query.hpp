@@ -33,8 +33,27 @@ enum class QueryKind {
 
 [[nodiscard]] const char* query_kind_name(QueryKind kind);
 
+/// How the engine answered (graceful-degradation taxonomy, ISSUE 9). kOk
+/// and kStale carry a real computed answer; the rest are structured
+/// rejections with `feasible = false` and no query work done.
+enum class QueryStatus {
+  kOk,                 ///< fresh snapshot, healthy region
+  kStale,              ///< served from the last-good snapshot of a crashed/
+                       ///< recovering region; see staleness_ticks
+  kRegionQuarantined,  ///< region's crash budget exhausted: rejected
+  kDeadlineExpired,    ///< the query's deadline budget elapsed before it ran
+  kNoSnapshot,         ///< nothing published (and no shard to resolve one)
+};
+
+[[nodiscard]] const char* query_status_name(QueryStatus status);
+
 struct WhatIfQuery {
   QueryKind kind = QueryKind::kFailureDrill;
+
+  /// Deadline budget in milliseconds, measured from the batch's start; a
+  /// query whose turn comes later than this is rejected kDeadlineExpired
+  /// without running. <= 0 means no deadline.
+  double deadline_ms = 0.0;
 
   // kFailureDrill: the duct to cut (must be a valid edge of the region).
   graph::EdgeId duct = 0;
@@ -55,6 +74,10 @@ struct WhatIfResult {
   long long tick = -1;
   std::uint64_t version = 0;
   bool feasible = false;
+  QueryStatus status = QueryStatus::kOk;
+  /// Ticks the answering snapshot lagged the region's head at query time
+  /// (0 when served fresh). Meaningful for health-aware jobs (Job::shard).
+  long long staleness_ticks = 0;
 
   // kFailureDrill.
   int capacity_changes = 0;

@@ -60,6 +60,12 @@ RegionShard::RegionShard(int region, RegionConfig cfg)
 RegionShard::~RegionShard() = default;
 
 void RegionShard::build() {
+  if (cfg_.supervisor.crash_every_cmds > 0) {
+    // The supervisor owns the crash schedule; surface it to the injector
+    // before the device layer (and its injector) is constructed, so the
+    // first crash arms at world build time.
+    cfg_.faults.crash_after_commands = cfg_.supervisor.crash_every_cmds;
+  }
   fibermap::RegionParams rp;
   rp.seed = cfg_.region_seed;
   rp.dc_count = cfg_.dc_count;
@@ -75,6 +81,12 @@ void RegionShard::build() {
                                                     *amp_cut_, cfg_.faults);
   controller_ = std::make_unique<control::IrisController>(
       *map_, *network_, *amp_cut_, *devices_);
+  if (supervised()) {
+    // The journal lives in the shard -- outside the controller, like the
+    // devices -- so it survives controller death and seeds recover().
+    journal_ = std::make_unique<control::IntentJournal>();
+    controller_->attach_journal(journal_.get());
+  }
   policy_ = std::make_unique<control::ReconfigPolicy>(cfg_.policy);
   if (cfg_.chaos_duct_period > 0) {
     chaos_victim_ = static_cast<graph::EdgeId>(
@@ -97,6 +109,15 @@ void RegionShard::scripted_chaos() {
 
 void RegionShard::publish(long long tick, double t_s) {
   auto& reg = obs::registry();  // the shard registry while run() is bound
+  if (suppress_publishes_ > 0) {
+    // Post-recovery hold: the region runs but keeps serving the last-good
+    // snapshot, so readers see a bounded, tagged staleness window instead
+    // of a half-warm controller.
+    --suppress_publishes_;
+    slot_.count_publish_suppressed();
+    reg.add("fleet.supervisor.publishes_suppressed");
+    return;
+  }
   const std::uint64_t v = controller_->state_version();
   std::shared_ptr<const control::ControllerCheckpoint> books;
   if (last_books_ != nullptr && v == last_version_) {
@@ -122,6 +143,14 @@ void RegionShard::publish(long long tick, double t_s) {
   snap->books = std::move(books);
   store_.publish(std::move(snap));
   reg.add("fleet.snapshots.published");
+  if (supervised()) {
+    // A real publish means a full tick committed and went out: the crash
+    // streak is over, and a held region is warm again.
+    consecutive_crashes_ = 0;
+    if (slot_.health() == RegionHealth::kRecovering) {
+      slot_.set_health(RegionHealth::kHealthy);
+    }
+  }
 }
 
 const RegionRunResult& RegionShard::run() {
@@ -133,17 +162,153 @@ const RegionRunResult& RegionShard::run() {
   build();
   control::ClosedLoopParams loop = cfg_.loop;
   loop.on_tick = [this](long long tick, double t_s) { publish(tick, t_s); };
-  const auto demand = [this](double t) {
+  const control::DemandAt demand = [this](double t) {
     // The demand callback runs at the top of every sample: the one place a
-    // shard may mutate its own controller outside an apply, so the scripted
-    // chaos rides it (deterministically -- one call per sample).
+    // shard may mutate its own controller outside an apply, so the head
+    // declaration and the scripted chaos ride it (deterministically -- one
+    // call per sample attempt).
+    store_.begin_tick(demand_calls_++);
     scripted_chaos();
     return fleet_demand(*map_, cfg_.region_seed, t);
   };
-  result_.loop = control::run_closed_loop(*controller_, *policy_, demand, loop);
+  if (supervised()) {
+    run_supervised(loop, demand);
+  } else {
+    result_.loop =
+        control::run_closed_loop(*controller_, *policy_, demand, loop);
+  }
+  result_.health = slot_.health();
+  result_.audit_clean = controller_->audit_report().clean();
   make_trace();
   ran_ = true;
   return result_;
+}
+
+void RegionShard::run_supervised(const control::ClosedLoopParams& loop,
+                                 const control::DemandAt& demand) {
+  control::LoopCursor cursor;
+  for (;;) {
+    try {
+      control::run_closed_loop(*controller_, *policy_, demand, loop, cursor);
+      result_.loop = cursor.result;
+      return;
+    } catch (const control::ControllerCrash&) {
+      // The injected (or organic) controller death. The cursor pins the
+      // crashed sample; contain_crash recovers in place. When recovery
+      // resolved an in-flight apply (rolled it forward, or back when its
+      // target was infeasible) the crashed sample is COMPLETE -- re-running
+      // it would re-observe the demand into the policy EWMA and re-diff a
+      // shifted target against the recovered state, reconfiguring (and
+      // crashing) forever. So the cursor advances to the next tick; only a
+      // crash outside any apply re-runs its sample. Both paths are pure
+      // functions of the crash schedule, hence bit-identical across runs.
+      const Containment c = contain_crash(cursor.next_t);
+      if (c == Containment::kQuarantined) break;
+      if (c == Containment::kTickComplete) {
+        cursor.next_t += loop.sample_interval_s;
+      }
+    } catch (const std::logic_error&) {
+      throw;  // caller bug (bad params, spent cursor): not containable
+    } catch (const std::exception&) {
+      // Organic failure inside the tick (planner, policy, device model):
+      // same containment path -- the journal decides whether the tick's
+      // apply was resolved by recovery or must re-run.
+      const Containment c = contain_crash(cursor.next_t);
+      if (c == Containment::kQuarantined) break;
+      if (c == Containment::kTickComplete) {
+        cursor.next_t += loop.sample_interval_s;
+      }
+    }
+  }
+  result_.loop = cursor.result;  // quarantined: partial result, no tail
+}
+
+RegionShard::Containment RegionShard::contain_crash(double t) {
+  auto& reg = obs::registry();
+  const SupervisorParams& sup = cfg_.supervisor;
+
+  // Counts one crash (initial or during-recovery) against the quarantine
+  // window; returns true when the budget is exhausted.
+  const auto count_crash_toward_quarantine = [&](bool during_recovery) {
+    slot_.count_crash();
+    reg.add("fleet.supervisor.crashes");
+    if (during_recovery) {
+      slot_.count_recovery_retry();
+      reg.add("fleet.supervisor.recovery_retries");
+    }
+    ++consecutive_crashes_;
+    crash_times_.push_back(t);
+    while (!crash_times_.empty() &&
+           crash_times_.front() < t - sup.crash_window_s) {
+      crash_times_.pop_front();
+    }
+    return sup.quarantine_crashes > 0 &&
+           static_cast<int>(crash_times_.size()) >= sup.quarantine_crashes;
+  };
+  const auto quarantine = [&] {
+    slot_.set_health(RegionHealth::kQuarantined);
+    reg.add("fleet.supervisor.quarantined");
+    return Containment::kQuarantined;
+  };
+  // Deterministic restart backoff: burns VIRTUAL clock time, so it shapes
+  // the obs timeline identically on every run and never touches wall time.
+  const auto backoff = [&] {
+    double s = sup.backoff_base_s;
+    for (int i = 1; i < consecutive_crashes_ && s < sup.backoff_max_s; ++i) {
+      s *= sup.backoff_factor;
+    }
+    if (s > sup.backoff_max_s) s = sup.backoff_max_s;
+    reg.advance_virtual(s);
+    reg.add_gauge("fleet.supervisor.backoff_s", s);
+    slot_.add_backoff(s);
+  };
+
+  slot_.set_health(RegionHealth::kCrashed);
+  if (count_crash_toward_quarantine(false)) return quarantine();
+  backoff();
+  slot_.set_health(RegionHealth::kRecovering);
+
+  // Journal-backed in-place recovery (the PR 4 protocol): kill the dead
+  // controller, round-trip the journal through its durable text form, and
+  // raise a virgin successor over the SURVIVING device layer. recover()
+  // itself can crash (arm_during_recovery, or an armed schedule firing on
+  // recovery's own commands); each such crash counts toward quarantine and
+  // retries after its own backoff.
+  bool resolved_apply = false;
+  for (;;) {
+    controller_.reset();
+    *journal_ = control::IntentJournal::from_text(journal_->to_text());
+    controller_ = std::make_unique<control::IrisController>(
+        *map_, *network_, *amp_cut_, *devices_);
+    if (sup.arm_during_recovery > 0 && !recovery_crash_armed_) {
+      recovery_crash_armed_ = true;  // one-shot test hook
+      devices_->fault_injector().arm_crash(sup.arm_during_recovery);
+    }
+    try {
+      const control::RecoveryReport rr = controller_->recover(*journal_);
+      resolved_apply = rr.had_in_flight;  // audit_clean gate covers rr.audit
+      break;
+    } catch (const control::ControllerCrash&) {
+      if (count_crash_toward_quarantine(true)) {
+        return quarantine();
+      }
+      backoff();
+    }
+  }
+  slot_.count_recovery();
+  reg.add("fleet.supervisor.recoveries");
+  reg.add("fleet.supervisor.journal_compacted",
+          static_cast<long long>(journal_->compact()));
+  if (sup.crash_every_cmds > 0) {
+    devices_->fault_injector().arm_crash(sup.crash_every_cmds);
+  }
+  suppress_publishes_ = sup.recover_hold_ticks;
+  // The successor re-numbers state versions; drop the COW bookkeeping so
+  // the next real publish rebuilds the books instead of trusting a stale
+  // version match.
+  last_books_ = nullptr;
+  last_version_ = 0;
+  return resolved_apply ? Containment::kTickComplete : Containment::kRerunTick;
 }
 
 void RegionShard::make_trace() {
@@ -186,6 +351,19 @@ void RegionShard::make_trace() {
   line("state_fingerprint 0x%016llx\n",
        static_cast<unsigned long long>(
            fnv1a64(controller_->state_fingerprint())));
+  if (supervised()) {
+    // Supervision block: gated so an unsupervised trace stays byte-identical
+    // to pre-supervision builds. Slot values are the authoritative tallies
+    // (they survive IRIS_OBS=OFF, where the registry mirrors vanish).
+    line("supervisor health %s\n", region_health_name(slot_.health()));
+    line("supervisor crashes %lld recoveries %lld retries %lld\n",
+         slot_.crashes(), slot_.recoveries(), slot_.recovery_retries());
+    line("supervisor backoff_s %.6f suppressed %lld\n",
+         slot_.backoff_total_s(), slot_.publishes_suppressed());
+    line("supervisor journal_records %lld audit_clean %d\n",
+         static_cast<long long>(journal_->size()),
+         result_.audit_clean ? 1 : 0);
+  }
   out += "-- metrics --\n";
   out += obs::export_text(registry_);
   result_.trace = std::move(out);

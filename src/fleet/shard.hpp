@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -21,6 +22,7 @@
 #include "control/controller.hpp"
 #include "control/policy.hpp"
 #include "fleet/snapshot.hpp"
+#include "fleet/supervisor.hpp"
 #include "obs/metrics.hpp"
 
 namespace iris::fleet {
@@ -50,6 +52,10 @@ struct RegionConfig {
   /// duct fails at phase period/3 and recovers at 2*period/3, exercising
   /// the escape hatch and churning snapshot versions. 0 disables.
   long long chaos_duct_period = 0;
+  /// Crash containment (supervisor.hpp). Off by default: an unsupervised
+  /// shard attaches no journal and emits no supervisor series, keeping
+  /// crash-free traces byte-identical to pre-supervision builds.
+  SupervisorParams supervisor;
 };
 
 /// The fleet-level run request: M regions derived from one base config.
@@ -68,6 +74,8 @@ struct RegionRunResult {
   control::ClosedLoopResult loop;
   std::string trace;            ///< canonical text (see shard.cpp)
   std::uint64_t fingerprint = 0;  ///< fnv1a64(trace)
+  RegionHealth health = RegionHealth::kHealthy;  ///< terminal health
+  bool audit_clean = true;  ///< post-run device audit (quarantine => stale)
 };
 
 /// Deterministic per-region demand wobble (no RNG: replayable by seed).
@@ -101,11 +109,34 @@ class RegionShard {
     return result_;
   }
 
+  [[nodiscard]] bool supervised() const noexcept {
+    return cfg_.supervisor.supervised();
+  }
+  /// Lock-free health view, valid (and live) while the shard runs.
+  [[nodiscard]] RegionHealth health() const noexcept {
+    return slot_.health();
+  }
+  [[nodiscard]] const HealthSlot& slot() const noexcept { return slot_; }
+
  private:
   void build();
   void publish(long long tick, double t_s);
   void scripted_chaos();
   void make_trace();
+  /// The crash-containment loop driver (supervised mode only).
+  void run_supervised(const control::ClosedLoopParams& loop,
+                      const control::DemandAt& demand);
+  /// How a contained crash resumes (contain_crash's verdict).
+  enum class Containment {
+    kQuarantined,   ///< crash budget exhausted: abandon the run
+    kTickComplete,  ///< recovery resolved the interrupted apply: the crashed
+                    ///< sample is done, resume at the NEXT tick (PR 4: a
+                    ///< recover() with had_in_flight completes the step)
+    kRerunTick,     ///< crash outside any apply: re-run the sample
+  };
+  /// Handles one caught crash at loop time `t`: quarantine check, backoff,
+  /// journal-backed recovery (with its own retry loop).
+  Containment contain_crash(double t);
 
   int region_;
   RegionConfig cfg_;
@@ -118,6 +149,10 @@ class RegionShard {
   std::unique_ptr<control::DeviceLayer> devices_;
   std::unique_ptr<control::IrisController> controller_;
   std::unique_ptr<control::ReconfigPolicy> policy_;
+  /// Supervised mode only: the region's durable write-ahead journal. Lives
+  /// in the shard (outside the controller, like the devices) so it survives
+  /// controller death and feeds IrisController::recover().
+  std::unique_ptr<control::IntentJournal> journal_;
 
   // Copy-on-write bookkeeping: books are re-copied only when the
   // controller's state_version moved since the last publish.
@@ -127,6 +162,14 @@ class RegionShard {
   graph::EdgeId chaos_victim_ = graph::kInvalidEdge;
   bool chaos_down_ = false;
   long long chaos_calls_ = 0;
+
+  // Supervision state (shard-thread writes; slot_ is the cross-thread view).
+  HealthSlot slot_;
+  std::deque<double> crash_times_;   ///< loop times inside the window
+  int consecutive_crashes_ = 0;      ///< resets on a completed recovery+tick
+  long long suppress_publishes_ = 0; ///< post-recovery hold countdown
+  long long demand_calls_ = 0;       ///< sample attempts = head tick index
+  bool recovery_crash_armed_ = false;  ///< arm_during_recovery is one-shot
 
   RegionRunResult result_;
   bool ran_ = false;

@@ -29,6 +29,7 @@
 #include "core/amp_cut.hpp"
 #include "core/provision.hpp"
 #include "fibermap/fibermap.hpp"
+#include "obs/metrics.hpp"
 
 namespace iris::fleet {
 
@@ -62,9 +63,21 @@ class SnapshotStore {
   /// Writer-thread only. The snapshot joins the arena (pinning it for the
   /// store's lifetime) and becomes the published current().
   void publish(std::unique_ptr<const RegionSnapshot> snap) {
+    published_tick_.store(snap->tick, std::memory_order_release);
     arena_.push_back(std::move(snap));
     current_.store(arena_.back().get(), std::memory_order_release);
     published_.fetch_add(1, std::memory_order_release);
+    update_age_gauge();
+  }
+
+  /// Writer-thread only: the shard declares it is processing sample `head`
+  /// (before any publish for it). Drives the fleet.snapshots.age_ticks
+  /// staleness gauge: published-head tick vs shard tick. The gauge is only
+  /// touched when staleness moves through a nonzero value, so a crash-free
+  /// run (staleness identically 0) exports byte-identical series.
+  void begin_tick(long long head) {
+    head_.store(head, std::memory_order_release);
+    update_age_gauge();
   }
 
   /// Pins the latest snapshot; null until the first publish. Valid until
@@ -77,12 +90,41 @@ class SnapshotStore {
     return published_.load(std::memory_order_acquire);
   }
 
+  /// Latest sample index the shard has started (-1 before the first tick).
+  /// Safe from any thread; per-query staleness is head() - snapshot->tick.
+  [[nodiscard]] long long head() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Completed ticks not yet published (0 on the healthy cadence, where the
+  /// previous sample's snapshot is always out before the next begins).
+  [[nodiscard]] long long staleness_ticks() const {
+    const long long h = head();
+    if (h < 0) return 0;
+    const long long lag = h - 1 - published_tick_.load(std::memory_order_acquire);
+    return lag > 0 ? lag : 0;
+  }
+
  private:
+  void update_age_gauge() {
+    const long long stale = staleness_ticks();
+    if (stale != last_stale_) {
+      if (stale > 0 || last_stale_ > 0) {
+        obs::registry().set_gauge("fleet.snapshots.age_ticks",
+                                  static_cast<double>(stale));
+      }
+      last_stale_ = stale;
+    }
+  }
+
   // Only the writer touches the deque (readers go through current_), and
   // deque growth never moves existing elements.
   std::deque<std::unique_ptr<const RegionSnapshot>> arena_;
   std::atomic<const RegionSnapshot*> current_{nullptr};
   std::atomic<long long> published_{0};
+  std::atomic<long long> head_{-1};
+  std::atomic<long long> published_tick_{-1};
+  long long last_stale_ = 0;  ///< writer-thread only (gauge dedup)
 };
 
 }  // namespace iris::fleet

@@ -1,0 +1,15 @@
+#include "fleet/supervisor.hpp"
+
+namespace iris::fleet {
+
+const char* region_health_name(RegionHealth health) {
+  switch (health) {
+    case RegionHealth::kHealthy: return "healthy";
+    case RegionHealth::kCrashed: return "crashed";
+    case RegionHealth::kRecovering: return "recovering";
+    case RegionHealth::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+}  // namespace iris::fleet

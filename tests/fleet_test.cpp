@@ -308,9 +308,206 @@ TEST(FleetMetrics, MergeIsDeterministicAndComplete) {
   fleet.merge_metrics(merged_b);
   const auto counters = merged_a.counters();
   EXPECT_EQ(counters, merged_b.counters());
+#ifndef IRIS_OBS_OFF
   const auto it = counters.find("fleet.snapshots.published");
   ASSERT_NE(it, counters.end());
   EXPECT_EQ(it->second, 2 * 10);  // every region published every tick
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Crash containment (ISSUE 9): supervised shards recover in place from their
+// journals and the recovered traces stay bit-identical across fleet sizes.
+TEST(FleetSupervisor, RecoversAndMatchesSoloBitIdentical) {
+  std::string region0_trace;
+  for (const int regions : {1, 2, 8}) {
+    auto params = small_fleet(regions, 16);
+    params.base.supervisor.crash_every_cmds = 40;
+    fleet::Fleet fleet(params);
+    fleet.start();
+    fleet.join();
+    EXPECT_TRUE(fleet.ok());
+    EXPECT_GT(fleet.supervisor().total_recoveries(), 0) << "M=" << regions;
+    EXPECT_EQ(fleet.supervisor().quarantined_regions(), 0);
+    for (int r = 0; r < regions; ++r) {
+      const auto solo = fleet::run_region_solo(params, r);
+      const auto& in_fleet = fleet.shard(r).result();
+      EXPECT_EQ(in_fleet.trace, solo.trace) << "M=" << regions << " r=" << r;
+      EXPECT_TRUE(in_fleet.audit_clean) << "M=" << regions << " r=" << r;
+    }
+    if (region0_trace.empty()) {
+      region0_trace = fleet.shard(0).result().trace;
+    } else {
+      EXPECT_EQ(fleet.shard(0).result().trace, region0_trace)
+          << "recovered region 0 trace changed with fleet size " << regions;
+    }
+  }
+}
+
+// Repeated crashes inside the window exhaust the budget: the region lands in
+// kQuarantined, the run is abandoned (partial result, no process abort) and
+// the fleet-level view reports it.
+TEST(FleetSupervisor, QuarantineAfterRepeatedCrashes) {
+  auto params = small_fleet(1, 16);
+  params.base.supervisor.crash_every_cmds = 40;
+  params.base.supervisor.quarantine_crashes = 2;
+  params.base.supervisor.crash_window_s = 1000.0;  // every crash counts
+  fleet::Fleet fleet(params);
+  fleet.start();
+  fleet.join();
+  EXPECT_TRUE(fleet.ok());  // quarantine is contained, not an escaped error
+  EXPECT_EQ(fleet.shard(0).health(), fleet::RegionHealth::kQuarantined);
+  EXPECT_EQ(fleet.shard(0).result().health,
+            fleet::RegionHealth::kQuarantined);
+  EXPECT_EQ(fleet.supervisor().quarantined_regions(), 1);
+  EXPECT_GE(fleet.shard(0).slot().crashes(), 2);
+  // The abandoned loop stopped early: fewer sample attempts than requested.
+  EXPECT_LT(fleet.shard(0).result().loop.samples, 16);
+}
+
+// A crash firing during journal replay itself (the arm_during_recovery test
+// hook) retries recovery after its own backoff and still converges.
+TEST(FleetSupervisor, CrashDuringRecoveryRetries) {
+  auto params = small_fleet(1, 16);
+  params.base.supervisor.crash_every_cmds = 40;
+  params.base.supervisor.arm_during_recovery = 20;  // one-shot
+  fleet::Fleet fleet(params);
+  fleet.start();
+  fleet.join();
+  EXPECT_TRUE(fleet.ok());
+  const auto& slot = fleet.shard(0).slot();
+  EXPECT_GE(slot.recovery_retries(), 1);
+  EXPECT_GT(slot.recoveries(), 0);
+  EXPECT_TRUE(fleet.shard(0).result().audit_clean);
+  EXPECT_EQ(fleet.supervisor().quarantined_regions(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful what-if degradation: health-aware jobs (Job::shard set) route on
+// the region's live health and tag answers with staleness.
+
+// A region stuck in its post-recovery hold serves the last-good snapshot:
+// queries succeed but come back kStale with a nonzero staleness, and the
+// shard's registry mirrors the lag in the fleet.snapshots.age_ticks gauge.
+TEST(FleetDegraded, StaleSnapshotServedWithStaleness) {
+  auto params = small_fleet(1, 30);
+  // The first apply (and so the first crash) waits out the 3 s hysteresis:
+  // ticks 0-2 publish cleanly, then the region crashes and holds forever.
+  params.base.supervisor.crash_every_cmds = 60;
+  params.base.supervisor.recover_hold_ticks = 1LL << 40;
+  fleet::Fleet fleet(params);
+  fleet.start();
+  fleet.join();
+  ASSERT_TRUE(fleet.ok());
+  const auto& shard = fleet.shard(0);
+  ASSERT_GT(shard.slot().crashes(), 0) << "schedule never fired; tune knobs";
+  ASSERT_GT(shard.store().published(), 0);
+  // Held forever after the first recovery: the run ends still recovering,
+  // with the head several ticks past the last published snapshot.
+  EXPECT_EQ(shard.health(), fleet::RegionHealth::kRecovering);
+  EXPECT_GT(shard.store().staleness_ticks(), 0);
+#ifndef IRIS_OBS_OFF
+  EXPECT_GT(shard.metrics().gauge("fleet.snapshots.age_ticks"), 0.0);
+#endif
+
+  fleet::WhatIfEngine engine(2);
+  fleet::WhatIfEngine::Job job;
+  job.shard = &shard;  // resolve the snapshot from the shard, health-aware
+  job.query.kind = fleet::QueryKind::kFailureDrill;
+  job.query.duct = 0;
+  const auto results = engine.run_batch({job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, fleet::QueryStatus::kStale);
+  EXPECT_TRUE(results[0].feasible);  // a real answer, just tagged stale
+  EXPECT_GT(results[0].staleness_ticks, 0);
+  EXPECT_EQ(engine.stale_served(), 1);
+}
+
+// Quarantined regions reject queries with a structured status instead of
+// serving arbitrarily stale state.
+TEST(FleetDegraded, QuarantinedRegionRejectsQueries) {
+  auto params = small_fleet(1, 16);
+  params.base.supervisor.crash_every_cmds = 40;
+  params.base.supervisor.quarantine_crashes = 2;
+  params.base.supervisor.crash_window_s = 1000.0;
+  fleet::Fleet fleet(params);
+  fleet.start();
+  fleet.join();
+  ASSERT_EQ(fleet.shard(0).health(), fleet::RegionHealth::kQuarantined);
+
+  fleet::WhatIfEngine engine(2);
+  fleet::WhatIfEngine::Job job;
+  job.shard = &fleet.shard(0);
+  job.query.kind = fleet::QueryKind::kFailureDrill;
+  const auto results = engine.run_batch({job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, fleet::QueryStatus::kRegionQuarantined);
+  EXPECT_FALSE(results[0].feasible);
+  EXPECT_EQ(engine.rejected_quarantined(), 1);
+}
+
+// A query whose deadline budget elapsed before its turn is rejected with a
+// structured status, never silently dropped or run anyway.
+TEST(FleetDegraded, DeadlineExpiryStructuredRejection) {
+  const auto params = small_fleet(1, 8);
+  fleet::Fleet fleet(params);
+  fleet.start();
+  fleet.join();
+  const auto snap = fleet.snapshot(0);
+  ASSERT_NE(snap, nullptr);
+
+  fleet::WhatIfEngine engine(2);
+  fleet::WhatIfEngine::Job ok_job;
+  ok_job.snapshot = snap;
+  ok_job.query.kind = fleet::QueryKind::kFailureDrill;
+  fleet::WhatIfEngine::Job doomed = ok_job;
+  doomed.query.deadline_ms = 1e-9;  // expires before any worker's turn
+  const auto results = engine.run_batch({ok_job, doomed});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].status, fleet::QueryStatus::kOk);
+  EXPECT_TRUE(results[0].feasible);
+  EXPECT_EQ(results[1].status, fleet::QueryStatus::kDeadlineExpired);
+  EXPECT_FALSE(results[1].feasible);
+  EXPECT_EQ(engine.deadline_expired(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Shard-thread error containment: an exception escaping an UNSUPERVISED
+// shard surfaces as structured per-shard status, never a process abort, and
+// wait_ready() does not hang on the dead region.
+TEST(FleetEngine, JoinSurfacesShardErrors) {
+  auto params = small_fleet(1, 8);
+  params.base.loop.duration_s = -1.0;  // run_closed_loop rejects this
+  fleet::Fleet fleet(params);
+  fleet.start();
+  fleet.wait_ready();  // returns because the shard thread finished (errored)
+  fleet.join();
+  EXPECT_FALSE(fleet.ok());
+  const auto errors = fleet.shard_errors();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].region, 0);
+  EXPECT_FALSE(errors[0].message.empty());
+}
+
+// Staleness bookkeeping on the store itself: head declarations without a
+// matching publish open a lag window; publishing closes it.
+TEST(FleetSnapshot, StalenessTracksHead) {
+  fleet::SnapshotStore store;
+  store.begin_tick(0);
+  auto snap = std::make_unique<fleet::RegionSnapshot>();
+  snap->tick = 0;
+  store.publish(std::move(snap));
+  EXPECT_EQ(store.staleness_ticks(), 0);  // healthy cadence: no lag
+  store.begin_tick(1);
+  EXPECT_EQ(store.staleness_ticks(), 0);  // tick 1 still in flight
+  store.begin_tick(2);
+  EXPECT_EQ(store.staleness_ticks(), 1);  // tick 1 never published
+  store.begin_tick(3);
+  EXPECT_EQ(store.staleness_ticks(), 2);
+  auto next = std::make_unique<fleet::RegionSnapshot>();
+  next->tick = 3;
+  store.publish(std::move(next));
+  EXPECT_EQ(store.staleness_ticks(), 0);
 }
 
 TEST(FleetSnapshot, StorePinsLatest) {
