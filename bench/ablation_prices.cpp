@@ -7,13 +7,34 @@
 // would win. At paper prices the ratio is ~7x; fiber would have to cost
 // tens of times more (or transceivers collapse below electrical-port cost)
 // before EPS breaks even.
+//
+// Usage: bench_ablation_prices [dc_count=N] [--metrics[=path]]
+//                              [--benchmark_...]
+// Overrides parse strictly (whole-token, exit 2 on garbage); with no
+// arguments the table is byte-identical to the historical run.
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+
 #include "bench_util.hpp"
+#include "obs/argparse.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
 using namespace iris;
+
+// DC count of the reference region the price sweeps are evaluated on.
+int g_dc_count = 10;
+
+int usage_error(const char* what, const char* arg) {
+  std::fprintf(stderr, "bench_ablation_prices: %s '%s'\n", what, arg);
+  std::fprintf(stderr,
+               "usage: bench_ablation_prices [dc_count=N]\n"
+               "                             [--metrics[=path]] "
+               "[--benchmark_...]\n");
+  return 2;
+}
 
 struct PlannedRegion {
   fibermap::FiberMap map;
@@ -22,7 +43,7 @@ struct PlannedRegion {
 };
 
 PlannedRegion plan_reference_region() {
-  PlannedRegion out{bench::make_eval_region(11, 10, 16), {}, {}};
+  PlannedRegion out{bench::make_eval_region(11, g_dc_count, 16), {}, {}};
   const auto net = core::provision(out.map, bench::eval_params(1, 40));
   const auto plan = core::place_amplifiers_and_cutthroughs(out.map, net);
   out.eps = core::build_eps(out.map, net);
@@ -93,8 +114,34 @@ BENCHMARK(BM_CostRollup);
 }  // namespace
 
 int main(int argc, char** argv) {
+  iris::obs::MetricsFlag metrics;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (iris::obs::parse_metrics_flag(arg, metrics)) continue;
+    if (arg.rfind("--benchmark_", 0) == 0) {
+      argv[kept++] = argv[i];
+      continue;
+    }
+    const auto kv = iris::obs::split_kv(arg);
+    if (kv && kv->first == "dc_count") {
+      const auto v = iris::obs::parse_ll(kv->second);
+      if (!v || *v < 2 || *v > 100) {
+        return usage_error("malformed dc_count", argv[i]);
+      }
+      g_dc_count = static_cast<int>(*v);
+    } else {
+      return usage_error("unknown argument", argv[i]);
+    }
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  if (metrics.enabled && !iris::obs::dump_default_registry(metrics.path)) {
+    return 1;
+  }
   return 0;
 }

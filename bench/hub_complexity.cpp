@@ -5,16 +5,36 @@
 // maximum predicted region size. An Iris hub switches fibers on OSS chassis
 // that are "just a few rack-units" and mostly passive. This bench sizes both
 // for growing regions.
+//
+// Usage: bench_hub_complexity [lambda=N] [flows=N] [--metrics[=path]]
+//                             [--benchmark_...]
+// Overrides parse strictly (whole-token, exit 2 on garbage); with no
+// arguments the table is byte-identical to the historical run.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string_view>
 
 #include "clos/ecmp.hpp"
 #include "clos/fabric.hpp"
+#include "obs/argparse.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
 using namespace iris::clos;
+
+int g_lambda = 40;           // wavelengths per fiber in the sizing model
+long long g_flows = 1000000; // flows in the ECMP spread experiment
+
+int usage_error(const char* what, const char* arg) {
+  std::fprintf(stderr, "bench_hub_complexity: %s '%s'\n", what, arg);
+  std::fprintf(stderr,
+               "usage: bench_hub_complexity [lambda=N] [flows=N]\n"
+               "                            [--metrics[=path]] "
+               "[--benchmark_...]\n");
+  return 2;
+}
 
 void print_table() {
   std::printf("# Hub footprint: electrical Clos vs Iris OSS\n");
@@ -23,7 +43,7 @@ void print_table() {
               "kW-ratio");
   for (int dcs : {5, 10, 16, 20}) {
     for (int fibers : {8, 16, 32}) {
-      const int lambda = 40;
+      const int lambda = g_lambda;
       const long long electrical_ports =
           static_cast<long long>(dcs) * fibers * lambda;
       // The Iris hub terminates each DC's fibers plus residuals, two
@@ -42,9 +62,10 @@ void print_table() {
               " power; OSS chassis are a few RU\n");
 
   // SS5.1's ECMP leaf: wavelengths per destination spread over T2 uplinks.
-  const auto counts = spread_flows(1000000, 16, 5);
-  std::printf("\n# ECMP spread of 1M flows over 16 T2 uplinks: imbalance"
-              " %.3f (1.0 = perfect)\n\n", imbalance(counts));
+  const auto counts = spread_flows(g_flows, 16, 5);
+  std::printf("\n# ECMP spread of %gM flows over 16 T2 uplinks: imbalance"
+              " %.3f (1.0 = perfect)\n\n", static_cast<double>(g_flows) / 1e6,
+              imbalance(counts));
 }
 
 void BM_ClosDesign(benchmark::State& state) {
@@ -66,8 +87,40 @@ BENCHMARK(BM_EcmpHash);
 }  // namespace
 
 int main(int argc, char** argv) {
+  iris::obs::MetricsFlag metrics;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (iris::obs::parse_metrics_flag(arg, metrics)) continue;
+    if (arg.rfind("--benchmark_", 0) == 0) {
+      argv[kept++] = argv[i];
+      continue;
+    }
+    const auto kv = iris::obs::split_kv(arg);
+    if (kv && kv->first == "lambda") {
+      const auto v = iris::obs::parse_ll(kv->second);
+      if (!v || *v < 1 || *v > 1000) {
+        return usage_error("malformed lambda", argv[i]);
+      }
+      g_lambda = static_cast<int>(*v);
+    } else if (kv && kv->first == "flows") {
+      const auto v = iris::obs::parse_ll(kv->second);
+      if (!v || *v < 1 || *v > 1000000000LL) {
+        return usage_error("malformed flows", argv[i]);
+      }
+      g_flows = *v;
+    } else {
+      return usage_error("unknown argument", argv[i]);
+    }
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  if (metrics.enabled && !iris::obs::dump_default_registry(metrics.path)) {
+    return 1;
+  }
   return 0;
 }

@@ -4,17 +4,38 @@
 // Paper claims: F_E = 60 fiber pairs and T_E = 4800 transceivers for the
 // electrical design; T_O = 1600 transceivers, F_O ~ 78 fiber pairs and ~312
 // OSS ports for Iris; electrical costs ~2.7x more.
+//
+// Usage: bench_sec34_toy_example [lambda=N] [--metrics[=path]]
+//                                [--benchmark_...]
+// Overrides parse strictly (whole-token, exit 2 on garbage); with no
+// arguments the table is byte-identical to the historical run.
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+
 #include "bench_util.hpp"
+#include "obs/argparse.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
 using namespace iris;
 
+// Wavelengths per fiber in the toy region's channel plan.
+int g_lambda = 40;
+
+int usage_error(const char* what, const char* arg) {
+  std::fprintf(stderr, "bench_sec34_toy_example: %s '%s'\n", what, arg);
+  std::fprintf(stderr,
+               "usage: bench_sec34_toy_example [lambda=N]\n"
+               "                               [--metrics[=path]] "
+               "[--benchmark_...]\n");
+  return 2;
+}
+
 void print_table() {
   const auto map = fibermap::toy_example_fig10();
-  const auto net = core::provision(map, bench::eval_params(0, 40));
+  const auto net = core::provision(map, bench::eval_params(0, g_lambda));
   const auto amp_cut = core::place_amplifiers_and_cutthroughs(map, net);
   const auto eps = core::build_eps(map, net);
   const auto iris_design = core::build_iris(map, net, amp_cut);
@@ -57,8 +78,34 @@ BENCHMARK(BM_ToyExamplePlanning)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  iris::obs::MetricsFlag metrics;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (iris::obs::parse_metrics_flag(arg, metrics)) continue;
+    if (arg.rfind("--benchmark_", 0) == 0) {
+      argv[kept++] = argv[i];
+      continue;
+    }
+    const auto kv = iris::obs::split_kv(arg);
+    if (kv && kv->first == "lambda") {
+      const auto v = iris::obs::parse_ll(kv->second);
+      if (!v || *v < 1 || *v > 1000) {
+        return usage_error("malformed lambda", argv[i]);
+      }
+      g_lambda = static_cast<int>(*v);
+    } else {
+      return usage_error("unknown argument", argv[i]);
+    }
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  if (metrics.enabled && !iris::obs::dump_default_registry(metrics.path)) {
+    return 1;
+  }
   return 0;
 }

@@ -50,6 +50,9 @@ struct ClosedLoopResult {
   int escape_hatch_replans = 0;
   long long oss_operations = 0;
   double total_capacity_gap_ms = 0.0;
+  /// Sum of per-apply command-plane makespans (ReconfigReport::makespan_ms):
+  /// the reconfiguration wall time the loop spent, serial or async.
+  double total_makespan_ms = 0.0;
   double last_apply_s = -1.0;
 
   // Fault handling (all zero when the controller injects no faults).

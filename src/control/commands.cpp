@@ -1,5 +1,7 @@
 #include "control/commands.hpp"
 
+#include <algorithm>
+
 namespace iris::control {
 
 std::string to_string(const DeviceCommand& cmd) {
@@ -33,6 +35,139 @@ std::string to_string(const DeviceCommand& cmd) {
     }
   };
   return std::visit(Printer{}, cmd);
+}
+
+// ---- CommandPlane ----------------------------------------------------------
+
+namespace {
+
+bool intersects(const std::vector<graph::NodeId>& a,
+                const std::vector<graph::NodeId>& b) {
+  for (graph::NodeId x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) return true;
+  }
+  return false;
+}
+
+bool shares_duct(const std::vector<graph::EdgeId>& a,
+                 const std::vector<graph::EdgeId>& b) {
+  for (graph::EdgeId x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CommandPlane::conflicts(const CommandOp& a, const CommandOp& b) {
+  if (shares_duct(a.ducts, b.ducts)) return true;
+  if (a.dc_a == b.dc_a || a.dc_a == b.dc_b || a.dc_b == b.dc_a ||
+      a.dc_b == b.dc_b) {
+    return true;
+  }
+  return intersects(a.amp_sites, b.amp_sites);
+}
+
+void CommandPlane::plan(std::vector<CommandOp> ops,
+                        bool establishes_before_teardowns) {
+  ops_ = std::move(ops);
+  const std::size_t n = ops_.size();
+  deps_.assign(n, {});
+  slot_.assign(n, 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const bool barrier = establishes_before_teardowns && ops_[j].teardown &&
+                           !ops_[i].teardown;
+      if (mode_ == CommandPlaneMode::kSerial || barrier ||
+          conflicts(ops_[i], ops_[j])) {
+        deps_[j].push_back(i);
+        slot_[j] = std::max(slot_[j], slot_[i] + 1);
+      }
+    }
+  }
+  slot_count_ = 0;
+  for (std::size_t j = 0; j < n; ++j) slot_count_ = std::max(slot_count_, slot_[j]);
+  order_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) order_[j] = j;
+  // Slot-major, insertion-stable within a slot. Two conflicting ops never
+  // share a slot and the later one always lands in a later slot, so the
+  // execution order preserves their serial relative order -- the property
+  // that makes the async final state equal the serial one.
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return slot_[a] < slot_[b];
+                   });
+  op_end_.assign(n, 0.0);
+}
+
+CommandPlane::DeviceKey CommandPlane::key_of(const DeviceCommand& cmd) const {
+  if (mode_ == CommandPlaneMode::kSerial) return {0, 0};  // one global queue
+  struct Keyer {
+    DeviceKey operator()(const OssConnectCmd& c) const { return {1, c.site}; }
+    DeviceKey operator()(const OssDisconnectCmd& c) const {
+      return {1, c.site};
+    }
+    DeviceKey operator()(const TuneTransceiverCmd& c) const {
+      return {2, c.dc};
+    }
+    DeviceKey operator()(const DisableTransceiverCmd& c) const {
+      return {2, c.dc};
+    }
+    DeviceKey operator()(const SetAseFillCmd& c) const { return {3, c.dc}; }
+    DeviceKey operator()(const AmpPowerCheckCmd& c) const {
+      return {4, c.site};
+    }
+  };
+  return std::visit(Keyer{}, cmd);
+}
+
+double CommandPlane::cost_of(const DeviceCommand& cmd) const {
+  struct Coster {
+    const CommandCosts& c;
+    double operator()(const OssConnectCmd&) const { return c.oss_ms; }
+    double operator()(const OssDisconnectCmd&) const { return c.oss_ms; }
+    double operator()(const TuneTransceiverCmd&) const { return c.tune_ms; }
+    double operator()(const DisableTransceiverCmd&) const { return c.tune_ms; }
+    double operator()(const SetAseFillCmd&) const { return c.amp_ms; }
+    double operator()(const AmpPowerCheckCmd&) const { return c.amp_ms; }
+  };
+  return std::visit(Coster{costs_}, cmd);
+}
+
+void CommandPlane::add_floor(double delay_ms) {
+  floor_ = horizon_ + delay_ms;
+  horizon_ = std::max(horizon_, floor_);
+}
+
+void CommandPlane::begin_op(std::size_t i) {
+  double start = floor_;
+  for (std::size_t d : deps_[i]) start = std::max(start, op_end_[d]);
+  cursor_ = start;
+  open_op_ = i;
+}
+
+void CommandPlane::on_command(const DeviceCommand& cmd) {
+  ++commands_;
+  double& avail = device_free_[key_of(cmd)];
+  double t0 = std::max(floor_, avail);
+  if (open_op_) t0 = std::max(t0, cursor_);
+  const double t1 = t0 + cost_of(cmd);
+  avail = t1;
+  if (open_op_) cursor_ = t1;
+  horizon_ = std::max(horizon_, t1);
+}
+
+void CommandPlane::end_op(std::size_t i, double backoff_ms) {
+  cursor_ += backoff_ms;
+  op_end_[i] = cursor_;
+  horizon_ = std::max(horizon_, cursor_);
+  open_op_.reset();
+  cursor_ = 0.0;
+}
+
+void CommandPlane::begin_tail() {
+  open_op_.reset();
+  floor_ = horizon_;
 }
 
 }  // namespace iris::control

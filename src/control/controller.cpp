@@ -311,7 +311,7 @@ std::optional<std::vector<int>> IrisController::take_healthy_amp_units(
     pool.pop_back();
     const CommandResult check = faults.amp_power_check(site, unit);
     if (faults.enabled()) {
-      trace_.push_back(AmpPowerCheckCmd{site, unit, check.ok()});
+      record_cmd(AmpPowerCheckCmd{site, unit, check.ok()});
     }
     if (check.ok()) {
       taken.push_back(unit);
@@ -430,7 +430,7 @@ void IrisController::establish(const Circuit& c, Allocation& alloc,
 
   // Intent goes durable here: the draws above are pure bookkeeping a
   // successor re-derives from the journal, the cross-connects below are not.
-  jrec(EstablishBeginRecord{c, to_record(alloc)});
+  jrec(EstablishBeginRecord{c, to_record(alloc), current_slot_});
 
   for (const Connect& pc : planned_connects(c, alloc)) {
     const CommandResult r = run_with_retry(report, [&] {
@@ -440,7 +440,7 @@ void IrisController::establish(const Circuit& c, Allocation& alloc,
       throw DeviceCommandError{pc.site, pc.in_port, pc.out_port, r.detail};
     }
     alloc.connects.push_back(pc);
-    trace_.push_back(OssConnectCmd{pc.site, pc.in_port, pc.out_port});
+    record_cmd(OssConnectCmd{pc.site, pc.in_port, pc.out_port});
     ++report.oss_operations;
   }
 
@@ -451,7 +451,7 @@ void IrisController::unwind_allocation(const Circuit& c, Allocation& alloc,
                                        ReconfigReport& report,
                                        std::set<ResKey> culprits) {
   const obs::Span span("teardown");
-  jrec(TeardownBeginRecord{c});
+  jrec(TeardownBeginRecord{c, current_slot_});
   // Tear down the programmed cross-connects, newest first. A disconnect a
   // stuck mirror refuses after all retries leaves a zombie cross-connect:
   // it stays recorded (audits expect it on the device) and the resources
@@ -461,7 +461,7 @@ void IrisController::unwind_allocation(const Circuit& c, Allocation& alloc,
       return devices_->oss(it->site).disconnect(it->in_port);
     });
     if (r.ok()) {
-      trace_.push_back(OssDisconnectCmd{it->site, it->in_port});
+      record_cmd(OssDisconnectCmd{it->site, it->in_port});
       ++report.oss_operations;
     } else {
       zombie_connects_.push_back(*it);
@@ -562,7 +562,7 @@ void IrisController::retune_all_dcs(ReconfigReport& report) {
               report,
               [&] { return txs[static_cast<std::size_t>(idx)].tune(channel); });
           if (r.ok()) {
-            trace_.push_back(TuneTransceiverCmd{dc, idx, channel});
+            record_cmd(TuneTransceiverCmd{dc, idx, channel});
             live[dc].insert(channel);
             ++report.transceivers_retuned;
             ++expected_tuned_[dc];
@@ -585,9 +585,26 @@ void IrisController::retune_all_dcs(ReconfigReport& report) {
   for (auto& [dc, emulator] : devices_->emulators()) {
     emulator.set_live_channels(live.contains(dc) ? live.at(dc)
                                                  : std::set<int>{});
-    trace_.push_back(
+    record_cmd(
         SetAseFillCmd{dc, static_cast<int>(emulator.live_channels().size())});
   }
+}
+
+void IrisController::record_cmd(const DeviceCommand& cmd) {
+  trace_.push_back(cmd);
+  if (plane_ != nullptr) {
+    plane_->on_command(cmd);
+    if (plane_->async()) obs::registry().add("controller.commands.batched");
+  }
+}
+
+void IrisController::drain_window(ReconfigReport& report, double& clock,
+                                  CommandPlane& plane, const char* what) {
+  report.drain_ms = latencies_.drain_window_ms;
+  clock += report.drain_ms;
+  report.timeline.push_back(
+      {clock, "drained " + std::to_string(report.torn_down.size()) + what});
+  plane.add_floor(report.drain_ms);
 }
 
 ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
@@ -679,15 +696,88 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
     }
   }
 
-  // All pre-device validation passed: the transaction opens. The effective
-  // strategy (after the fallback decision) is recorded so a recovering
-  // successor re-derives the same teardown/establish order.
+  // All pre-device validation passed: plan the command schedule. Ops enter
+  // the plane in serial execution order (the order the historical controller
+  // processed them), so the serial plane's all-conflict graph reproduces it
+  // exactly and the async plane keeps every conflicting pair's relative
+  // order -- pool draws, and therefore the final state, match serial.
+  std::vector<char> torn_released(torn_idx.size(), 0);
+  const auto teardown_footprint = [&](std::size_t t) {
+    const std::size_t i = torn_idx[t];
+    CommandOp op;
+    op.teardown = true;
+    op.index = t;
+    op.ducts = active_[i].route.edges;
+    op.dc_a = active_[i].pair.a;
+    op.dc_b = active_[i].pair.b;
+    if (allocations_[i].amp_site) {
+      op.amp_sites.push_back(*allocations_[i].amp_site);
+    }
+    return op;
+  };
+  const auto establish_footprint = [&](std::size_t k) {
+    const Circuit& c = report.set_up[k];
+    CommandOp op;
+    op.index = k;
+    op.ducts = c.route.edges;
+    op.dc_a = c.pair.a;
+    op.dc_b = c.pair.b;
+    // The establish may draw an amplifier at any feasible site, so every
+    // candidate belongs to its conflict footprint.
+    const auto bypassed = amp_cut_.bypassed_sites(c.route);
+    if (!core::path_feasible(map_.graph(), c.route, std::nullopt, bypassed,
+                             network_.params.spec)) {
+      for (int m : core::feasible_amp_indices(map_.graph(), c.route, bypassed,
+                                              network_.params.spec)) {
+        op.amp_sites.push_back(c.route.nodes[m]);
+      }
+    }
+    return op;
+  };
+  std::vector<CommandOp> plan_ops;
+  plan_ops.reserve(torn_idx.size() + report.set_up.size());
+  if (make_first) {
+    for (std::size_t k = 0; k < report.set_up.size(); ++k) {
+      plan_ops.push_back(establish_footprint(k));
+    }
+    for (std::size_t t = 0; t < torn_idx.size(); ++t) {
+      plan_ops.push_back(teardown_footprint(t));
+    }
+  } else {
+    for (std::size_t t = 0; t < torn_idx.size(); ++t) {
+      plan_ops.push_back(teardown_footprint(t));
+    }
+    for (std::size_t k = 0; k < report.set_up.size(); ++k) {
+      plan_ops.push_back(establish_footprint(k));
+    }
+  }
+  CommandPlane plane(plane_mode_,
+                     CommandCosts{latencies_.oss_switch_ms,
+                                  latencies_.transceiver_tune_ms,
+                                  latencies_.amplifier_settle_ms});
+  plane.plan(std::move(plan_ops), make_first);
+  report.schedule_slots = plane.async() ? plane.slot_count() : 0;
+  plane_ = &plane;
+  // The plane must never outlive this call (recover() and the next apply
+  // build their own), even when a crash or refusal unwinds through here.
+  struct PlaneScope {
+    IrisController* self;
+    ~PlaneScope() {
+      self->plane_ = nullptr;
+      self->current_slot_ = -1;
+      self->devices_->fault_injector().set_schedule_slot(-1);
+    }
+  } plane_scope{this};
+
+  // The transaction opens. The effective strategy (after the fallback
+  // decision) is recorded so a recovering successor re-derives the same
+  // teardown/establish order; the slot count pins the async schedule shape.
   const std::uint64_t seq = applies_completed_;
   jrec(BeginApplyRecord{
       seq,
       static_cast<int>(make_first ? ReconfigStrategy::kMakeBeforeBreak
                                   : ReconfigStrategy::kBreakBeforeMake),
-      target});
+      target, report.schedule_slots});
 
   double clock = 0.0;
   std::vector<Circuit> kept_c;
@@ -716,38 +806,10 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
   // failure from here is resolved by retry, quarantine or rollback.
   bool devices_touched = false;
 
-  const auto release_torn = [&] {
-    if (!torn_idx.empty()) devices_touched = true;
-    for (std::size_t i : torn_idx) {
-      unwind_allocation(active_[i], allocations_[i], report, {});
-    }
-  };
-
   std::vector<Circuit> added_c;
   std::vector<Allocation> added_a;
   int max_switch_sites = 0;
   std::optional<std::string> establish_error;
-  const auto establish_new = [&]() -> bool {
-    for (std::size_t k = 0; k < report.set_up.size(); ++k) {
-      const Circuit& c = report.set_up[k];
-      const long long ops_before = report.oss_operations;
-      Allocation alloc;
-      establish_error = try_establish(c, alloc, report);
-      if (report.oss_operations != ops_before) devices_touched = true;
-      if (establish_error) {
-        // Transaction aborts: this circuit and the rest are not established.
-        for (std::size_t r = k; r < report.set_up.size(); ++r) {
-          report.not_established.push_back(report.set_up[r]);
-        }
-        return false;
-      }
-      added_c.push_back(c);
-      added_a.push_back(std::move(alloc));
-      max_switch_sites = std::max(
-          max_switch_sites, static_cast<int>(c.route.nodes.size()) - 2);
-    }
-    return true;
-  };
 
   // The apply is refused (books restored, nothing on a device changed):
   // journal the terminal record before rethrowing so replay never sees an
@@ -760,9 +822,11 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
     throw std::runtime_error(error);
   };
 
-  /// Compensating rollback for break-before-make: the torn circuits are
-  /// already off the devices, so re-establish them; what cannot be restored
-  /// is lost and the apply is degraded.
+  /// Compensating rollback for break-before-make: the torn circuits the
+  /// schedule already drained are off the devices, so re-establish them;
+  /// circuits whose teardown never ran are still live with their original
+  /// allocation and are simply kept. What cannot be restored is lost and
+  /// the apply is degraded.
   const auto rollback_reestablish = [&] {
     report.timeline.push_back(
         {clock, "apply failed: rolling back to pre-apply circuit set"});
@@ -773,7 +837,13 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
     added_a.clear();
     std::vector<Circuit> restored_c;
     std::vector<Allocation> restored_a;
-    for (const Circuit& c : report.torn_down) {
+    for (std::size_t t = 0; t < report.torn_down.size(); ++t) {
+      const Circuit& c = report.torn_down[t];
+      if (!torn_released[t]) {
+        restored_c.push_back(c);
+        restored_a.push_back(std::move(allocations_[torn_idx[t]]));
+        continue;
+      }
       Allocation alloc;
       if (try_establish(c, alloc, report)) {
         report.lost_circuits.push_back(c);
@@ -799,26 +869,92 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
     }
   };
 
-  if (make_first) {
-    // Hitless: light the replacements, move traffic, then drain + tear down.
-    if (!establish_new()) {
-      if (!devices_touched) {
-        // Nothing moved: keep the old generation fully intact (torn circuits
-        // were never released in make-before-break).
-        revert_kept_waves();
-        std::vector<Circuit> restored = kept_c;
-        std::vector<Allocation> restored_a = std::move(kept_a);
-        for (std::size_t i : torn_idx) {
-          restored.push_back(std::move(active_[i]));
-          restored_a.push_back(std::move(allocations_[i]));
-        }
-        active_ = std::move(restored);
-        allocations_ = std::move(restored_a);
-        refuse(*establish_error);
+  // In make-before-break, traffic cuts over to the replacement generation
+  // once every establish has succeeded: the generation barrier in the plan
+  // guarantees the first teardown runs only after that point, so the
+  // cutover timeline (and the drain window when circuits retire) is emitted
+  // exactly once, right before it.
+  bool cutover_done = false;
+  const auto mbb_cutover = [&] {
+    if (cutover_done) return;
+    cutover_done = true;
+    report.timeline.push_back({clock, "replacement circuits lit"});
+    if (!report.torn_down.empty()) {
+      drain_window(report, clock, plane, " old circuit(s)");
+    }
+  };
+
+  if (!make_first && !report.torn_down.empty()) {
+    // Drain, tear down, set up -- in that order (SS5.2).
+    drain_window(report, clock, plane, " circuit(s)");
+  }
+
+  std::vector<char> established(report.set_up.size(), 0);
+  double charged_delay = 0.0;
+  bool establish_failed = false;
+  for (std::size_t oi : plane.order()) {
+    const CommandOp& op = plane.ops()[oi];
+    if (make_first && op.teardown) mbb_cutover();
+    current_slot_ = plane.async() ? plane.slot_of(oi) : -1;
+    devices_->fault_injector().set_schedule_slot(current_slot_);
+    plane.begin_op(oi);
+    const double delay_before = report.fault_delay_ms;
+    if (op.teardown) {
+      devices_touched = true;
+      const std::size_t i = torn_idx[op.index];
+      unwind_allocation(active_[i], allocations_[i], report, {});
+      torn_released[op.index] = 1;
+    } else {
+      const Circuit& c = report.set_up[op.index];
+      const long long ops_before = report.oss_operations;
+      Allocation alloc;
+      establish_error = try_establish(c, alloc, report);
+      if (report.oss_operations != ops_before) devices_touched = true;
+      if (!establish_error) {
+        established[op.index] = 1;
+        added_c.push_back(c);
+        added_a.push_back(std::move(alloc));
+        max_switch_sites = std::max(
+            max_switch_sites, static_cast<int>(c.route.nodes.size()) - 2);
       }
+    }
+    const double op_delay = report.fault_delay_ms - delay_before;
+    charged_delay += op_delay;
+    plane.end_op(oi, op_delay);
+    current_slot_ = -1;
+    devices_->fault_injector().set_schedule_slot(-1);
+    if (establish_error) {
+      // Transaction aborts: unexecuted ops stay unexecuted; the failure
+      // handling below restores or rolls back.
+      establish_failed = true;
+      break;
+    }
+  }
+  plane.begin_tail();  // rollback/retune commands start after the schedule
+
+  if (establish_failed) {
+    for (std::size_t k = 0; k < report.set_up.size(); ++k) {
+      if (!established[k]) report.not_established.push_back(report.set_up[k]);
+    }
+    if (!devices_touched) {
+      // Nothing moved: keep the old generation fully intact (no teardown
+      // has run, so every torn circuit is still live).
+      revert_kept_waves();
+      std::vector<Circuit> restored = kept_c;
+      std::vector<Allocation> restored_a = std::move(kept_a);
+      for (std::size_t i : torn_idx) {
+        restored.push_back(std::move(active_[i]));
+        restored_a.push_back(std::move(allocations_[i]));
+      }
+      active_ = std::move(restored);
+      allocations_ = std::move(restored_a);
+      refuse(*establish_error);
+    }
+    if (make_first) {
       // Devices changed while trying the new generation: unwind it; the old
-      // generation never stopped carrying traffic, so this is a pure
-      // rollback with no capacity gap.
+      // generation never stopped carrying traffic (the generation barrier
+      // means no teardown has run), so this is a pure rollback with no
+      // capacity gap.
       for (std::size_t j = 0; j < added_c.size(); ++j) {
         unwind_allocation(added_c[j], added_a[j], report, {});
       }
@@ -838,47 +974,20 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
       report.timeline.push_back(
           {clock, "apply failed: replacement generation torn back down"});
     } else {
-      report.timeline.push_back({clock, "replacement circuits lit"});
-      if (!report.torn_down.empty()) {
-        report.drain_ms = latencies_.drain_window_ms;
-        clock += report.drain_ms;
-        report.timeline.push_back(
-            {clock, "drained " + std::to_string(report.torn_down.size()) +
-                        " old circuit(s)"});
-      }
-      release_torn();
-      report.hitless = true;
-      active_ = kept_c;
-      active_.insert(active_.end(), added_c.begin(), added_c.end());
-      allocations_ = std::move(kept_a);
-      std::move(added_a.begin(), added_a.end(),
-                std::back_inserter(allocations_));
+      rollback_reestablish();
     }
   } else {
-    // Drain, tear down, set up -- in that order (SS5.2).
-    if (!report.torn_down.empty()) {
-      report.drain_ms = latencies_.drain_window_ms;
-      clock += report.drain_ms;
-      report.timeline.push_back(
-          {clock, "drained " + std::to_string(report.torn_down.size()) +
-                      " circuit(s)"});
+    if (make_first) {
+      // Hitless: the replacements lit, traffic moved, the old generation
+      // drained and tore down on the schedule above.
+      mbb_cutover();
+      report.hitless = true;
     }
-    release_torn();
-    if (!establish_new()) {
-      if (!devices_touched) {
-        revert_kept_waves();
-        active_ = kept_c;
-        allocations_ = std::move(kept_a);
-        refuse(*establish_error);
-      }
-      rollback_reestablish();
-    } else {
-      active_ = kept_c;
-      active_.insert(active_.end(), added_c.begin(), added_c.end());
-      allocations_ = std::move(kept_a);
-      std::move(added_a.begin(), added_a.end(),
-                std::back_inserter(allocations_));
-    }
+    active_ = kept_c;
+    active_.insert(active_.end(), added_c.begin(), added_c.end());
+    allocations_ = std::move(kept_a);
+    std::move(added_a.begin(), added_a.end(),
+              std::back_inserter(allocations_));
   }
   for (const Circuit& c : report.torn_down) {
     max_switch_sites = std::max(
@@ -909,6 +1018,19 @@ ReconfigReport IrisController::apply_traffic_matrix(const TrafficMatrix& tm,
   }
   report.verified = audit_devices();
   report.total_ms = clock + report.fault_delay_ms;
+
+  // Command-plane makespan: drain windows, every issued device command on
+  // its queue, retry backoff charged to the schedule, fault delay incurred
+  // outside scheduled ops (rollback, retunes), and the receiver-relock tail.
+  // total_ms stays the capacity-gap model; this is the end-to-end wall time
+  // the async plane is measured on. The virtual-clock advance makes the
+  // controller.apply span report the same duration.
+  plane.add_floor(std::max(0.0, report.fault_delay_ms - charged_delay));
+  report.makespan_ms = plane.horizon_ms();
+  if (!report.set_up.empty() || !report.torn_down.empty()) {
+    report.makespan_ms += latencies_.signal_recovery_ms;
+  }
+  obs::registry().advance_virtual(report.makespan_ms / 1000.0);
 
   jrec(ApplyEndRecord{seq, static_cast<int>(report.outcome), active_,
                       expected_tuned_});
@@ -1380,7 +1502,7 @@ void IrisController::repair_connects(Allocation& alloc, ReconfigReport& report,
       if (!r.ok()) {
         throw DeviceCommandError{k.site, k.in_port, *out, r.detail};
       }
-      trace_.push_back(OssDisconnectCmd{k.site, k.in_port});
+      record_cmd(OssDisconnectCmd{k.site, k.in_port});
       ++report.oss_operations;
       ++rr.connects_removed;
     }
@@ -1399,7 +1521,7 @@ void IrisController::repair_connects(Allocation& alloc, ReconfigReport& report,
         if (!r.ok()) {
           throw DeviceCommandError{k.site, stale_in, k.out_port, r.detail};
         }
-        trace_.push_back(OssDisconnectCmd{k.site, stale_in});
+        record_cmd(OssDisconnectCmd{k.site, stale_in});
         ++report.oss_operations;
         ++rr.connects_removed;
       }
@@ -1409,7 +1531,7 @@ void IrisController::repair_connects(Allocation& alloc, ReconfigReport& report,
     if (!r.ok()) {
       throw DeviceCommandError{k.site, k.in_port, k.out_port, r.detail};
     }
-    trace_.push_back(OssConnectCmd{k.site, k.in_port, k.out_port});
+    record_cmd(OssConnectCmd{k.site, k.in_port, k.out_port});
     ++report.oss_operations;
     ++rr.connects_programmed;
   }

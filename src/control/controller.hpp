@@ -88,6 +88,16 @@ struct ReconfigReport {
   long long wavelengths_untuned = 0;  ///< demand not carried for lack of txs
   double fault_delay_ms = 0.0;   ///< retry backoff + command timeouts
 
+  /// End-to-end reconfiguration makespan on the command plane's virtual
+  /// clock: drain windows + per-command device latencies + retry backoff +
+  /// receiver relock. Unlike `total_ms` (the capacity-gap model), this
+  /// charges every issued device command, so it is the serial baseline the
+  /// async plane's speedup is measured against. Matches the duration of the
+  /// obs `controller.apply` span.
+  double makespan_ms = 0.0;
+  /// Command-plane schedule slots this apply used (0 = serial plane).
+  int schedule_slots = 0;
+
   /// True when the network ended the apply carrying the requested circuit
   /// set (possibly with fewer tuned wavelengths than asked). Closed-loop
   /// callers use this to decide whether to mark the proposal applied or to
@@ -233,6 +243,17 @@ class IrisController {
   ReconfigReport apply_traffic_matrix(
       const TrafficMatrix& tm,
       ReconfigStrategy strategy = ReconfigStrategy::kBreakBeforeMake);
+
+  /// Selects how applies schedule their device commands. kSerial (default)
+  /// is byte-identical to the historical controller; kAsync runs
+  /// conflict-free teardowns/establishes concurrently on per-device queues
+  /// (same final state, journaled with schedule slots, smaller makespan).
+  void set_command_plane(CommandPlaneMode mode) noexcept {
+    plane_mode_ = mode;
+  }
+  [[nodiscard]] CommandPlaneMode command_plane() const noexcept {
+    return plane_mode_;
+  }
 
   /// Marks a duct failed; the next apply_traffic_matrix reroutes around it.
   /// Circuits already riding the duct keep their resources but carry no
@@ -408,6 +429,16 @@ class IrisController {
   std::optional<std::string> try_establish(const Circuit& c, Allocation& alloc,
                                            ReconfigReport& report);
   void retune_all_dcs(ReconfigReport& report);
+  /// Records one issued device command: appends to the trace and, when a
+  /// command plane is live (inside apply_traffic_matrix), charges it onto
+  /// the plane's virtual clock.
+  void record_cmd(const DeviceCommand& cmd);
+  /// The drain window shared by both strategies: charges
+  /// `drain_window_ms` to the report and the capacity-gap clock, emits the
+  /// timeline entry, and floors the command plane so nothing issued later
+  /// starts inside the window.
+  void drain_window(ReconfigReport& report, double& clock, CommandPlane& plane,
+                    const char* what);
 
   // ---- journal plumbing ----
   void jrec(JournalEntry entry);
@@ -446,6 +477,9 @@ class IrisController {
   DeviceLayer* devices_ = nullptr;
 
   IntentJournal* journal_ = nullptr;  ///< not owned; nullptr = no journaling
+  CommandPlaneMode plane_mode_ = CommandPlaneMode::kSerial;
+  CommandPlane* plane_ = nullptr;  ///< live only inside apply_traffic_matrix
+  int current_slot_ = -1;          ///< schedule slot of the op being executed
   int checkpoint_every_ = 16;
   std::uint64_t applies_completed_ = 0;
   std::uint64_t state_version_ = 0;

@@ -63,7 +63,7 @@ void FaultInjector::count_command() {
   if (crash_at_ > 0 && commands_seen_ >= crash_at_) {
     crash_at_ = 0;  // self-disarm: the successor must re-arm explicitly
     ++crashes_fired_;
-    throw ControllerCrash{commands_seen_ - 1};
+    throw ControllerCrash{commands_seen_ - 1, schedule_slot_};
   }
 }
 

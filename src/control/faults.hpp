@@ -93,6 +93,10 @@ struct FaultConfig {
 /// produced. Only the crash-chaos harness catches it.
 struct ControllerCrash {
   long long commands_executed = 0;  ///< commands completed before the crash
+  /// Schedule slot of the command-plane op being executed at the crash point
+  /// (-1 when the controller is running serially or outside an op). Crash
+  /// harnesses use it to audit that every async slot interleaving recovers.
+  int schedule_slot = -1;
 };
 
 /// Seeded, stateful fault source shared by every emulated device of one
@@ -159,6 +163,11 @@ class FaultInjector {
     return crashes_fired_;
   }
 
+  /// Stamps the command-plane schedule slot onto any crash fired from now on
+  /// (-1 = outside any scheduled op). The controller updates this as it walks
+  /// the schedule so ControllerCrash reports where the interleaving died.
+  void set_schedule_slot(int slot) noexcept { schedule_slot_ = slot; }
+
   /// Field repair: forgets all sticky faults (tests and soak harnesses).
   void clear_sticky();
 
@@ -177,6 +186,7 @@ class FaultInjector {
   long long commands_seen_ = 0;
   long long crash_at_ = 0;  ///< absolute command index; 0 = disarmed
   long long crashes_fired_ = 0;
+  int schedule_slot_ = -1;  ///< stamped onto ControllerCrash when firing
   std::set<std::pair<graph::NodeId, int>> stuck_ports_;
   std::set<std::pair<graph::NodeId, int>> dead_txs_;
   std::map<std::pair<graph::NodeId, int>, bool> dead_amps_;

@@ -108,14 +108,19 @@ void put_record(std::ostream& os, const CheckpointRecord& r) {
   os << '\n';
 }
 
+// The schedule-slot fields are omitted when unset (serial command plane), so
+// serial journals stay byte-identical to the historical format.
 void put_record(std::ostream& os, const BeginApplyRecord& r) {
-  os << "begin_apply " << r.seq << ' ' << r.strategy << ' ' << r.target.size()
-     << '\n';
+  os << "begin_apply " << r.seq << ' ' << r.strategy << ' ' << r.target.size();
+  if (r.slots > 0) os << " slots " << r.slots;
+  os << '\n';
   for (const Circuit& c : r.target) put_circuit(os, c);
 }
 
 void put_record(std::ostream& os, const TeardownBeginRecord& r) {
-  os << "teardown_begin\n";
+  os << "teardown_begin";
+  if (r.slot >= 0) os << " slot " << r.slot;
+  os << '\n';
   put_circuit(os, r.circuit);
 }
 
@@ -125,7 +130,9 @@ void put_record(std::ostream& os, const TeardownDoneRecord& r) {
 }
 
 void put_record(std::ostream& os, const EstablishBeginRecord& r) {
-  os << "establish_begin\n";
+  os << "establish_begin";
+  if (r.slot >= 0) os << " slot " << r.slot;
+  os << '\n';
   put_circuit(os, r.circuit);
   put_alloc(os, r.alloc);
 }
@@ -205,6 +212,17 @@ class Line {
     double v = 0.0;
     if (!(ss_ >> v)) parse_fail(line_no_, std::string("expected ") + what);
     return v;
+  }
+  /// Optional trailing `<tag> <value>` pair: absent at end of line returns
+  /// `dflt`; a present token that is not `tag` is a parse failure.
+  long long opt_tagged_num(const char* tag, long long dflt) {
+    std::string w;
+    if (!(ss_ >> w)) return dflt;
+    if (w != tag) {
+      parse_fail(line_no_,
+                 std::string("expected '") + tag + "', got '" + w + "'");
+    }
+    return num(tag);
   }
   void end() {
     std::string extra;
@@ -410,7 +428,12 @@ JournalEntry parse_record(Body& body) {
     r.seq = static_cast<std::uint64_t>(ln.num("seq"));
     r.strategy = static_cast<int>(ln.num("strategy"));
     const int n = ln.count("target count");
+    const long long slots = ln.opt_tagged_num("slots", 0);
     ln.end();
+    if (slots < 0 || slots > (1LL << 24)) {
+      parse_fail(ln.line_no(), "bad slot count");
+    }
+    r.slots = static_cast<int>(slots);
     for (int i = 0; i < n; ++i) {
       Line cl = body.next("target circuit");
       r.target.push_back(parse_circuit(cl));
@@ -419,20 +442,32 @@ JournalEntry parse_record(Body& body) {
   }
   if (kw == "teardown_begin" || kw == "teardown_done" ||
       kw == "establish_done") {
+    long long slot = -1;
+    if (kw == "teardown_begin") slot = ln.opt_tagged_num("slot", -1);
     ln.end();
+    if (slot < -1 || slot > (1LL << 24)) {
+      parse_fail(ln.line_no(), "bad schedule slot");
+    }
     Line cl = body.next("circuit");
     Circuit c = parse_circuit(cl);
-    if (kw == "teardown_begin") return TeardownBeginRecord{std::move(c)};
+    if (kw == "teardown_begin") {
+      return TeardownBeginRecord{std::move(c), static_cast<int>(slot)};
+    }
     if (kw == "teardown_done") return TeardownDoneRecord{std::move(c)};
     return EstablishDoneRecord{std::move(c)};
   }
   if (kw == "establish_begin") {
+    const long long slot = ln.opt_tagged_num("slot", -1);
     ln.end();
+    if (slot < -1 || slot > (1LL << 24)) {
+      parse_fail(ln.line_no(), "bad schedule slot");
+    }
     Line cl = body.next("circuit");
     Circuit c = parse_circuit(cl);
     Line al = body.next("alloc");
     AllocationRecord a = parse_alloc(al);
-    return EstablishBeginRecord{std::move(c), std::move(a)};
+    return EstablishBeginRecord{std::move(c), std::move(a),
+                                static_cast<int>(slot)};
   }
   if (kw == "quarantine") {
     QuarantineRecord r;
@@ -628,18 +663,18 @@ IntentJournal::Intent IntentJournal::replay() const {
             },
             [&](const BeginApplyRecord& r) {
               if (ifa) replay_fail("begin_apply while an apply is open");
-              ifa = InFlightApply{r.seq, r.strategy, r.target, {}};
+              ifa = InFlightApply{r.seq, r.strategy, r.target, {}, r.slots};
             },
             [&](const TeardownBeginRecord& r) {
               if (!ifa) replay_fail("teardown_begin outside an apply");
-              ifa->ops.push_back({true, r.circuit, std::nullopt, false});
+              ifa->ops.push_back({true, r.circuit, std::nullopt, false, r.slot});
             },
             [&](const TeardownDoneRecord& r) {
               mark_done(true, r.circuit, "teardown_done");
             },
             [&](const EstablishBeginRecord& r) {
               if (!ifa) replay_fail("establish_begin outside an apply");
-              ifa->ops.push_back({false, r.circuit, r.alloc, false});
+              ifa->ops.push_back({false, r.circuit, r.alloc, false, r.slot});
             },
             [&](const EstablishDoneRecord& r) {
               mark_done(false, r.circuit, "establish_done");

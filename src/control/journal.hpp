@@ -89,9 +89,14 @@ struct BeginApplyRecord {
   std::uint64_t seq = 0;
   int strategy = 0;  ///< ReconfigStrategy as int
   std::vector<Circuit> target;
+  /// Command-plane schedule slots of this apply (0 = serial plane; the
+  /// record serializes byte-identically to the historical format then).
+  int slots = 0;
 };
 struct TeardownBeginRecord {
   Circuit circuit;
+  /// Schedule slot the op ran in (-1 = serial plane; omitted on the wire).
+  int slot = -1;
 };
 struct TeardownDoneRecord {
   Circuit circuit;
@@ -102,6 +107,8 @@ struct TeardownDoneRecord {
 struct EstablishBeginRecord {
   Circuit circuit;
   AllocationRecord alloc;
+  /// Schedule slot the op ran in (-1 = serial plane; omitted on the wire).
+  int slot = -1;
 };
 struct EstablishDoneRecord {
   Circuit circuit;
@@ -177,12 +184,14 @@ class IntentJournal {
     Circuit circuit;
     std::optional<AllocationRecord> alloc;
     bool done = false;
+    int slot = -1;  ///< command-plane schedule slot (-1 = serial plane)
   };
   struct InFlightApply {
     std::uint64_t seq = 0;
     int strategy = 0;
     std::vector<Circuit> target;
     std::vector<PendingOp> ops;
+    int slots = 0;  ///< schedule slot count (0 = serial plane)
   };
   /// The journal's reconstructed intent: the stable state as of the last
   /// terminal record (checkpoint + committed applies folded in), plus the

@@ -344,6 +344,37 @@ TEST(FleetSupervisor, RecoversAndMatchesSoloBitIdentical) {
   }
 }
 
+// Supervised recovery over the async command plane: shards run batched
+// pipelined applies, the supervisor kills them on schedule, and recovered
+// fleet traces still match the solo run bit-for-bit -- the async schedule
+// changes the virtual clock, not the recoverable state.
+TEST(FleetSupervisor, RecoversOverAsyncCommandPlane) {
+  std::string region0_trace;
+  for (const int regions : {1, 2}) {
+    auto params = small_fleet(regions, 16);
+    params.base.command_plane = control::CommandPlaneMode::kAsync;
+    params.base.supervisor.crash_every_cmds = 40;
+    fleet::Fleet fleet(params);
+    fleet.start();
+    fleet.join();
+    EXPECT_TRUE(fleet.ok());
+    EXPECT_GT(fleet.supervisor().total_recoveries(), 0) << "M=" << regions;
+    EXPECT_EQ(fleet.supervisor().quarantined_regions(), 0);
+    for (int r = 0; r < regions; ++r) {
+      const auto solo = fleet::run_region_solo(params, r);
+      const auto& in_fleet = fleet.shard(r).result();
+      EXPECT_EQ(in_fleet.trace, solo.trace) << "M=" << regions << " r=" << r;
+      EXPECT_TRUE(in_fleet.audit_clean) << "M=" << regions << " r=" << r;
+    }
+    if (region0_trace.empty()) {
+      region0_trace = fleet.shard(0).result().trace;
+    } else {
+      EXPECT_EQ(fleet.shard(0).result().trace, region0_trace)
+          << "async region 0 trace changed with fleet size " << regions;
+    }
+  }
+}
+
 // Repeated crashes inside the window exhaust the budget: the region lands in
 // kQuarantined, the run is abandoned (partial result, no process abort) and
 // the fleet-level view reports it.
